@@ -1,0 +1,274 @@
+//! `BaseC` — Cheng, Caverlee & Lee (CIKM 2010), the paper's content
+//! baseline.
+//!
+//! The original estimates `p(city | user)` from the words in a user's
+//! tweets, restricted to *local words* — words whose usage concentrates
+//! geographically ("houston" is local, "lol" is not). The MLP paper notes
+//! that BaseC "requires human labeling to train a model to select local
+//! words, and BaseC's performance highly depends on the selected words";
+//! it reports a 35.98–49.67% ACC@100 range over word sets. We implement
+//! the selection with the *spatial focus* heuristic: a venue word is local
+//! when a sufficiently large share of its training-set usage falls within
+//! `focus_radius` miles of its modal city.
+//!
+//! Prediction: `score(l | u) = Σ_{w ∈ tweets(u), w local} n_u(w) · p(l | w)`
+//! with optional neighborhood smoothing (Cheng et al.'s lattice smoothing,
+//! transplanted to city granularity), predicting the argmax city.
+
+use crate::HomePredictor;
+use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_social::{Adjacency, Dataset, UserId};
+use std::collections::HashMap;
+
+/// Fitting/prediction knobs for [`BaseC`].
+#[derive(Debug, Clone)]
+pub struct BaseCConfig {
+    /// Minimum training mentions for a word to be considered at all.
+    pub min_count: u32,
+    /// Share of a word's usage that must fall within `focus_radius` of its
+    /// modal city for the word to count as local.
+    pub focus_threshold: f64,
+    /// Radius (miles) defining "near the modal city".
+    pub focus_radius: f64,
+    /// Whether to smooth `p(l|w)` over cities within `smoothing_radius`.
+    pub spatial_smoothing: bool,
+    /// Radius (miles) for the smoothing neighborhood.
+    pub smoothing_radius: f64,
+    /// Weight of neighbor mass relative to own mass during smoothing.
+    pub smoothing_weight: f64,
+}
+
+impl Default for BaseCConfig {
+    fn default() -> Self {
+        Self {
+            min_count: 5,
+            focus_threshold: 0.5,
+            focus_radius: 100.0,
+            spatial_smoothing: true,
+            smoothing_radius: 50.0,
+            smoothing_weight: 0.3,
+        }
+    }
+}
+
+/// The fitted content classifier.
+pub struct BaseC<'a> {
+    dataset: &'a Dataset,
+    adj: Adjacency,
+    /// `p(l | w)` for each local word, sparse over cities.
+    word_city_probs: HashMap<u32, Vec<(CityId, f64)>>,
+    /// Number of words that passed the locality filter.
+    num_local_words: usize,
+}
+
+impl<'a> BaseC<'a> {
+    /// Learns word→city distributions from labeled users and selects local
+    /// words by spatial focus.
+    pub fn fit(gaz: &Gazetteer, dataset: &'a Dataset, config: &BaseCConfig) -> Self {
+        // count[w][l]: venue w tweeted by a user registered at l.
+        let mut counts: HashMap<u32, HashMap<u32, u32>> = HashMap::new();
+        for m in &dataset.mentions {
+            if let Some(home) = dataset.registered[m.user.index()] {
+                *counts.entry(m.venue.0).or_default().entry(home.0).or_insert(0) += 1;
+            }
+        }
+
+        let mut word_city_probs = HashMap::new();
+        for (w, city_counts) in counts {
+            let total: u32 = city_counts.values().sum();
+            if total < config.min_count {
+                continue;
+            }
+            // Modal city and the share of usage near it.
+            let (&modal, _) =
+                city_counts.iter().max_by_key(|&(c, &n)| (n, std::cmp::Reverse(*c))).expect("non-empty");
+            let near_modal: u32 = city_counts
+                .iter()
+                .filter(|&(&c, _)| {
+                    gaz.distance(CityId(modal), CityId(c)) <= config.focus_radius
+                })
+                .map(|(_, &n)| n)
+                .sum();
+            if (near_modal as f64 / total as f64) < config.focus_threshold {
+                continue; // not geographically focused → not a local word
+            }
+            let mut probs: Vec<(CityId, f64)> = city_counts
+                .into_iter()
+                .map(|(c, n)| (CityId(c), n as f64 / total as f64))
+                .collect();
+            probs.sort_by_key(|a| a.0);
+            if config.spatial_smoothing {
+                probs = smooth(gaz, &probs, config.smoothing_radius, config.smoothing_weight);
+            }
+            word_city_probs.insert(w, probs);
+        }
+        let num_local_words = word_city_probs.len();
+        Self { dataset, adj: Adjacency::build(dataset), word_city_probs, num_local_words }
+    }
+
+    /// How many words survived the locality filter.
+    pub fn num_local_words(&self) -> usize {
+        self.num_local_words
+    }
+
+    /// Whether the classifier treats `venue` as a local word.
+    pub fn is_local_word(&self, venue: VenueId) -> bool {
+        self.word_city_probs.contains_key(&venue.0)
+    }
+
+    fn ranked(&self, user: UserId) -> Vec<(CityId, f64)> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for &k in self.adj.mentions_of(user) {
+            let venue = self.dataset.mentions[k as usize].venue;
+            if let Some(probs) = self.word_city_probs.get(&venue.0) {
+                for &(c, p) in probs {
+                    *scores.entry(c.0).or_insert(0.0) += p;
+                }
+            }
+        }
+        let mut ranked: Vec<(CityId, f64)> =
+            scores.into_iter().map(|(c, s)| (CityId(c), s)).collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+impl HomePredictor for BaseC<'_> {
+    fn predict_home(&self, user: UserId) -> Option<CityId> {
+        self.ranked(user).first().map(|&(c, _)| c)
+    }
+
+    fn predict_ranked(&self, user: UserId, k: usize) -> Vec<CityId> {
+        self.ranked(user).into_iter().take(k).map(|(c, _)| c).collect()
+    }
+}
+
+/// City-granularity neighborhood smoothing: each city's mass is augmented
+/// by `weight ×` the mass of cities within `radius` miles, renormalised.
+fn smooth(
+    gaz: &Gazetteer,
+    probs: &[(CityId, f64)],
+    radius: f64,
+    weight: f64,
+) -> Vec<(CityId, f64)> {
+    let mut out: HashMap<u32, f64> = probs.iter().map(|&(c, p)| (c.0, p)).collect();
+    for &(c, p) in probs {
+        for n in gaz.cities_within(c, radius) {
+            if n != c {
+                *out.entry(n.0).or_insert(0.0) += weight * p;
+            }
+        }
+    }
+    let total: f64 = out.values().sum();
+    let mut smoothed: Vec<(CityId, f64)> =
+        out.into_iter().map(|(c, p)| (CityId(c), p / total)).collect();
+    smoothed.sort_by_key(|a| a.0);
+    smoothed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{Generator, GeneratorConfig, TweetMention};
+
+    #[test]
+    fn local_words_are_selected_and_ambiguous_ones_can_fail_focus() {
+        let gaz = Gazetteer::us_cities();
+        let austin = gaz.city_by_name_state("austin", "TX").unwrap();
+        let mut d = Dataset::new(20);
+        let v_austin = gaz.venue_by_name("austin").unwrap();
+        let v_princeton = gaz.venue_by_name("princeton").unwrap();
+        let princetons = gaz.cities_named("princeton").to_vec();
+        // Ten users in Austin tweet "austin"; ten users spread across the
+        // Princetons tweet "princeton".
+        for i in 0..10u32 {
+            d.registered[i as usize] = Some(austin);
+            d.mentions.push(TweetMention { user: UserId(i), venue: v_austin });
+        }
+        for i in 10..20u32 {
+            d.registered[i as usize] = Some(princetons[(i as usize) % princetons.len()]);
+            d.mentions.push(TweetMention { user: UserId(i), venue: v_princeton });
+        }
+        let base_c = BaseC::fit(&gaz, &d, &BaseCConfig::default());
+        assert!(base_c.is_local_word(v_austin), "austin should be local");
+        assert!(
+            !base_c.is_local_word(v_princeton),
+            "princeton usage is spread coast-to-coast; focus must fail"
+        );
+        assert_eq!(base_c.num_local_words(), 1);
+    }
+
+    #[test]
+    fn predicts_from_local_words() {
+        let gaz = Gazetteer::us_cities();
+        let austin = gaz.city_by_name_state("austin", "TX").unwrap();
+        let v_austin = gaz.venue_by_name("austin").unwrap();
+        let mut d = Dataset::new(11);
+        for i in 0..10u32 {
+            d.registered[i as usize] = Some(austin);
+            d.mentions.push(TweetMention { user: UserId(i), venue: v_austin });
+        }
+        // Unlabeled user 10 tweets "austin" twice.
+        d.mentions.push(TweetMention { user: UserId(10), venue: v_austin });
+        d.mentions.push(TweetMention { user: UserId(10), venue: v_austin });
+        let base_c = BaseC::fit(&gaz, &d, &BaseCConfig::default());
+        assert_eq!(base_c.predict_home(UserId(10)), Some(austin));
+    }
+
+    #[test]
+    fn no_local_words_no_prediction() {
+        let gaz = Gazetteer::us_cities();
+        let d = Dataset::new(2);
+        let base_c = BaseC::fit(&gaz, &d, &BaseCConfig::default());
+        assert_eq!(base_c.predict_home(UserId(0)), None);
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let gaz = Gazetteer::us_cities();
+        let austin = gaz.city_by_name_state("austin", "TX").unwrap();
+        let v = gaz.venue_by_name("austin").unwrap();
+        let mut d = Dataset::new(2);
+        d.registered[0] = Some(austin);
+        d.mentions.push(TweetMention { user: UserId(0), venue: v });
+        let base_c = BaseC::fit(&gaz, &d, &BaseCConfig { min_count: 5, ..Default::default() });
+        assert!(!base_c.is_local_word(v), "one mention is below min_count");
+    }
+
+    #[test]
+    fn smoothing_spreads_mass_to_neighbors() {
+        let gaz = Gazetteer::us_cities();
+        let la = gaz.city_by_name_state("los angeles", "CA").unwrap();
+        let santa_monica = gaz.city_by_name_state("santa monica", "CA").unwrap();
+        let probs = vec![(la, 1.0)];
+        let smoothed = smooth(&gaz, &probs, 50.0, 0.3);
+        let sm_mass = smoothed.iter().find(|&&(c, _)| c == santa_monica).map(|&(_, p)| p);
+        assert!(sm_mass.is_some_and(|p| p > 0.0), "Santa Monica should get smoothed mass");
+        let total: f64 = smoothed.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicts_masked_users_above_chance() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 800, seed: 103, ..Default::default() },
+        )
+        .generate();
+        let masked: Vec<UserId> = (0..160).map(UserId).collect();
+        let train = data.dataset.mask_users(&masked);
+        let base_c = BaseC::fit(&gaz, &train, &BaseCConfig::default());
+        assert!(base_c.num_local_words() > 20, "got {}", base_c.num_local_words());
+        let hits = masked
+            .iter()
+            .filter(|&&u| {
+                base_c
+                    .predict_home(u)
+                    .is_some_and(|pred| gaz.distance(pred, data.truth.home(u)) <= 100.0)
+            })
+            .count();
+        let acc = hits as f64 / masked.len() as f64;
+        assert!(acc > 0.25, "BaseC ACC@100 {acc} (paper: 49.67% on real data)");
+    }
+}

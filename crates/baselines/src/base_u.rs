@@ -1,0 +1,299 @@
+//! `BaseU` — Backstrom, Sun & Marlow (WWW 2010), the paper's network
+//! baseline.
+//!
+//! The original method (on Facebook) proceeds in two steps:
+//!
+//! 1. **learn** the probability of friendship as a function of distance,
+//!    `p(d) = a·(b + d)^{-c}` — fitted here on the labeled-pair
+//!    following-probability histogram, grid-searching the offset `b` and
+//!    solving `(a, c)` by weighted least squares in log–log space;
+//! 2. **predict** each user's location by maximum likelihood over his
+//!    neighbors' known locations: `l̂_u = argmax_l Σ_{v ∈ N(u)} ln p(d(l,
+//!    l_v))`, evaluating candidates at the neighbors' cities (the global
+//!    optimum of the sum lies at one of them for a decaying kernel in
+//!    practice, and this is the standard implementation).
+//!
+//! The crucial contrast with MLP: one location per user, no noise model, no
+//! use of tweet content — so a user whose friends split between two metros
+//! gets pulled to whichever side has more/closer friends (paper Tab. 4).
+
+use crate::HomePredictor;
+use mlp_gazetteer::{CityId, Gazetteer};
+use mlp_social::{following_probability_histogram, Adjacency, Dataset, UserId};
+
+/// The fitted friendship curve `p(d) = a·(b + d)^{-c}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetPowerLaw {
+    /// Scale.
+    pub a: f64,
+    /// Distance offset, miles (Backstrom et al. report b ≈ 5 on Facebook).
+    pub b: f64,
+    /// Decay exponent (≈ 1 on Facebook; shallower on Twitter per the paper).
+    pub c: f64,
+}
+
+impl OffsetPowerLaw {
+    /// Probability at distance `d`, capped into `(0, 1]`.
+    #[inline]
+    pub fn eval(&self, d: f64) -> f64 {
+        (self.a * (self.b + d.max(0.0)).powf(-self.c)).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
+    /// Natural log of [`Self::eval`].
+    #[inline]
+    pub fn log_eval(&self, d: f64) -> f64 {
+        self.eval(d).ln()
+    }
+}
+
+/// Fitting/prediction knobs for [`BaseU`].
+#[derive(Debug, Clone)]
+pub struct BaseUConfig {
+    /// Offsets `b` tried during the grid search.
+    pub offsets: Vec<f64>,
+    /// Histogram bucket width, miles.
+    pub bucket_miles: f64,
+    /// Minimum pairs per bucket for the bucket to inform the fit.
+    pub min_bucket_trials: u64,
+}
+
+impl Default for BaseUConfig {
+    fn default() -> Self {
+        Self {
+            offsets: vec![0.0, 1.0, 5.0, 10.0, 25.0, 50.0],
+            bucket_miles: 25.0,
+            min_bucket_trials: 10,
+        }
+    }
+}
+
+/// The fitted baseline, ready to predict.
+pub struct BaseU<'a> {
+    gaz: &'a Gazetteer,
+    dataset: &'a Dataset,
+    adj: Adjacency,
+    /// The fitted curve (exposed for the Fig. 3(a)-style diagnostics).
+    pub curve: OffsetPowerLaw,
+}
+
+impl<'a> BaseU<'a> {
+    /// Learns the friendship curve from the labeled users of `dataset` and
+    /// binds the predictor to it.
+    pub fn fit(gaz: &'a Gazetteer, dataset: &'a Dataset, config: &BaseUConfig) -> Self {
+        let hist =
+            following_probability_histogram(dataset, gaz, config.bucket_miles, 3_200.0);
+        let points = hist.weighted_curve(config.min_bucket_trials);
+        let curve = fit_offset_power_law(&points, &config.offsets).unwrap_or(OffsetPowerLaw {
+            // Backstrom et al.'s Facebook fit as the sparse-data fallback.
+            a: 0.0019,
+            b: 5.0,
+            c: 1.05,
+        });
+        Self { gaz, dataset, adj: Adjacency::build(dataset), curve }
+    }
+
+    /// Labeled neighbor cities (friends and followers) of `user`.
+    fn neighbor_cities(&self, user: UserId) -> Vec<CityId> {
+        let mut cities = Vec::new();
+        for &s in self.adj.out_edges(user) {
+            let friend = self.dataset.edges[s as usize].friend;
+            if let Some(c) = self.dataset.registered[friend.index()] {
+                cities.push(c);
+            }
+        }
+        for &s in self.adj.in_edges(user) {
+            let follower = self.dataset.edges[s as usize].follower;
+            if let Some(c) = self.dataset.registered[follower.index()] {
+                cities.push(c);
+            }
+        }
+        cities
+    }
+
+    /// Scores candidate `l`: Σ_neighbors ln p(d(l, l_v)).
+    fn score(&self, candidate: CityId, neighbor_cities: &[CityId]) -> f64 {
+        neighbor_cities
+            .iter()
+            .map(|&v| self.curve.log_eval(self.gaz.distance(candidate, v)))
+            .sum()
+    }
+
+    /// Full ranked scoring over the distinct neighbor cities.
+    fn ranked(&self, user: UserId) -> Vec<(CityId, f64)> {
+        let neighbors = self.neighbor_cities(user);
+        if neighbors.is_empty() {
+            return Vec::new();
+        }
+        let mut candidates = neighbors.clone();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut scored: Vec<(CityId, f64)> =
+            candidates.into_iter().map(|l| (l, self.score(l, &neighbors))).collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scored
+    }
+}
+
+impl HomePredictor for BaseU<'_> {
+    fn predict_home(&self, user: UserId) -> Option<CityId> {
+        self.ranked(user).first().map(|&(c, _)| c)
+    }
+
+    fn predict_ranked(&self, user: UserId, k: usize) -> Vec<CityId> {
+        self.ranked(user).into_iter().take(k).map(|(c, _)| c).collect()
+    }
+}
+
+/// Grid-search `b`, least-squares `(ln a, c)` per offset, pick the best
+/// weighted residual. Returns `None` with fewer than 3 usable points.
+fn fit_offset_power_law(
+    points: &[(f64, f64, f64)],
+    offsets: &[f64],
+) -> Option<OffsetPowerLaw> {
+    let usable: Vec<(f64, f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|&(d, p, w)| d >= 0.0 && p > 0.0 && w > 0.0)
+        .collect();
+    if usable.len() < 3 {
+        return None;
+    }
+    let mut best: Option<(f64, OffsetPowerLaw)> = None;
+    for &b in offsets {
+        let (mut n, mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for &(d, p, w) in &usable {
+            let x = (b + d).ln();
+            let y = p.ln();
+            n += w;
+            sx += w * x;
+            sy += w * y;
+            sxx += w * x * x;
+            sxy += w * x * y;
+        }
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            continue;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        let candidate = OffsetPowerLaw { a: intercept.exp(), b, c: -slope };
+        if !(candidate.c > 0.0) || !candidate.a.is_finite() {
+            continue;
+        }
+        // Weighted squared residual in log space.
+        let resid: f64 = usable
+            .iter()
+            .map(|&(d, p, w)| {
+                let pred = intercept + slope * (b + d).ln();
+                w * (p.ln() - pred).powi(2)
+            })
+            .sum();
+        if best.as_ref().is_none_or(|(r, _)| resid < *r) {
+            best = Some((resid, candidate));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{Generator, GeneratorConfig};
+
+    fn generate(n: usize, seed: u64) -> (Gazetteer, mlp_social::GeneratedData) {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: n, seed, ..Default::default() },
+        )
+        .generate();
+        (gaz, data)
+    }
+
+    #[test]
+    fn offset_fit_recovers_known_curve() {
+        let truth = OffsetPowerLaw { a: 0.01, b: 5.0, c: 1.0 };
+        let points: Vec<(f64, f64, f64)> =
+            (1..200).map(|i| (i as f64 * 10.0, truth.eval(i as f64 * 10.0), 100.0)).collect();
+        let fit = fit_offset_power_law(&points, &[0.0, 5.0, 20.0]).unwrap();
+        assert_eq!(fit.b, 5.0, "grid search should pick the true offset");
+        assert!((fit.c - 1.0).abs() < 0.01, "c {}", fit.c);
+        assert!((fit.a / 0.01 - 1.0).abs() < 0.05, "a {}", fit.a);
+    }
+
+    #[test]
+    fn offset_fit_rejects_sparse_input() {
+        assert!(fit_offset_power_law(&[(1.0, 0.1, 1.0)], &[0.0]).is_none());
+        assert!(fit_offset_power_law(&[], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn curve_eval_is_decreasing_probability() {
+        let c = OffsetPowerLaw { a: 0.01, b: 5.0, c: 1.0 };
+        assert!(c.eval(1.0) > c.eval(100.0));
+        assert!(c.eval(100.0) > c.eval(2_000.0));
+        assert!(c.eval(0.0) <= 1.0);
+        assert!(c.log_eval(50.0).is_finite());
+    }
+
+    #[test]
+    fn predicts_masked_users_above_chance() {
+        let (gaz, data) = generate(800, 101);
+        let masked: Vec<UserId> = (0..160).map(UserId).collect();
+        let train = data.dataset.mask_users(&masked);
+        let base_u = BaseU::fit(&gaz, &train, &BaseUConfig::default());
+        let mut hits = 0usize;
+        let mut placed = 0usize;
+        for &u in &masked {
+            if let Some(pred) = base_u.predict_home(u) {
+                placed += 1;
+                if gaz.distance(pred, data.truth.home(u)) <= 100.0 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(placed as f64 > 0.9 * masked.len() as f64, "placed {placed}");
+        let acc = hits as f64 / masked.len() as f64;
+        assert!(acc > 0.3, "BaseU ACC@100 {acc} (paper: 52% on real data)");
+    }
+
+    #[test]
+    fn no_labeled_neighbors_means_no_prediction() {
+        let gaz = Gazetteer::us_cities();
+        let mut d = Dataset::new(3);
+        d.registered[1] = Some(CityId(0));
+        // User 0 follows only user 2, who is unlabeled.
+        d.edges.push(mlp_social::FollowEdge { follower: UserId(0), friend: UserId(2) });
+        let base_u = BaseU::fit(&gaz, &d, &BaseUConfig::default());
+        assert_eq!(base_u.predict_home(UserId(0)), None);
+        assert!(base_u.predict_ranked(UserId(0), 3).is_empty());
+    }
+
+    #[test]
+    fn single_labeled_neighbor_is_predicted_verbatim() {
+        let gaz = Gazetteer::us_cities();
+        let austin = gaz.city_by_name_state("austin", "TX").unwrap();
+        let mut d = Dataset::new(2);
+        d.registered[1] = Some(austin);
+        d.edges.push(mlp_social::FollowEdge { follower: UserId(0), friend: UserId(1) });
+        let base_u = BaseU::fit(&gaz, &d, &BaseUConfig::default());
+        assert_eq!(base_u.predict_home(UserId(0)), Some(austin));
+    }
+
+    #[test]
+    fn majority_side_wins() {
+        // Three friends in LA, one in NYC: prediction must be LA.
+        let gaz = Gazetteer::us_cities();
+        let la = gaz.city_by_name_state("los angeles", "CA").unwrap();
+        let nyc = gaz.city_by_name_state("new york", "NY").unwrap();
+        let mut d = Dataset::new(5);
+        for (i, c) in [(1u32, la), (2, la), (3, la), (4, nyc)] {
+            d.registered[i as usize] = Some(c);
+            d.edges.push(mlp_social::FollowEdge { follower: UserId(0), friend: UserId(i) });
+        }
+        let base_u = BaseU::fit(&gaz, &d, &BaseUConfig::default());
+        assert_eq!(base_u.predict_home(UserId(0)), Some(la));
+        // Ranked output puts NYC second.
+        assert_eq!(base_u.predict_ranked(UserId(0), 2), vec![la, nyc]);
+    }
+}

@@ -1,0 +1,77 @@
+//! `Base` for relationship explanation (paper Sec. 5.3).
+//!
+//! "For a following relationship, it directly assigns users' home locations
+//! as their location assignments in the relationship. It is a strong
+//! baseline, as users are likely to follow others based on their home
+//! locations. However, this method will not work for the cases where users
+//! follow others based on their other locations."
+
+use mlp_gazetteer::CityId;
+use mlp_social::{Dataset, FollowEdge, UserId};
+
+/// Explains every edge with its endpoints' home locations.
+pub struct HomeExplainer {
+    homes: Vec<Option<CityId>>,
+}
+
+impl HomeExplainer {
+    /// Uses registered home locations only (unlabeled endpoints get no
+    /// explanation).
+    pub fn from_registered(dataset: &Dataset) -> Self {
+        Self { homes: dataset.registered.clone() }
+    }
+
+    /// Uses an arbitrary home map — e.g. registered locations backfilled
+    /// with a predictor's estimates, which is how the paper's comparison
+    /// applies it to users whose homes are known.
+    pub fn from_homes(homes: Vec<Option<CityId>>) -> Self {
+        Self { homes }
+    }
+
+    /// The assignment `(x, y)` for an edge: both endpoints' homes.
+    /// `None` if either endpoint has no home available.
+    pub fn explain(&self, edge: &FollowEdge) -> Option<(CityId, CityId)> {
+        let x = self.homes[edge.follower.index()]?;
+        let y = self.homes[edge.friend.index()]?;
+        Some((x, y))
+    }
+
+    /// The home this explainer would use for `user`.
+    pub fn home(&self, user: UserId) -> Option<CityId> {
+        self.homes[user.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explains_with_both_homes() {
+        let mut d = Dataset::new(3);
+        d.registered[0] = Some(CityId(4));
+        d.registered[1] = Some(CityId(9));
+        let e = FollowEdge { follower: UserId(0), friend: UserId(1) };
+        let b = HomeExplainer::from_registered(&d);
+        assert_eq!(b.explain(&e), Some((CityId(4), CityId(9))));
+    }
+
+    #[test]
+    fn missing_home_yields_none() {
+        let mut d = Dataset::new(3);
+        d.registered[0] = Some(CityId(4));
+        let e = FollowEdge { follower: UserId(0), friend: UserId(2) };
+        let b = HomeExplainer::from_registered(&d);
+        assert_eq!(b.explain(&e), None);
+    }
+
+    #[test]
+    fn custom_home_map() {
+        let homes = vec![Some(CityId(1)), None, Some(CityId(2))];
+        let b = HomeExplainer::from_homes(homes);
+        assert_eq!(b.home(UserId(0)), Some(CityId(1)));
+        assert_eq!(b.home(UserId(1)), None);
+        let e = FollowEdge { follower: UserId(0), friend: UserId(2) };
+        assert_eq!(b.explain(&e), Some((CityId(1), CityId(2))));
+    }
+}

@@ -1,0 +1,49 @@
+//! Baseline location predictors the paper compares against (Sec. 5,
+//! "Methods").
+//!
+//! * [`BaseU`] — Backstrom, Sun & Marlow, *Find me if you can* (WWW 2010):
+//!   friend-based maximum-likelihood home prediction with a fitted
+//!   `a·(b+d)^{-c}` friendship-probability curve.
+//! * [`BaseC`] — Cheng, Caverlee & Lee, *You are where you tweet* (CIKM
+//!   2010): content-based classification over "local words" selected by
+//!   spatial focus.
+//! * [`VotingClassifier`] — the relational-neighbor majority vote from the
+//!   collective-classification literature, the strawman the paper's Related
+//!   Work dismisses because it cannot exploit distances between labels.
+//! * [`HomeExplainer`] — the paper's `Base` for the relationship-explanation
+//!   task (Sec. 5.3): assign each edge endpoint its home location.
+//!
+//! All baselines share the [`HomePredictor`] trait so the evaluation
+//! harness can treat every method uniformly.
+
+pub mod base_c;
+pub mod base_u;
+pub mod home_explainer;
+pub mod voting;
+
+pub use base_c::{BaseC, BaseCConfig};
+pub use base_u::{BaseU, BaseUConfig, OffsetPowerLaw};
+pub use home_explainer::HomeExplainer;
+pub use voting::VotingClassifier;
+
+use mlp_gazetteer::CityId;
+use mlp_social::UserId;
+
+/// A method that predicts a single home location per user — the shared
+/// interface of the paper's Table 2 contestants.
+pub trait HomePredictor {
+    /// Predicts the home location of `user`, or `None` when the method has
+    /// no usable signal for this user (such users count as errors in
+    /// ACC@m, matching how the paper scores non-placements).
+    fn predict_home(&self, user: UserId) -> Option<CityId>;
+
+    /// Ranked location predictions, best first. Baselines that produce a
+    /// single estimate return at most one entry; the default implementation
+    /// wraps [`Self::predict_home`].
+    fn predict_ranked(&self, user: UserId, k: usize) -> Vec<CityId> {
+        if k == 0 {
+            return Vec::new();
+        }
+        self.predict_home(user).into_iter().collect()
+    }
+}

@@ -1,0 +1,117 @@
+//! Relational-neighbor majority voting — the collective-classification
+//! strawman from the paper's Related Work (Macskassy & Provost's wvRN).
+//!
+//! "Given a user who has three friends in New York, Los Angeles and Santa
+//! Monica respectively, a voting-based classifier assigns the user to the
+//! three locations with the same probability. If we capture that Los
+//! Angeles and Santa Monica are close, we are able to assign the user to
+//! the Los Angeles area." This classifier exists exactly to demonstrate
+//! that failure mode in the ablation bench.
+
+use crate::HomePredictor;
+use mlp_gazetteer::CityId;
+use mlp_social::{Adjacency, Dataset, UserId};
+use std::collections::HashMap;
+
+/// Majority vote over labeled neighbors, distance-blind.
+pub struct VotingClassifier<'a> {
+    dataset: &'a Dataset,
+    adj: Adjacency,
+}
+
+impl<'a> VotingClassifier<'a> {
+    /// Binds the classifier to a dataset (no fitting needed).
+    pub fn new(dataset: &'a Dataset) -> Self {
+        Self { dataset, adj: Adjacency::build(dataset) }
+    }
+
+    fn votes(&self, user: UserId) -> Vec<(CityId, u32)> {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &s in self.adj.out_edges(user) {
+            let friend = self.dataset.edges[s as usize].friend;
+            if let Some(c) = self.dataset.registered[friend.index()] {
+                *counts.entry(c.0).or_insert(0) += 1;
+            }
+        }
+        for &s in self.adj.in_edges(user) {
+            let follower = self.dataset.edges[s as usize].follower;
+            if let Some(c) = self.dataset.registered[follower.index()] {
+                *counts.entry(c.0).or_insert(0) += 1;
+            }
+        }
+        let mut votes: Vec<(CityId, u32)> =
+            counts.into_iter().map(|(c, n)| (CityId(c), n)).collect();
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        votes
+    }
+}
+
+impl HomePredictor for VotingClassifier<'_> {
+    fn predict_home(&self, user: UserId) -> Option<CityId> {
+        self.votes(user).first().map(|&(c, _)| c)
+    }
+
+    fn predict_ranked(&self, user: UserId, k: usize) -> Vec<CityId> {
+        self.votes(user).into_iter().take(k).map(|(c, _)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_gazetteer::Gazetteer;
+    use mlp_social::FollowEdge;
+
+    #[test]
+    fn majority_wins() {
+        let gaz = Gazetteer::us_cities();
+        let la = gaz.city_by_name_state("los angeles", "CA").unwrap();
+        let nyc = gaz.city_by_name_state("new york", "NY").unwrap();
+        let mut d = Dataset::new(4);
+        for (i, c) in [(1u32, la), (2, la), (3, nyc)] {
+            d.registered[i as usize] = Some(c);
+            d.edges.push(FollowEdge { follower: UserId(0), friend: UserId(i) });
+        }
+        let v = VotingClassifier::new(&d);
+        assert_eq!(v.predict_home(UserId(0)), Some(la));
+        assert_eq!(v.predict_ranked(UserId(0), 2), vec![la, nyc]);
+    }
+
+    #[test]
+    fn distance_blindness_failure_mode() {
+        // The paper's exact example: one friend each in NYC, LA, and Santa
+        // Monica. Voting ties at 1-1-1 and cannot exploit LA ≈ Santa Monica;
+        // the deterministic tie-break picks the lowest CityId — which is NYC
+        // in our table order. A distance-aware method would pick the LA area.
+        let gaz = Gazetteer::us_cities();
+        let la = gaz.city_by_name_state("los angeles", "CA").unwrap();
+        let nyc = gaz.city_by_name_state("new york", "NY").unwrap();
+        let sm = gaz.city_by_name_state("santa monica", "CA").unwrap();
+        let mut d = Dataset::new(4);
+        for (i, c) in [(1u32, nyc), (2, la), (3, sm)] {
+            d.registered[i as usize] = Some(c);
+            d.edges.push(FollowEdge { follower: UserId(0), friend: UserId(i) });
+        }
+        let v = VotingClassifier::new(&d);
+        let pred = v.predict_home(UserId(0)).unwrap();
+        assert_eq!(pred, nyc, "tie-break by id exposes distance blindness");
+    }
+
+    #[test]
+    fn followers_count_too() {
+        let gaz = Gazetteer::us_cities();
+        let austin = gaz.city_by_name_state("austin", "TX").unwrap();
+        let mut d = Dataset::new(2);
+        d.registered[1] = Some(austin);
+        d.edges.push(FollowEdge { follower: UserId(1), friend: UserId(0) });
+        let v = VotingClassifier::new(&d);
+        assert_eq!(v.predict_home(UserId(0)), Some(austin));
+    }
+
+    #[test]
+    fn isolated_user_gets_none() {
+        let d = Dataset::new(2);
+        let v = VotingClassifier::new(&d);
+        assert_eq!(v.predict_home(UserId(0)), None);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benches quantifying the cost side of the paper's design
+//! choices: candidacy pruning (Sec. 4.3 claims it is what makes inference
+//! tractable) and the noisy-mixture machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_core::{Candidacy, MlpConfig, RandomModels};
+use mlp_gazetteer::Gazetteer;
+use mlp_social::{Adjacency, Generator, GeneratorConfig};
+
+fn bench_candidacy_pruning(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: 500, seed: 7, ..Default::default() },
+    )
+    .generate();
+    let adj = Adjacency::build(&data.dataset);
+    let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+
+    let mut group = c.benchmark_group("sweep_candidacy");
+    group.sample_size(10);
+    for (name, pruning) in [("pruned", true), ("full_domain", false)] {
+        let config = MlpConfig { candidacy_pruning: pruning, ..Default::default() };
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        group.bench_function(name, |b| {
+            let mut sampler =
+                mlp_core::sampler::GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+            b.iter(|| sampler.sweep())
+        });
+    }
+    group.finish();
+}
+
+fn bench_count_noisy(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: 500, seed: 7, ..Default::default() },
+    )
+    .generate();
+    let adj = Adjacency::build(&data.dataset);
+    let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+
+    let mut group = c.benchmark_group("sweep_count_noisy");
+    group.sample_size(10);
+    for (name, flag) in [("generative_semantics", false), ("literal_eqs_7_9", true)] {
+        let config = MlpConfig { count_noisy_assignments: flag, ..Default::default() };
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        group.bench_function(name, |b| {
+            let mut sampler =
+                mlp_core::sampler::GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+            b.iter(|| sampler.sweep())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidacy_pruning, bench_count_noisy);
+criterion_main!(benches);

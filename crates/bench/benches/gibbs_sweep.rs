@@ -1,0 +1,70 @@
+//! Criterion benches for the Gibbs sampler: sweep throughput vs dataset
+//! size, sequential vs parallel, and end-to-end inference cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlp_core::{parallel::parallel_sweep, Candidacy, Mlp, MlpConfig, RandomModels};
+use mlp_gazetteer::Gazetteer;
+use mlp_social::{Adjacency, GeneratedData, Generator, GeneratorConfig};
+
+fn generate(gaz: &Gazetteer, users: usize) -> GeneratedData {
+    Generator::new(gaz, GeneratorConfig { num_users: users, seed: 99, ..Default::default() })
+        .generate()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let mut group = c.benchmark_group("gibbs_sweep");
+    group.sample_size(10);
+    for users in [500usize, 2_000] {
+        let data = generate(&gaz, users);
+        let config = MlpConfig::default();
+        let adj = Adjacency::build(&data.dataset);
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+        group.bench_with_input(BenchmarkId::new("sequential", users), &users, |b, _| {
+            let mut sampler =
+                mlp_core::sampler::GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+            b.iter(|| sampler.sweep())
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let data = generate(&gaz, 2_000);
+    let mut group = c.benchmark_group("parallel_sweep_2000_users");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let config = MlpConfig { threads, ..Default::default() };
+        let adj = Adjacency::build(&data.dataset);
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            let mut sampler =
+                mlp_core::sampler::GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+            let mut sweep = 0u64;
+            b.iter(|| {
+                let r = parallel_sweep(&mut sampler, sweep);
+                sweep += 1;
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let data = generate(&gaz, 500);
+    let mut group = c.benchmark_group("mlp_end_to_end_500_users");
+    group.sample_size(10);
+    group.bench_function("12_iterations", |b| {
+        let config = MlpConfig { iterations: 12, burn_in: 6, ..Default::default() };
+        b.iter(|| Mlp::new(&gaz, &data.dataset, config.clone()).unwrap().run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_parallel, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenches for the substrate crates: distance kernels,
+//! alias sampling, spatial-grid queries, venue extraction, and the
+//! synthetic generator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlp_gazetteer::{Gazetteer, SynthConfig, VenueExtractor};
+use mlp_geo::{haversine_miles, DistanceMatrix, GeoPoint, GridIndex};
+use mlp_sampling::{sample_categorical, AliasTable, Pcg64};
+use mlp_social::{Generator, GeneratorConfig};
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let a = GeoPoint::new(30.2672, -97.7431).unwrap();
+    let b = GeoPoint::new(34.0522, -118.2437).unwrap();
+    c.bench_function("haversine_miles", |bench| {
+        bench.iter(|| haversine_miles(black_box(a), black_box(b)))
+    });
+    let gaz = Gazetteer::us_cities();
+    c.bench_function("distance_matrix_lookup", |bench| {
+        let m = gaz.distances();
+        bench.iter(|| m.get(black_box(3), black_box(200)))
+    });
+    c.bench_function("distance_matrix_build_300", |bench| {
+        let points: Vec<GeoPoint> = gaz.cities().iter().map(|c| c.center).collect();
+        bench.iter(|| DistanceMatrix::build(black_box(&points)))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = Pcg64::new(1);
+    let weights: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+    let table = AliasTable::new(&weights).unwrap();
+    c.bench_function("alias_sample_1000", |bench| bench.iter(|| table.sample(&mut rng)));
+    let small: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+    c.bench_function("categorical_sample_30", |bench| {
+        bench.iter(|| sample_categorical(&mut rng, black_box(&small)))
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let gaz = Gazetteer::with_synthetic(&SynthConfig { total_cities: 1000, ..Default::default() });
+    let points: Vec<GeoPoint> = gaz.cities().iter().map(|c| c.center).collect();
+    let grid = GridIndex::build(&points, 100.0).unwrap();
+    let q = GeoPoint::new(35.0, -95.0).unwrap();
+    c.bench_function("grid_within_100mi_of_1000", |bench| {
+        bench.iter(|| grid.within_radius(black_box(q), 100.0))
+    });
+    c.bench_function("grid_nearest_of_1000", |bench| bench.iter(|| grid.nearest(black_box(q))));
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let ex = VenueExtractor::new(&gaz);
+    let tweet = "just landed in los angeles, missing austin already! dinner near hollywood \
+                 then driving to santa monica tomorrow";
+    c.bench_function("venue_extraction_tweet", |bench| bench.iter(|| ex.extract(black_box(tweet))));
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let gaz = Gazetteer::us_cities();
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    for users in [500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |bench, &n| {
+            let config = GeneratorConfig { num_users: n, ..Default::default() };
+            bench.iter(|| Generator::new(&gaz, config.clone()).generate())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_kernels,
+    bench_sampling,
+    bench_grid,
+    bench_extraction,
+    bench_generator
+);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Regenerates the paper's dataset statistics (Sec. 5, "Data Collection"
+//! and Sec. 4.3): users / edges / mentions, mean friends-followers-venues
+//! per user, and the candidacy-coverage figure ("about 92% [of] users
+//! whose locations appear in their relationships").
+
+use mlp_bench::BenchArgs;
+use mlp_social::DatasetStats;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("{}", args.banner("Dataset statistics (paper Sec. 5 data collection)"));
+    let ctx = args.context();
+    let stats = DatasetStats::compute(&ctx.data.dataset, &ctx.gaz);
+    println!("{stats}");
+    println!();
+    println!("paper reference: 139,180 users; 14.8 friends, 14.9 followers,");
+    println!("29.0 tweeted venues per user; ~92% candidacy coverage");
+    println!(
+        "multi-location cohort: {} users ({:.1}%)",
+        ctx.data.truth.multi_location_users().len(),
+        100.0 * ctx.data.truth.multi_location_users().len() as f64
+            / ctx.data.dataset.num_users() as f64
+    );
+}

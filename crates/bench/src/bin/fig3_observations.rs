@@ -1,0 +1,77 @@
+//! Regenerates **Figure 3** (paper Sec. 4.1–4.2): the data analysis that
+//! motivates the model.
+//!
+//! * 3(a): following probability vs. distance with the power-law fit
+//!   (paper: α = −0.55, β = 0.0045 on its crawl);
+//! * 3(b): tweeting probabilities of the top venues at two cities
+//!   (paper uses Austin and Los Angeles);
+//! * 3(c): a multi-location user's friends/venues split across regions.
+
+use mlp_bench::BenchArgs;
+use mlp_eval::observations::{
+    following_curve, showcase_user, tweeting_probabilities, user_footprint,
+};
+use mlp_eval::TextTable;
+use mlp_social::Adjacency;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("{}", args.banner("Figure 3: Observations"));
+    let ctx = args.context();
+
+    // --- 3(a) ---
+    println!("\nFigure 3(a): following probability vs distance (log-log)");
+    let curve = following_curve(&ctx.data.dataset, &ctx.gaz, 50.0);
+    let mut table = TextTable::new(vec!["miles", "P(follow)", "pairs"]);
+    for &(d, p, w) in curve.points.iter().take(30) {
+        table.add_row(vec![format!("{d:.0}"), format!("{p:.3e}"), format!("{w:.0}")]);
+    }
+    println!("{table}");
+    match curve.fit {
+        Some(fit) => println!(
+            "power-law fit: alpha = {:.3}, beta = {:.5}  (paper: alpha = -0.55, beta = 0.0045)",
+            fit.alpha, fit.beta
+        ),
+        None => println!("fit failed (curve too sparse at this scale)"),
+    }
+
+    // --- 3(b) ---
+    println!("\nFigure 3(b): tweeting probabilities of top venues");
+    for (name, state) in [("austin", "TX"), ("los angeles", "CA")] {
+        let Some(city) = ctx.gaz.city_by_name_state(name, state) else { continue };
+        let probs = tweeting_probabilities(&ctx.data.dataset, city, 5);
+        println!("at {}:", ctx.gaz.city(city).full_name());
+        let mut table = TextTable::new(vec!["venue", "P(tweet)"]);
+        for (v, p) in probs {
+            table.add_row(vec![ctx.gaz.venue(v).name.clone(), format!("{p:.4}")]);
+        }
+        println!("{table}");
+    }
+
+    // --- 3(c) ---
+    println!("Figure 3(c): a multi-location user's footprint");
+    let adj = Adjacency::build(&ctx.data.dataset);
+    match showcase_user(&ctx.data.dataset, &ctx.data.truth, &ctx.gaz, &adj, 500.0) {
+        Some(user) => {
+            let fp = user_footprint(&ctx.data.dataset, &ctx.data.truth, &adj, user);
+            let names: Vec<String> =
+                fp.true_locations.iter().map(|&c| ctx.gaz.city(c).full_name()).collect();
+            println!("user {user}: true locations {}", names.join(" / "));
+            // Bucket neighbors by nearest true location.
+            for &loc in &fp.true_locations {
+                let near = fp
+                    .neighbor_cities
+                    .iter()
+                    .filter(|&&c| ctx.gaz.distance(c, loc) <= 150.0)
+                    .count();
+                println!(
+                    "  neighbors within 150mi of {}: {near} / {}",
+                    ctx.gaz.city(loc).full_name(),
+                    fp.neighbor_cities.len()
+                );
+            }
+            println!("  tweeted venue tokens: {}", fp.venues.len());
+        }
+        None => println!("no sufficiently separated multi-location user at this scale"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Figure 5** (paper Sec. 5.1): per-iteration convergence of
+//! MLP. The paper plots the accuracy *change* per Gibbs iteration on a log
+//! scale and observes convergence after ~14 iterations.
+//!
+//! Ground truth is hidden at inference time, so the observable analogue is
+//! the fraction of users whose predicted home moved; we print both that
+//! and the assignment-change fractions, per iteration.
+
+use mlp_bench::BenchArgs;
+use mlp_eval::{Method, TextTable};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("{}", args.banner("Figure 5: Convergence of MLP"));
+    let ctx = args.context();
+
+    let result =
+        mlp_eval::runner::run_mlp(&ctx.gaz, &ctx.data.dataset, ctx.mlp_config_for(Method::Mlp));
+
+    let mut table = TextTable::new(vec![
+        "iter",
+        "home change",
+        "edge change",
+        "mention change",
+        "log-likelihood",
+    ]);
+    for it in &result.diagnostics.iterations {
+        table.add_row(vec![
+            it.iteration.to_string(),
+            format!("{:.5}", it.home_change_fraction),
+            format!("{:.4}", it.edge_change_fraction),
+            format!("{:.4}", it.mention_change_fraction),
+            format!("{:.1}", it.log_likelihood),
+        ]);
+    }
+    println!("{table}");
+    match result.diagnostics.convergence_iteration(0.01) {
+        Some(it) => println!(
+            "converged (home-change ≤ 1%) after iteration {it} — paper observes ~14 iterations"
+        ),
+        None => println!("not converged to 1% within {} iterations", args.iters),
+    }
+}

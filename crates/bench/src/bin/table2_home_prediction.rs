@@ -1,0 +1,26 @@
+//! Regenerates **Table 2** (paper Sec. 5.1): home-location prediction
+//! ACC@100 for BaseU, BaseC, MLP_U, MLP_C, and MLP under five-fold CV.
+//!
+//! Paper reference row: 52.44 / 49.67 / 58.8 / 55.3 / 62.3 (%).
+
+use mlp_bench::BenchArgs;
+use mlp_eval::{table::pct, HomeTask, Method, TextTable};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("{}", args.banner("Table 2: Home Location Prediction (ACC@100)"));
+    let ctx = args.context();
+
+    let mut task = HomeTask::new(&ctx);
+    task.folds_to_run = args.folds;
+
+    let mut table = TextTable::new(vec!["Method", "ACC@100 (measured)", "ACC@100 (paper)"]);
+    let paper = [("BaseU", "52.44%"), ("BaseC", "49.67%"), ("MLP_U", "58.8%"), ("MLP_C", "55.3%"), ("MLP", "62.3%")];
+    for (method, (_, paper_acc)) in Method::PAPER_LINEUP.iter().zip(paper) {
+        let report = task.run_method(*method);
+        table.add_row(vec![method.to_string(), pct(report.acc_at_100), paper_acc.to_string()]);
+        eprintln!("  done: {method}");
+    }
+    println!("{table}");
+    println!("shape check: MLP > MLP_U > BaseU and MLP > MLP_C > BaseC expected");
+}

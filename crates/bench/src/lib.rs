@@ -1,0 +1,147 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation section (Sec. 5).
+//!
+//! One binary per artifact (see DESIGN.md's per-experiment index):
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Fig. 3(a–c) data analysis | `fig3_observations` |
+//! | Tab. 2 home prediction    | `table2_home_prediction` |
+//! | Fig. 4 AAD curves         | `fig4_aad_curves` |
+//! | Fig. 5 convergence        | `fig5_convergence` |
+//! | Tab. 3 multi-location     | `table3_multi_location` |
+//! | Figs. 6–7 DP/DR at K      | `fig6_7_dp_dr_at_k` |
+//! | Tab. 4 discovery cases    | `table4_case_studies` |
+//! | Fig. 8 explanation        | `fig8_relationship_explanation` |
+//! | Tab. 5 explanation cases  | `table5_relationship_cases` |
+//! | design-choice ablations   | `ablations` |
+//! | crawl statistics (Sec. 5) | `dataset_stats` |
+//!
+//! Criterion microbenches live in `benches/`. Every binary accepts
+//! `--users N --cities N --seed N --iters N --folds N --quick`.
+
+use mlp_core::MlpConfig;
+use mlp_eval::ExperimentContext;
+
+/// Shared CLI arguments for the bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Number of synthetic users.
+    pub users: usize,
+    /// Gazetteer size (cities).
+    pub cities: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Gibbs sweeps per run.
+    pub iters: usize,
+    /// CV folds actually executed.
+    pub folds: usize,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self { users: 4_000, cities: 300, seed: 2012, iters: 20, folds: 5 }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, applying `--quick` (a 1,000-user,
+    /// single-fold smoke configuration) before explicit overrides.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--quick" => {
+                    out.users = 1_000;
+                    out.folds = 1;
+                    out.iters = 12;
+                }
+                "--users" | "--cities" | "--seed" | "--iters" | "--folds" => {
+                    let value = it
+                        .next()
+                        .unwrap_or_else(|| panic!("{flag} requires a value"))
+                        .parse::<u64>()
+                        .unwrap_or_else(|e| panic!("{flag}: {e}"));
+                    match flag.as_str() {
+                        "--users" => out.users = value as usize,
+                        "--cities" => out.cities = value as usize,
+                        "--seed" => out.seed = value,
+                        "--iters" => out.iters = value as usize,
+                        _ => out.folds = value as usize,
+                    }
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        out
+    }
+
+    /// Builds the experiment context these arguments describe.
+    pub fn context(&self) -> ExperimentContext {
+        let mut ctx = ExperimentContext::standard(self.users, self.cities, self.seed);
+        ctx.mlp_config = MlpConfig {
+            iterations: self.iters,
+            burn_in: (self.iters / 2).max(1),
+            seed: self.seed,
+            ..Default::default()
+        };
+        ctx
+    }
+
+    /// A one-line provenance banner printed by every binary.
+    pub fn banner(&self, artifact: &str) -> String {
+        format!(
+            "# {artifact} | users={} cities={} seed={} iters={} folds={}",
+            self.users, self.cities, self.seed, self.iters, self.folds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let a = parse(&[]);
+        assert_eq!(a.users, 4_000);
+        assert_eq!(a.folds, 5);
+    }
+
+    #[test]
+    fn explicit_overrides() {
+        let a = parse(&["--users", "500", "--seed", "9", "--folds", "2"]);
+        assert_eq!(a.users, 500);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.folds, 2);
+    }
+
+    #[test]
+    fn quick_then_override() {
+        let a = parse(&["--quick", "--users", "2000"]);
+        assert_eq!(a.users, 2_000, "explicit flag wins over --quick");
+        assert_eq!(a.folds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn banner_mentions_parameters() {
+        let b = parse(&["--quick"]).banner("Table 2");
+        assert!(b.contains("Table 2") && b.contains("users=1000"));
+    }
+}

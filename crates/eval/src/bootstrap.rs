@@ -1,0 +1,131 @@
+//! Bootstrap confidence intervals for the evaluation metrics.
+//!
+//! The paper reports point estimates averaged over five folds; for a
+//! library release we additionally want uncertainty on any accuracy-style
+//! metric. This module implements the percentile bootstrap over per-item
+//! binary outcomes (hit/miss), which covers ACC@m, DP/DR contributions,
+//! and relationship accuracy alike.
+
+use mlp_sampling::{Pcg64, SplitMix64};
+
+/// A bootstrap interval around a mean of binary (or bounded) outcomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Confidence level, e.g. 0.95.
+    pub confidence: f64,
+}
+
+impl BootstrapInterval {
+    /// Whether another interval is disjoint from (entirely above or below)
+    /// this one — a quick significance read-out for method comparisons.
+    pub fn disjoint_from(&self, other: &BootstrapInterval) -> bool {
+        self.upper < other.lower || other.upper < self.lower
+    }
+}
+
+/// Percentile bootstrap over per-item outcomes.
+///
+/// `outcomes` are the per-test-item scores (1.0 = hit, 0.0 = miss, or any
+/// bounded per-item contribution). Returns `None` on an empty slice.
+pub fn bootstrap_mean(
+    outcomes: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<BootstrapInterval> {
+    if outcomes.is_empty() || !(confidence > 0.0 && confidence < 1.0) || resamples == 0 {
+        return None;
+    }
+    let n = outcomes.len();
+    let mean = outcomes.iter().sum::<f64>() / n as f64;
+    let mut rng = Pcg64::new(SplitMix64::derive(seed, 0xB007));
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += outcomes[rng.next_bounded(n)];
+        }
+        means.push(total / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - alpha)) as usize).min(resamples - 1);
+    Some(BootstrapInterval { mean, lower: means[lo_idx], upper: means[hi_idx], confidence })
+}
+
+/// Convenience: bootstrap ACC@m-style hit vectors (bools).
+pub fn bootstrap_accuracy(
+    hits: &[bool],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<BootstrapInterval> {
+    let outcomes: Vec<f64> = hits.iter().map(|&h| h as u8 as f64).collect();
+    bootstrap_mean(&outcomes, resamples, confidence, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let outcomes: Vec<f64> = (0..200).map(|i| (i % 10 < 6) as u8 as f64).collect();
+        let ci = bootstrap_mean(&outcomes, 2_000, 0.95, 1).unwrap();
+        assert!((ci.mean - 0.6).abs() < 1e-12);
+        assert!(ci.lower <= ci.mean && ci.mean <= ci.upper);
+        // Binomial sd at n=200, p=0.6 is ~0.035; the 95% CI half-width
+        // should be in that ballpark.
+        assert!(ci.upper - ci.lower < 0.2, "{ci:?}");
+        assert!(ci.upper - ci.lower > 0.05, "{ci:?}");
+    }
+
+    #[test]
+    fn narrower_with_more_data() {
+        let small: Vec<f64> = (0..30).map(|i| (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..3_000).map(|i| (i % 2) as f64).collect();
+        let ci_s = bootstrap_mean(&small, 1_000, 0.95, 2).unwrap();
+        let ci_l = bootstrap_mean(&large, 1_000, 0.95, 2).unwrap();
+        assert!(ci_l.upper - ci_l.lower < ci_s.upper - ci_s.lower);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let outcomes: Vec<f64> = (0..100).map(|i| (i % 3 == 0) as u8 as f64).collect();
+        let a = bootstrap_mean(&outcomes, 500, 0.9, 7).unwrap();
+        let b = bootstrap_mean(&outcomes, 500, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(bootstrap_mean(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap_mean(&[1.0], 0, 0.95, 1).is_none());
+        assert!(bootstrap_mean(&[1.0], 100, 1.0, 1).is_none());
+        assert!(bootstrap_mean(&[1.0], 100, 0.0, 1).is_none());
+    }
+
+    #[test]
+    fn disjoint_detection() {
+        let a = BootstrapInterval { mean: 0.3, lower: 0.25, upper: 0.35, confidence: 0.95 };
+        let b = BootstrapInterval { mean: 0.6, lower: 0.55, upper: 0.65, confidence: 0.95 };
+        let c = BootstrapInterval { mean: 0.34, lower: 0.3, upper: 0.4, confidence: 0.95 };
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        assert!(!a.disjoint_from(&c));
+    }
+
+    #[test]
+    fn accuracy_wrapper_matches_manual() {
+        let hits = vec![true, false, true, true];
+        let ci = bootstrap_accuracy(&hits, 800, 0.95, 3).unwrap();
+        assert!((ci.mean - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Case-study tables (paper Tables 4 and 5).
+//!
+//! Table 4 shows, for a few multi-location users, the true locations next
+//! to MLP's and BaseU's top-2 discoveries. Table 5 shows, for one showcase
+//! user, the per-edge location assignments MLP inferred. These functions
+//! produce the same rows from any experiment context.
+
+use crate::observations::showcase_user;
+use crate::runner::{ExperimentContext, Method};
+use crate::table::TextTable;
+use mlp_baselines::{BaseU, BaseUConfig, HomePredictor};
+use mlp_core::MlpResult;
+use mlp_gazetteer::CityId;
+use mlp_social::{Adjacency, UserId};
+
+/// One Table-4 row: a user, their truth, and both methods' discoveries.
+pub struct DiscoveryCase {
+    /// The showcased user.
+    pub user: UserId,
+    /// True location set.
+    pub true_locations: Vec<CityId>,
+    /// MLP's top-2.
+    pub mlp: Vec<CityId>,
+    /// BaseU's top-2.
+    pub base_u: Vec<CityId>,
+}
+
+/// Builds Table-4 rows for the `n` multi-location users with the widest
+/// separation between their top two true locations.
+pub fn discovery_cases(
+    ctx: &ExperimentContext,
+    mlp_result: &MlpResult,
+    n: usize,
+) -> Vec<DiscoveryCase> {
+    let base_u = BaseU::fit(&ctx.gaz, &ctx.data.dataset, &BaseUConfig::default());
+    let mut cohort = ctx.data.truth.multi_location_users();
+    cohort.sort_by(|&a, &b| {
+        let sep = |u: UserId| {
+            let locs = ctx.data.truth.locations(u);
+            ctx.gaz.distance(locs[0], locs[1])
+        };
+        sep(b).partial_cmp(&sep(a)).expect("finite distances")
+    });
+    cohort
+        .into_iter()
+        .take(n)
+        .map(|u| DiscoveryCase {
+            user: u,
+            true_locations: ctx.data.truth.locations(u),
+            mlp: mlp_result.top_k(u, 2),
+            base_u: base_u.predict_ranked(u, 2),
+        })
+        .collect()
+}
+
+/// Renders Table 4.
+pub fn render_discovery_table(ctx: &ExperimentContext, cases: &[DiscoveryCase]) -> TextTable {
+    let name = |c: CityId| ctx.gaz.city(c).full_name();
+    let names = |cs: &[CityId]| cs.iter().map(|&c| name(c)).collect::<Vec<_>>().join(" / ");
+    let mut t = TextTable::new(vec!["UID", "True Locations", "MLP", "BaseU"]);
+    for case in cases {
+        t.add_row(vec![
+            case.user.to_string(),
+            names(&case.true_locations),
+            names(&case.mlp),
+            names(&case.base_u),
+        ]);
+    }
+    t
+}
+
+/// One Table-5 row: an edge of the showcase user with MLP's assignments.
+pub struct ExplanationCase {
+    /// The other endpoint of the edge.
+    pub other: UserId,
+    /// The other endpoint's registered location, if any.
+    pub other_registered: Option<CityId>,
+    /// MLP's assignment for the showcase user in this edge.
+    pub user_assignment: CityId,
+    /// MLP's assignment for the other endpoint.
+    pub other_assignment: CityId,
+}
+
+/// Builds Table-5 rows: the showcase user's edges with MLP's per-edge
+/// assignments. Returns the user and up to `n` of their edges.
+pub fn explanation_cases(
+    ctx: &ExperimentContext,
+    mlp_result: &MlpResult,
+    n: usize,
+) -> Option<(UserId, Vec<ExplanationCase>)> {
+    let adj = Adjacency::build(&ctx.data.dataset);
+    let user = showcase_user(&ctx.data.dataset, &ctx.data.truth, &ctx.gaz, &adj, 500.0)?;
+    let mut rows = Vec::new();
+    for &s in adj.out_edges(user).iter().chain(adj.in_edges(user)) {
+        let e = &ctx.data.dataset.edges[s as usize];
+        let a = &mlp_result.edge_assignments[s as usize];
+        let (user_assignment, other, other_assignment) = if e.follower == user {
+            (a.x, e.friend, a.y)
+        } else {
+            (a.y, e.follower, a.x)
+        };
+        rows.push(ExplanationCase {
+            other,
+            other_registered: ctx.data.dataset.registered[other.index()],
+            user_assignment,
+            other_assignment,
+        });
+        if rows.len() >= n {
+            break;
+        }
+    }
+    Some((user, rows))
+}
+
+/// Renders Table 5.
+pub fn render_explanation_table(
+    ctx: &ExperimentContext,
+    cases: &[ExplanationCase],
+) -> TextTable {
+    let name = |c: CityId| ctx.gaz.city(c).full_name();
+    let mut t = TextTable::new(vec![
+        "Neighbor",
+        "Neighbor Location",
+        "User Assignment",
+        "Neighbor Assignment",
+    ]);
+    for case in cases {
+        t.add_row(vec![
+            case.other.to_string(),
+            case.other_registered.map_or_else(|| "?".to_string(), name),
+            name(case.user_assignment),
+            name(case.other_assignment),
+        ]);
+    }
+    t
+}
+
+/// Runs the full-table pipeline: MLP on the context's dataset, then both
+/// case tables. Returns `(table4, table5_user, table5)`.
+pub fn run_case_studies(
+    ctx: &ExperimentContext,
+    n_discovery: usize,
+    n_edges: usize,
+) -> (TextTable, Option<(UserId, TextTable)>) {
+    let result =
+        crate::runner::run_mlp(&ctx.gaz, &ctx.data.dataset, ctx.mlp_config_for(Method::Mlp));
+    let t4 = render_discovery_table(ctx, &discovery_cases(ctx, &result, n_discovery));
+    let t5 = explanation_cases(ctx, &result, n_edges)
+        .map(|(u, rows)| (u, render_explanation_table(ctx, &rows)));
+    (t4, t5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_core::MlpConfig;
+
+    fn quick_ctx() -> ExperimentContext {
+        let mut ctx = ExperimentContext::standard(400, 280, 61);
+        ctx.mlp_config = MlpConfig { iterations: 8, burn_in: 4, seed: 61, ..Default::default() };
+        ctx
+    }
+
+    #[test]
+    fn case_studies_render() {
+        let ctx = quick_ctx();
+        let (t4, t5) = run_case_studies(&ctx, 3, 5);
+        assert_eq!(t4.num_rows(), 3);
+        let rendered = t4.render();
+        assert!(rendered.contains("True Locations"));
+        let (user, t5) = t5.expect("showcase user exists");
+        assert!(t5.num_rows() > 0);
+        assert!(t5.render().contains("Assignment"));
+        assert!(user.index() < 400);
+    }
+
+    #[test]
+    fn discovery_cases_are_widely_separated() {
+        let ctx = quick_ctx();
+        let result = crate::runner::run_mlp(
+            &ctx.gaz,
+            &ctx.data.dataset,
+            ctx.mlp_config_for(Method::Mlp),
+        );
+        let cases = discovery_cases(&ctx, &result, 3);
+        for c in &cases {
+            assert!(c.true_locations.len() >= 2);
+            assert!(
+                ctx.gaz.distance(c.true_locations[0], c.true_locations[1]) > 200.0,
+                "cases should be the dramatic ones"
+            );
+            assert!(!c.mlp.is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Task 1: home-location prediction (paper Sec. 5.1, Table 2 + Fig. 4).
+//!
+//! Five-fold cross-validation over labeled users: each fold's registered
+//! locations are masked, every method predicts them, and ACC@m / AAD
+//! curves are averaged over folds.
+
+use crate::metrics::{aad_curve, acc_at_m};
+use crate::runner::{predict_homes, ExperimentContext, Method};
+use mlp_gazetteer::CityId;
+
+/// Result of the home-prediction task for one method.
+#[derive(Debug, Clone)]
+pub struct HomePredictionReport {
+    /// The evaluated method.
+    pub method: Method,
+    /// ACC@100, averaged over folds (the paper's headline number).
+    pub acc_at_100: f64,
+    /// AAD curve `(miles, accuracy)`, averaged over folds (Fig. 4).
+    pub aad: Vec<(f64, f64)>,
+}
+
+/// The task runner.
+pub struct HomeTask<'a> {
+    ctx: &'a ExperimentContext,
+    /// Distances at which the AAD curve is evaluated (Fig. 4 uses 0–140).
+    pub distances: Vec<f64>,
+    /// How many folds to actually run (≤ the context's k; fewer folds make
+    /// the bench binaries' quick mode and the tests cheaper).
+    pub folds_to_run: usize,
+}
+
+impl<'a> HomeTask<'a> {
+    /// Creates the task with the paper's Fig. 4 distance grid.
+    pub fn new(ctx: &'a ExperimentContext) -> Self {
+        Self {
+            ctx,
+            distances: (0..=7).map(|i| i as f64 * 20.0).collect(),
+            folds_to_run: ctx.folds.k(),
+        }
+    }
+
+    /// Runs one method over the folds.
+    pub fn run_method(&self, method: Method) -> HomePredictionReport {
+        let ctx = self.ctx;
+        let folds = self.folds_to_run.clamp(1, ctx.folds.k());
+        let mut acc_sum = 0.0;
+        let mut aad_sum = vec![0.0; self.distances.len()];
+        for fold in 0..folds {
+            let test_users = ctx.folds.test_users(fold);
+            let train = ctx.folds.train_view(&ctx.data.dataset, fold);
+            let mlp_cfg = ctx.mlp_config_for(method);
+            let preds = predict_homes(&ctx.gaz, &train, test_users, method, &mlp_cfg);
+            let truths: Vec<CityId> =
+                test_users.iter().map(|&u| ctx.data.truth.home(u)).collect();
+            acc_sum += acc_at_m(&ctx.gaz, &preds, &truths, 100.0);
+            for (i, (_, acc)) in
+                aad_curve(&ctx.gaz, &preds, &truths, &self.distances).into_iter().enumerate()
+            {
+                aad_sum[i] += acc;
+            }
+        }
+        HomePredictionReport {
+            method,
+            acc_at_100: acc_sum / folds as f64,
+            aad: self
+                .distances
+                .iter()
+                .zip(&aad_sum)
+                .map(|(&d, &a)| (d, a / folds as f64))
+                .collect(),
+        }
+    }
+
+    /// Runs the paper's full Table-2 lineup.
+    pub fn run_lineup(&self, methods: &[Method]) -> Vec<HomePredictionReport> {
+        methods.iter().map(|&m| self.run_method(m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_core::MlpConfig;
+
+    fn quick_ctx() -> ExperimentContext {
+        let mut ctx = ExperimentContext::standard(400, 280, 21);
+        ctx.mlp_config = MlpConfig { iterations: 8, burn_in: 4, seed: 21, ..Default::default() };
+        ctx
+    }
+
+    #[test]
+    fn mlp_beats_baselines_on_home_prediction() {
+        // The paper's headline ordering (Tab. 2): MLP > MLP_U > BaseU and
+        // MLP > MLP_C > BaseC. With one quick fold we assert the coarse
+        // ordering MLP ≥ each baseline − small noise margin.
+        let ctx = quick_ctx();
+        let mut task = HomeTask::new(&ctx);
+        task.folds_to_run = 1;
+        let mlp = task.run_method(Method::Mlp);
+        let base_u = task.run_method(Method::BaseU);
+        let base_c = task.run_method(Method::BaseC);
+        assert!(
+            mlp.acc_at_100 > base_u.acc_at_100 - 0.02,
+            "MLP {} vs BaseU {}",
+            mlp.acc_at_100,
+            base_u.acc_at_100
+        );
+        assert!(
+            mlp.acc_at_100 > base_c.acc_at_100 - 0.02,
+            "MLP {} vs BaseC {}",
+            mlp.acc_at_100,
+            base_c.acc_at_100
+        );
+        assert!(mlp.acc_at_100 > 0.4, "MLP ACC@100 {}", mlp.acc_at_100);
+    }
+
+    #[test]
+    fn aad_curves_are_monotone() {
+        let ctx = quick_ctx();
+        let mut task = HomeTask::new(&ctx);
+        task.folds_to_run = 1;
+        let report = task.run_method(Method::BaseU);
+        assert_eq!(report.aad.len(), 8);
+        for w in report.aad.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12, "AAD not monotone: {:?}", report.aad);
+        }
+        // ACC@100 consistency with the curve at m=100.
+        let at_100 = report.aad.iter().find(|&&(d, _)| d == 100.0).unwrap().1;
+        assert!((at_100 - report.acc_at_100).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lineup_runs_all_methods() {
+        let ctx = quick_ctx();
+        let mut task = HomeTask::new(&ctx);
+        task.folds_to_run = 1;
+        let reports = task.run_lineup(&[Method::Voting, Method::BaseU]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].method, Method::Voting);
+    }
+}

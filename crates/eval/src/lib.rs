@@ -1,0 +1,37 @@
+//! Evaluation harness for the MLP reproduction.
+//!
+//! Implements the paper's three evaluation tasks (Sec. 5) with the exact
+//! measures it defines, plus the shared experiment plumbing used by the
+//! bench binaries and examples:
+//!
+//! * [`metrics`] — ACC@m, accumulative-accuracy-at-distance (AAD) curves,
+//!   distance-based precision/recall DP@K / DR@K, and relationship-
+//!   explanation accuracy;
+//! * [`runner`] — the experiment context (gazetteer + generated dataset +
+//!   folds) and the uniform [`runner::Method`] dispatcher over all six
+//!   contestants (BaseU, BaseC, Voting, MLP_U, MLP_C, MLP);
+//! * [`home`] — Task 1: home-location prediction with 5-fold CV (Tab. 2,
+//!   Fig. 4);
+//! * [`multi`] — Task 2: multiple-location discovery (Tab. 3, Figs. 6–7);
+//! * [`relation`] — Task 3: relationship explanation (Fig. 8);
+//! * [`observations`] — the Fig. 3 data-analysis artifacts;
+//! * [`cases`] — the case-study tables (Tabs. 4–5);
+//! * [`table`] — plain-text table rendering shared by every bench binary.
+
+pub mod bootstrap;
+pub mod cases;
+pub mod home;
+pub mod metrics;
+pub mod multi;
+pub mod observations;
+pub mod relation;
+pub mod runner;
+pub mod table;
+
+pub use bootstrap::{bootstrap_accuracy, bootstrap_mean, BootstrapInterval};
+pub use home::{HomePredictionReport, HomeTask};
+pub use metrics::{acc_at_m, aad_curve, dp_at_k, dr_at_k, relationship_acc_at_m};
+pub use multi::{MultiLocationReport, MultiLocationTask};
+pub use relation::{RelationReport, RelationTask};
+pub use runner::{ExperimentContext, Method};
+pub use table::TextTable;

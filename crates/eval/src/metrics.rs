@@ -1,0 +1,315 @@
+//! The paper's evaluation measures (Secs. 5.1–5.3).
+
+use mlp_gazetteer::{CityId, Gazetteer};
+
+/// Accuracy within `m` miles (Sec. 5.1):
+/// `ACC@m = |{u : d(l_u, l̂_u) ≤ m}| / |U|`.
+///
+/// A `None` prediction counts as a miss — the denominator is all test
+/// users, matching how the paper scores methods that fail to place a user.
+pub fn acc_at_m(
+    gaz: &Gazetteer,
+    predictions: &[Option<CityId>],
+    truths: &[CityId],
+    m: f64,
+) -> f64 {
+    assert_eq!(predictions.len(), truths.len(), "prediction/truth length mismatch");
+    if truths.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(truths)
+        .filter(|(p, t)| p.is_some_and(|p| gaz.distance(p, **t) <= m))
+        .count();
+    hits as f64 / truths.len() as f64
+}
+
+/// Accumulative accuracy-at-distance curve (Fig. 4): `ACC@m` evaluated at
+/// each distance in `distances`, returned as `(m, accuracy)` pairs.
+pub fn aad_curve(
+    gaz: &Gazetteer,
+    predictions: &[Option<CityId>],
+    truths: &[CityId],
+    distances: &[f64],
+) -> Vec<(f64, f64)> {
+    distances.iter().map(|&m| (m, acc_at_m(gaz, predictions, truths, m))).collect()
+}
+
+/// Whether location `l` is close enough (within `m` miles) to any location
+/// in `set` — the paper's `c(l, L)` predicate (Sec. 5.2).
+fn close(gaz: &Gazetteer, l: CityId, set: &[CityId], m: f64) -> bool {
+    set.iter().any(|&o| gaz.distance(l, o) <= m)
+}
+
+/// Distance-based precision at K (Sec. 5.2): the fraction of predicted
+/// locations close enough to some true location, averaged over users.
+///
+/// `DP(u) = |{l ∈ L'(u) : c(l, L(u))}| / |L'(u)|`, with the prediction list
+/// truncated to its top `k`. Users with no predictions score 0.
+pub fn dp_at_k(
+    gaz: &Gazetteer,
+    predicted: &[Vec<CityId>],
+    truth: &[Vec<CityId>],
+    k: usize,
+    m: f64,
+) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (pred, t) in predicted.iter().zip(truth) {
+        let top: Vec<CityId> = pred.iter().copied().take(k).collect();
+        if top.is_empty() {
+            continue;
+        }
+        let good = top.iter().filter(|&&l| close(gaz, l, t, m)).count();
+        total += good as f64 / top.len() as f64;
+    }
+    total / predicted.len() as f64
+}
+
+/// Distance-based recall at K (Sec. 5.2): the fraction of true locations
+/// close enough to some predicted location, averaged over users.
+///
+/// `DR(u) = |{l ∈ L(u) : c(l, L'(u))}| / |L(u)|`.
+pub fn dr_at_k(
+    gaz: &Gazetteer,
+    predicted: &[Vec<CityId>],
+    truth: &[Vec<CityId>],
+    k: usize,
+    m: f64,
+) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (pred, t) in predicted.iter().zip(truth) {
+        if t.is_empty() {
+            continue;
+        }
+        let top: Vec<CityId> = pred.iter().copied().take(k).collect();
+        let covered = t.iter().filter(|&&l| close(gaz, l, &top, m)).count();
+        total += covered as f64 / t.len() as f64;
+    }
+    total / predicted.len() as f64
+}
+
+/// Relationship-explanation accuracy (Sec. 5.3): a relationship is
+/// accurately explained iff *both* endpoints' assignments land within `m`
+/// miles of the true assignments. `None` predictions miss.
+pub fn relationship_acc_at_m(
+    gaz: &Gazetteer,
+    predictions: &[Option<(CityId, CityId)>],
+    truths: &[(CityId, CityId)],
+    m: f64,
+) -> f64 {
+    assert_eq!(predictions.len(), truths.len());
+    if truths.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(truths)
+        .filter(|(p, (tx, ty))| {
+            p.is_some_and(|(px, py)| {
+                gaz.distance(px, *tx) <= m && gaz.distance(py, *ty) <= m
+            })
+        })
+        .count();
+    hits as f64 / truths.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> Gazetteer {
+        Gazetteer::us_cities()
+    }
+
+    fn city(g: &Gazetteer, name: &str, state: &str) -> CityId {
+        g.city_by_name_state(name, state).unwrap()
+    }
+
+    #[test]
+    fn acc_counts_near_hits_and_penalises_none() {
+        let g = gaz();
+        let la = city(&g, "los angeles", "CA");
+        let sm = city(&g, "santa monica", "CA");
+        let nyc = city(&g, "new york", "NY");
+        // Truth: LA, LA, LA. Predictions: Santa Monica (≈15 mi, hit),
+        // NYC (miss), None (miss).
+        let preds = vec![Some(sm), Some(nyc), None];
+        let truths = vec![la, la, la];
+        let acc = acc_at_m(&g, &preds, &truths, 100.0);
+        assert!((acc - 1.0 / 3.0).abs() < 1e-12);
+        // At 5,000 miles everything placed is a hit; None still misses.
+        assert!((acc_at_m(&g, &preds, &truths, 5_000.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_empty_is_zero() {
+        assert_eq!(acc_at_m(&gaz(), &[], &[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn aad_is_monotone_in_distance() {
+        let g = gaz();
+        let la = city(&g, "los angeles", "CA");
+        let austin = city(&g, "austin", "TX");
+        let chicago = city(&g, "chicago", "IL");
+        let preds = vec![Some(la), Some(austin), Some(chicago)];
+        let truths = vec![la, la, la];
+        let curve = aad_curve(&g, &preds, &truths, &[0.0, 100.0, 1_500.0, 3_000.0]);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1, "AAD must be non-decreasing: {curve:?}");
+        }
+        assert!((curve[0].1 - 1.0 / 3.0).abs() < 1e-12, "exact hit at m=0");
+        assert_eq!(curve[3].1, 1.0);
+    }
+
+    #[test]
+    fn dp_dr_match_paper_semantics() {
+        let g = gaz();
+        let la = city(&g, "los angeles", "CA");
+        let sm = city(&g, "santa monica", "CA"); // close to LA
+        let austin = city(&g, "austin", "TX");
+        let nyc = city(&g, "new york", "NY");
+        // User truth {LA, Austin}; prediction [Santa Monica, NYC].
+        let predicted = vec![vec![sm, nyc]];
+        let truth = vec![vec![la, austin]];
+        // DP@2: SM is close to LA (hit), NYC close to nothing → 1/2.
+        assert!((dp_at_k(&g, &predicted, &truth, 2, 100.0) - 0.5).abs() < 1e-12);
+        // DR@2: LA covered by SM, Austin uncovered → 1/2.
+        assert!((dr_at_k(&g, &predicted, &truth, 2, 100.0) - 0.5).abs() < 1e-12);
+        // DP@1: only SM considered → 1.0; DR@1: only LA covered → 1/2.
+        assert!((dp_at_k(&g, &predicted, &truth, 1, 100.0) - 1.0).abs() < 1e-12);
+        assert!((dr_at_k(&g, &predicted, &truth, 1, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dr_grows_with_k_dp_can_shrink() {
+        let g = gaz();
+        let la = city(&g, "los angeles", "CA");
+        let austin = city(&g, "austin", "TX");
+        let nyc = city(&g, "new york", "NY");
+        let predicted = vec![vec![la, nyc, austin]];
+        let truth = vec![vec![la, austin]];
+        let dr1 = dr_at_k(&g, &predicted, &truth, 1, 100.0);
+        let dr3 = dr_at_k(&g, &predicted, &truth, 3, 100.0);
+        assert!(dr3 > dr1);
+        let dp1 = dp_at_k(&g, &predicted, &truth, 1, 100.0);
+        let dp2 = dp_at_k(&g, &predicted, &truth, 2, 100.0);
+        assert!(dp2 < dp1, "the NYC miss dilutes precision at K=2");
+    }
+
+    #[test]
+    fn empty_predictions_score_zero() {
+        let g = gaz();
+        let la = city(&g, "los angeles", "CA");
+        let predicted = vec![Vec::new()];
+        let truth = vec![vec![la]];
+        assert_eq!(dp_at_k(&g, &predicted, &truth, 2, 100.0), 0.0);
+        assert_eq!(dr_at_k(&g, &predicted, &truth, 2, 100.0), 0.0);
+    }
+
+    #[test]
+    fn relationship_accuracy_requires_both_endpoints() {
+        let g = gaz();
+        let la = city(&g, "los angeles", "CA");
+        let sm = city(&g, "santa monica", "CA");
+        let austin = city(&g, "austin", "TX");
+        let nyc = city(&g, "new york", "NY");
+        let truths = vec![(la, austin), (la, austin), (la, austin)];
+        let preds = vec![
+            Some((sm, austin)),  // both within 100 → hit
+            Some((sm, nyc)),     // friend endpoint wrong → miss
+            None,                // no explanation → miss
+        ];
+        let acc = relationship_acc_at_m(&g, &preds, &truths, 100.0);
+        assert!((acc - 1.0 / 3.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_city() -> impl Strategy<Value = CityId> {
+        (0u32..250).prop_map(CityId)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// ACC@m is monotone non-decreasing in m and bounded in [0, 1].
+        #[test]
+        fn acc_monotone_in_m(
+            preds in prop::collection::vec(prop::option::of(arb_city()), 1..40),
+            truths in prop::collection::vec(arb_city(), 1..40),
+            m1 in 0.0f64..1_500.0,
+            dm in 0.0f64..1_500.0,
+        ) {
+            let gaz = Gazetteer::us_cities();
+            let n = preds.len().min(truths.len());
+            let preds = &preds[..n];
+            let truths = &truths[..n];
+            let a1 = acc_at_m(&gaz, preds, truths, m1);
+            let a2 = acc_at_m(&gaz, preds, truths, m1 + dm);
+            prop_assert!((0.0..=1.0).contains(&a1));
+            prop_assert!(a2 >= a1 - 1e-12);
+        }
+
+        /// DP/DR are bounded in [0, 1] and DR is monotone in K.
+        #[test]
+        fn dp_dr_bounds_and_dr_monotonicity(
+            predicted in prop::collection::vec(
+                prop::collection::vec(arb_city(), 0..5), 1..15),
+            truth in prop::collection::vec(
+                prop::collection::vec(arb_city(), 1..4), 1..15),
+            m in 10.0f64..500.0,
+        ) {
+            let gaz = Gazetteer::us_cities();
+            let n = predicted.len().min(truth.len());
+            let predicted = &predicted[..n];
+            let truth = &truth[..n];
+            let mut prev_dr = 0.0;
+            for k in 1..=4 {
+                let dp = dp_at_k(&gaz, predicted, truth, k, m);
+                let dr = dr_at_k(&gaz, predicted, truth, k, m);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&dp));
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&dr));
+                prop_assert!(dr >= prev_dr - 1e-12, "DR must grow with K");
+                prev_dr = dr;
+            }
+        }
+
+        /// Relationship accuracy is monotone in m and bounded.
+        #[test]
+        fn relationship_acc_monotone(
+            pairs in prop::collection::vec((arb_city(), arb_city()), 1..30),
+            flip in prop::collection::vec(any::<bool>(), 1..30),
+            m in 0.0f64..1_000.0,
+        ) {
+            let gaz = Gazetteer::us_cities();
+            let n = pairs.len().min(flip.len());
+            let truths: Vec<(CityId, CityId)> = pairs[..n].to_vec();
+            let preds: Vec<Option<(CityId, CityId)>> = truths
+                .iter()
+                .zip(&flip[..n])
+                .map(|(&t, &f)| if f { Some(t) } else { None })
+                .collect();
+            let a1 = relationship_acc_at_m(&gaz, &preds, &truths, m);
+            let a2 = relationship_acc_at_m(&gaz, &preds, &truths, m + 100.0);
+            prop_assert!((0.0..=1.0).contains(&a1));
+            prop_assert!(a2 >= a1 - 1e-12);
+            // Exact predictions hit at every m ≥ 0.
+            let exact = flip[..n].iter().filter(|&&f| f).count() as f64 / n as f64;
+            prop_assert!((a1 - exact).abs() < 1e-9);
+        }
+    }
+}

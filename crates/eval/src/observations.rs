@@ -1,0 +1,199 @@
+//! The Fig. 3 data-analysis artifacts (paper Sec. 4.1–4.2).
+//!
+//! * Fig. 3(a): following probability vs. distance on labeled pairs, with
+//!   the power-law fit;
+//! * Fig. 3(b): tweeting probabilities of top venues at two cities;
+//! * Fig. 3(c): one multi-location user's friends and venues, split across
+//!   their regions.
+
+use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_geo::{fit_log_log_weighted, PowerLaw};
+use mlp_social::{following_probability_histogram, Adjacency, Dataset, GroundTruth, UserId};
+use std::collections::HashMap;
+
+/// Fig. 3(a): the empirical `(distance, probability, pairs)` curve and the
+/// fitted power law.
+pub struct FollowingCurve {
+    /// Per-bucket points `(miles, probability, pair count)`.
+    pub points: Vec<(f64, f64, f64)>,
+    /// Log–log least-squares fit, if the curve supports one.
+    pub fit: Option<PowerLaw>,
+}
+
+/// Computes Fig. 3(a) on a dataset's labeled users.
+pub fn following_curve(dataset: &Dataset, gaz: &Gazetteer, bucket_miles: f64) -> FollowingCurve {
+    let hist = following_probability_histogram(dataset, gaz, bucket_miles, 3_200.0);
+    let points = hist.weighted_curve(10);
+    let fit = fit_log_log_weighted(&points);
+    FollowingCurve { points, fit }
+}
+
+/// Fig. 3(b): the top-`k` tweeting probabilities at one city, from the
+/// mentions of users registered there. Returns `(venue, probability)`
+/// sorted by descending probability.
+pub fn tweeting_probabilities(
+    dataset: &Dataset,
+    city: CityId,
+    k: usize,
+) -> Vec<(VenueId, f64)> {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    let mut total = 0u64;
+    for m in &dataset.mentions {
+        if dataset.registered[m.user.index()] == Some(city) {
+            *counts.entry(m.venue.0).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut probs: Vec<(VenueId, f64)> = counts
+        .into_iter()
+        .map(|(v, n)| (VenueId(v), n as f64 / total as f64))
+        .collect();
+    probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    probs.truncate(k);
+    probs
+}
+
+/// Fig. 3(c): one user's observable footprint — friends' registered cities
+/// and tweeted venues — next to their true multi-location profile.
+pub struct UserFootprint {
+    /// The user.
+    pub user: UserId,
+    /// True profile from the generator.
+    pub true_locations: Vec<CityId>,
+    /// Registered cities of friends + followers (with multiplicity).
+    pub neighbor_cities: Vec<CityId>,
+    /// Tweeted venues (with multiplicity).
+    pub venues: Vec<VenueId>,
+}
+
+/// Builds the footprint of `user`.
+pub fn user_footprint(
+    dataset: &Dataset,
+    truth: &GroundTruth,
+    adj: &Adjacency,
+    user: UserId,
+) -> UserFootprint {
+    let mut neighbor_cities = Vec::new();
+    for &s in adj.out_edges(user) {
+        if let Some(c) = dataset.registered[dataset.edges[s as usize].friend.index()] {
+            neighbor_cities.push(c);
+        }
+    }
+    for &s in adj.in_edges(user) {
+        if let Some(c) = dataset.registered[dataset.edges[s as usize].follower.index()] {
+            neighbor_cities.push(c);
+        }
+    }
+    let venues =
+        adj.mentions_of(user).iter().map(|&k| dataset.mentions[k as usize].venue).collect();
+    UserFootprint {
+        user,
+        true_locations: truth.locations(user),
+        neighbor_cities,
+        venues,
+    }
+}
+
+/// Picks a showcase multi-location user: two true locations at least
+/// `min_separation` miles apart with the most relationships — the analogue
+/// of the paper's user 13069282 (LA + Austin).
+pub fn showcase_user(
+    _dataset: &Dataset,
+    truth: &GroundTruth,
+    gaz: &Gazetteer,
+    adj: &Adjacency,
+    min_separation: f64,
+) -> Option<UserId> {
+    truth
+        .multi_location_users()
+        .into_iter()
+        .filter(|&u| {
+            let locs = truth.locations(u);
+            locs.len() >= 2 && gaz.distance(locs[0], locs[1]) >= min_separation
+        })
+        .max_by_key(|&u| adj.out_edges(u).len() + adj.in_edges(u).len() + adj.mentions_of(u).len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{Generator, GeneratorConfig};
+
+    fn data() -> (Gazetteer, mlp_social::GeneratedData) {
+        let gaz = Gazetteer::us_cities();
+        let d = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 1_500, seed: 51, ..Default::default() },
+        )
+        .generate();
+        (gaz, d)
+    }
+
+    #[test]
+    fn following_curve_decays_and_fits() {
+        let (gaz, data) = data();
+        let curve = following_curve(&data.dataset, &gaz, 50.0);
+        assert!(curve.points.len() > 10);
+        let fit = curve.fit.expect("fit should succeed at this scale");
+        assert!(fit.alpha < -0.1, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn tweeting_probabilities_favor_local_venues() {
+        let (gaz, data) = data();
+        // Pick the city with the most registered users for a stable test.
+        let mut counts = vec![0u32; gaz.num_cities()];
+        for r in data.dataset.registered.iter().flatten() {
+            counts[r.index()] += 1;
+        }
+        let city = CityId(
+            counts.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i as u32).unwrap(),
+        );
+        let probs = tweeting_probabilities(&data.dataset, city, 5);
+        assert!(!probs.is_empty());
+        // The top venue should resolve to (or near) the city itself.
+        let top_cities = gaz.resolve_venue(probs[0].0);
+        let near = top_cities.iter().any(|&c| gaz.distance(c, city) <= 100.0);
+        assert!(near, "top venue {:?} not near {}", gaz.venue(probs[0].0).name, gaz.city(city).full_name());
+        // Probabilities sorted descending and ≤ 1.
+        for w in probs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(probs[0].1 <= 1.0);
+    }
+
+    #[test]
+    fn tweeting_probabilities_empty_city() {
+        let (gaz, data) = data();
+        // A synthetic city id with (almost surely) no registered users:
+        // find one with zero count.
+        let mut counts = vec![0u32; gaz.num_cities()];
+        for r in data.dataset.registered.iter().flatten() {
+            counts[r.index()] += 1;
+        }
+        if let Some(empty) = counts.iter().position(|&c| c == 0) {
+            assert!(tweeting_probabilities(&data.dataset, CityId(empty as u32), 5).is_empty());
+        }
+    }
+
+    #[test]
+    fn showcase_user_has_split_footprint() {
+        let (gaz, data) = data();
+        let adj = Adjacency::build(&data.dataset);
+        let user = showcase_user(&data.dataset, &data.truth, &gaz, &adj, 500.0)
+            .expect("a far-separated multi-location user exists at this scale");
+        let fp = user_footprint(&data.dataset, &data.truth, &adj, user);
+        assert!(fp.true_locations.len() >= 2);
+        assert!(gaz.distance(fp.true_locations[0], fp.true_locations[1]) >= 500.0);
+        assert!(!fp.neighbor_cities.is_empty());
+        // The footprint should touch both regions: some neighbor within 150
+        // miles of each true location.
+        for &loc in &fp.true_locations[..2] {
+            let touched = fp.neighbor_cities.iter().any(|&c| gaz.distance(c, loc) <= 150.0);
+            assert!(touched, "no neighbor near {}", gaz.city(loc).full_name());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Shared experiment plumbing: context construction and the uniform
+//! method dispatcher over the paper's six contestants.
+
+use mlp_baselines::{BaseC, BaseCConfig, BaseU, BaseUConfig, HomePredictor, VotingClassifier};
+use mlp_core::{Mlp, MlpConfig, MlpResult};
+use mlp_gazetteer::{CityId, Gazetteer, SynthConfig};
+use mlp_social::{Dataset, Folds, GeneratedData, Generator, GeneratorConfig, UserId};
+
+/// The contestants of Tables 2–3 (plus the voting strawman used in the
+/// ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Backstrom et al. WWW'10 (network).
+    BaseU,
+    /// Cheng et al. CIKM'10 (content).
+    BaseC,
+    /// Majority vote of labeled neighbors (related-work strawman).
+    Voting,
+    /// MLP with following relationships only.
+    MlpU,
+    /// MLP with tweeting relationships only.
+    MlpC,
+    /// Full MLP.
+    Mlp,
+}
+
+impl Method {
+    /// The five methods of the paper's Tables 2 and 3, in paper order.
+    pub const PAPER_LINEUP: [Method; 5] =
+        [Method::BaseU, Method::BaseC, Method::MlpU, Method::MlpC, Method::Mlp];
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Method::BaseU => "BaseU",
+            Method::BaseC => "BaseC",
+            Method::Voting => "Voting",
+            Method::MlpU => "MLP_U",
+            Method::MlpC => "MLP_C",
+            Method::Mlp => "MLP",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Everything an experiment needs: the gazetteer, a generated dataset with
+/// ground truth, the CV folds, and the MLP configuration to use.
+pub struct ExperimentContext {
+    /// Candidate locations and venue vocabulary.
+    pub gaz: Gazetteer,
+    /// Generated dataset + ground truth.
+    pub data: GeneratedData,
+    /// 5-fold split of labeled users (Sec. 5.1).
+    pub folds: Folds,
+    /// Inference configuration template (variant is overridden per method).
+    pub mlp_config: MlpConfig,
+}
+
+impl ExperimentContext {
+    /// Standard context: `num_cities`-city gazetteer, `num_users` users,
+    /// everything derived deterministically from `seed`.
+    pub fn standard(num_users: usize, num_cities: usize, seed: u64) -> Self {
+        let gaz = Gazetteer::with_synthetic(&SynthConfig {
+            total_cities: num_cities,
+            seed,
+            ..Default::default()
+        });
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users, seed, ..Default::default() },
+        )
+        .generate();
+        let folds = Folds::split(&data.dataset, 5, seed);
+        Self { gaz, data, folds, mlp_config: MlpConfig { seed, ..Default::default() } }
+    }
+
+    /// Context with explicit generator and model configs.
+    pub fn with_configs(
+        gaz: Gazetteer,
+        gen_config: GeneratorConfig,
+        mlp_config: MlpConfig,
+        k_folds: usize,
+    ) -> Self {
+        let seed = gen_config.seed;
+        let data = Generator::new(&gaz, gen_config).generate();
+        let folds = Folds::split(&data.dataset, k_folds, seed);
+        Self { gaz, data, folds, mlp_config }
+    }
+
+    /// The MLP config for a given method variant.
+    pub fn mlp_config_for(&self, method: Method) -> MlpConfig {
+        let mut cfg = self.mlp_config.clone();
+        cfg.variant = match method {
+            Method::MlpU => mlp_core::Variant::FollowingOnly,
+            Method::MlpC => mlp_core::Variant::TweetingOnly,
+            _ => mlp_core::Variant::Full,
+        };
+        cfg
+    }
+}
+
+/// Ranked home predictions for `test_users` under `method`, trained on
+/// `train` (a dataset view with the test fold's labels masked).
+///
+/// The inner lists are best-first and may be shorter than `k` (or empty)
+/// when the method lacks signal for a user.
+pub fn predict_ranked(
+    gaz: &Gazetteer,
+    train: &Dataset,
+    test_users: &[UserId],
+    method: Method,
+    mlp_config: &MlpConfig,
+    k: usize,
+) -> Vec<Vec<CityId>> {
+    match method {
+        Method::BaseU => {
+            let m = BaseU::fit(gaz, train, &BaseUConfig::default());
+            test_users.iter().map(|&u| m.predict_ranked(u, k)).collect()
+        }
+        Method::BaseC => {
+            let m = BaseC::fit(gaz, train, &BaseCConfig::default());
+            test_users.iter().map(|&u| m.predict_ranked(u, k)).collect()
+        }
+        Method::Voting => {
+            let m = VotingClassifier::new(train);
+            test_users.iter().map(|&u| m.predict_ranked(u, k)).collect()
+        }
+        Method::MlpU | Method::MlpC | Method::Mlp => {
+            let mut cfg = mlp_config.clone();
+            cfg.variant = match method {
+                Method::MlpU => mlp_core::Variant::FollowingOnly,
+                Method::MlpC => mlp_core::Variant::TweetingOnly,
+                _ => mlp_core::Variant::Full,
+            };
+            let result = Mlp::new(gaz, train, cfg).expect("valid inputs").run();
+            test_users.iter().map(|&u| result.top_k(u, k)).collect()
+        }
+    }
+}
+
+/// Single-best home predictions (rank-1 of [`predict_ranked`]).
+pub fn predict_homes(
+    gaz: &Gazetteer,
+    train: &Dataset,
+    test_users: &[UserId],
+    method: Method,
+    mlp_config: &MlpConfig,
+) -> Vec<Option<CityId>> {
+    predict_ranked(gaz, train, test_users, method, mlp_config, 1)
+        .into_iter()
+        .map(|r| r.first().copied())
+        .collect()
+}
+
+/// Runs full MLP on a dataset (no masking) and returns the result — used by
+/// the multi-location and relationship tasks, which evaluate discovery
+/// rather than held-out prediction.
+pub fn run_mlp(gaz: &Gazetteer, dataset: &Dataset, config: MlpConfig) -> MlpResult {
+    Mlp::new(gaz, dataset, config).expect("valid inputs").run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_deterministic() {
+        let a = ExperimentContext::standard(100, 280, 7);
+        let b = ExperimentContext::standard(100, 280, 7);
+        assert_eq!(a.data.dataset, b.data.dataset);
+        assert_eq!(a.folds.test_users(0), b.folds.test_users(0));
+    }
+
+    #[test]
+    fn method_display_matches_paper_names() {
+        assert_eq!(Method::BaseU.to_string(), "BaseU");
+        assert_eq!(Method::MlpU.to_string(), "MLP_U");
+        assert_eq!(Method::Mlp.to_string(), "MLP");
+        assert_eq!(Method::PAPER_LINEUP.len(), 5);
+    }
+
+    #[test]
+    fn mlp_config_for_sets_variant() {
+        let ctx = ExperimentContext::standard(60, 270, 3);
+        assert_eq!(ctx.mlp_config_for(Method::MlpU).variant, mlp_core::Variant::FollowingOnly);
+        assert_eq!(ctx.mlp_config_for(Method::MlpC).variant, mlp_core::Variant::TweetingOnly);
+        assert_eq!(ctx.mlp_config_for(Method::Mlp).variant, mlp_core::Variant::Full);
+        assert_eq!(ctx.mlp_config_for(Method::BaseU).variant, mlp_core::Variant::Full);
+    }
+
+    #[test]
+    fn all_methods_produce_aligned_predictions() {
+        let ctx = ExperimentContext::standard(150, 280, 11);
+        let test_users = ctx.folds.test_users(0);
+        let train = ctx.folds.train_view(&ctx.data.dataset, 0);
+        let quick = MlpConfig { iterations: 6, burn_in: 3, ..ctx.mlp_config.clone() };
+        for method in
+            [Method::BaseU, Method::BaseC, Method::Voting, Method::MlpU, Method::MlpC, Method::Mlp]
+        {
+            let preds = predict_homes(&ctx.gaz, &train, test_users, method, &quick);
+            assert_eq!(preds.len(), test_users.len(), "{method}");
+            let ranked = predict_ranked(&ctx.gaz, &train, test_users, method, &quick, 3);
+            assert_eq!(ranked.len(), test_users.len(), "{method}");
+            for r in &ranked {
+                assert!(r.len() <= 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text table rendering for the bench binaries and examples.
+
+/// A fixed-width text table with a header row.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    /// Panics if the row has more cells than there are headers.
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(row.len() <= self.headers.len(), "row wider than header");
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', w - cell.chars().count()));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, paper-style.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Method", "ACC@100"]);
+        t.add_row(vec!["BaseU", "52.44%"]);
+        t.add_row(vec!["MLP", "62.30%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("BaseU") && lines[2].contains("52.44%"));
+        // Columns align: "ACC@100" and "52.44%" start at the same offset.
+        let header_col = lines[0].find("ACC@100").unwrap();
+        let row_col = lines[2].find("52.44%").unwrap();
+        assert_eq!(header_col, row_col);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row wider than header")]
+    fn rejects_overwide_rows() {
+        TextTable::new(vec!["a"]).add_row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.6234), "62.34%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

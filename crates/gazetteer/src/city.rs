@@ -1,0 +1,76 @@
+//! City records and identifiers.
+
+use mlp_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Index of a city in a [`crate::Gazetteer`] — the paper's location label
+/// `l ∈ L`.
+///
+/// A newtype rather than a bare `u32` so location ids cannot be confused
+/// with user ids, venue ids, or counts anywhere in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CityId(pub u32);
+
+impl CityId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CityId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A candidate location: one city-level entry of the gazetteer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct City {
+    /// Lower-case city name, e.g. `"springfield"`. Not unique: name
+    /// ambiguity across states is deliberate and load-bearing.
+    pub name: String,
+    /// Two-letter state code, upper-case, e.g. `"IL"`.
+    pub state: String,
+    /// City-centre coordinates.
+    pub center: GeoPoint,
+    /// Approximate population; drives home-city sampling in the generator
+    /// and venue-popularity priors.
+    pub population: u64,
+}
+
+impl City {
+    /// `"springfield, IL"` — the display form used in tables and examples.
+    pub fn full_name(&self) -> String {
+        format!("{}, {}", self.name, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_id_display_and_index() {
+        let id = CityId(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "L17");
+    }
+
+    #[test]
+    fn full_name_formats() {
+        let c = City {
+            name: "austin".to_string(),
+            state: "TX".to_string(),
+            center: GeoPoint::new(30.2672, -97.7431).unwrap(),
+            population: 790_390,
+        };
+        assert_eq!(c.full_name(), "austin, TX");
+    }
+
+    #[test]
+    fn city_id_orders_by_value() {
+        assert!(CityId(2) < CityId(10));
+    }
+}

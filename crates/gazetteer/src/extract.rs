@@ -1,0 +1,181 @@
+//! Venue extraction from tweet text.
+//!
+//! The paper "extracted venues from [tweets] based on the same gazetteer".
+//! We reproduce that step: lower-case word tokenization, then greedy
+//! longest-first n-gram matching against the venue vocabulary, so
+//! `"see gaga in hollywood"` yields the venue `hollywood` and
+//! `"at princeton university today"` yields `princeton university`
+//! (not the shorter, more ambiguous `princeton`).
+
+use crate::gazetteer::Gazetteer;
+use crate::venue::VenueId;
+
+/// Maximum n-gram length tried by the matcher; the vocabulary's longest
+/// surface forms ("north las vegas convention center") stay under this.
+const MAX_NGRAM: usize = 5;
+
+/// Tokenizes and matches venue mentions against a gazetteer.
+#[derive(Debug, Clone, Copy)]
+pub struct VenueExtractor<'g> {
+    gazetteer: &'g Gazetteer,
+}
+
+impl<'g> VenueExtractor<'g> {
+    /// Creates an extractor bound to a gazetteer.
+    pub fn new(gazetteer: &'g Gazetteer) -> Self {
+        Self { gazetteer }
+    }
+
+    /// Lower-cases and splits `text` into word tokens. Periods are dropped
+    /// entirely (both the abbreviation dot in "st. louis" and sentence-final
+    /// dots), matching the normalisation applied to vocabulary keys, while
+    /// `'` and `-` survive inside a word ("winston-salem").
+    pub fn tokenize(text: &str) -> Vec<String> {
+        let lower = text.to_lowercase();
+        let mut tokens = Vec::new();
+        let mut cur = String::new();
+        for ch in lower.chars() {
+            if ch.is_alphanumeric() || (matches!(ch, '\'' | '-') && !cur.is_empty()) {
+                cur.push(ch);
+            } else if ch == '.' {
+                continue; // "st. louis" -> "st louis", "austin." -> "austin"
+            } else if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            tokens.push(cur);
+        }
+        tokens
+    }
+
+    /// Extracts all venue mentions from `text`, left to right, greedy
+    /// longest-match. A token participates in at most one mention.
+    pub fn extract(&self, text: &str) -> Vec<VenueId> {
+        let tokens = Self::tokenize(text);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = None;
+            let max_n = MAX_NGRAM.min(tokens.len() - i);
+            for n in (1..=max_n).rev() {
+                let candidate = tokens[i..i + n].join(" ");
+                if let Some(vid) = self.gazetteer.venue_by_name(&candidate) {
+                    matched = Some((vid, n));
+                    break;
+                }
+            }
+            match matched {
+                Some((vid, n)) => {
+                    out.push(vid);
+                    i += n;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaz() -> Gazetteer {
+        Gazetteer::us_cities()
+    }
+
+    #[test]
+    fn tokenize_basic() {
+        let toks = VenueExtractor::tokenize("Want to go to Honolulu for Spring vacation!");
+        assert_eq!(toks, vec!["want", "to", "go", "to", "honolulu", "for", "spring", "vacation"]);
+    }
+
+    #[test]
+    fn tokenize_normalizes_periods_keeps_other_inner_punctuation() {
+        assert_eq!(VenueExtractor::tokenize("st. louis"), vec!["st", "louis"]);
+        assert_eq!(VenueExtractor::tokenize("winston-salem!"), vec!["winston-salem"]);
+        assert_eq!(VenueExtractor::tokenize("I'm in Austin."), vec!["i'm", "in", "austin"]);
+    }
+
+    #[test]
+    fn extracts_city_with_abbreviation_dot() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        let found = ex.extract("back home in St. Louis tonight");
+        assert_eq!(found.len(), 1);
+        assert_eq!(g.venue(found[0]).name, "st. louis");
+    }
+
+    #[test]
+    fn tokenize_empty_and_symbols() {
+        assert!(VenueExtractor::tokenize("").is_empty());
+        assert!(VenueExtractor::tokenize("!!! ??? ...").is_empty());
+    }
+
+    #[test]
+    fn extracts_single_city_mention() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        let found = ex.extract("See Gaga in Hollywood.");
+        assert_eq!(found.len(), 1);
+        assert_eq!(g.venue(found[0]).name, "hollywood");
+    }
+
+    #[test]
+    fn extracts_multiword_city() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        let found = ex.extract("flying to los angeles tomorrow");
+        assert_eq!(found.len(), 1);
+        assert_eq!(g.venue(found[0]).name, "los angeles");
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        // "downtown princeton" is a LocalEntity; greedy matching must not
+        // stop at the bare city name "princeton".
+        let found = ex.extract("walking around downtown princeton this fall");
+        assert_eq!(found.len(), 1);
+        assert_eq!(g.venue(found[0]).name, "downtown princeton");
+    }
+
+    #[test]
+    fn multiple_mentions_in_order() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        let found = ex.extract("praying for my hometown. houston is wilding out. miss austin too");
+        let names: Vec<&str> = found.iter().map(|&v| g.venue(v).name.as_str()).collect();
+        assert_eq!(names, vec!["houston", "austin"]);
+    }
+
+    #[test]
+    fn no_mentions_yields_empty() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        assert!(ex.extract("good morning everyone, coffee time").is_empty());
+    }
+
+    #[test]
+    fn tokens_not_reused_across_mentions() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        // "new york" must consume both tokens; "york" alone isn't a venue so
+        // exactly one mention results.
+        let found = ex.extract("new york new york");
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|&v| g.venue(v).name == "new york"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let g = gaz();
+        let ex = VenueExtractor::new(&g);
+        let a = ex.extract("AUSTIN");
+        let b = ex.extract("austin");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! The gazetteer: candidate locations `L` + venue vocabulary `V`.
+
+use crate::city::{City, CityId};
+use crate::data::US_CITIES;
+use crate::synth::{expand, SynthConfig};
+use crate::venue::{local_entity_count, normalize_name, Venue, VenueId, VenueKind, LOCAL_ENTITY_TEMPLATES};
+use mlp_geo::{DistanceMatrix, GeoPoint, GridIndex};
+use std::collections::HashMap;
+
+/// The gazetteer the whole system runs against.
+///
+/// Owns the candidate city list, the venue vocabulary, the name→id indexes
+/// for both, and the precomputed geometry (pairwise city distances and a
+/// spatial grid).
+#[derive(Debug, Clone)]
+pub struct Gazetteer {
+    cities: Vec<City>,
+    venues: Vec<Venue>,
+    /// city name → all cities sharing it.
+    city_name_index: HashMap<String, Vec<CityId>>,
+    /// venue surface form → id.
+    venue_name_index: HashMap<String, VenueId>,
+    /// city → venues anchored at it (own name + its local entities).
+    venues_by_city: Vec<Vec<VenueId>>,
+    distances: DistanceMatrix,
+    grid: GridIndex,
+}
+
+impl Gazetteer {
+    /// Builds the gazetteer from the embedded real-city table only.
+    pub fn us_cities() -> Self {
+        Self::from_cities(
+            US_CITIES
+                .iter()
+                .map(|&(name, state, lat, lon, pop)| City {
+                    name: name.to_string(),
+                    state: state.to_string(),
+                    center: GeoPoint::new(lat, lon).expect("embedded coordinates are valid"),
+                    population: pop,
+                })
+                .collect(),
+        )
+    }
+
+    /// Builds the gazetteer with a synthetic expansion to `config.total_cities`.
+    pub fn with_synthetic(config: &SynthConfig) -> Self {
+        let base = Self::us_cities();
+        Self::from_cities(expand(&base.cities, config))
+    }
+
+    /// Builds from an explicit city list (used by tests).
+    ///
+    /// # Panics
+    /// Panics on an empty list.
+    pub fn from_cities(cities: Vec<City>) -> Self {
+        assert!(!cities.is_empty(), "gazetteer needs at least one city");
+        let mut city_name_index: HashMap<String, Vec<CityId>> = HashMap::new();
+        for (i, c) in cities.iter().enumerate() {
+            city_name_index.entry(c.name.clone()).or_default().push(CityId(i as u32));
+        }
+
+        // Venue vocabulary: one CityName venue per distinct name, plus
+        // local entities per city scaled by population.
+        let mut venues = Vec::new();
+        let mut venue_name_index = HashMap::new();
+        let mut venues_by_city: Vec<Vec<VenueId>> = vec![Vec::new(); cities.len()];
+        let mut names: Vec<&String> = city_name_index.keys().collect();
+        names.sort(); // deterministic venue ids
+        for name in names {
+            let ids = &city_name_index[name];
+            let vid = VenueId(venues.len() as u32);
+            venues.push(Venue {
+                name: name.clone(),
+                kind: VenueKind::CityName,
+                cities: ids.clone(),
+            });
+            venue_name_index.insert(normalize_name(name), vid);
+            for &cid in ids {
+                venues_by_city[cid.index()].push(vid);
+            }
+        }
+        for (i, c) in cities.iter().enumerate() {
+            let count = local_entity_count(c.population);
+            for template in LOCAL_ENTITY_TEMPLATES.iter().take(count) {
+                let name = template.replace("{}", &c.name);
+                // A template instance may collide across same-named cities
+                // ("princeton university" from princeton NJ and WV): merge
+                // them into one ambiguous venue, like a real gazetteer.
+                let key = normalize_name(&name);
+                let vid = match venue_name_index.get(&key) {
+                    Some(&vid) => {
+                        let v = &mut venues[vid.index()];
+                        if !v.cities.contains(&CityId(i as u32)) {
+                            v.cities.push(CityId(i as u32));
+                        }
+                        vid
+                    }
+                    None => {
+                        let vid = VenueId(venues.len() as u32);
+                        venues.push(Venue {
+                            name: name.clone(),
+                            kind: VenueKind::LocalEntity,
+                            cities: vec![CityId(i as u32)],
+                        });
+                        venue_name_index.insert(key, vid);
+                        vid
+                    }
+                };
+                venues_by_city[i].push(vid);
+            }
+        }
+
+        let points: Vec<GeoPoint> = cities.iter().map(|c| c.center).collect();
+        let distances = DistanceMatrix::build(&points);
+        let grid = GridIndex::build(&points, 100.0).expect("non-empty city list");
+        Self {
+            cities,
+            venues,
+            city_name_index,
+            venue_name_index,
+            venues_by_city,
+            distances,
+            grid,
+        }
+    }
+
+    /// Number of candidate locations |L|.
+    pub fn num_cities(&self) -> usize {
+        self.cities.len()
+    }
+
+    /// Number of venue names |V|.
+    pub fn num_venues(&self) -> usize {
+        self.venues.len()
+    }
+
+    /// The city record for `id`.
+    pub fn city(&self, id: CityId) -> &City {
+        &self.cities[id.index()]
+    }
+
+    /// All cities, indexable by `CityId`.
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    /// The venue record for `id`.
+    pub fn venue(&self, id: VenueId) -> &Venue {
+        &self.venues[id.index()]
+    }
+
+    /// All venues, indexable by `VenueId`.
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// Cities sharing `name` (lower-cased exact match).
+    pub fn cities_named(&self, name: &str) -> &[CityId] {
+        self.city_name_index.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Looks up a city by `(name, state)`.
+    pub fn city_by_name_state(&self, name: &str, state: &str) -> Option<CityId> {
+        self.cities_named(name)
+            .iter()
+            .copied()
+            .find(|&id| self.cities[id.index()].state == state)
+    }
+
+    /// The venue id for a surface form, if in vocabulary. The lookup is
+    /// period- and case-insensitive (see [`normalize_name`]).
+    pub fn venue_by_name(&self, name: &str) -> Option<VenueId> {
+        self.venue_name_index.get(&normalize_name(name)).copied()
+    }
+
+    /// The set of cities a tweeted venue may refer to — the resolution set
+    /// used to build candidacy vectors (paper Sec. 4.3).
+    pub fn resolve_venue(&self, id: VenueId) -> &[CityId] {
+        &self.venues[id.index()].cities
+    }
+
+    /// Venues anchored at a city: its own name plus its local entities.
+    pub fn venues_of_city(&self, id: CityId) -> &[VenueId] {
+        &self.venues_by_city[id.index()]
+    }
+
+    /// Precomputed pairwise city distances in miles.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// Distance in miles between two cities.
+    #[inline]
+    pub fn distance(&self, a: CityId, b: CityId) -> f64 {
+        self.distances.get(a.index(), b.index())
+    }
+
+    /// Spatial grid over city centers.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Cities within `radius` miles of `id` (including itself).
+    pub fn cities_within(&self, id: CityId, radius: f64) -> Vec<CityId> {
+        self.distances.within(id.index(), radius).into_iter().map(|i| CityId(i as u32)).collect()
+    }
+
+    /// Population weights aligned with city ids (for alias sampling).
+    pub fn population_weights(&self) -> Vec<f64> {
+        self.cities.iter().map(|c| c.population as f64).collect()
+    }
+
+    /// The nearest city to an arbitrary point, with distance in miles.
+    pub fn nearest_city(&self, p: GeoPoint) -> (CityId, f64) {
+        let (id, d) = self.grid.nearest(p);
+        (CityId(id), d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_gazetteer_basic_shape() {
+        let g = Gazetteer::us_cities();
+        assert!(g.num_cities() >= 250);
+        assert!(g.num_venues() > g.num_cities() / 2, "city-name venues merge duplicates");
+        assert_eq!(g.distances().len(), g.num_cities());
+    }
+
+    #[test]
+    fn city_lookup_by_name_state() {
+        let g = Gazetteer::us_cities();
+        let austin = g.city_by_name_state("austin", "TX").unwrap();
+        assert_eq!(g.city(austin).name, "austin");
+        assert_eq!(g.city(austin).state, "TX");
+        assert!(g.city_by_name_state("austin", "ZZ").is_none());
+    }
+
+    #[test]
+    fn ambiguous_names_resolve_to_many_cities() {
+        let g = Gazetteer::us_cities();
+        let princetons = g.cities_named("princeton");
+        assert!(princetons.len() >= 5, "got {}", princetons.len());
+        let vid = g.venue_by_name("princeton").unwrap();
+        assert_eq!(g.resolve_venue(vid).len(), princetons.len());
+        assert_eq!(g.venue(vid).kind, VenueKind::CityName);
+        assert!(g.venue(vid).is_ambiguous());
+    }
+
+    #[test]
+    fn local_entities_anchor_to_their_city() {
+        let g = Gazetteer::us_cities();
+        let la = g.city_by_name_state("los angeles", "CA").unwrap();
+        let vids = g.venues_of_city(la);
+        // Own name + all templates (LA is a 3.8M metro).
+        assert_eq!(vids.len(), 1 + LOCAL_ENTITY_TEMPLATES.len());
+        let airport = g.venue_by_name("los angeles airport").unwrap();
+        assert_eq!(g.resolve_venue(airport), &[la]);
+        assert_eq!(g.venue(airport).kind, VenueKind::LocalEntity);
+    }
+
+    #[test]
+    fn shared_entity_names_merge_across_same_named_cities() {
+        let g = Gazetteer::us_cities();
+        // Multiple Springfields with pop >= 100k exist (MO, MA, IL), so
+        // "springfield university" should be ambiguous.
+        let vid = g.venue_by_name("springfield airport").unwrap();
+        assert!(g.resolve_venue(vid).len() >= 2);
+    }
+
+    #[test]
+    fn distance_between_known_cities() {
+        let g = Gazetteer::us_cities();
+        let austin = g.city_by_name_state("austin", "TX").unwrap();
+        let rr = g.city_by_name_state("round rock", "TX").unwrap();
+        let la = g.city_by_name_state("los angeles", "CA").unwrap();
+        assert!(g.distance(austin, rr) < 20.0);
+        let d_la = g.distance(austin, la);
+        assert!((1200.0..1300.0).contains(&d_la), "Austin–LA ≈ 1,230 mi, got {d_la}");
+    }
+
+    #[test]
+    fn cities_within_radius() {
+        let g = Gazetteer::us_cities();
+        let la = g.city_by_name_state("los angeles", "CA").unwrap();
+        let near = g.cities_within(la, 40.0);
+        assert!(near.contains(&la));
+        let names: Vec<&str> =
+            near.iter().map(|&id| g.city(id).name.as_str()).collect();
+        assert!(names.contains(&"santa monica"));
+        assert!(names.contains(&"burbank"));
+        assert!(!names.contains(&"san diego"), "SD is ~120 mi away");
+    }
+
+    #[test]
+    fn nearest_city_to_point() {
+        let g = Gazetteer::us_cities();
+        let p = GeoPoint::new(30.30, -97.75).unwrap(); // just north of Austin
+        let (id, d) = g.nearest_city(p);
+        assert_eq!(g.city(id).name, "austin");
+        assert!(d < 10.0);
+    }
+
+    #[test]
+    fn synthetic_gazetteer_scales() {
+        let g = Gazetteer::with_synthetic(&SynthConfig {
+            total_cities: 500,
+            ..Default::default()
+        });
+        assert_eq!(g.num_cities(), 500);
+        assert_eq!(g.distances().len(), 500);
+        // Every synthetic city has at least its own name as a venue.
+        for i in 0..500 {
+            assert!(!g.venues_of_city(CityId(i as u32)).is_empty());
+        }
+    }
+
+    #[test]
+    fn venue_ids_are_deterministic() {
+        let a = Gazetteer::us_cities();
+        let b = Gazetteer::us_cities();
+        assert_eq!(a.num_venues(), b.num_venues());
+        for (va, vb) in a.venues().iter().zip(b.venues()) {
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn population_weights_align() {
+        let g = Gazetteer::us_cities();
+        let w = g.population_weights();
+        assert_eq!(w.len(), g.num_cities());
+        let nyc = g.city_by_name_state("new york", "NY").unwrap();
+        assert_eq!(w[nyc.index()], 8_175_000.0);
+    }
+}

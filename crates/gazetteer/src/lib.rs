@@ -1,0 +1,33 @@
+//! Place-name substrate: the gazetteer the MLP model classifies against.
+//!
+//! The paper takes its candidate locations `L` from the Census 2000 U.S.
+//! Gazetteer and its venue vocabulary `V` from the same source ("we
+//! considered all cities listed in the Census 2000 U.S. Gazetteer"). We
+//! reproduce the properties the model actually interacts with:
+//!
+//! * **city-level locations** with coordinates and populations — a static
+//!   table of real U.S. cities ([`data`]) plus a deterministic synthetic
+//!   expansion ([`synth`]) up to any requested |L|;
+//! * **ambiguous venue names** — the paper stresses that "there are 19 towns
+//!   named Princeton in the States"; our table and the synthetic name
+//!   generator both produce many-to-one name→city mappings, so a tweeted
+//!   venue resolves to a *set* of candidate cities;
+//! * **venue vocabulary** — city names plus per-city local entities
+//!   (airports, downtowns, universities…), mirroring the paper's notion of a
+//!   venue as "a city, a place, or a local entity";
+//! * **venue extraction** ([`extract`]) — tokenizing tweet text and matching
+//!   n-grams against the vocabulary, the step the paper performs when it
+//!   "extracted venues from tweets based on the same gazetteer".
+
+pub mod city;
+pub mod data;
+pub mod extract;
+pub mod gazetteer;
+pub mod synth;
+pub mod venue;
+
+pub use city::{City, CityId};
+pub use extract::VenueExtractor;
+pub use gazetteer::Gazetteer;
+pub use synth::SynthConfig;
+pub use venue::{VenueId, VenueKind};

@@ -1,0 +1,232 @@
+//! Deterministic synthetic expansion of the city table.
+//!
+//! The paper's candidate set has ~5,000 cities; our embedded real table has
+//! a few hundred. When an experiment asks for more, we mint additional small
+//! towns with realistic properties:
+//!
+//! * names assembled from prefix/suffix component lists, which *naturally*
+//!   collide across states (many "Oakville"s), reproducing the gazetteer
+//!   ambiguity the model must cope with;
+//! * placement clustered around existing anchor cities (towns follow
+//!   metros) with a uniform rural remainder;
+//! * Zipf-decaying populations below the real table's tail.
+//!
+//! Everything is a pure function of the seed, so a gazetteer of size N is
+//! reproducible across runs and machines.
+
+use crate::city::City;
+use mlp_geo::{BoundingBox, GeoPoint};
+use mlp_sampling::{AliasTable, Pcg64};
+
+/// Configuration for the synthetic expansion.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Total number of cities the gazetteer should contain (real + synthetic).
+    /// Values at or below the real table size leave the table untouched.
+    pub total_cities: usize,
+    /// RNG seed; the expansion is a pure function of this.
+    pub seed: u64,
+    /// Fraction of synthetic towns placed near an anchor metro (the rest are
+    /// uniform over the continental US).
+    pub clustered_fraction: f64,
+    /// Maximum distance in miles from the anchor for clustered placement.
+    pub cluster_radius_miles: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            total_cities: 300,
+            seed: 0x5EED,
+            clustered_fraction: 0.7,
+            cluster_radius_miles: 60.0,
+        }
+    }
+}
+
+const NAME_PREFIXES: &[&str] = &[
+    "oak", "cedar", "maple", "pine", "elm", "spring", "fair", "green", "glen", "lake", "river",
+    "hill", "mill", "clear", "west", "east", "north", "south", "new", "mount", "fort", "grand",
+    "sunny", "stone", "bridge", "ash", "birch", "clay", "cross", "deer",
+];
+
+const NAME_SUFFIXES: &[&str] = &[
+    "ville", "field", "ton", "burg", "wood", "dale", "port", "ford", "haven", "brook", "side",
+    "view", "land", "creek", "falls", "grove", "ridge", "spring", "crest", "point",
+];
+
+/// US state codes assigned to synthetic towns, keyed by rough longitude band
+/// so a town near Los Angeles is labeled CA, not NJ.
+fn state_for(point: GeoPoint) -> &'static str {
+    let lon = point.lon();
+    let lat = point.lat();
+    match () {
+        _ if lon < -114.0 && lat >= 42.0 => "OR",
+        _ if lon < -114.0 && lat < 35.0 => "CA",
+        _ if lon < -114.0 => "NV",
+        _ if lon < -104.0 && lat >= 41.0 => "WY",
+        _ if lon < -104.0 && lat < 33.0 => "NM",
+        _ if lon < -104.0 => "CO",
+        _ if lon < -94.0 && lat >= 43.0 => "MN",
+        _ if lon < -94.0 && lat < 33.5 => "TX",
+        _ if lon < -94.0 => "KS",
+        _ if lon < -84.0 && lat >= 41.5 => "MI",
+        _ if lon < -84.0 && lat < 33.0 => "FL",
+        _ if lon < -84.0 => "TN",
+        _ if lat >= 41.0 => "NY",
+        _ if lat < 34.0 => "GA",
+        _ => "VA",
+    }
+}
+
+/// Expands `base` (the real table) to `config.total_cities` entries.
+///
+/// Synthetic towns never duplicate a `(name, state)` pair already present;
+/// name collisions *across* states are allowed and intended.
+pub fn expand(base: &[City], config: &SynthConfig) -> Vec<City> {
+    let mut cities = base.to_vec();
+    if config.total_cities <= cities.len() {
+        return cities;
+    }
+    let mut rng = Pcg64::new(config.seed);
+    let mut taken: std::collections::HashSet<(String, String)> =
+        cities.iter().map(|c| (c.name.clone(), c.state.clone())).collect();
+
+    // Anchor selection is population-weighted: towns cluster around metros.
+    let weights: Vec<f64> = base.iter().map(|c| c.population as f64).collect();
+    let anchors = AliasTable::new(&weights);
+    let bbox = BoundingBox::CONTINENTAL_US;
+    let n_needed = config.total_cities - cities.len();
+    let mut rank = 0u64;
+    let mut attempts = 0usize;
+    while cities.len() < config.total_cities {
+        attempts += 1;
+        assert!(
+            attempts < config.total_cities * 200,
+            "name space exhausted: cannot mint {n_needed} unique towns"
+        );
+        let name = format!(
+            "{}{}",
+            NAME_PREFIXES[rng.next_bounded(NAME_PREFIXES.len())],
+            NAME_SUFFIXES[rng.next_bounded(NAME_SUFFIXES.len())]
+        );
+        let point = if rng.bernoulli(config.clustered_fraction) && anchors.is_some() {
+            let anchor = &base[anchors.as_ref().expect("non-empty").sample(&mut rng)];
+            jitter_near(&mut rng, anchor.center, config.cluster_radius_miles, &bbox)
+        } else {
+            uniform_in(&mut rng, &bbox)
+        };
+        let state = state_for(point).to_string();
+        if !taken.insert((name.clone(), state.clone())) {
+            continue; // exact (name, state) duplicate; re-draw
+        }
+        // Zipf-ish tail below the real table: 20k down to ~1k.
+        rank += 1;
+        let population = (20_000.0 / (1.0 + rank as f64 / n_needed as f64 * 9.0)) as u64 + 1_000;
+        cities.push(City { name, state, center: point, population });
+    }
+    cities
+}
+
+fn jitter_near(rng: &mut Pcg64, anchor: GeoPoint, radius_miles: f64, bbox: &BoundingBox) -> GeoPoint {
+    // Uniform direction, triangular-ish radial falloff (denser near anchor).
+    let theta = rng.next_f64() * std::f64::consts::TAU;
+    let r = radius_miles * rng.next_f64().sqrt() * rng.next_f64(); // bias inward
+    let dlat = r * theta.sin() / 69.0;
+    let coslat = anchor.lat_rad().cos().max(0.2);
+    let dlon = r * theta.cos() / (69.0 * coslat);
+    GeoPoint::new(
+        (anchor.lat() + dlat).clamp(bbox.min_lat(), bbox.max_lat()),
+        (anchor.lon() + dlon).clamp(bbox.min_lon(), bbox.max_lon()),
+    )
+    .expect("clamped coordinates are valid")
+}
+
+fn uniform_in(rng: &mut Pcg64, bbox: &BoundingBox) -> GeoPoint {
+    GeoPoint::new(
+        bbox.min_lat() + rng.next_f64() * bbox.lat_span(),
+        bbox.min_lon() + rng.next_f64() * bbox.lon_span(),
+    )
+    .expect("in-box coordinates are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::US_CITIES;
+
+    fn base() -> Vec<City> {
+        US_CITIES
+            .iter()
+            .map(|&(name, state, lat, lon, pop)| City {
+                name: name.to_string(),
+                state: state.to_string(),
+                center: GeoPoint::new(lat, lon).unwrap(),
+                population: pop,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn expansion_reaches_requested_size() {
+        let cfg = SynthConfig { total_cities: 500, ..Default::default() };
+        let cities = expand(&base(), &cfg);
+        assert_eq!(cities.len(), 500);
+    }
+
+    #[test]
+    fn small_request_leaves_base_untouched() {
+        let b = base();
+        let cfg = SynthConfig { total_cities: 10, ..Default::default() };
+        assert_eq!(expand(&b, &cfg), b);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let cfg = SynthConfig { total_cities: 400, seed: 99, ..Default::default() };
+        let a = expand(&base(), &cfg);
+        let b = expand(&base(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let b = base();
+        let a = expand(&b, &SynthConfig { total_cities: 400, seed: 1, ..Default::default() });
+        let c = expand(&b, &SynthConfig { total_cities: 400, seed: 2, ..Default::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_duplicate_name_state_pairs() {
+        let cfg = SynthConfig { total_cities: 800, ..Default::default() };
+        let cities = expand(&base(), &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cities {
+            assert!(seen.insert((c.name.clone(), c.state.clone())), "dup {} {}", c.name, c.state);
+        }
+    }
+
+    #[test]
+    fn synthetic_towns_are_inside_the_us_box() {
+        let cfg = SynthConfig { total_cities: 600, ..Default::default() };
+        let cities = expand(&base(), &cfg);
+        let bbox = BoundingBox::CONTINENTAL_US;
+        for c in &cities[US_CITIES.len()..] {
+            assert!(bbox.contains(c.center), "{} {:?}", c.name, c.center);
+            assert!(c.population >= 1_000);
+        }
+    }
+
+    #[test]
+    fn synthetic_expansion_adds_cross_state_ambiguity() {
+        let cfg = SynthConfig { total_cities: 1_000, ..Default::default() };
+        let cities = expand(&base(), &cfg);
+        let mut by_name: std::collections::HashMap<&str, usize> = Default::default();
+        for c in &cities[US_CITIES.len()..] {
+            *by_name.entry(c.name.as_str()).or_default() += 1;
+        }
+        let ambiguous = by_name.values().filter(|&&n| n > 1).count();
+        assert!(ambiguous > 20, "synthetic names should collide, got {ambiguous}");
+    }
+}

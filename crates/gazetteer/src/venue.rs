@@ -1,0 +1,142 @@
+//! Venue vocabulary: the paper's `V`.
+//!
+//! A *venue* is "the name for a geo signal, which could be a city (e.g., Los
+//! Angeles), a place (e.g., Time Square), or a local entity (e.g., Stanford
+//! University)" (paper Sec. 3). Crucially a venue is a **name**, not a
+//! location: `"princeton"` is one venue that may resolve to many cities.
+//! The location-based tweeting model `ψ_l` is a multinomial over these
+//! names.
+
+use crate::city::CityId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a venue name in a [`crate::Gazetteer`]'s vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VenueId(pub u32);
+
+impl VenueId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VenueId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// What kind of geo signal a venue name is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VenueKind {
+    /// A city name shared by every city with that name ("princeton").
+    CityName,
+    /// A named local entity anchored at one specific city
+    /// ("princeton university", "zilker park").
+    LocalEntity,
+}
+
+/// One entry of the venue vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Venue {
+    /// Lower-case surface form matched in tweets.
+    pub name: String,
+    /// City-name venue or local entity.
+    pub kind: VenueKind,
+    /// Cities this name can refer to. For a [`VenueKind::CityName`] this is
+    /// every city sharing the name; for a [`VenueKind::LocalEntity`] it is a
+    /// single anchor city.
+    pub cities: Vec<CityId>,
+}
+
+impl Venue {
+    /// Whether the venue name is geographically ambiguous.
+    pub fn is_ambiguous(&self) -> bool {
+        self.cities.len() > 1
+    }
+}
+
+/// Templates used to mint local-entity venue names for a city.
+///
+/// `{}` is replaced by the city name. Bigger cities get more of these; the
+/// counts mimic how a real gazetteer's local entries scale with city size.
+pub const LOCAL_ENTITY_TEMPLATES: &[&str] = &[
+    "downtown {}",
+    "{} airport",
+    "{} university",
+    "{} stadium",
+    "{} zoo",
+    "{} convention center",
+    "port of {}",
+    "{} city hall",
+];
+
+/// Normalises a surface form for vocabulary lookup: lower-case with all
+/// periods removed, so `"St. Louis"`, `"st. louis"`, and `"st louis"` share
+/// one key. Must match the tokenizer's normalisation in [`crate::extract`].
+pub fn normalize_name(name: &str) -> String {
+    name.to_lowercase().replace('.', "")
+}
+
+/// How many local entities a city of the given population receives.
+pub fn local_entity_count(population: u64) -> usize {
+    match population {
+        0..=24_999 => 1,
+        25_000..=99_999 => 2,
+        100_000..=499_999 => 4,
+        500_000..=1_999_999 => 6,
+        _ => LOCAL_ENTITY_TEMPLATES.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn venue_id_display() {
+        assert_eq!(VenueId(3).to_string(), "V3");
+        assert_eq!(VenueId(3).index(), 3);
+    }
+
+    #[test]
+    fn ambiguity_flag() {
+        let v = Venue {
+            name: "princeton".into(),
+            kind: VenueKind::CityName,
+            cities: vec![CityId(1), CityId(2)],
+        };
+        assert!(v.is_ambiguous());
+        let u = Venue {
+            name: "princeton university".into(),
+            kind: VenueKind::LocalEntity,
+            cities: vec![CityId(1)],
+        };
+        assert!(!u.is_ambiguous());
+    }
+
+    #[test]
+    fn entity_count_scales_with_population() {
+        assert_eq!(local_entity_count(5_000), 1);
+        assert_eq!(local_entity_count(50_000), 2);
+        assert_eq!(local_entity_count(200_000), 4);
+        assert_eq!(local_entity_count(800_000), 6);
+        assert_eq!(local_entity_count(8_000_000), LOCAL_ENTITY_TEMPLATES.len());
+        // Monotone in population.
+        let mut prev = 0;
+        for p in [1_000u64, 30_000, 150_000, 600_000, 3_000_000] {
+            let c = local_entity_count(p);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn templates_contain_single_placeholder() {
+        for t in LOCAL_ENTITY_TEMPLATES {
+            assert_eq!(t.matches("{}").count(), 1, "{t}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Axis-aligned latitude/longitude bounding boxes.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned box in (lat, lon) space.
+///
+/// Used by [`crate::GridIndex`] for cell extents and by the synthetic
+/// generator to confine city placement to a region (e.g. the continental US).
+/// Longitude wrap-around is not modeled: all uses in this system stay within
+/// the continental United States, far from the antimeridian.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    min_lat: f64,
+    max_lat: f64,
+    min_lon: f64,
+    max_lon: f64,
+}
+
+impl BoundingBox {
+    /// The continental United States (the paper's gazetteer scope).
+    pub const CONTINENTAL_US: BoundingBox = BoundingBox {
+        min_lat: 24.5,
+        max_lat: 49.5,
+        min_lon: -124.8,
+        max_lon: -66.9,
+    };
+
+    /// Creates a box from inclusive bounds.
+    ///
+    /// Returns `None` if the bounds are inverted or not finite.
+    pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Option<Self> {
+        let finite =
+            min_lat.is_finite() && max_lat.is_finite() && min_lon.is_finite() && max_lon.is_finite();
+        if !finite || min_lat > max_lat || min_lon > max_lon {
+            return None;
+        }
+        Some(Self { min_lat, max_lat, min_lon, max_lon })
+    }
+
+    /// Smallest box covering all `points`. `None` on an empty slice.
+    pub fn covering(points: &[GeoPoint]) -> Option<Self> {
+        let first = points.first()?;
+        let mut bb = Self {
+            min_lat: first.lat(),
+            max_lat: first.lat(),
+            min_lon: first.lon(),
+            max_lon: first.lon(),
+        };
+        for p in &points[1..] {
+            bb.min_lat = bb.min_lat.min(p.lat());
+            bb.max_lat = bb.max_lat.max(p.lat());
+            bb.min_lon = bb.min_lon.min(p.lon());
+            bb.max_lon = bb.max_lon.max(p.lon());
+        }
+        Some(bb)
+    }
+
+    /// Whether `p` lies inside the box (inclusive bounds).
+    #[inline]
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        (self.min_lat..=self.max_lat).contains(&p.lat())
+            && (self.min_lon..=self.max_lon).contains(&p.lon())
+    }
+
+    /// Minimum latitude bound.
+    pub fn min_lat(&self) -> f64 {
+        self.min_lat
+    }
+
+    /// Maximum latitude bound.
+    pub fn max_lat(&self) -> f64 {
+        self.max_lat
+    }
+
+    /// Minimum longitude bound.
+    pub fn min_lon(&self) -> f64 {
+        self.min_lon
+    }
+
+    /// Maximum longitude bound.
+    pub fn max_lon(&self) -> f64 {
+        self.max_lon
+    }
+
+    /// Latitude extent in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Longitude extent in degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Expands the box by `margin` degrees on every side, clamped to the
+    /// valid coordinate domain.
+    pub fn expanded(&self, margin: f64) -> Self {
+        Self {
+            min_lat: (self.min_lat - margin).max(-90.0),
+            max_lat: (self.max_lat + margin).min(90.0),
+            min_lon: (self.min_lon - margin).max(-180.0),
+            max_lon: (self.max_lon + margin).min(180.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn contains_interior_and_boundary() {
+        let bb = BoundingBox::new(30.0, 40.0, -100.0, -90.0).unwrap();
+        assert!(bb.contains(p(35.0, -95.0)));
+        assert!(bb.contains(p(30.0, -100.0)));
+        assert!(bb.contains(p(40.0, -90.0)));
+        assert!(!bb.contains(p(29.9, -95.0)));
+        assert!(!bb.contains(p(35.0, -89.9)));
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        assert!(BoundingBox::new(40.0, 30.0, -100.0, -90.0).is_none());
+        assert!(BoundingBox::new(30.0, 40.0, -90.0, -100.0).is_none());
+        assert!(BoundingBox::new(f64::NAN, 40.0, -100.0, -90.0).is_none());
+    }
+
+    #[test]
+    fn covering_is_tight() {
+        let pts = [p(30.0, -100.0), p(35.0, -95.0), p(32.0, -105.0)];
+        let bb = BoundingBox::covering(&pts).unwrap();
+        assert_eq!(bb.min_lat(), 30.0);
+        assert_eq!(bb.max_lat(), 35.0);
+        assert_eq!(bb.min_lon(), -105.0);
+        assert_eq!(bb.max_lon(), -95.0);
+        for q in pts {
+            assert!(bb.contains(q));
+        }
+    }
+
+    #[test]
+    fn covering_empty_is_none() {
+        assert!(BoundingBox::covering(&[]).is_none());
+    }
+
+    #[test]
+    fn continental_us_contains_major_cities() {
+        let bb = BoundingBox::CONTINENTAL_US;
+        assert!(bb.contains(p(40.7128, -74.0060))); // NYC
+        assert!(bb.contains(p(34.0522, -118.2437))); // LA
+        assert!(bb.contains(p(47.6062, -122.3321))); // Seattle
+        assert!(!bb.contains(p(21.3069, -157.8583))); // Honolulu
+        assert!(!bb.contains(p(61.2181, -149.9003))); // Anchorage
+    }
+
+    #[test]
+    fn expanded_grows_and_clamps() {
+        let bb = BoundingBox::new(89.0, 90.0, 179.0, 180.0).unwrap().expanded(2.0);
+        assert_eq!(bb.max_lat(), 90.0);
+        assert_eq!(bb.max_lon(), 180.0);
+        assert_eq!(bb.min_lat(), 87.0);
+        assert_eq!(bb.min_lon(), 177.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Uniform spatial grid index over a fixed point set.
+//!
+//! The generator needs "which cities lie within r miles of this city" and
+//! "nearest city to this point" queries over a few hundred to a few thousand
+//! cities, millions of times. A uniform lat/lon grid with cell size on the
+//! order of the typical query radius answers both in near-constant time
+//! without any external dependency.
+
+use crate::distance::haversine_miles;
+use crate::point::GeoPoint;
+use crate::BoundingBox;
+
+/// A uniform grid over an immutable set of points.
+///
+/// Points are identified by their index in the slice passed to
+/// [`GridIndex::build`]; the index never stores the points themselves beyond
+/// a copy for distance evaluation.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    points: Vec<GeoPoint>,
+    bbox: BoundingBox,
+    cell_deg: f64,
+    cols: usize,
+    rows: usize,
+    /// `cells[row * cols + col]` lists the point ids in that cell.
+    cells: Vec<Vec<u32>>,
+}
+
+/// Approximate miles per degree of latitude; used to size grid cells.
+const MILES_PER_DEG_LAT: f64 = 69.0;
+
+impl GridIndex {
+    /// Builds an index with cells roughly `cell_miles` across.
+    ///
+    /// Returns `None` for an empty point set or a non-positive cell size.
+    pub fn build(points: &[GeoPoint], cell_miles: f64) -> Option<Self> {
+        if points.is_empty() || !(cell_miles > 0.0) {
+            return None;
+        }
+        // Expand slightly so boundary points index cleanly.
+        let bbox = BoundingBox::covering(points)?.expanded(0.01);
+        let cell_deg = cell_miles / MILES_PER_DEG_LAT;
+        let cols = (bbox.lon_span() / cell_deg).ceil().max(1.0) as usize;
+        let rows = (bbox.lat_span() / cell_deg).ceil().max(1.0) as usize;
+        let mut cells = vec![Vec::new(); cols * rows];
+        let mut idx = Self {
+            points: points.to_vec(),
+            bbox,
+            cell_deg,
+            cols,
+            rows,
+            cells: Vec::new(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let (r, c) = idx.cell_of(*p);
+            cells[r * cols + c].push(i as u32);
+        }
+        idx.cells = cells;
+        Some(idx)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index is empty (never true for a built index).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in id order.
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (usize, usize) {
+        let r = ((p.lat() - self.bbox.min_lat()) / self.cell_deg) as usize;
+        let c = ((p.lon() - self.bbox.min_lon()) / self.cell_deg) as usize;
+        (r.min(self.rows - 1), c.min(self.cols - 1))
+    }
+
+    /// Ids (and distances in miles) of all points within `radius_miles` of
+    /// `center`, unsorted.
+    pub fn within_radius(&self, center: GeoPoint, radius_miles: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        if !(radius_miles >= 0.0) {
+            return out;
+        }
+        // Longitude degrees shrink with latitude; widen the column window
+        // accordingly (clamped to avoid blow-up near the poles).
+        let lat_cells = (radius_miles / (self.cell_deg * MILES_PER_DEG_LAT)).ceil() as isize + 1;
+        let cos_lat = center.lat_rad().cos().max(0.1);
+        let lon_cells =
+            (radius_miles / (self.cell_deg * MILES_PER_DEG_LAT * cos_lat)).ceil() as isize + 1;
+        let (r0, c0) = self.cell_of(clamp_into(&self.bbox, center));
+        let (r0, c0) = (r0 as isize, c0 as isize);
+        for r in (r0 - lat_cells).max(0)..=(r0 + lat_cells).min(self.rows as isize - 1) {
+            for c in (c0 - lon_cells).max(0)..=(c0 + lon_cells).min(self.cols as isize - 1) {
+                for &id in &self.cells[r as usize * self.cols + c as usize] {
+                    let d = haversine_miles(center, self.points[id as usize]);
+                    if d <= radius_miles {
+                        out.push((id, d));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Id and distance of the nearest point to `center`.
+    ///
+    /// Runs an expanding ring search; always succeeds because the index is
+    /// non-empty.
+    pub fn nearest(&self, center: GeoPoint) -> (u32, f64) {
+        let mut radius = self.cell_deg * MILES_PER_DEG_LAT;
+        loop {
+            let hits = self.within_radius(center, radius);
+            if let Some(best) = hits
+                .into_iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            {
+                return best;
+            }
+            radius *= 2.0;
+            // Once the radius covers the whole box diagonal, fall back to a
+            // linear scan to guarantee termination.
+            if radius > 2.0 * MILES_PER_DEG_LAT * (self.bbox.lat_span() + self.bbox.lon_span()) {
+                return self.nearest_linear(center);
+            }
+        }
+    }
+
+    fn nearest_linear(&self, center: GeoPoint) -> (u32, f64) {
+        self.points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, haversine_miles(center, *p)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .expect("index is never empty")
+    }
+
+    /// Ids of the `k` nearest points to `center`, closest first.
+    pub fn k_nearest(&self, center: GeoPoint, k: usize) -> Vec<(u32, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        if k >= self.points.len() {
+            let mut all: Vec<(u32, f64)> = self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, haversine_miles(center, *p)))
+                .collect();
+            all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            return all;
+        }
+        // Expanding search until at least k hits, then trim.
+        let mut radius = self.cell_deg * MILES_PER_DEG_LAT * 2.0;
+        loop {
+            let mut hits = self.within_radius(center, radius);
+            if hits.len() >= k {
+                hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                hits.truncate(k);
+                return hits;
+            }
+            radius *= 2.0;
+            if radius > 4.0 * MILES_PER_DEG_LAT * (self.bbox.lat_span() + self.bbox.lon_span()) {
+                let mut all: Vec<(u32, f64)> = self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i as u32, haversine_miles(center, *p)))
+                    .collect();
+                all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                all.truncate(k);
+                return all;
+            }
+        }
+    }
+}
+
+/// Clamps a query point into the index bounding box so cell coordinates stay
+/// in range for queries slightly outside the covered area.
+fn clamp_into(bbox: &BoundingBox, p: GeoPoint) -> GeoPoint {
+    GeoPoint::new(
+        p.lat().clamp(bbox.min_lat(), bbox.max_lat()),
+        p.lon().clamp(bbox.min_lon(), bbox.max_lon()),
+    )
+    .expect("clamped coordinates are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn sample_cities() -> Vec<GeoPoint> {
+        vec![
+            p(40.7128, -74.0060),  // 0 NYC
+            p(34.0522, -118.2437), // 1 LA
+            p(30.2672, -97.7431),  // 2 Austin
+            p(30.5083, -97.6789),  // 3 Round Rock (nr Austin)
+            p(41.8781, -87.6298),  // 4 Chicago
+            p(33.7490, -84.3880),  // 5 Atlanta
+            p(47.6062, -122.3321), // 6 Seattle
+            p(29.7604, -95.3698),  // 7 Houston
+        ]
+    }
+
+    #[test]
+    fn build_rejects_empty_and_bad_cell() {
+        assert!(GridIndex::build(&[], 50.0).is_none());
+        assert!(GridIndex::build(&sample_cities(), 0.0).is_none());
+        assert!(GridIndex::build(&sample_cities(), f64::NAN).is_none());
+    }
+
+    #[test]
+    fn within_radius_finds_neighbors() {
+        let idx = GridIndex::build(&sample_cities(), 50.0).unwrap();
+        let hits = idx.within_radius(p(30.2672, -97.7431), 30.0);
+        let ids: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        assert!(ids.contains(&2), "Austin itself");
+        assert!(ids.contains(&3), "Round Rock");
+        assert!(!ids.contains(&7), "Houston is ~145 miles away");
+    }
+
+    #[test]
+    fn within_radius_matches_linear_scan() {
+        let cities = sample_cities();
+        let idx = GridIndex::build(&cities, 75.0).unwrap();
+        for center in [p(35.0, -100.0), p(40.0, -80.0), p(30.0, -97.0)] {
+            for radius in [10.0, 200.0, 1500.0] {
+                let mut fast: Vec<u32> =
+                    idx.within_radius(center, radius).into_iter().map(|h| h.0).collect();
+                fast.sort_unstable();
+                let mut slow: Vec<u32> = cities
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| haversine_miles(center, **c) <= radius)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                slow.sort_unstable();
+                assert_eq!(fast, slow, "center {center:?} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_picks_the_closest_city() {
+        let idx = GridIndex::build(&sample_cities(), 50.0).unwrap();
+        // A point in west Texas: Round Rock edges out Austin as nearest.
+        let (id, d) = idx.nearest(p(31.0, -99.0));
+        assert_eq!(id, 3);
+        assert!(d < 120.0);
+        // Nearest to LA is LA itself.
+        let (id, d) = idx.nearest(p(34.0522, -118.2437));
+        assert_eq!(id, 1);
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn nearest_works_outside_bbox() {
+        let idx = GridIndex::build(&sample_cities(), 50.0).unwrap();
+        // Miami-ish, outside the covering box to the southeast.
+        let (id, _) = idx.nearest(p(25.76, -80.19));
+        assert_eq!(id, 5, "Atlanta is the closest sample city to Miami");
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let idx = GridIndex::build(&sample_cities(), 50.0).unwrap();
+        let knn = idx.k_nearest(p(30.2672, -97.7431), 3);
+        assert_eq!(knn.len(), 3);
+        assert_eq!(knn[0].0, 2, "Austin first");
+        assert_eq!(knn[1].0, 3, "Round Rock second");
+        assert_eq!(knn[2].0, 7, "Houston third");
+        assert!(knn[0].1 <= knn[1].1 && knn[1].1 <= knn[2].1);
+    }
+
+    #[test]
+    fn k_nearest_with_k_larger_than_set() {
+        let idx = GridIndex::build(&sample_cities(), 50.0).unwrap();
+        let knn = idx.k_nearest(p(30.0, -97.0), 100);
+        assert_eq!(knn.len(), 8);
+    }
+
+    #[test]
+    fn single_point_index() {
+        let idx = GridIndex::build(&[p(30.0, -97.0)], 50.0).unwrap();
+        let (id, d) = idx.nearest(p(45.0, -120.0));
+        assert_eq!(id, 0);
+        assert!(d > 100.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_us_point() -> impl Strategy<Value = GeoPoint> {
+        (25.0f64..49.0, -124.0f64..-67.0).prop_map(|(la, lo)| GeoPoint::new(la, lo).unwrap())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The grid's radius query returns exactly the linear-scan answer.
+        #[test]
+        fn radius_query_equals_linear_scan(
+            pts in prop::collection::vec(arb_us_point(), 1..60),
+            center in arb_us_point(),
+            radius in 1.0f64..800.0,
+        ) {
+            let idx = GridIndex::build(&pts, 60.0).unwrap();
+            let mut fast: Vec<u32> =
+                idx.within_radius(center, radius).into_iter().map(|h| h.0).collect();
+            fast.sort_unstable();
+            let mut slow: Vec<u32> = pts.iter().enumerate()
+                .filter(|(_, p)| haversine_miles(center, **p) <= radius)
+                .map(|(i, _)| i as u32)
+                .collect();
+            slow.sort_unstable();
+            prop_assert_eq!(fast, slow);
+        }
+
+        /// `nearest` agrees with the brute-force minimum.
+        #[test]
+        fn nearest_equals_linear_scan(
+            pts in prop::collection::vec(arb_us_point(), 1..60),
+            center in arb_us_point(),
+        ) {
+            let idx = GridIndex::build(&pts, 60.0).unwrap();
+            let (_, fast_d) = idx.nearest(center);
+            let slow_d = pts.iter()
+                .map(|p| haversine_miles(center, *p))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((fast_d - slow_d).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Distance-bucketed event histograms.
+//!
+//! Fig. 3(a) of the paper is built by bucketing ~2.5·10^10 labeled-user
+//! pairs into 1-mile intervals and, per bucket, dividing the number of pairs
+//! with a following relationship by the total pairs. [`DistanceHistogram`]
+//! is that structure: a `trials` counter and a `successes` counter per
+//! bucket, yielding an empirical probability curve that [`crate::powerlaw`]
+//! can fit.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width distance histogram tracking Bernoulli trials per bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    bucket_miles: f64,
+    trials: Vec<u64>,
+    successes: Vec<u64>,
+    /// Trials at or beyond the last bucket edge.
+    overflow_trials: u64,
+    overflow_successes: u64,
+}
+
+impl DistanceHistogram {
+    /// Creates a histogram covering `[0, max_miles)` with `bucket_miles`-wide
+    /// buckets (the paper uses 1-mile buckets).
+    ///
+    /// # Panics
+    /// Panics if `bucket_miles` or `max_miles` is not strictly positive.
+    pub fn new(bucket_miles: f64, max_miles: f64) -> Self {
+        assert!(bucket_miles > 0.0, "bucket width must be positive");
+        assert!(max_miles > 0.0, "range must be positive");
+        let n = (max_miles / bucket_miles).ceil() as usize;
+        Self {
+            bucket_miles,
+            trials: vec![0; n],
+            successes: vec![0; n],
+            overflow_trials: 0,
+            overflow_successes: 0,
+        }
+    }
+
+    /// Number of in-range buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Bucket width in miles.
+    pub fn bucket_miles(&self) -> f64 {
+        self.bucket_miles
+    }
+
+    /// Records one trial at distance `d`; `success` marks whether the event
+    /// (e.g. "this pair has a following relationship") occurred.
+    #[inline]
+    pub fn record(&mut self, d: f64, success: bool) {
+        if !(d >= 0.0) {
+            return; // NaN / negative distances carry no information
+        }
+        let idx = (d / self.bucket_miles) as usize;
+        if idx < self.trials.len() {
+            self.trials[idx] += 1;
+            self.successes[idx] += success as u64;
+        } else {
+            self.overflow_trials += 1;
+            self.overflow_successes += success as u64;
+        }
+    }
+
+    /// Records `trials` trials with `successes` successes at distance `d`.
+    pub fn record_bulk(&mut self, d: f64, trials: u64, successes: u64) {
+        debug_assert!(successes <= trials);
+        if !(d >= 0.0) {
+            return;
+        }
+        let idx = (d / self.bucket_miles) as usize;
+        if idx < self.trials.len() {
+            self.trials[idx] += trials;
+            self.successes[idx] += successes;
+        } else {
+            self.overflow_trials += trials;
+            self.overflow_successes += successes;
+        }
+    }
+
+    /// Total trials recorded, including overflow.
+    pub fn total_trials(&self) -> u64 {
+        self.trials.iter().sum::<u64>() + self.overflow_trials
+    }
+
+    /// Total successes recorded, including overflow.
+    pub fn total_successes(&self) -> u64 {
+        self.successes.iter().sum::<u64>() + self.overflow_successes
+    }
+
+    /// Empirical probability per bucket as `(bucket_center_miles, p)` for
+    /// buckets with at least `min_trials` trials and at least one success
+    /// (zero-probability buckets are unusable in log–log space).
+    pub fn probability_curve(&self, min_trials: u64) -> Vec<(f64, f64)> {
+        self.trials
+            .iter()
+            .zip(&self.successes)
+            .enumerate()
+            .filter(|(_, (&t, &s))| t >= min_trials.max(1) && s > 0)
+            .map(|(i, (&t, &s))| {
+                let center = (i as f64 + 0.5) * self.bucket_miles;
+                (center, s as f64 / t as f64)
+            })
+            .collect()
+    }
+
+    /// Weighted probability curve `(center, p, trials)` for
+    /// [`crate::powerlaw::fit_log_log_weighted`].
+    pub fn weighted_curve(&self, min_trials: u64) -> Vec<(f64, f64, f64)> {
+        self.trials
+            .iter()
+            .zip(&self.successes)
+            .enumerate()
+            .filter(|(_, (&t, &s))| t >= min_trials.max(1) && s > 0)
+            .map(|(i, (&t, &s))| {
+                let center = (i as f64 + 0.5) * self.bucket_miles;
+                (center, s as f64 / t as f64, t as f64)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different bucket width or count.
+    pub fn merge(&mut self, other: &DistanceHistogram) {
+        assert_eq!(self.bucket_miles, other.bucket_miles, "bucket width mismatch");
+        assert_eq!(self.trials.len(), other.trials.len(), "bucket count mismatch");
+        for (a, b) in self.trials.iter_mut().zip(&other.trials) {
+            *a += b;
+        }
+        for (a, b) in self.successes.iter_mut().zip(&other.successes) {
+            *a += b;
+        }
+        self.overflow_trials += other.overflow_trials;
+        self.overflow_successes += other.overflow_successes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bucket() {
+        let mut h = DistanceHistogram::new(1.0, 10.0);
+        h.record(0.3, true);
+        h.record(0.9, false);
+        h.record(5.5, true);
+        let curve = h.probability_curve(1);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], (0.5, 0.5)); // bucket [0,1): 1 of 2
+        assert_eq!(curve[1], (5.5, 1.0)); // bucket [5,6): 1 of 1
+    }
+
+    #[test]
+    fn overflow_is_tracked_separately() {
+        let mut h = DistanceHistogram::new(1.0, 10.0);
+        h.record(50.0, true);
+        h.record(9.99, true);
+        assert_eq!(h.total_trials(), 2);
+        assert_eq!(h.probability_curve(1).len(), 1);
+    }
+
+    #[test]
+    fn min_trials_filters_sparse_buckets() {
+        let mut h = DistanceHistogram::new(1.0, 10.0);
+        h.record(1.5, true);
+        h.record_bulk(2.5, 100, 7);
+        let curve = h.probability_curve(10);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].1 - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_and_negative_distances_ignored() {
+        let mut h = DistanceHistogram::new(1.0, 10.0);
+        h.record(f64::NAN, true);
+        h.record(-1.0, true);
+        assert_eq!(h.total_trials(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = DistanceHistogram::new(1.0, 5.0);
+        let mut b = DistanceHistogram::new(1.0, 5.0);
+        a.record_bulk(2.5, 10, 1);
+        b.record_bulk(2.5, 30, 3);
+        a.merge(&b);
+        let curve = a.probability_curve(1);
+        assert_eq!(curve, vec![(2.5, 0.1)]);
+        assert_eq!(a.total_trials(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = DistanceHistogram::new(1.0, 5.0);
+        let b = DistanceHistogram::new(2.0, 5.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_plus_fit_recovers_power_law() {
+        // End-to-end: generate bucket counts from the paper's curve, fit back.
+        let truth = crate::PowerLaw::PAPER_TWITTER;
+        let mut h = DistanceHistogram::new(1.0, 2000.0);
+        for i in 0..2000u64 {
+            let center = i as f64 + 0.5;
+            let p = truth.eval(center);
+            let trials = 1_000_000u64;
+            h.record_bulk(center, trials, (p * trials as f64).round() as u64);
+        }
+        let fit = crate::fit_log_log(&h.probability_curve(1)).unwrap();
+        assert!((fit.alpha - truth.alpha).abs() < 0.01, "alpha {}", fit.alpha);
+        assert!((fit.beta / truth.beta - 1.0).abs() < 0.05, "beta {}", fit.beta);
+    }
+}

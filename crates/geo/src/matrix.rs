@@ -1,0 +1,154 @@
+//! Dense symmetric distance matrix over a fixed city set.
+//!
+//! The Gibbs sampler evaluates `d(x, y)^α` for every candidate location of
+//! every relationship endpoint on every sweep. With |L| cities there are only
+//! |L|² distinct distances, so we precompute them once (f32 is plenty: the
+//! model never needs sub-0.1-mile resolution at city scale) and the sampler's
+//! inner loop becomes a table lookup.
+
+use crate::distance::haversine_miles;
+use crate::point::GeoPoint;
+
+/// Symmetric `n × n` matrix of pairwise distances in miles.
+///
+/// Stored as the full square for branch-free indexing; at the paper's scale
+/// (|L| = 5000) that is 5000² × 4 bytes ≈ 100 MB, and at our default bench
+/// scale (|L| ≈ 300–1000) well under 4 MB.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl DistanceMatrix {
+    /// Precomputes all pairwise distances between `points`.
+    pub fn build(points: &[GeoPoint]) -> Self {
+        let n = points.len();
+        let mut data = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = haversine_miles(points[i], points[j]) as f32;
+                data[i * n + j] = d;
+                data[j * n + i] = d;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Number of points the matrix covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance in miles between points `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        self.data[i * self.n + j] as f64
+    }
+
+    /// Distance without bounds checks, for the sampler's hot loop.
+    ///
+    /// # Safety
+    /// Both `i` and `j` must be `< self.len()`.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        *self.data.get_unchecked(i * self.n + j) as f64
+    }
+
+    /// The row of distances from point `i` to every point.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.n, "index out of bounds");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Ids of points within `radius` miles of point `i` (including `i`).
+    pub fn within(&self, i: usize, radius: f64) -> Vec<usize> {
+        self.row(i)
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| (d as f64) <= radius)
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn cities() -> Vec<GeoPoint> {
+        vec![
+            p(40.7128, -74.0060),  // NYC
+            p(34.0522, -118.2437), // LA
+            p(30.2672, -97.7431),  // Austin
+        ]
+    }
+
+    #[test]
+    fn matches_haversine() {
+        let pts = cities();
+        let m = DistanceMatrix::build(&pts);
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                let want = haversine_miles(pts[i], pts[j]);
+                assert!((m.get(i, j) - want).abs() < 0.5, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_symmetric() {
+        let m = DistanceMatrix::build(&cities());
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn row_has_matrix_width() {
+        let m = DistanceMatrix::build(&cities());
+        assert_eq!(m.row(1).len(), 3);
+        assert_eq!(m.row(1)[1], 0.0);
+    }
+
+    #[test]
+    fn within_includes_self_and_filters() {
+        let m = DistanceMatrix::build(&cities());
+        let near_nyc = m.within(0, 500.0);
+        assert_eq!(near_nyc, vec![0], "no sample city within 500mi of NYC");
+        let all = m.within(0, 3000.0);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DistanceMatrix::build(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = DistanceMatrix::build(&cities());
+        m.get(0, 3);
+    }
+}

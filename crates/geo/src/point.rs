@@ -1,0 +1,129 @@
+//! Validated latitude/longitude coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A point on the Earth's surface, in decimal degrees.
+///
+/// Latitude is clamped-checked to `[-90, 90]`, longitude to `[-180, 180]`.
+/// Construction through [`GeoPoint::new`] enforces validity; the fields stay
+/// private so every `GeoPoint` in the system is known-valid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+/// Error returned when constructing a [`GeoPoint`] from out-of-range values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordError {
+    /// Latitude outside `[-90, 90]` or not finite.
+    Latitude,
+    /// Longitude outside `[-180, 180]` or not finite.
+    Longitude,
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::Latitude => write!(f, "latitude must be finite and within [-90, 90]"),
+            CoordError::Longitude => write!(f, "longitude must be finite and within [-180, 180]"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl GeoPoint {
+    /// Creates a point, validating both coordinates.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, CoordError> {
+        if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+            return Err(CoordError::Latitude);
+        }
+        if !lon.is_finite() || !(-180.0..=180.0).contains(&lon) {
+            return Err(CoordError::Longitude);
+        }
+        Ok(Self { lat, lon })
+    }
+
+    /// Creates a point without validation.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the coordinates are invalid. Intended for
+    /// compile-time-known constants such as the embedded gazetteer table.
+    pub fn new_unchecked(lat: f64, lon: f64) -> Self {
+        debug_assert!(lat.is_finite() && (-90.0..=90.0).contains(&lat));
+        debug_assert!(lon.is_finite() && (-180.0..=180.0).contains(&lon));
+        Self { lat, lon }
+    }
+
+    /// Latitude in decimal degrees.
+    #[inline]
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in decimal degrees.
+    #[inline]
+    pub fn lon(&self) -> f64 {
+        self.lon
+    }
+
+    /// Latitude in radians.
+    #[inline]
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    #[inline]
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_point_round_trips() {
+        let p = GeoPoint::new(40.7128, -74.0060).unwrap();
+        assert_eq!(p.lat(), 40.7128);
+        assert_eq!(p.lon(), -74.0060);
+    }
+
+    #[test]
+    fn poles_and_antimeridian_are_valid() {
+        assert!(GeoPoint::new(90.0, 0.0).is_ok());
+        assert!(GeoPoint::new(-90.0, 0.0).is_ok());
+        assert!(GeoPoint::new(0.0, 180.0).is_ok());
+        assert!(GeoPoint::new(0.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_latitude_rejected() {
+        assert_eq!(GeoPoint::new(90.01, 0.0), Err(CoordError::Latitude));
+        assert_eq!(GeoPoint::new(f64::NAN, 0.0), Err(CoordError::Latitude));
+        assert_eq!(GeoPoint::new(f64::INFINITY, 0.0), Err(CoordError::Latitude));
+    }
+
+    #[test]
+    fn out_of_range_longitude_rejected() {
+        assert_eq!(GeoPoint::new(0.0, 180.5), Err(CoordError::Longitude));
+        assert_eq!(GeoPoint::new(0.0, f64::NAN), Err(CoordError::Longitude));
+    }
+
+    #[test]
+    fn radians_conversion() {
+        let p = GeoPoint::new(180.0 / std::f64::consts::PI, 0.0).unwrap();
+        assert!((p.lat_rad() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = GeoPoint::new(30.2672, -97.7431).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: GeoPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,302 @@
+//! Candidacy vectors `λ_i` and supervised priors `γ_i` (paper Sec. 4.3).
+//!
+//! "We utilize location[s] observed from a user's neighbors to set his
+//! candidacy vector. Specifically, we assume that λ_{i,j} is 1 if and only
+//! if the j-th candidate location is observed from u_i's following and
+//! tweeting relationships." Registered locations resolve directly; tweeted
+//! venues resolve through the gazetteer to every city sharing the name.
+//!
+//! The candidacy vector serves two roles: it prunes the Gibbs sampling
+//! domain from |L| to a handful of cities per user (the paper credits it
+//! with the fast ~14-iteration convergence), and it carries the sparse
+//! prior mass `τ·λ_i`. The supervision term `η_i·Λ·γ` adds a large
+//! pseudo-count on a labeled user's registered city.
+
+use crate::config::MlpConfig;
+use mlp_gazetteer::{CityId, Gazetteer};
+use mlp_social::{Adjacency, Dataset, UserId};
+
+/// Per-user candidate city lists with aligned priors.
+#[derive(Debug, Clone)]
+pub struct Candidacy {
+    /// `candidates[i]` — sorted candidate cities of user i.
+    candidates: Vec<Vec<CityId>>,
+    /// `gammas[i][c]` — prior γ for `candidates[i][c]`.
+    gammas: Vec<Vec<f64>>,
+    /// `gamma_totals[i]` — Σ_l γ_{i,l}, the denominator constant of Eq. 10.
+    gamma_totals: Vec<f64>,
+}
+
+impl Candidacy {
+    /// Builds candidacy vectors and priors for every user.
+    pub fn build(
+        gaz: &Gazetteer,
+        dataset: &Dataset,
+        adj: &Adjacency,
+        config: &MlpConfig,
+    ) -> Self {
+        let n = dataset.num_users();
+        let mut candidates: Vec<Vec<CityId>> = Vec::with_capacity(n);
+
+        // Fallback pool: most populous cities, for signal-free users.
+        let mut by_pop: Vec<CityId> = (0..gaz.num_cities() as u32).map(CityId).collect();
+        by_pop.sort_by_key(|&c| std::cmp::Reverse(gaz.city(c).population));
+        by_pop.truncate(config.fallback_popular_k.max(1));
+
+        for u in 0..n {
+            let user = UserId(u as u32);
+            let mut set: Vec<CityId> = if config.candidacy_pruning {
+                let mut set = Vec::new();
+                if let Some(c) = dataset.registered[u] {
+                    set.push(c);
+                }
+                if config.variant.uses_following() {
+                    for &s in adj.out_edges(user) {
+                        let friend = dataset.edges[s as usize].friend;
+                        if let Some(c) = dataset.registered[friend.index()] {
+                            set.push(c);
+                        }
+                    }
+                    for &s in adj.in_edges(user) {
+                        let follower = dataset.edges[s as usize].follower;
+                        if let Some(c) = dataset.registered[follower.index()] {
+                            set.push(c);
+                        }
+                    }
+                }
+                if config.variant.uses_tweeting() {
+                    for &k in adj.mentions_of(user) {
+                        let venue = dataset.mentions[k as usize].venue;
+                        set.extend(gaz.resolve_venue(venue).iter().copied());
+                    }
+                }
+                set
+            } else {
+                (0..gaz.num_cities() as u32).map(CityId).collect()
+            };
+            set.sort_unstable();
+            set.dedup();
+            if set.is_empty() {
+                set = by_pop.clone();
+            }
+            candidates.push(set);
+        }
+
+        // Priors: γ_{i,l} = τ·λ_{i,l} + boost·η_{i,l}  (Eq. 3, diagonal Λ).
+        let mut gammas = Vec::with_capacity(n);
+        let mut gamma_totals = Vec::with_capacity(n);
+        for (u, cands) in candidates.iter().enumerate() {
+            let mut g: Vec<f64> = vec![config.tau; cands.len()];
+            if let Some(home) = dataset.registered[u] {
+                if let Ok(pos) = cands.binary_search(&home) {
+                    g[pos] += config.supervision_boost;
+                }
+            }
+            gamma_totals.push(g.iter().sum());
+            gammas.push(g);
+        }
+
+        Self { candidates, gammas, gamma_totals }
+    }
+
+    /// Number of users covered.
+    pub fn num_users(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Candidate cities of user `u`, sorted ascending.
+    #[inline]
+    pub fn candidates(&self, u: UserId) -> &[CityId] {
+        &self.candidates[u.index()]
+    }
+
+    /// Priors aligned with [`Self::candidates`].
+    #[inline]
+    pub fn gammas(&self, u: UserId) -> &[f64] {
+        &self.gammas[u.index()]
+    }
+
+    /// Σ_l γ_{i,l} for user `u`.
+    #[inline]
+    pub fn gamma_total(&self, u: UserId) -> f64 {
+        self.gamma_totals[u.index()]
+    }
+
+    /// Index of `city` inside user `u`'s candidate list, if present.
+    #[inline]
+    pub fn position(&self, u: UserId, city: CityId) -> Option<usize> {
+        self.candidates[u.index()].binary_search(&city).ok()
+    }
+
+    /// Mean candidate-list length — the pruning factor vs. |L|.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.candidates.is_empty() {
+            return 0.0;
+        }
+        self.candidates.iter().map(Vec::len).sum::<usize>() as f64 / self.candidates.len() as f64
+    }
+
+    /// Fraction of users whose list contains `truth(u)` — the coverage
+    /// statistic of Sec. 4.3 (the paper reports 92%).
+    pub fn coverage(&self, truth: impl Fn(UserId) -> CityId) -> f64 {
+        if self.candidates.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..self.candidates.len())
+            .filter(|&u| {
+                let user = UserId(u as u32);
+                self.position(user, truth(user)).is_some()
+            })
+            .count();
+        hits as f64 / self.candidates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{FollowEdge, TweetMention};
+
+    fn gaz() -> Gazetteer {
+        Gazetteer::us_cities()
+    }
+
+    /// Four users: 0 labeled Austin follows 1 (labeled LA); 2 tweets
+    /// "princeton"; 3 has no signal at all.
+    fn fixture(g: &Gazetteer) -> Dataset {
+        let austin = g.city_by_name_state("austin", "TX").unwrap();
+        let la = g.city_by_name_state("los angeles", "CA").unwrap();
+        let mut d = Dataset::new(4);
+        d.registered[0] = Some(austin);
+        d.registered[1] = Some(la);
+        d.edges.push(FollowEdge { follower: UserId(0), friend: UserId(1) });
+        let princeton = g.venue_by_name("princeton").unwrap();
+        d.mentions.push(TweetMention { user: UserId(2), venue: princeton });
+        d
+    }
+
+    #[test]
+    fn candidates_come_from_own_label_neighbors_and_venues() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        let cand = Candidacy::build(&g, &d, &adj, &MlpConfig::default());
+
+        let austin = g.city_by_name_state("austin", "TX").unwrap();
+        let la = g.city_by_name_state("los angeles", "CA").unwrap();
+        // User 0: own label + friend's label.
+        assert!(cand.position(UserId(0), austin).is_some());
+        assert!(cand.position(UserId(0), la).is_some());
+        // User 1: own label + follower's label.
+        assert!(cand.position(UserId(1), austin).is_some());
+        assert!(cand.position(UserId(1), la).is_some());
+        // User 2: every Princeton.
+        let princetons = g.cities_named("princeton");
+        assert_eq!(cand.candidates(UserId(2)).len(), princetons.len());
+        for p in princetons {
+            assert!(cand.position(UserId(2), *p).is_some());
+        }
+    }
+
+    #[test]
+    fn signal_free_user_gets_popular_fallback() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        let config = MlpConfig { fallback_popular_k: 5, ..Default::default() };
+        let cand = Candidacy::build(&g, &d, &adj, &config);
+        assert_eq!(cand.candidates(UserId(3)).len(), 5);
+        let nyc = g.city_by_name_state("new york", "NY").unwrap();
+        assert!(cand.position(UserId(3), nyc).is_some(), "NYC is in the top-5 pool");
+    }
+
+    #[test]
+    fn supervision_boost_lands_on_registered_city() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        let config = MlpConfig { tau: 0.1, supervision_boost: 20.0, ..Default::default() };
+        let cand = Candidacy::build(&g, &d, &adj, &config);
+        let austin = g.city_by_name_state("austin", "TX").unwrap();
+        let pos = cand.position(UserId(0), austin).unwrap();
+        let gammas = cand.gammas(UserId(0));
+        assert!((gammas[pos] - 20.1).abs() < 1e-12);
+        for (i, &gv) in gammas.iter().enumerate() {
+            if i != pos {
+                assert!((gv - 0.1).abs() < 1e-12);
+            }
+        }
+        let total: f64 = gammas.iter().sum();
+        assert!((cand.gamma_total(UserId(0)) - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_user_gets_flat_prior() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        let cand = Candidacy::build(&g, &d, &adj, &MlpConfig::default());
+        for &gv in cand.gammas(UserId(2)) {
+            assert!((gv - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruning_off_gives_full_domain() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        let config = MlpConfig { candidacy_pruning: false, ..Default::default() };
+        let cand = Candidacy::build(&g, &d, &adj, &config);
+        assert_eq!(cand.candidates(UserId(0)).len(), g.num_cities());
+        assert_eq!(cand.candidates(UserId(3)).len(), g.num_cities());
+        assert!(cand.mean_candidates() > 100.0);
+    }
+
+    #[test]
+    fn variant_restricts_signal_sources() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        // Content-only: user 0's friend label must not appear; but user 0 has
+        // no venues, so fallback kicks in... user 2 keeps Princetons.
+        let config = MlpConfig::tweeting_only();
+        let cand = Candidacy::build(&g, &d, &adj, &config);
+        let princetons = g.cities_named("princeton");
+        assert_eq!(cand.candidates(UserId(2)).len(), princetons.len());
+        // Network-only: user 2 (venue only) falls back to the popular pool.
+        let config = MlpConfig::following_only();
+        let cand = Candidacy::build(&g, &d, &adj, &config);
+        assert_eq!(cand.candidates(UserId(2)).len(), config.fallback_popular_k);
+    }
+
+    #[test]
+    fn coverage_statistic() {
+        let g = gaz();
+        let d = fixture(&g);
+        let adj = Adjacency::build(&d);
+        let cand = Candidacy::build(&g, &d, &adj, &MlpConfig::default());
+        let austin = g.city_by_name_state("austin", "TX").unwrap();
+        // Truth: everyone lives in Austin. Users 0 and 1 have it (own/friend
+        // label); users 2 and 3 do not.
+        let cov = cand.coverage(|_| austin);
+        assert!((cov - 0.5).abs() < 1e-12, "coverage {cov}");
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduped() {
+        let g = gaz();
+        let mut d = fixture(&g);
+        // Duplicate signals: follow the same labeled user twice via both
+        // directions plus own registration.
+        d.edges.push(FollowEdge { follower: UserId(1), friend: UserId(0) });
+        let adj = Adjacency::build(&d);
+        let cand = Candidacy::build(&g, &d, &adj, &MlpConfig::default());
+        for u in 0..4 {
+            let c = cand.candidates(UserId(u));
+            for w in c.windows(2) {
+                assert!(w[0] < w[1], "user {u} candidates not strictly sorted");
+            }
+        }
+    }
+}

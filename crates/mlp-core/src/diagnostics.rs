@@ -1,0 +1,110 @@
+//! Per-iteration convergence telemetry.
+//!
+//! Fig. 5 of the paper plots the per-iteration accuracy *change* of MLP and
+//! shows convergence after ~14 sweeps. Without ground truth at inference
+//! time we track the observable analogues: the fraction of assignment
+//! variables that changed and the fraction of users whose predicted home
+//! moved, plus the joint log-likelihood proxy.
+
+use serde::Serialize;
+
+/// Telemetry for one Gibbs sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct IterationStats {
+    /// Sweep number, 0-based (within the current EM round).
+    pub iteration: usize,
+    /// Fraction of edge variables that changed.
+    pub edge_change_fraction: f64,
+    /// Fraction of mention variables that changed.
+    pub mention_change_fraction: f64,
+    /// Fraction of users whose argmax-θ̂ home moved since the last sweep.
+    pub home_change_fraction: f64,
+    /// Joint log-likelihood proxy after the sweep.
+    pub log_likelihood: f64,
+}
+
+/// Collected telemetry for a full run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Diagnostics {
+    /// One entry per sweep, across all EM rounds.
+    pub iterations: Vec<IterationStats>,
+    /// `(α, β)` after each EM refit (empty when Gibbs-EM is off).
+    pub power_law_trace: Vec<(f64, f64)>,
+}
+
+impl Diagnostics {
+    /// Whether the last `window` sweeps all moved fewer than `threshold`
+    /// of users' homes — the practical convergence criterion.
+    pub fn converged(&self, window: usize, threshold: f64) -> bool {
+        if self.iterations.len() < window {
+            return false;
+        }
+        self.iterations[self.iterations.len() - window..]
+            .iter()
+            .all(|it| it.home_change_fraction <= threshold)
+    }
+
+    /// The sweep index after which `home_change_fraction` stayed at or
+    /// below `threshold`, if any — the "converges after N iterations"
+    /// number the paper quotes.
+    pub fn convergence_iteration(&self, threshold: f64) -> Option<usize> {
+        let mut candidate = None;
+        for it in &self.iterations {
+            if it.home_change_fraction <= threshold {
+                candidate.get_or_insert(it.iteration);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(iter: usize, home_change: f64) -> IterationStats {
+        IterationStats {
+            iteration: iter,
+            edge_change_fraction: 0.0,
+            mention_change_fraction: 0.0,
+            home_change_fraction: home_change,
+            log_likelihood: 0.0,
+        }
+    }
+
+    #[test]
+    fn converged_checks_trailing_window() {
+        let d = Diagnostics {
+            iterations: vec![stats(0, 0.5), stats(1, 0.01), stats(2, 0.005)],
+            power_law_trace: vec![],
+        };
+        assert!(d.converged(2, 0.02));
+        assert!(!d.converged(3, 0.02));
+        assert!(!d.converged(4, 1.0), "window larger than history");
+    }
+
+    #[test]
+    fn convergence_iteration_finds_stable_suffix() {
+        let d = Diagnostics {
+            iterations: vec![
+                stats(0, 0.5),
+                stats(1, 0.01),
+                stats(2, 0.2), // relapse resets the suffix
+                stats(3, 0.01),
+                stats(4, 0.005),
+            ],
+            power_law_trace: vec![],
+        };
+        assert_eq!(d.convergence_iteration(0.02), Some(3));
+        assert_eq!(d.convergence_iteration(0.001), None);
+    }
+
+    #[test]
+    fn empty_diagnostics() {
+        let d = Diagnostics::default();
+        assert!(!d.converged(1, 1.0));
+        assert_eq!(d.convergence_iteration(1.0), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Learning the location-based following model from labeled data
+//! (paper Sec. 4.1, Fig. 3(a)).
+//!
+//! "We first compute the distance between any pair of labeled users […] and
+//! measure the probability of generating a following relationship at d miles
+//! as the ratio of the number of pairs that have following relationships to
+//! the total number of pairs in the d-th bucket", then fit `β·d^α` on the
+//! log–log line. The paper obtains α = −0.55, β = 0.0045 on its crawl.
+//!
+//! This initial fit is what keeps the location-based likelihood *calibrated
+//! against the random model* `F_R = S/N²`: both are estimated from the same
+//! dataset, so the mixture selector μ compares meaningfully. The Gibbs-EM
+//! M-step ([`crate::em`]) reuses the same construction with inferred
+//! locations in place of labels.
+
+use mlp_gazetteer::Gazetteer;
+use mlp_geo::{fit_log_log_weighted, DistanceHistogram, PowerLaw};
+use mlp_social::Dataset;
+
+/// Bucket width, miles. Coarser than the paper's 1-mile buckets because a
+/// synthetic dataset has ~10^5–10^9 pairs, not 2.5·10^10.
+pub(crate) const BUCKET_MILES: f64 = 25.0;
+/// Histogram range, miles.
+pub(crate) const MAX_MILES: f64 = 3_200.0;
+/// Sanity range for a fitted exponent.
+pub(crate) const ALPHA_RANGE: std::ops::RangeInclusive<f64> = -3.0..=-0.05;
+
+/// Builds the Fig. 3(a) histogram from per-city user counts and a stream of
+/// edge distances, then fits the power law.
+///
+/// `city_counts[l]` is how many (relevant) users live at city `l`; pair
+/// totals are aggregated per city pair, which turns the N² pair loop into a
+/// |L|² loop. Returns `None` when there is too little signal for a stable
+/// line (fewer than `min_edges` successes or fewer than 3 usable buckets).
+pub(crate) fn fit_from_histogram(
+    gaz: &Gazetteer,
+    city_counts: &[u64],
+    edge_distances: impl Iterator<Item = f64>,
+    min_edges: u64,
+) -> Option<PowerLaw> {
+    let mut hist = DistanceHistogram::new(BUCKET_MILES, MAX_MILES);
+    for a in 0..gaz.num_cities() {
+        if city_counts[a] == 0 {
+            continue;
+        }
+        for b in 0..gaz.num_cities() {
+            if city_counts[b] == 0 {
+                continue;
+            }
+            let pairs = if a == b {
+                city_counts[a] * (city_counts[a].saturating_sub(1))
+            } else {
+                city_counts[a] * city_counts[b]
+            };
+            if pairs > 0 {
+                hist.record_bulk(gaz.distances().get(a, b), pairs, 0);
+            }
+        }
+    }
+    let mut successes = 0u64;
+    for d in edge_distances {
+        hist.record_bulk(d, 0, 1);
+        successes += 1;
+    }
+    if successes < min_edges {
+        return None;
+    }
+    let curve: Vec<(f64, f64, f64)> =
+        hist.weighted_curve(10).into_iter().filter(|&(_, p, _)| p <= 1.0).collect();
+    if curve.len() < 3 {
+        return None;
+    }
+    let fit = fit_log_log_weighted(&curve)?;
+    if !ALPHA_RANGE.contains(&fit.alpha) || !(fit.beta > 0.0) || !fit.beta.is_finite() {
+        return None;
+    }
+    Some(fit)
+}
+
+/// The paper's initial learning step: fit `(α, β)` from the labeled users'
+/// registered locations and the edges between them.
+///
+/// Returns `None` when the labeled subgraph is too sparse; callers should
+/// then keep their configured prior (e.g. [`PowerLaw::PAPER_TWITTER`]).
+pub fn fit_power_law_from_labels(gaz: &Gazetteer, dataset: &Dataset) -> Option<PowerLaw> {
+    let mut city_counts = vec![0u64; gaz.num_cities()];
+    for r in dataset.registered.iter().flatten() {
+        city_counts[r.index()] += 1;
+    }
+    let edge_distances = dataset.edges.iter().filter_map(|e| {
+        let a = dataset.registered[e.follower.index()]?;
+        let b = dataset.registered[e.friend.index()]?;
+        Some(gaz.distance(a, b))
+    });
+    fit_from_histogram(gaz, &city_counts, edge_distances, 50)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{Generator, GeneratorConfig};
+
+    #[test]
+    fn labeled_fit_produces_decaying_law() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 1_000, seed: 3, ..Default::default() },
+        )
+        .generate();
+        let fit = fit_power_law_from_labels(&gaz, &data.dataset).expect("enough signal");
+        assert!(fit.alpha < -0.1, "alpha {} should decay", fit.alpha);
+        assert!(fit.beta > 0.0);
+        // The fitted law must be calibrated to this dataset: the probability
+        // at short range should dominate the uniform edge density S/N².
+        let n = data.dataset.num_users() as f64;
+        let density = data.dataset.num_edges() as f64 / (n * n);
+        assert!(
+            fit.eval(20.0) > 3.0 * density,
+            "short-range p {} should exceed edge density {}",
+            fit.eval(20.0),
+            density
+        );
+    }
+
+    #[test]
+    fn unlabeled_dataset_yields_none() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig {
+                num_users: 300,
+                seed: 5,
+                registered_fraction: 0.0,
+                ..Default::default()
+            },
+        )
+        .generate();
+        assert!(fit_power_law_from_labels(&gaz, &data.dataset).is_none());
+    }
+
+    #[test]
+    fn tiny_dataset_yields_none() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig {
+                num_users: 5,
+                seed: 7,
+                mean_friends: 2.0,
+                ..Default::default()
+            },
+        )
+        .generate();
+        assert!(fit_power_law_from_labels(&gaz, &data.dataset).is_none());
+    }
+}

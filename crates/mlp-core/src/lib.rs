@@ -1,0 +1,50 @@
+//! `mlp-core` — the Multiple Location Profiling model (Li, Wang & Chang,
+//! VLDB 2012), the paper's primary contribution.
+//!
+//! MLP is a generative probabilistic model that profiles *multiple*
+//! locations for social-network users and explains every relationship with
+//! per-endpoint location assignments:
+//!
+//! * each user `u_i` has a location profile `θ_i` — a multinomial over
+//!   candidate cities — drawn from a supervised Dirichlet prior
+//!   `γ_i = η_i·Λ·γ + τ·λ_i` (Sec. 4.3);
+//! * each following relationship `f⟨i,j⟩` is either noisy (random model
+//!   `F_R`) or location-based: assignments `x ~ θ_i`, `y ~ θ_j` and the edge
+//!   is generated with probability `β·d(x,y)^α` (Secs. 4.1–4.2);
+//! * each tweeting relationship `t⟨i,j⟩` is either noisy (`T_R`, global
+//!   venue popularity) or location-based: `z ~ θ_i`, venue `~ ψ_z`;
+//! * inference is collapsed Gibbs sampling over the model selectors and
+//!   location assignments (Eqs. 5–9), with an optional Gibbs-EM outer loop
+//!   re-fitting the power law `(α, β)` (Sec. 4.5).
+//!
+//! Module map:
+//!
+//! * [`config`] — every model hyper-parameter, with the paper's defaults;
+//! * [`candidacy`] — candidacy vectors `λ_i` and priors `γ_i`;
+//! * [`random_models`] — the empirical noise models `F_R` and `T_R`;
+//! * [`state`] — assignment state and collapsed count bookkeeping;
+//! * [`sampler`] — the Gibbs conditionals and sweep loop;
+//! * [`em`] — the Gibbs-EM power-law refit;
+//! * [`parallel`] — AD-LDA-style chunked parallel sweeps;
+//! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
+//! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`].
+
+pub mod candidacy;
+pub mod config;
+pub mod diagnostics;
+pub mod em;
+pub mod fit;
+pub mod geo_groups;
+pub mod model;
+pub mod parallel;
+pub mod random_models;
+pub mod sampler;
+pub mod state;
+
+pub use candidacy::Candidacy;
+pub use config::{MlpConfig, Variant};
+pub use diagnostics::{Diagnostics, IterationStats};
+pub use fit::fit_power_law_from_labels;
+pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
+pub use model::{EdgeAssignment, MentionAssignment, Mlp, MlpResult};
+pub use random_models::RandomModels;

@@ -1,0 +1,99 @@
+//! The empirical random (noise) models `F_R` and `T_R` (paper Sec. 4.2).
+//!
+//! "We model F_R … as p(f⟨i,j⟩ = 1 | F_R) = S/N², where S is the number of
+//! following relationships and N² is the total number of user pairs. We
+//! model T_R … as p(t⟨i,j⟩ | T_R) = Σ_x t⟨x,j⟩ / K", i.e. the global
+//! empirical popularity of each venue.
+
+use mlp_gazetteer::VenueId;
+use mlp_sampling::EmpiricalDistribution;
+use mlp_social::Dataset;
+
+/// Learned random models, fixed for the duration of inference.
+#[derive(Debug, Clone)]
+pub struct RandomModels {
+    /// p(f⟨i,j⟩ | F_R) = S / N².
+    follow_prob: f64,
+    /// Venue popularity with additive smoothing.
+    venue_popularity: EmpiricalDistribution,
+    /// Smoothing pseudo-count for unseen venues.
+    venue_eps: f64,
+}
+
+impl RandomModels {
+    /// Learns both models from the observed dataset.
+    pub fn learn(dataset: &Dataset, num_venues: usize) -> Self {
+        let n = dataset.num_users() as f64;
+        let s = dataset.num_edges() as f64;
+        // Guard the degenerate empty graph; any positive probability works
+        // because the selector likelihood comparison then never occurs.
+        let follow_prob = if n > 0.0 && s > 0.0 { (s / (n * n)).min(1.0) } else { 1e-9 };
+
+        let mut venue_popularity = EmpiricalDistribution::new(num_venues);
+        for m in &dataset.mentions {
+            venue_popularity.record(m.venue.index(), 1);
+        }
+        Self { follow_prob, venue_popularity, venue_eps: 0.5 }
+    }
+
+    /// `p(f⟨i,j⟩ | F_R)`.
+    #[inline]
+    pub fn follow_prob(&self) -> f64 {
+        self.follow_prob
+    }
+
+    /// `p(t⟨i,j⟩ | T_R)` for venue `v` (smoothed so unseen venues don't
+    /// produce zero likelihood).
+    #[inline]
+    pub fn venue_prob(&self, v: VenueId) -> f64 {
+        self.venue_popularity.smoothed_prob(v.index(), self.venue_eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{FollowEdge, TweetMention, UserId};
+
+    #[test]
+    fn follow_prob_is_edge_density() {
+        let mut d = Dataset::new(10);
+        for i in 0..5u32 {
+            d.edges.push(FollowEdge { follower: UserId(i), friend: UserId(i + 1) });
+        }
+        let rm = RandomModels::learn(&d, 4);
+        assert!((rm.follow_prob() - 5.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_gets_tiny_positive_prob() {
+        let d = Dataset::new(10);
+        let rm = RandomModels::learn(&d, 4);
+        assert!(rm.follow_prob() > 0.0);
+        assert!(rm.follow_prob() < 1e-6);
+    }
+
+    #[test]
+    fn venue_popularity_reflects_mentions() {
+        let mut d = Dataset::new(3);
+        for _ in 0..9 {
+            d.mentions.push(TweetMention { user: UserId(0), venue: VenueId(1) });
+        }
+        d.mentions.push(TweetMention { user: UserId(1), venue: VenueId(2) });
+        let rm = RandomModels::learn(&d, 4);
+        assert!(rm.venue_prob(VenueId(1)) > 5.0 * rm.venue_prob(VenueId(2)));
+        // Unseen venue: small but positive.
+        assert!(rm.venue_prob(VenueId(3)) > 0.0);
+        assert!(rm.venue_prob(VenueId(3)) < rm.venue_prob(VenueId(2)));
+    }
+
+    #[test]
+    fn venue_probs_form_distribution() {
+        let mut d = Dataset::new(2);
+        d.mentions.push(TweetMention { user: UserId(0), venue: VenueId(0) });
+        d.mentions.push(TweetMention { user: UserId(0), venue: VenueId(2) });
+        let rm = RandomModels::learn(&d, 3);
+        let total: f64 = (0..3).map(|v| rm.venue_prob(VenueId(v))).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

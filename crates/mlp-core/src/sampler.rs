@@ -1,0 +1,598 @@
+//! The collapsed Gibbs sampler (paper Sec. 4.5, Eqs. 5–9).
+//!
+//! One sweep resamples, for every following relationship, the model
+//! selector `μ_s` and both location assignments `(x_s, y_s)`, and for every
+//! tweeting relationship the selector `ν_k` and assignment `z_k`, each from
+//! its conditional posterior given everything else. All conditionals reduce
+//! to products of
+//!
+//! * a profile pseudo-count term `(ϕ_{i,l} + γ_{i,l})` (exclude-current),
+//! * the power-law distance kernel `d(x,y)^α` for edges, and
+//! * the venue term `(φ_{l,v} + δ_v) / (Σ_v φ_{l,v} + δ·|V|)` for mentions,
+//!
+//! against the random-model likelihoods `P(f|F_R)`, `P(t|T_R)` weighted by
+//! `ρ_f`, `ρ_t`.
+
+use crate::candidacy::Candidacy;
+use crate::config::MlpConfig;
+use crate::random_models::RandomModels;
+use crate::state::SamplerState;
+use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_sampling::{sample_categorical, Pcg64, SplitMix64};
+use mlp_social::{Dataset, UserId};
+use mlp_geo::PowerLaw;
+
+/// The sampler: owns the mutable state and RNG, borrows everything static.
+pub struct GibbsSampler<'a> {
+    gaz: &'a Gazetteer,
+    dataset: &'a Dataset,
+    candidacy: &'a Candidacy,
+    random: &'a RandomModels,
+    config: &'a MlpConfig,
+    /// Current power law; mutated by the Gibbs-EM outer loop.
+    pub power_law: PowerLaw,
+    /// Assignment + count state.
+    pub state: SamplerState,
+    rng: Pcg64,
+    weight_buf: Vec<f64>,
+}
+
+/// Counts of assignment variables that changed during one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepChanges {
+    /// Changed edge variables (μ, x, or y differs), out of S.
+    pub edges: usize,
+    /// Changed mention variables (ν or z differs), out of K.
+    pub mentions: usize,
+}
+
+impl<'a> GibbsSampler<'a> {
+    /// Creates the sampler and randomises the initial assignments.
+    pub fn new(
+        gaz: &'a Gazetteer,
+        dataset: &'a Dataset,
+        candidacy: &'a Candidacy,
+        random: &'a RandomModels,
+        config: &'a MlpConfig,
+    ) -> Self {
+        let mut sampler = Self {
+            gaz,
+            dataset,
+            candidacy,
+            random,
+            config,
+            power_law: config.power_law,
+            state: SamplerState::new(dataset, candidacy, gaz.num_cities()),
+            rng: Pcg64::new(SplitMix64::derive(config.seed, 0x9B5)),
+            weight_buf: Vec::new(),
+        };
+        sampler.init_assignments();
+        sampler
+    }
+
+    /// Observation-based initialisation (the paper credits its fast, ~14
+    /// iteration convergence to initialising "each user's candidate
+    /// locations based on our observations", Sec. 5.1).
+    ///
+    /// The collapsed chain is a Pólya urn per user: once a city accumulates
+    /// counts, single-variable Gibbs moves cannot cross to a competing city
+    /// even when the distance evidence favours it. So we start every user at
+    /// their *conditional mode*: labeled users at the registered city, and
+    /// unlabeled users at the candidate maximising the aggregate distance
+    /// log-likelihood against their labeled neighbors (plus a venue-
+    /// resolution bonus), which is where the all-in posterior mode lives.
+    fn init_assignments(&mut self) {
+        let modes = self.compute_init_modes();
+        let pos = |sampler: &mut Self, user: UserId| -> usize {
+            let len = sampler.candidacy.candidates(user).len();
+            match modes[user.index()] {
+                Some(mode) if sampler.rng.bernoulli(0.9) => mode,
+                _ => sampler.rng.next_bounded(len),
+            }
+        };
+        // Loops are gated by variant (not just skipped in the sweep) so the
+        // RNG stream for one observation type is independent of the other's
+        // presence — a TweetingOnly run must be bit-identical whether or not
+        // the dataset carries edges.
+        if self.config.variant.uses_following() {
+            for s in 0..self.dataset.num_edges() {
+                let e = self.dataset.edges[s];
+                self.state.mu[s] = self.rng.bernoulli(self.config.rho_f);
+                self.state.x[s] = pos(self, e.follower) as u16;
+                self.state.y[s] = pos(self, e.friend) as u16;
+            }
+        }
+        if self.config.variant.uses_tweeting() {
+            for k in 0..self.dataset.num_mentions() {
+                let m = self.dataset.mentions[k];
+                self.state.nu[k] = self.rng.bernoulli(self.config.rho_t);
+                self.state.z[k] = pos(self, m.user) as u16;
+            }
+        }
+        self.state.rebuild_counts(
+            self.dataset,
+            self.candidacy,
+            self.config.count_noisy_assignments,
+            self.config.variant.uses_following(),
+            self.config.variant.uses_tweeting(),
+        );
+    }
+
+    /// Per-user initial mode: the registered city when labeled; otherwise
+    /// `argmax_l Σ_edges ln kernel(d(l, anchor)) + Σ_mentions resolution
+    /// bonus`, where anchors are the labeled cities of edge counterparts.
+    fn compute_init_modes(&self) -> Vec<Option<usize>> {
+        let n = self.dataset.num_users();
+        let mut scores: Vec<Vec<f64>> = (0..n)
+            .map(|u| vec![0.0; self.candidacy.candidates(UserId(u as u32)).len()])
+            .collect();
+        let mut has_signal = vec![false; n];
+        if self.config.variant.uses_following() {
+            for e in &self.dataset.edges {
+                for (user, other) in [(e.follower, e.friend), (e.friend, e.follower)] {
+                    if let Some(anchor) = self.dataset.registered[other.index()] {
+                        has_signal[user.index()] = true;
+                        let cands = self.candidacy.candidates(user);
+                        for (c, &city) in cands.iter().enumerate() {
+                            scores[user.index()][c] +=
+                                self.power_law.kernel(self.gaz.distance(city, anchor)).ln();
+                        }
+                    }
+                }
+            }
+        }
+        if self.config.variant.uses_tweeting() {
+            // A candidate the venue resolves to gets the same bonus one
+            // nearby neighbor would contribute.
+            for m in &self.dataset.mentions {
+                for &city in self.gaz.resolve_venue(m.venue) {
+                    if let Some(c) = self.candidacy.position(m.user, city) {
+                        has_signal[m.user.index()] = true;
+                        scores[m.user.index()][c] -= self.power_law.kernel(1.0).ln() - 0.5;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .map(|u| {
+                let user = UserId(u as u32);
+                if let Some(reg) = self.dataset.registered[u] {
+                    if let Some(pos) = self.candidacy.position(user, reg) {
+                        return Some(pos);
+                    }
+                }
+                if !has_signal[u] {
+                    return None;
+                }
+                scores[u]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+                    .map(|(c, _)| c)
+            })
+            .collect()
+    }
+
+    /// Profile pseudo-count term for user `u` at candidate index `c`
+    /// (counts must already exclude the relationship being resampled).
+    #[inline]
+    fn profile_term(&self, u: UserId, c: usize) -> f64 {
+        let num = self.state.user_count(u, c) as f64 + self.candidacy.gammas(u)[c];
+        let den = self.state.user_total(u) as f64 + self.candidacy.gamma_total(u);
+        num / den
+    }
+
+    /// Venue term `(φ_{l,v} + δ) / (Σφ_l + δ|V|)`.
+    #[inline]
+    fn venue_term(&self, l: CityId, v: VenueId) -> f64 {
+        let num = self.state.venue_count(l, v) as f64 + self.config.delta;
+        let den =
+            self.state.city_total(l) as f64 + self.config.delta * self.gaz.num_venues() as f64;
+        num / den
+    }
+
+    /// One full Gibbs sweep over all relationships.
+    pub fn sweep(&mut self) -> SweepChanges {
+        let mut changes = SweepChanges::default();
+        if self.config.variant.uses_following() {
+            for s in 0..self.dataset.num_edges() {
+                if self.resample_edge(s) {
+                    changes.edges += 1;
+                }
+            }
+        }
+        if self.config.variant.uses_tweeting() {
+            for k in 0..self.dataset.num_mentions() {
+                if self.resample_mention(k) {
+                    changes.mentions += 1;
+                }
+            }
+        }
+        changes
+    }
+
+    /// Resamples `(μ_s, x_s, y_s)`; returns whether anything changed.
+    fn resample_edge(&mut self, s: usize) -> bool {
+        let e = self.dataset.edges[s];
+        let (i, j) = (e.follower, e.friend);
+        let ci = self.candidacy.candidates(i);
+        let cj = self.candidacy.candidates(j);
+        let (old_mu, old_x, old_y) = (self.state.mu[s], self.state.x[s], self.state.y[s]);
+
+        // Remove the current contribution (exclude-current counts).
+        if !old_mu || self.config.count_noisy_assignments {
+            self.state.remove_user(i, old_x as usize);
+            self.state.remove_user(j, old_y as usize);
+        }
+
+        let mut x_city = ci[old_x as usize];
+        let mut y_city = cj[old_y as usize];
+
+        // --- μ_s | rest (Eq. 5; we keep both endpoints' profile factors,
+        // the full conditional of the generative story — the paper's
+        // printed equation shows only the follower's, but with a
+        // data-calibrated (α, β) the two-factor form separates noisy from
+        // location-based edges more sharply) ---
+        let d = self.gaz.distance(x_city, y_city);
+        let w_based = (1.0 - self.config.rho_f)
+            * self.profile_term(i, old_x as usize)
+            * self.profile_term(j, old_y as usize)
+            * self.power_law.eval(d);
+        let w_noisy = self.config.rho_f * self.random.follow_prob();
+        let new_mu = self.rng.next_f64() * (w_based + w_noisy) < w_noisy;
+
+        // --- x_s | rest (Eq. 7) ---
+        let gi = self.candidacy.gammas(i);
+        self.weight_buf.clear();
+        for (c, &city) in ci.iter().enumerate() {
+            let mut w = self.state.user_count(i, c) as f64 + gi[c];
+            if !new_mu {
+                w *= self.power_law.kernel(self.gaz.distance(city, y_city));
+            }
+            self.weight_buf.push(w);
+        }
+        let new_x = sample_categorical(&mut self.rng, &self.weight_buf)
+            .expect("x weights are positive (γ > 0)") as u16;
+        x_city = ci[new_x as usize];
+
+        // --- y_s | rest (Eq. 8) ---
+        let gj = self.candidacy.gammas(j);
+        self.weight_buf.clear();
+        for (c, &city) in cj.iter().enumerate() {
+            let mut w = self.state.user_count(j, c) as f64 + gj[c];
+            if !new_mu {
+                w *= self.power_law.kernel(self.gaz.distance(x_city, city));
+            }
+            self.weight_buf.push(w);
+        }
+        let new_y = sample_categorical(&mut self.rng, &self.weight_buf)
+            .expect("y weights are positive (γ > 0)") as u16;
+        y_city = cj[new_y as usize];
+        let _ = y_city;
+
+        // Commit.
+        if !new_mu || self.config.count_noisy_assignments {
+            self.state.add_user(i, new_x as usize);
+            self.state.add_user(j, new_y as usize);
+        }
+        self.state.mu[s] = new_mu;
+        self.state.x[s] = new_x;
+        self.state.y[s] = new_y;
+        new_mu != old_mu || new_x != old_x || new_y != old_y
+    }
+
+    /// Resamples `(ν_k, z_k)`; returns whether anything changed.
+    fn resample_mention(&mut self, k: usize) -> bool {
+        let m = self.dataset.mentions[k];
+        let (i, v) = (m.user, m.venue);
+        let ci = self.candidacy.candidates(i);
+        let (old_nu, old_z) = (self.state.nu[k], self.state.z[k]);
+        let old_city = ci[old_z as usize];
+
+        if !old_nu || self.config.count_noisy_assignments {
+            self.state.remove_user(i, old_z as usize);
+        }
+        if !old_nu {
+            self.state.remove_venue(old_city, v);
+        }
+
+        // --- ν_k | rest (Eq. 6) ---
+        let w_based = (1.0 - self.config.rho_t)
+            * self.profile_term(i, old_z as usize)
+            * self.venue_term(old_city, v);
+        let w_noisy = self.config.rho_t * self.random.venue_prob(v);
+        let new_nu = self.rng.next_f64() * (w_based + w_noisy) < w_noisy;
+
+        // --- z_k | rest (Eq. 9) ---
+        let gi = self.candidacy.gammas(i);
+        self.weight_buf.clear();
+        for (c, &city) in ci.iter().enumerate() {
+            let mut w = self.state.user_count(i, c) as f64 + gi[c];
+            if !new_nu {
+                w *= self.venue_term(city, v);
+            }
+            self.weight_buf.push(w);
+        }
+        let new_z = sample_categorical(&mut self.rng, &self.weight_buf)
+            .expect("z weights are positive (γ > 0)") as u16;
+        let new_city = ci[new_z as usize];
+
+        if !new_nu || self.config.count_noisy_assignments {
+            self.state.add_user(i, new_z as usize);
+        }
+        if !new_nu {
+            self.state.add_venue(new_city, v);
+        }
+        self.state.nu[k] = new_nu;
+        self.state.z[k] = new_z;
+        new_nu != old_nu || new_z != old_z
+    }
+
+    /// θ̂_i per Eq. 10, over user `u`'s candidates, using post-burn-in mean
+    /// counts: `p(l|θ_i) = (ϕ̄_{i,l} + γ_{i,l}) / (ϕ̄_i + Σγ_i)`.
+    pub fn estimate_theta(&self, u: UserId) -> Vec<(CityId, f64)> {
+        let cands = self.candidacy.candidates(u);
+        let gammas = self.candidacy.gammas(u);
+        let mut probs: Vec<(CityId, f64)> = Vec::with_capacity(cands.len());
+        let mut total = self.candidacy.gamma_total(u);
+        for c in 0..cands.len() {
+            total += self.state.mean_user_count(u, c);
+        }
+        for (c, &city) in cands.iter().enumerate() {
+            let p = (self.state.mean_user_count(u, c) + gammas[c]) / total;
+            probs.push((city, p));
+        }
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probs").then(a.0.cmp(&b.0)));
+        probs
+    }
+
+    /// A joint log-likelihood proxy under current assignments (monitoring
+    /// only; collapsed likelihoods are not directly comparable across
+    /// selector configurations).
+    pub fn log_likelihood_proxy(&self) -> f64 {
+        let mut ll = 0.0;
+        if self.config.variant.uses_following() {
+            for (s, e) in self.dataset.edges.iter().enumerate() {
+                if self.state.mu[s] {
+                    ll += (self.config.rho_f * self.random.follow_prob()).ln();
+                } else {
+                    let x = self.candidacy.candidates(e.follower)[self.state.x[s] as usize];
+                    let y = self.candidacy.candidates(e.friend)[self.state.y[s] as usize];
+                    ll += ((1.0 - self.config.rho_f)
+                        * self.power_law.eval(self.gaz.distance(x, y)))
+                    .ln();
+                }
+            }
+        }
+        if self.config.variant.uses_tweeting() {
+            for (k, m) in self.dataset.mentions.iter().enumerate() {
+                if self.state.nu[k] {
+                    ll += (self.config.rho_t * self.random.venue_prob(m.venue)).ln();
+                } else {
+                    let z = self.candidacy.candidates(m.user)[self.state.z[k] as usize];
+                    ll += ((1.0 - self.config.rho_t) * self.venue_term(z, m.venue)).ln();
+                }
+            }
+        }
+        ll
+    }
+
+    /// The per-user initial modes (diagnostic / ablation use).
+    pub fn init_modes_public(&self) -> Vec<Option<usize>> {
+        self.compute_init_modes()
+    }
+
+    /// Read access to the RNG for helpers that extend the sampler.
+    pub fn rng_mut(&mut self) -> &mut Pcg64 {
+        &mut self.rng
+    }
+
+    /// The gazetteer this sampler runs against.
+    pub fn gazetteer(&self) -> &'a Gazetteer {
+        self.gaz
+    }
+
+    /// The candidacy structure in use.
+    pub fn candidacy(&self) -> &'a Candidacy {
+        self.candidacy
+    }
+
+    /// The dataset being fitted.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &'a MlpConfig {
+        self.config
+    }
+
+    /// The learned random models.
+    pub fn random_models(&self) -> &'a RandomModels {
+        self.random
+    }
+
+    /// Venue term exposed for MAP extraction in [`crate::model`].
+    pub fn venue_term_public(&self, l: CityId, v: VenueId) -> f64 {
+        self.venue_term(l, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{Adjacency, Generator, GeneratorConfig};
+
+    fn setup(
+        num_users: usize,
+        seed: u64,
+        config: MlpConfig,
+    ) -> (Gazetteer, Dataset, MlpConfig, mlp_social::GroundTruth) {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users, seed, ..Default::default() },
+        )
+        .generate();
+        (gaz, data.dataset, config, data.truth)
+    }
+
+    fn run_sweeps(
+        gaz: &Gazetteer,
+        dataset: &Dataset,
+        config: &MlpConfig,
+        sweeps: usize,
+    ) -> Vec<SweepChanges> {
+        let adj = Adjacency::build(dataset);
+        let cand = Candidacy::build(gaz, dataset, &adj, config);
+        let random = RandomModels::learn(dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(gaz, dataset, &cand, &random, config);
+        (0..sweeps).map(|_| sampler.sweep()).collect()
+    }
+
+    #[test]
+    fn counts_stay_consistent_across_sweeps() {
+        let (gaz, dataset, config, _) = setup(150, 3, MlpConfig::default());
+        let adj = Adjacency::build(&dataset);
+        let cand = Candidacy::build(&gaz, &dataset, &adj, &config);
+        let random = RandomModels::learn(&dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &dataset, &cand, &random, &config);
+        for _ in 0..3 {
+            sampler.sweep();
+            sampler
+                .state
+                .check_consistency(&dataset, &cand, false, true, true)
+                .expect("incremental counts must equal a rebuild");
+        }
+    }
+
+    #[test]
+    fn counts_stay_consistent_with_count_noisy() {
+        let config = MlpConfig { count_noisy_assignments: true, ..Default::default() };
+        let (gaz, dataset, config, _) = setup(120, 5, config);
+        let adj = Adjacency::build(&dataset);
+        let cand = Candidacy::build(&gaz, &dataset, &adj, &config);
+        let random = RandomModels::learn(&dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &dataset, &cand, &random, &config);
+        for _ in 0..3 {
+            sampler.sweep();
+            sampler
+                .state
+                .check_consistency(&dataset, &cand, true, true, true)
+                .expect("count-noisy bookkeeping must also be exact");
+        }
+    }
+
+    #[test]
+    fn sweeps_settle_down() {
+        let (gaz, dataset, config, _) = setup(300, 7, MlpConfig::default());
+        let changes = run_sweeps(&gaz, &dataset, &config, 12);
+        let early = changes[0].edges + changes[0].mentions;
+        let late = changes[11].edges + changes[11].mentions;
+        assert!(
+            (late as f64) < 0.8 * early as f64,
+            "no settling: first {early}, last {late}"
+        );
+    }
+
+    #[test]
+    fn theta_is_a_distribution_sorted_desc() {
+        let (gaz, dataset, config, _) = setup(100, 11, MlpConfig::default());
+        let adj = Adjacency::build(&dataset);
+        let cand = Candidacy::build(&gaz, &dataset, &adj, &config);
+        let random = RandomModels::learn(&dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &dataset, &cand, &random, &config);
+        for _ in 0..5 {
+            sampler.sweep();
+            sampler.state.accumulate();
+        }
+        for u in 0..dataset.num_users() {
+            let theta = sampler.estimate_theta(UserId(u as u32));
+            let sum: f64 = theta.iter().map(|&(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "user {u} theta sums to {sum}");
+            for w in theta.windows(2) {
+                assert!(w[0].1 >= w[1].1, "user {u} theta not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_user_theta_concentrates_on_registered_city() {
+        let (gaz, dataset, config, _) = setup(200, 13, MlpConfig::default());
+        let adj = Adjacency::build(&dataset);
+        let cand = Candidacy::build(&gaz, &dataset, &adj, &config);
+        let random = RandomModels::learn(&dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &dataset, &cand, &random, &config);
+        for _ in 0..8 {
+            sampler.sweep();
+        }
+        // For most labeled users the top θ city should be the registered one
+        // (supervision boost + their own location-based relationships).
+        let mut hits = 0;
+        let mut total = 0;
+        for u in 0..dataset.num_users() {
+            if let Some(home) = dataset.registered[u] {
+                total += 1;
+                let theta = sampler.estimate_theta(UserId(u as u32));
+                if theta[0].0 == home {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 / total as f64 > 0.8,
+            "only {hits}/{total} labeled users recover their registered city"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (gaz, dataset, config, _) = setup(100, 17, MlpConfig::default());
+        let run = |cfg: &MlpConfig| {
+            let adj = Adjacency::build(&dataset);
+            let cand = Candidacy::build(&gaz, &dataset, &adj, cfg);
+            let random = RandomModels::learn(&dataset, gaz.num_venues());
+            let mut s = GibbsSampler::new(&gaz, &dataset, &cand, &random, cfg);
+            for _ in 0..4 {
+                s.sweep();
+            }
+            (s.state.mu.clone(), s.state.x.clone(), s.state.z.clone())
+        };
+        assert_eq!(run(&config), run(&config));
+        let other = MlpConfig { seed: 99, ..config.clone() };
+        assert_ne!(run(&config), run(&other));
+    }
+
+    #[test]
+    fn following_only_never_touches_mentions() {
+        let (gaz, dataset, config, _) = setup(100, 19, MlpConfig::following_only());
+        let changes = run_sweeps(&gaz, &dataset, &config, 3);
+        for c in changes {
+            assert_eq!(c.mentions, 0);
+        }
+    }
+
+    #[test]
+    fn tweeting_only_never_touches_edges() {
+        let (gaz, dataset, config, _) = setup(100, 23, MlpConfig::tweeting_only());
+        let changes = run_sweeps(&gaz, &dataset, &config, 3);
+        for c in changes {
+            assert_eq!(c.edges, 0);
+        }
+    }
+
+    #[test]
+    fn log_likelihood_proxy_improves() {
+        let (gaz, dataset, config, _) = setup(200, 29, MlpConfig::default());
+        let adj = Adjacency::build(&dataset);
+        let cand = Candidacy::build(&gaz, &dataset, &adj, &config);
+        let random = RandomModels::learn(&dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &dataset, &cand, &random, &config);
+        let before = sampler.log_likelihood_proxy();
+        for _ in 0..8 {
+            sampler.sweep();
+        }
+        let after = sampler.log_likelihood_proxy();
+        assert!(after > before, "ll proxy did not improve: {before} -> {after}");
+    }
+}

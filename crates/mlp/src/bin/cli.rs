@@ -1,0 +1,212 @@
+//! `mlp-cli` — command-line front end for the MLP location-profiling
+//! system.
+//!
+//! ```text
+//! mlp-cli generate --users 2000 --seed 7 --out data.mlp     # synthesise a dataset
+//! mlp-cli stats    --data data.mlp                          # crawl-style statistics
+//! mlp-cli profile  --data data.mlp --user 42 [--iters 20]   # one user's profile
+//! mlp-cli explain  --data data.mlp --user 42                # geo groups of a user
+//! mlp-cli evaluate --data data.mlp [--folds 5]              # masked-home ACC@100
+//! ```
+//!
+//! Datasets are the binary snapshot format of `mlp::social::codec` (the
+//! gazetteer is rebuilt deterministically, so snapshots stay small). Use
+//! the same `--cities` value when reading a snapshot as when it was
+//! generated — city ids index the gazetteer, and a mismatch is rejected at
+//! model construction.
+
+use mlp::core::geo_groups::geo_groups;
+use mlp::prelude::*;
+use mlp::social::codec;
+use mlp::social::{Adjacency, DatasetStats, GroundTruth};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mlp-cli generate --users N [--cities N] [--seed N] --out FILE
+  mlp-cli stats    --data FILE
+  mlp-cli profile  --data FILE --user ID [--iters N] [--seed N]
+  mlp-cli explain  --data FILE --user ID [--iters N] [--seed N]
+  mlp-cli evaluate --data FILE [--folds N] [--iters N] [--seed N]";
+
+struct Options {
+    users: usize,
+    cities: usize,
+    seed: u64,
+    iters: usize,
+    folds: usize,
+    user: Option<u32>,
+    data: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        users: 2_000,
+        cities: 300,
+        seed: 42,
+        iters: 20,
+        folds: 5,
+        user: None,
+        data: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().ok_or_else(|| format!("{flag} requires a value")).cloned()
+        };
+        match flag.as_str() {
+            "--users" => o.users = parse_num(&value()?)? as usize,
+            "--cities" => o.cities = parse_num(&value()?)? as usize,
+            "--seed" => o.seed = parse_num(&value()?)?,
+            "--iters" => o.iters = parse_num(&value()?)? as usize,
+            "--folds" => o.folds = parse_num(&value()?)? as usize,
+            "--user" => o.user = Some(parse_num(&value()?)? as u32),
+            "--data" => o.data = Some(value()?),
+            "--out" => o.out = Some(value()?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("bad number {s}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let o = parse_options(&args[1..])?;
+    let gaz = Gazetteer::with_synthetic(&SynthConfig {
+        total_cities: o.cities,
+        ..Default::default()
+    });
+
+    match command.as_str() {
+        "generate" => {
+            let out = o.out.as_deref().ok_or("generate needs --out FILE")?;
+            let data = Generator::new(
+                &gaz,
+                GeneratorConfig { num_users: o.users, seed: o.seed, ..Default::default() },
+            )
+            .generate();
+            let bytes = codec::encode(&data.dataset, &data.truth);
+            std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} users, {} edges, {} mentions ({} bytes)",
+                data.dataset.num_users(),
+                data.dataset.num_edges(),
+                data.dataset.num_mentions(),
+                bytes.len()
+            );
+            Ok(())
+        }
+        "stats" => {
+            let (dataset, truth) = load(&o)?;
+            println!("{}", DatasetStats::compute(&dataset, &gaz));
+            println!(
+                "multi-location users: {}",
+                truth.multi_location_users().len()
+            );
+            Ok(())
+        }
+        "profile" => {
+            let (dataset, truth) = load(&o)?;
+            let user = user_id(&o, &dataset)?;
+            let result = infer(&gaz, &dataset, &o);
+            println!("user {user}");
+            println!("  inferred profile:");
+            for &(c, p) in result.profiles[user.index()].iter().take(5) {
+                if p > 0.01 {
+                    println!("    {:<25} {:>5.1}%", gaz.city(c).full_name(), p * 100.0);
+                }
+            }
+            let names: Vec<String> =
+                truth.locations(user).iter().map(|&c| gaz.city(c).full_name()).collect();
+            println!("  generator truth: {}", names.join(" / "));
+            Ok(())
+        }
+        "explain" => {
+            let (dataset, _) = load(&o)?;
+            let user = user_id(&o, &dataset)?;
+            let result = infer(&gaz, &dataset, &o);
+            let adj = Adjacency::build(&dataset);
+            let grouping = geo_groups(&dataset, &adj, &result, user);
+            println!("user {user}: {} geo groups", grouping.groups.len());
+            for g in &grouping.groups {
+                println!(
+                    "  [{}] {} members",
+                    gaz.city(g.location).full_name(),
+                    g.members.len()
+                );
+            }
+            println!("  noisy relationships: {}", grouping.noisy.len());
+            Ok(())
+        }
+        "evaluate" => {
+            let (dataset, truth) = load(&o)?;
+            let folds = Folds::split(&dataset, o.folds.max(2), o.seed);
+            let test_users = folds.test_users(0);
+            let train = folds.train_view(&dataset, 0);
+            let config = MlpConfig {
+                iterations: o.iters,
+                burn_in: (o.iters / 2).max(1),
+                seed: o.seed,
+                ..Default::default()
+            };
+            let result = Mlp::new(&gaz, &train, config)
+                .map_err(|e| format!("model rejected inputs: {e}"))?
+                .run();
+            let hits = test_users
+                .iter()
+                .filter(|&&u| gaz.distance(result.home(u), truth.home(u)) <= 100.0)
+                .count();
+            println!(
+                "masked-home ACC@100 on fold 0: {:.2}% ({hits}/{})",
+                100.0 * hits as f64 / test_users.len() as f64,
+                test_users.len()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn load(o: &Options) -> Result<(Dataset, GroundTruth), String> {
+    let path = o.data.as_deref().ok_or("this command needs --data FILE")?;
+    let raw = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    codec::decode(raw.into()).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+fn user_id(o: &Options, dataset: &Dataset) -> Result<UserId, String> {
+    let id = o.user.ok_or("this command needs --user ID")?;
+    if (id as usize) >= dataset.num_users() {
+        return Err(format!("user {id} out of range (dataset has {})", dataset.num_users()));
+    }
+    Ok(UserId(id))
+}
+
+fn infer(gaz: &Gazetteer, dataset: &Dataset, o: &Options) -> MlpResult {
+    let config = MlpConfig {
+        iterations: o.iters,
+        burn_in: (o.iters / 2).max(1),
+        seed: o.seed,
+        ..Default::default()
+    };
+    Mlp::new(gaz, dataset, config).expect("snapshot datasets are valid").run()
+}

@@ -1,0 +1,199 @@
+//! Walker/Vose alias method for O(1) categorical sampling.
+//!
+//! The synthetic generator draws millions of venue mentions and home cities
+//! from fixed distributions (venue popularity, city population). The alias
+//! method pays O(n) setup once and then answers every draw with one uniform
+//! and one comparison.
+
+use crate::rng::Pcg64;
+
+/// Precomputed alias table over `n` categories.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability per slot.
+    prob: Vec<f64>,
+    /// Alias category per slot.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (need not be normalised).
+    ///
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 {
+            return None;
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return None;
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+
+        // Scale weights so the average slot is exactly 1.0.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &w) in scaled.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains (numerical leftovers) gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
+        let slot = rng.next_bounded(self.prob.len());
+        if rng.next_f64() < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.1]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_selected() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = Pcg64::new(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut rng = Pcg64::new(2);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 0 || s == 2, "sampled zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = Pcg64::new(3);
+        let n = 200_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "cat {i}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn heavily_skewed_weights() {
+        let t = AliasTable::new(&[1e-9, 1.0]).unwrap();
+        let mut rng = Pcg64::new(4);
+        let hits0 = (0..100_000).filter(|_| t.sample(&mut rng) == 0).count();
+        assert!(hits0 < 10, "rare category drawn {hits0} times");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Chi-squared-style check: sampled frequencies converge to the
+        /// normalised weights for arbitrary weight vectors.
+        #[test]
+        fn frequencies_converge(
+            weights in prop::collection::vec(0.01f64..10.0, 2..12),
+            seed in any::<u64>(),
+        ) {
+            let t = AliasTable::new(&weights).unwrap();
+            let mut rng = Pcg64::new(seed);
+            let n = 60_000;
+            let mut counts = vec![0u32; weights.len()];
+            for _ in 0..n {
+                counts[t.sample(&mut rng)] += 1;
+            }
+            let total: f64 = weights.iter().sum();
+            for (i, &w) in weights.iter().enumerate() {
+                let expect = w / total;
+                let got = counts[i] as f64 / n as f64;
+                // Tolerance ~5 sigma of a binomial proportion.
+                let sigma = (expect * (1.0 - expect) / n as f64).sqrt();
+                prop_assert!((got - expect).abs() < 5.0 * sigma + 0.002,
+                    "cat {} got {} want {}", i, got, expect);
+            }
+        }
+
+        /// Every draw is a valid index.
+        #[test]
+        fn samples_in_range(
+            weights in prop::collection::vec(0.0f64..5.0, 1..20),
+            seed in any::<u64>(),
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let t = AliasTable::new(&weights).unwrap();
+            let mut rng = Pcg64::new(seed);
+            for _ in 0..1000 {
+                prop_assert!(t.sample(&mut rng) < weights.len());
+            }
+        }
+    }
+}

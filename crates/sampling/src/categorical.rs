@@ -1,0 +1,231 @@
+//! One-shot categorical draws from unnormalised weights.
+//!
+//! The Gibbs conditionals (paper Eqs. 5–9) produce a fresh weight vector for
+//! every relationship on every sweep — building an alias table would be
+//! wasteful. These helpers draw directly from the weights in one pass, in
+//! either linear or log space.
+
+use crate::rng::Pcg64;
+
+/// Draws an index proportional to `weights` (non-negative, unnormalised).
+///
+/// Returns `None` if the weights are empty, contain negatives/NaN, or sum to
+/// zero.
+#[inline]
+pub fn sample_categorical(rng: &mut Pcg64, weights: &[f64]) -> Option<usize> {
+    let mut total = 0.0f64;
+    for &w in weights {
+        if !(w >= 0.0) || !w.is_finite() {
+            return None;
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return None;
+    }
+    let mut u = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u < 0.0 {
+            return Some(i);
+        }
+    }
+    // Floating-point slack: return the last positively weighted category.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// Numerically stable `log(Σ exp(x_i))`.
+///
+/// Returns `-inf` for an empty slice or all-`-inf` input.
+#[inline]
+pub fn log_sum_exp(log_weights: &[f64]) -> f64 {
+    let max = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = log_weights.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Draws an index proportional to `exp(log_weights)`, stably.
+///
+/// The Gibbs conditional for a location assignment multiplies a profile
+/// pseudo-count by `d^α` (Eq. 7); with hundreds of candidate cities and
+/// extreme distances the products underflow f64, so the sampler works with
+/// logs and exponentiates relative to the max.
+///
+/// Returns `None` if every weight is `-inf` or the slice is empty.
+#[inline]
+pub fn sample_log_categorical(rng: &mut Pcg64, log_weights: &[f64]) -> Option<usize> {
+    let max = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return None;
+    }
+    let mut total = 0.0f64;
+    for &lw in log_weights {
+        total += (lw - max).exp();
+    }
+    let mut u = rng.next_f64() * total;
+    for (i, &lw) in log_weights.iter().enumerate() {
+        u -= (lw - max).exp();
+        if u < 0.0 {
+            return Some(i);
+        }
+    }
+    log_weights.iter().rposition(|&lw| lw > f64::NEG_INFINITY)
+}
+
+/// Normalises `weights` in place to sum to one.
+///
+/// Returns `false` (leaving the slice untouched) if the sum is not positive
+/// and finite.
+pub fn normalize_in_place(weights: &mut [f64]) -> bool {
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) || !total.is_finite() {
+        return false;
+    }
+    for w in weights {
+        *w /= total;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Pcg64::new(11);
+        let weights = [0.0, 1.0, 3.0];
+        let n = 100_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[sample_categorical(&mut rng, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_rejects_degenerate_input() {
+        let mut rng = Pcg64::new(1);
+        assert_eq!(sample_categorical(&mut rng, &[]), None);
+        assert_eq!(sample_categorical(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(sample_categorical(&mut rng, &[1.0, -1.0]), None);
+        assert_eq!(sample_categorical(&mut rng, &[1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_when_safe() {
+        let xs = [0.1f64, -0.5, 1.2];
+        let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_survives_extreme_magnitudes() {
+        // exp(-1000) underflows; the stable version must not return -inf.
+        let xs = [-1000.0, -1000.5, -999.5];
+        let got = log_sum_exp(&xs);
+        assert!(got.is_finite());
+        assert!((got - (-999.5 + ((0.0f64).exp() + (-1.0f64).exp() + (-0.5f64).exp()).ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_categorical_matches_linear_distribution() {
+        let mut rng = Pcg64::new(17);
+        // weights 1:2:5 expressed in (shifted) log space
+        let logs: Vec<f64> = [1.0f64, 2.0, 5.0].iter().map(|w| w.ln() - 700.0).collect();
+        let n = 100_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[sample_log_categorical(&mut rng, &logs).unwrap()] += 1;
+        }
+        let total = n as f64;
+        for (i, want) in [1.0 / 8.0, 2.0 / 8.0, 5.0 / 8.0].iter().enumerate() {
+            let got = counts[i] as f64 / total;
+            assert!((got - want).abs() < 0.01, "cat {i} got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn log_categorical_ignores_neg_inf_categories() {
+        let mut rng = Pcg64::new(19);
+        let logs = [f64::NEG_INFINITY, 0.0, f64::NEG_INFINITY];
+        for _ in 0..1000 {
+            assert_eq!(sample_log_categorical(&mut rng, &logs), Some(1));
+        }
+    }
+
+    #[test]
+    fn log_categorical_all_neg_inf_is_none() {
+        let mut rng = Pcg64::new(23);
+        assert_eq!(
+            sample_log_categorical(&mut rng, &[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            None
+        );
+        assert_eq!(sample_log_categorical(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn normalize_in_place_works() {
+        let mut w = [2.0, 2.0, 4.0];
+        assert!(normalize_in_place(&mut w));
+        assert_eq!(w, [0.25, 0.25, 0.5]);
+        let mut z = [0.0, 0.0];
+        assert!(!normalize_in_place(&mut z));
+        assert_eq!(z, [0.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Linear and log-space sampling agree in distribution.
+        #[test]
+        fn linear_and_log_space_agree(
+            weights in prop::collection::vec(0.1f64..10.0, 2..8),
+            seed in any::<u64>(),
+        ) {
+            let logs: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+            let n = 30_000;
+            let mut lin = vec![0f64; weights.len()];
+            let mut log = vec![0f64; weights.len()];
+            let mut rng_a = Pcg64::new(seed);
+            let mut rng_b = Pcg64::new(seed ^ 0xABCD);
+            for _ in 0..n {
+                lin[sample_categorical(&mut rng_a, &weights).unwrap()] += 1.0;
+                log[sample_log_categorical(&mut rng_b, &logs).unwrap()] += 1.0;
+            }
+            for i in 0..weights.len() {
+                prop_assert!((lin[i] - log[i]).abs() / (n as f64) < 0.03,
+                    "cat {}: lin {} log {}", i, lin[i], log[i]);
+            }
+        }
+
+        /// log_sum_exp is invariant to a constant shift.
+        #[test]
+        fn lse_shift_invariance(
+            xs in prop::collection::vec(-50.0f64..50.0, 1..10),
+            shift in -500.0f64..500.0,
+        ) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+            let a = log_sum_exp(&xs) + shift;
+            let b = log_sum_exp(&shifted);
+            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+        }
+    }
+}

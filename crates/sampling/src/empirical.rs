@@ -1,0 +1,214 @@
+//! Frequency-counted discrete distributions.
+//!
+//! The paper's random tweeting model `T_R` (Sec. 4.2) is the empirical
+//! popularity of each venue: `p(t<i,j> | T_R) = Σ_x t<x,j> / K`. This module
+//! provides that structure generically: accumulate counts, then query
+//! probabilities, log-probabilities, and top-k items, or freeze into an
+//! alias table for sampling.
+
+use crate::alias::AliasTable;
+use crate::rng::Pcg64;
+
+/// A discrete distribution estimated from counts over `n` categories.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl EmpiricalDistribution {
+    /// Creates an empty distribution over `n` categories.
+    pub fn new(n: usize) -> Self {
+        Self { counts: vec![0; n], total: 0 }
+    }
+
+    /// Builds directly from a count vector.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let total = counts.iter().sum();
+        Self { counts, total }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether there are zero categories.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Adds `k` observations of `category`.
+    ///
+    /// # Panics
+    /// Panics if `category` is out of range.
+    pub fn record(&mut self, category: usize, k: u64) {
+        self.counts[category] += k;
+        self.total += k;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count of a category.
+    pub fn count(&self, category: usize) -> u64 {
+        self.counts[category]
+    }
+
+    /// Maximum-likelihood probability of `category` (0 if nothing recorded).
+    #[inline]
+    pub fn prob(&self, category: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts[category] as f64 / self.total as f64
+    }
+
+    /// Additively smoothed probability with pseudo-count `eps` per category.
+    ///
+    /// Used wherever a zero-probability category would send a log-likelihood
+    /// to `-inf` (e.g. scoring a venue never seen in training).
+    #[inline]
+    pub fn smoothed_prob(&self, category: usize, eps: f64) -> f64 {
+        let denom = self.total as f64 + eps * self.counts.len() as f64;
+        (self.counts[category] as f64 + eps) / denom
+    }
+
+    /// Natural log of [`Self::smoothed_prob`].
+    #[inline]
+    pub fn smoothed_log_prob(&self, category: usize, eps: f64) -> f64 {
+        self.smoothed_prob(category, eps).ln()
+    }
+
+    /// The `k` most frequent categories, most frequent first; ties broken by
+    /// lower index for determinism.
+    pub fn top_k(&self, k: usize) -> Vec<(usize, u64)> {
+        let mut items: Vec<(usize, u64)> =
+            self.counts.iter().copied().enumerate().filter(|&(_, c)| c > 0).collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(k);
+        items
+    }
+
+    /// Shannon entropy (nats) of the ML distribution.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        self.counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    /// Freezes the distribution into an alias table for O(1) sampling.
+    ///
+    /// Returns `None` if no observations have been recorded.
+    pub fn to_alias_table(&self) -> Option<AliasTable> {
+        let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        AliasTable::new(&weights)
+    }
+
+    /// Draws a category directly (linear scan; prefer
+    /// [`Self::to_alias_table`] for repeated draws).
+    pub fn sample(&self, rng: &mut Pcg64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut u = (rng.next_f64() * self.total as f64) as u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if u < c {
+                return Some(i);
+            }
+            u -= c;
+        }
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_reflect_counts() {
+        let mut d = EmpiricalDistribution::new(3);
+        d.record(0, 1);
+        d.record(2, 3);
+        assert_eq!(d.total(), 4);
+        assert_eq!(d.prob(0), 0.25);
+        assert_eq!(d.prob(1), 0.0);
+        assert_eq!(d.prob(2), 0.75);
+    }
+
+    #[test]
+    fn smoothing_avoids_zeros() {
+        let mut d = EmpiricalDistribution::new(4);
+        d.record(0, 10);
+        assert!(d.smoothed_prob(3, 0.5) > 0.0);
+        assert!(d.smoothed_log_prob(3, 0.5).is_finite());
+        // Smoothed probabilities still sum to 1.
+        let sum: f64 = (0..4).map(|i| d.smoothed_prob(i, 0.5)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_ordering_and_tie_break() {
+        let d = EmpiricalDistribution::from_counts(vec![5, 9, 5, 0, 2]);
+        assert_eq!(d.top_k(3), vec![(1, 9), (0, 5), (2, 5)]);
+        assert_eq!(d.top_k(10).len(), 4, "zero-count categories excluded");
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let uniform = EmpiricalDistribution::from_counts(vec![10, 10, 10, 10]);
+        assert!((uniform.entropy() - (4.0f64).ln()).abs() < 1e-12);
+        let point = EmpiricalDistribution::from_counts(vec![0, 100, 0]);
+        assert_eq!(point.entropy(), 0.0);
+        let empty = EmpiricalDistribution::new(3);
+        assert_eq!(empty.entropy(), 0.0);
+    }
+
+    #[test]
+    fn sample_matches_counts() {
+        let d = EmpiricalDistribution::from_counts(vec![0, 30, 70]);
+        let mut rng = Pcg64::new(61);
+        let n = 50_000;
+        let mut hits = [0u32; 3];
+        for _ in 0..n {
+            hits[d.sample(&mut rng).unwrap()] += 1;
+        }
+        assert_eq!(hits[0], 0);
+        assert!((hits[2] as f64 / n as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_distribution_samples_none() {
+        let d = EmpiricalDistribution::new(5);
+        assert_eq!(d.sample(&mut Pcg64::new(1)), None);
+        assert!(d.to_alias_table().is_none());
+    }
+
+    #[test]
+    fn alias_table_agrees_with_direct_sampling() {
+        let d = EmpiricalDistribution::from_counts(vec![1, 2, 3, 4]);
+        let t = d.to_alias_table().unwrap();
+        let mut rng = Pcg64::new(67);
+        let n = 100_000;
+        let mut hits = [0u32; 4];
+        for _ in 0..n {
+            hits[t.sample(&mut rng)] += 1;
+        }
+        for i in 0..4 {
+            let got = hits[i] as f64 / n as f64;
+            assert!((got - d.prob(i)).abs() < 0.01, "cat {i}");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Gamma, Beta, and Dirichlet samplers.
+//!
+//! The generative process (paper Sec. 4.4) draws each user's location
+//! profile `θ_i ~ Dirichlet(γ_i)` and each city's tweeting model
+//! `ψ_l ~ Dirichlet(δ)`. A Dirichlet draw is a normalised vector of Gamma
+//! draws, so we implement Marsaglia–Tsang squeeze sampling for Gamma(shape)
+//! and build Beta and Dirichlet on top. Only `rand`'s core trait is used.
+
+use crate::rng::Pcg64;
+
+/// Draws from Gamma(shape, scale = 1) via Marsaglia–Tsang (2000).
+///
+/// Valid for any `shape > 0`; shapes below 1 use the boosting identity
+/// `Gamma(a) = Gamma(a + 1) · U^{1/a}`.
+///
+/// # Panics
+/// Panics if `shape` is not strictly positive and finite.
+pub fn sample_gamma(rng: &mut Pcg64, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "shape must be positive, got {shape}");
+    if shape < 1.0 {
+        // Boost: draw Gamma(shape+1) and scale by U^(1/shape).
+        let g = sample_gamma(rng, shape + 1.0);
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller (cheap enough here; the sampler is
+        // not on the Gibbs hot path).
+        let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = rng.next_f64();
+        // Squeeze test, then full acceptance test.
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draws from Beta(a, b).
+///
+/// # Panics
+/// Panics if either parameter is not strictly positive and finite.
+pub fn sample_beta(rng: &mut Pcg64, a: f64, b: f64) -> f64 {
+    let x = sample_gamma(rng, a);
+    let y = sample_gamma(rng, b);
+    if x + y == 0.0 {
+        // Only reachable for extremely small parameters that underflow.
+        return 0.5;
+    }
+    x / (x + y)
+}
+
+/// Draws from Dirichlet(alphas), returning a probability vector.
+///
+/// Dimensions with `alpha = 0` are allowed and receive exactly zero mass
+/// (this is how candidacy-vector pruning enters the generator: non-candidate
+/// cities have a zero prior and can never appear in a profile).
+///
+/// # Panics
+/// Panics if `alphas` is empty, any entry is negative/non-finite, or all
+/// entries are zero.
+pub fn sample_dirichlet(rng: &mut Pcg64, alphas: &[f64]) -> Vec<f64> {
+    assert!(!alphas.is_empty(), "Dirichlet needs at least one dimension");
+    let mut out = Vec::with_capacity(alphas.len());
+    let mut total = 0.0f64;
+    for &a in alphas {
+        assert!(a >= 0.0 && a.is_finite(), "alpha must be non-negative, got {a}");
+        let g = if a == 0.0 { 0.0 } else { sample_gamma(rng, a) };
+        total += g;
+        out.push(g);
+    }
+    assert!(total > 0.0, "at least one alpha must be positive");
+    for g in &mut out {
+        *g /= total;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = Pcg64::new(31);
+        let shape = 3.5;
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - shape).abs() < 0.05, "mean {mean}");
+        assert!((var - shape).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = Pcg64::new(37);
+        let shape = 0.3;
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - shape).abs() < 0.02, "mean {mean}");
+        assert!((var - shape).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn gamma_is_positive() {
+        let mut rng = Pcg64::new(41);
+        for shape in [0.1, 0.5, 1.0, 2.0, 10.0] {
+            for _ in 0..1000 {
+                assert!(sample_gamma(&mut rng, shape) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_zero_shape() {
+        sample_gamma(&mut Pcg64::new(1), 0.0);
+    }
+
+    #[test]
+    fn beta_moments() {
+        let mut rng = Pcg64::new(43);
+        let (a, b) = (2.0, 5.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_beta(&mut rng, a, b)).collect();
+        let (mean, _) = mean_var(&samples);
+        let expect = a / (a + b);
+        assert!((mean - expect).abs() < 0.005, "mean {mean} want {expect}");
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_matches_mean() {
+        let mut rng = Pcg64::new(47);
+        let alphas = [1.0, 2.0, 7.0];
+        let n = 50_000;
+        let mut mean = [0.0f64; 3];
+        for _ in 0..n {
+            let draw = sample_dirichlet(&mut rng, &alphas);
+            let sum: f64 = draw.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            for (m, d) in mean.iter_mut().zip(&draw) {
+                *m += d;
+            }
+        }
+        let total: f64 = alphas.iter().sum();
+        for i in 0..3 {
+            let got = mean[i] / n as f64;
+            let want = alphas[i] / total;
+            assert!((got - want).abs() < 0.005, "dim {i} got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_zero_alpha_gets_zero_mass() {
+        let mut rng = Pcg64::new(53);
+        for _ in 0..1000 {
+            let draw = sample_dirichlet(&mut rng, &[2.0, 0.0, 1.0]);
+            assert_eq!(draw[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_sparse_prior_concentrates() {
+        // Small symmetric alpha (the paper uses τ = 0.1) should yield sparse
+        // profiles: most draws put >80% mass on one dimension.
+        let mut rng = Pcg64::new(59);
+        let alphas = [0.1; 5];
+        let sparse = (0..2000)
+            .filter(|_| {
+                let draw = sample_dirichlet(&mut rng, &alphas);
+                draw.iter().cloned().fold(0.0, f64::max) > 0.8
+            })
+            .count();
+        assert!(sparse > 1000, "only {sparse}/2000 draws were sparse");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alpha must be positive")]
+    fn dirichlet_all_zero_panics() {
+        sample_dirichlet(&mut Pcg64::new(1), &[0.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Gamma sample mean tracks the shape parameter.
+        #[test]
+        fn gamma_mean_tracks_shape(shape in 0.2f64..8.0, seed in any::<u64>()) {
+            let mut rng = Pcg64::new(seed);
+            let n = 30_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            // 6-sigma tolerance: sd of the mean is sqrt(shape/n).
+            let tol = 6.0 * (shape / n as f64).sqrt() + 0.01;
+            prop_assert!((mean - shape).abs() < tol, "mean {} shape {}", mean, shape);
+        }
+
+        /// Dirichlet draws are valid probability vectors.
+        #[test]
+        fn dirichlet_is_simplex(
+            alphas in prop::collection::vec(0.05f64..5.0, 2..10),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Pcg64::new(seed);
+            let draw = sample_dirichlet(&mut rng, &alphas);
+            prop_assert_eq!(draw.len(), alphas.len());
+            prop_assert!(draw.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            prop_assert!((draw.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+/// Draws from Poisson(lambda) — Knuth's product-of-uniforms for small
+/// lambda, normal approximation with continuity correction above 30 (the
+/// generator uses lambda ≈ 15–30 for per-user relationship counts).
+///
+/// # Panics
+/// Panics if `lambda` is not strictly positive and finite.
+pub fn sample_poisson(rng: &mut Pcg64, lambda: f64) -> u64 {
+    assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive, got {lambda}");
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.next_f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation: N(lambda, lambda), rounded, floored at 0.
+        let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = lambda + lambda.sqrt() * z;
+        x.round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod poisson_tests {
+    use super::*;
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = Pcg64::new(101);
+        let lambda = 5.0;
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var - lambda).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = Pcg64::new(103);
+        let lambda = 100.0;
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_paper_scale_lambda() {
+        // The generator's lambda ≈ 14.8 (friends) and 29 (venues).
+        let mut rng = Pcg64::new(107);
+        for lambda in [14.8, 29.0] {
+            let n = 50_000;
+            let mean: f64 =
+                (0..n).map(|_| sample_poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < 0.2, "lambda {lambda} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn poisson_rejects_zero() {
+        sample_poisson(&mut Pcg64::new(1), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Stochastic substrate for the MLP location-profiling system.
+//!
+//! The Gibbs sampler (paper Sec. 4.5), the synthetic data generator, and the
+//! baselines all need fast, *deterministic* random primitives. This crate
+//! provides them on top of `rand`'s traits:
+//!
+//! * [`rng`] — a seedable, splittable deterministic RNG ([`SplitMix64`] for
+//!   seeding, [`Pcg64`] as the workhorse generator) so every experiment in
+//!   the repository is reproducible from a single `u64` seed.
+//! * [`alias`] — Walker/Vose alias tables for O(1) draws from fixed
+//!   categorical distributions (city populations, venue popularity).
+//! * [`categorical`] — one-shot categorical draws from unnormalised weights,
+//!   including the log-space variant the Gibbs conditionals need.
+//! * [`gamma`] — Gamma / Beta / Dirichlet samplers (Marsaglia–Tsang), used to
+//!   draw location profiles `θ_i ~ Dir(γ_i)` in the generator.
+//! * [`empirical`] — frequency-counted discrete distributions (the random
+//!   tweeting model `T_R` is exactly one of these).
+//! * [`reservoir`] — uniform reservoir sampling for subsampling pair sets.
+
+pub mod alias;
+pub mod categorical;
+pub mod empirical;
+pub mod gamma;
+pub mod reservoir;
+pub mod rng;
+
+pub use alias::AliasTable;
+pub use categorical::{log_sum_exp, sample_categorical, sample_log_categorical};
+pub use empirical::EmpiricalDistribution;
+pub use gamma::{sample_beta, sample_dirichlet, sample_gamma, sample_poisson};
+pub use reservoir::reservoir_sample;
+pub use rng::{DeterministicRng, Pcg64, SplitMix64};

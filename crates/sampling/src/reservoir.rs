@@ -1,0 +1,75 @@
+//! Uniform reservoir sampling.
+//!
+//! Fig. 3(a) of the paper is computed over ~2.5·10^10 labeled-user pairs.
+//! Our observation harness streams pairs and keeps a uniform subsample when
+//! the full cross product would be too large; reservoir sampling (Algorithm
+//! R) does this in one pass with O(k) memory.
+
+use crate::rng::Pcg64;
+
+/// Draws a uniform sample of up to `k` items from `iter` in one pass.
+///
+/// If the iterator yields fewer than `k` items, all of them are returned.
+/// The output order is arbitrary.
+pub fn reservoir_sample<T, I>(rng: &mut Pcg64, iter: I, k: usize) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.next_bounded(i + 1);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_items_than_k_keeps_all() {
+        let mut rng = Pcg64::new(71);
+        let mut got = reservoir_sample(&mut rng, 0..5, 10);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let mut rng = Pcg64::new(73);
+        assert!(reservoir_sample(&mut rng, 0..100, 0).is_empty());
+    }
+
+    #[test]
+    fn sample_size_is_k() {
+        let mut rng = Pcg64::new(79);
+        assert_eq!(reservoir_sample(&mut rng, 0..1000, 32).len(), 32);
+    }
+
+    #[test]
+    fn sampling_is_uniform() {
+        // Each of 20 items should appear in a k=5 sample with p = 1/4.
+        let mut rng = Pcg64::new(83);
+        let trials = 40_000;
+        let mut hits = [0u32; 20];
+        for _ in 0..trials {
+            for x in reservoir_sample(&mut rng, 0..20usize, 5) {
+                hits[x] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let rate = h as f64 / trials as f64;
+            assert!((rate - 0.25).abs() < 0.02, "item {i} rate {rate}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Snapshot codecs for datasets and ground truth.
+//!
+//! Two formats:
+//!
+//! * **binary** — a compact little-endian layout via `bytes`, for large
+//!   generated datasets (the default bench scale serialises in tens of MB);
+//! * **JSON** — via `serde_json`, for human inspection and small fixtures.
+//!
+//! Both round-trip exactly; the binary format is versioned and magic-tagged
+//! so stale snapshots fail loudly instead of deserialising garbage.
+
+use crate::model::{Dataset, FollowEdge, TweetMention, UserId};
+use crate::truth::{EdgeTruth, GroundTruth, MentionTruth};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mlp_gazetteer::{CityId, VenueId};
+
+const MAGIC: u32 = 0x4D4C_5031; // "MLP1"
+const VERSION: u16 = 1;
+
+/// Errors raised when decoding a snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic number — not an MLP snapshot.
+    BadMagic(u32),
+    /// Snapshot from an incompatible format version.
+    BadVersion(u16),
+    /// Buffer ended before the declared payload.
+    Truncated,
+    /// A tag byte held an unknown value.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialises `(dataset, truth)` into the binary snapshot format.
+pub fn encode(dataset: &Dataset, truth: &GroundTruth) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + dataset.num_users() * 16 + dataset.num_edges() * 17 + dataset.num_mentions() * 13,
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(dataset.num_users);
+
+    // Registered labels: u32::MAX = unlabeled.
+    for r in &dataset.registered {
+        buf.put_u32_le(r.map_or(u32::MAX, |c| c.0));
+    }
+
+    buf.put_u64_le(dataset.edges.len() as u64);
+    for (e, t) in dataset.edges.iter().zip(&truth.edge_truth) {
+        buf.put_u32_le(e.follower.0);
+        buf.put_u32_le(e.friend.0);
+        match t {
+            EdgeTruth::Noisy => buf.put_u8(0),
+            EdgeTruth::Based { x, y } => {
+                buf.put_u8(1);
+                buf.put_u32_le(x.0);
+                buf.put_u32_le(y.0);
+            }
+        }
+    }
+
+    buf.put_u64_le(dataset.mentions.len() as u64);
+    for (m, t) in dataset.mentions.iter().zip(&truth.mention_truth) {
+        buf.put_u32_le(m.user.0);
+        buf.put_u32_le(m.venue.0);
+        match t {
+            MentionTruth::Noisy => buf.put_u8(0),
+            MentionTruth::Based { z } => {
+                buf.put_u8(1);
+                buf.put_u32_le(z.0);
+            }
+        }
+    }
+
+    buf.put_u32_le(truth.profiles.len() as u32);
+    for p in &truth.profiles {
+        buf.put_u16_le(p.len() as u16);
+        for &(c, w) in p {
+            buf.put_u32_le(c.0);
+            buf.put_f64_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary snapshot produced by [`encode`].
+pub fn decode(mut buf: Bytes) -> Result<(Dataset, GroundTruth), DecodeError> {
+    fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+        if buf.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    need(&buf, 10)?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let num_users = buf.get_u32_le();
+
+    need(&buf, num_users as usize * 4)?;
+    let registered: Vec<Option<CityId>> = (0..num_users)
+        .map(|_| {
+            let v = buf.get_u32_le();
+            (v != u32::MAX).then_some(CityId(v))
+        })
+        .collect();
+
+    need(&buf, 8)?;
+    let num_edges = buf.get_u64_le() as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut edge_truth = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        need(&buf, 9)?;
+        let follower = UserId(buf.get_u32_le());
+        let friend = UserId(buf.get_u32_le());
+        edges.push(FollowEdge { follower, friend });
+        match buf.get_u8() {
+            0 => edge_truth.push(EdgeTruth::Noisy),
+            1 => {
+                need(&buf, 8)?;
+                edge_truth.push(EdgeTruth::Based {
+                    x: CityId(buf.get_u32_le()),
+                    y: CityId(buf.get_u32_le()),
+                });
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        }
+    }
+
+    need(&buf, 8)?;
+    let num_mentions = buf.get_u64_le() as usize;
+    let mut mentions = Vec::with_capacity(num_mentions);
+    let mut mention_truth = Vec::with_capacity(num_mentions);
+    for _ in 0..num_mentions {
+        need(&buf, 9)?;
+        let user = UserId(buf.get_u32_le());
+        let venue = VenueId(buf.get_u32_le());
+        mentions.push(TweetMention { user, venue });
+        match buf.get_u8() {
+            0 => mention_truth.push(MentionTruth::Noisy),
+            1 => {
+                need(&buf, 4)?;
+                mention_truth.push(MentionTruth::Based { z: CityId(buf.get_u32_le()) });
+            }
+            t => return Err(DecodeError::BadTag(t)),
+        }
+    }
+
+    need(&buf, 4)?;
+    let num_profiles = buf.get_u32_le() as usize;
+    let mut profiles = Vec::with_capacity(num_profiles);
+    for _ in 0..num_profiles {
+        need(&buf, 2)?;
+        let len = buf.get_u16_le() as usize;
+        need(&buf, len * 12)?;
+        let profile: Vec<(CityId, f64)> =
+            (0..len).map(|_| (CityId(buf.get_u32_le()), buf.get_f64_le())).collect();
+        profiles.push(profile);
+    }
+
+    Ok((
+        Dataset { num_users, registered, edges, mentions },
+        GroundTruth { profiles, edge_truth, mention_truth },
+    ))
+}
+
+/// Serialises `(dataset, truth)` as pretty JSON.
+pub fn to_json(dataset: &Dataset, truth: &GroundTruth) -> String {
+    #[derive(serde::Serialize)]
+    struct Snapshot<'a> {
+        dataset: &'a Dataset,
+        truth: &'a GroundTruth,
+    }
+    serde_json::to_string_pretty(&Snapshot { dataset, truth }).expect("snapshot serialises")
+}
+
+/// Parses the JSON produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<(Dataset, GroundTruth), serde_json::Error> {
+    #[derive(serde::Deserialize)]
+    struct Snapshot {
+        dataset: Dataset,
+        truth: GroundTruth,
+    }
+    let s: Snapshot = serde_json::from_str(json)?;
+    Ok((s.dataset, s.truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Generator, GeneratorConfig};
+    use mlp_gazetteer::Gazetteer;
+
+    fn sample() -> (Dataset, GroundTruth) {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 200, seed: 77, ..Default::default() },
+        )
+        .generate();
+        (data.dataset, data.truth)
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let (d, t) = sample();
+        let bytes = encode(&d, &t);
+        let (d2, t2) = decode(bytes).unwrap();
+        assert_eq!(d, d2);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (d, t) = sample();
+        let json = to_json(&d, &t);
+        let (d2, t2) = from_json(&json).unwrap();
+        assert_eq!(d, d2);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode(Bytes::from_static(&[0u8; 32])).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic(_)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (d, t) = sample();
+        let bytes = encode(&d, &t);
+        for cut in [4usize, 9, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(bytes.slice(..cut)).unwrap_err();
+            assert_eq!(err, DecodeError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (d, t) = sample();
+        let mut raw = encode(&d, &t).to_vec();
+        raw[4] = 0xFF;
+        let err = decode(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, DecodeError::BadVersion(_)));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        // Craft a minimal snapshot with an invalid edge tag.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u32_le(2); // users
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u64_le(1); // one edge
+        buf.put_u32_le(0);
+        buf.put_u32_le(1);
+        buf.put_u8(9); // invalid tag
+        let err = decode(buf.freeze()).unwrap_err();
+        assert_eq!(err, DecodeError::BadTag(9));
+    }
+
+    #[test]
+    fn unlabeled_users_survive_round_trip() {
+        let (mut d, t) = sample();
+        d.registered[0] = None;
+        d.registered[5] = None;
+        let (d2, _) = decode(encode(&d, &t)).unwrap();
+        assert_eq!(d2.registered[0], None);
+        assert_eq!(d2.registered[5], None);
+        assert_eq!(d, d2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mlp_gazetteer::{CityId, VenueId};
+    use proptest::prelude::*;
+
+    /// Arbitrary small-but-structurally-valid dataset + truth pair.
+    fn arb_snapshot() -> impl Strategy<Value = (Dataset, GroundTruth)> {
+        let users = 2u32..20;
+        users.prop_flat_map(|n| {
+            let reg = prop::collection::vec(prop::option::of(0u32..50), n as usize);
+            let edges = prop::collection::vec(
+                (0..n, 0..n, prop::option::of((0u32..50, 0u32..50))),
+                0..30,
+            );
+            let mentions =
+                prop::collection::vec((0..n, 0u32..80, prop::option::of(0u32..50)), 0..40);
+            let profiles = prop::collection::vec(
+                prop::collection::vec((0u32..50, 0.01f64..1.0), 1..3),
+                n as usize,
+            );
+            (Just(n), reg, edges, mentions, profiles).prop_map(
+                |(n, reg, edges, mentions, profiles)| {
+                    let dataset = Dataset {
+                        num_users: n,
+                        registered: reg.into_iter().map(|o| o.map(CityId)).collect(),
+                        edges: edges
+                            .iter()
+                            .map(|&(a, b, _)| FollowEdge {
+                                follower: UserId(a),
+                                friend: UserId(b),
+                            })
+                            .collect(),
+                        mentions: mentions
+                            .iter()
+                            .map(|&(u, v, _)| TweetMention {
+                                user: UserId(u),
+                                venue: VenueId(v),
+                            })
+                            .collect(),
+                    };
+                    let truth = GroundTruth {
+                        profiles: profiles
+                            .into_iter()
+                            .map(|p| {
+                                let total: f64 = p.iter().map(|&(_, w)| w).sum();
+                                let mut p: Vec<(CityId, f64)> = p
+                                    .into_iter()
+                                    .map(|(c, w)| (CityId(c), w / total))
+                                    .collect();
+                                p.sort_by(|a, b| {
+                                    b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
+                                });
+                                p
+                            })
+                            .collect(),
+                        edge_truth: edges
+                            .iter()
+                            .map(|&(_, _, t)| match t {
+                                None => EdgeTruth::Noisy,
+                                Some((x, y)) => {
+                                    EdgeTruth::Based { x: CityId(x), y: CityId(y) }
+                                }
+                            })
+                            .collect(),
+                        mention_truth: mentions
+                            .iter()
+                            .map(|&(_, _, t)| match t {
+                                None => MentionTruth::Noisy,
+                                Some(z) => MentionTruth::Based { z: CityId(z) },
+                            })
+                            .collect(),
+                    };
+                    (dataset, truth)
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Binary encode/decode is the identity on arbitrary snapshots.
+        #[test]
+        fn binary_round_trip_arbitrary((dataset, truth) in arb_snapshot()) {
+            let (d2, t2) = decode(encode(&dataset, &truth)).unwrap();
+            prop_assert_eq!(dataset, d2);
+            prop_assert_eq!(truth, t2);
+        }
+
+        /// JSON encode/decode preserves all ids/tags exactly and profile
+        /// weights to within one ulp (serde_json's float printing can lose
+        /// the last bit; the binary codec is the exact format).
+        #[test]
+        fn json_round_trip_arbitrary((dataset, truth) in arb_snapshot()) {
+            let (d2, t2) = from_json(&to_json(&dataset, &truth)).unwrap();
+            prop_assert_eq!(&dataset, &d2);
+            prop_assert_eq!(&truth.edge_truth, &t2.edge_truth);
+            prop_assert_eq!(&truth.mention_truth, &t2.mention_truth);
+            prop_assert_eq!(truth.profiles.len(), t2.profiles.len());
+            for (pa, pb) in truth.profiles.iter().zip(&t2.profiles) {
+                prop_assert_eq!(pa.len(), pb.len());
+                for (&(ca, wa), &(cb, wb)) in pa.iter().zip(pb) {
+                    prop_assert_eq!(ca, cb);
+                    prop_assert!((wa - wb).abs() <= wa.abs() * 1e-15);
+                }
+            }
+        }
+
+        /// Any truncation of a valid snapshot fails cleanly (never panics,
+        /// never returns Ok with silently-wrong data sizes).
+        #[test]
+        fn truncation_never_panics((dataset, truth) in arb_snapshot(), frac in 0.0f64..1.0) {
+            let bytes = encode(&dataset, &truth);
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            if cut < bytes.len() {
+                let result = decode(bytes.slice(..cut));
+                prop_assert!(result.is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-validation folds over labeled users.
+//!
+//! The paper evaluates home-location prediction with five-fold validation:
+//! "we used 80% of users as labeled users and 20% of users as unlabeled
+//! users and reported our results based on the average of 5 runs" (Sec. 5.1).
+
+use crate::model::{Dataset, UserId};
+use mlp_sampling::{Pcg64, SplitMix64};
+
+/// A k-fold partition of a dataset's labeled users.
+#[derive(Debug, Clone)]
+pub struct Folds {
+    folds: Vec<Vec<UserId>>,
+}
+
+impl Folds {
+    /// Splits the labeled users of `dataset` into `k` near-equal folds,
+    /// shuffled deterministically by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the dataset has fewer labeled users than `k`.
+    pub fn split(dataset: &Dataset, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one fold");
+        let mut labeled: Vec<UserId> = dataset.labeled_users().collect();
+        assert!(labeled.len() >= k, "{} labeled users cannot fill {k} folds", labeled.len());
+        let mut rng = Pcg64::new(SplitMix64::derive(seed, 0xF01D));
+        // Fisher–Yates.
+        for i in (1..labeled.len()).rev() {
+            let j = rng.next_bounded(i + 1);
+            labeled.swap(i, j);
+        }
+        let mut folds = vec![Vec::new(); k];
+        for (i, u) in labeled.into_iter().enumerate() {
+            folds[i % k].push(u);
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The held-out users of fold `i` (the test set of run `i`).
+    pub fn test_users(&self, i: usize) -> &[UserId] {
+        &self.folds[i]
+    }
+
+    /// The train-view dataset for fold `i`: registered locations of the
+    /// fold's test users are masked.
+    pub fn train_view(&self, dataset: &Dataset, i: usize) -> Dataset {
+        dataset.mask_users(&self.folds[i])
+    }
+
+    /// Iterates `(fold_index, test_users)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[UserId])> {
+        self.folds.iter().enumerate().map(|(i, f)| (i, f.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_gazetteer::CityId;
+
+    fn dataset(n: u32, labeled: u32) -> Dataset {
+        let mut d = Dataset::new(n);
+        for i in 0..labeled {
+            d.registered[i as usize] = Some(CityId(0));
+        }
+        d
+    }
+
+    #[test]
+    fn folds_partition_labeled_users() {
+        let d = dataset(100, 50);
+        let folds = Folds::split(&d, 5, 1);
+        assert_eq!(folds.k(), 5);
+        let mut all: Vec<UserId> = folds.iter().flat_map(|(_, f)| f.to_vec()).collect();
+        assert_eq!(all.len(), 50);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 50, "no user appears twice");
+        for (_, f) in folds.iter() {
+            assert_eq!(f.len(), 10);
+        }
+    }
+
+    #[test]
+    fn unlabeled_users_never_in_folds() {
+        let d = dataset(100, 30);
+        let folds = Folds::split(&d, 5, 2);
+        for (_, f) in folds.iter() {
+            for u in f {
+                assert!(u.0 < 30);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset(60, 60);
+        let a = Folds::split(&d, 5, 9);
+        let b = Folds::split(&d, 5, 9);
+        for i in 0..5 {
+            assert_eq!(a.test_users(i), b.test_users(i));
+        }
+        let c = Folds::split(&d, 5, 10);
+        assert_ne!(a.test_users(0), c.test_users(0));
+    }
+
+    #[test]
+    fn train_view_masks_only_the_fold() {
+        let d = dataset(20, 20);
+        let folds = Folds::split(&d, 4, 3);
+        let view = folds.train_view(&d, 0);
+        assert_eq!(view.num_labeled(), 15);
+        for u in folds.test_users(0) {
+            assert!(view.registered[u.index()].is_none());
+        }
+        // Other folds' users stay labeled.
+        for u in folds.test_users(1) {
+            assert!(view.registered[u.index()].is_some());
+        }
+    }
+
+    #[test]
+    fn uneven_split_differs_by_at_most_one() {
+        let d = dataset(23, 23);
+        let folds = Folds::split(&d, 5, 4);
+        let sizes: Vec<usize> = folds.iter().map(|(_, f)| f.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn too_few_labeled_users_panics() {
+        let d = dataset(10, 3);
+        Folds::split(&d, 5, 1);
+    }
+}

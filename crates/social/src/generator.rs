@@ -1,0 +1,716 @@
+//! Synthetic Twitter generator.
+//!
+//! Produces a [`Dataset`] plus exact [`GroundTruth`] by running the paper's
+//! own generative story (Sec. 4.4) forward, with the published crawl
+//! statistics as defaults:
+//!
+//! 1. every user gets a true multi-location profile θ_i (home city sampled
+//!    by population; a college/work city for the multi-location cohort);
+//! 2. tweeting relationships: `ν ~ Bern(ρ_t)` selects the random model
+//!    (global venue popularity) or the location-based model (a per-city
+//!    venue multinomial ψ_l mixing local venues, nearby city names, and far
+//!    popular cities — the shape of Fig. 3(b));
+//! 3. following relationships: `μ ~ Bern(ρ_f)` selects the random model
+//!    (celebrity/uniform follows) or the location-based model: draw
+//!    `x ~ θ_i`, draw the friend's city `y` with probability
+//!    `∝ users(y) · d(x,y)^α` (the power law of Fig. 3(a)), then a uniform
+//!    user living at `y`;
+//! 4. registered home locations are exposed for a configurable fraction of
+//!    users (the paper's dataset construction keeps exactly the users whose
+//!    profiles carry city-level locations).
+
+use crate::model::{Dataset, FollowEdge, TweetMention, UserId};
+use crate::truth::{EdgeTruth, GroundTruth, MentionTruth};
+use mlp_gazetteer::{CityId, Gazetteer, VenueId, VenueKind};
+use mlp_geo::PowerLaw;
+use mlp_sampling::{sample_poisson, AliasTable, Pcg64, SplitMix64};
+
+/// All knobs of the synthetic generator. Defaults mirror the statistics the
+/// paper reports for its crawl (Sec. 5, "Data Collection").
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of users to generate.
+    pub num_users: usize,
+    /// Master seed; the output is a pure function of `(gazetteer, config)`.
+    pub seed: u64,
+    /// Mean friends per user (paper: 14.8).
+    pub mean_friends: f64,
+    /// Mean tweeted venues per user (paper: 29.0).
+    pub mean_mentions: f64,
+    /// Fraction of users with a second long-term location (the paper's
+    /// hand-labeled sample found 585 of 1,000 inspected users, but those
+    /// were pre-filtered; we default to a more conservative 0.35).
+    pub multi_location_fraction: f64,
+    /// Probability that a multi-location user has a third location.
+    pub third_location_fraction: f64,
+    /// Probability that the second location is nearby (suburb/metro move)
+    /// rather than a far relocation (college/work move).
+    pub nearby_second_fraction: f64,
+    /// Radius for "nearby" second locations, miles.
+    pub nearby_radius_miles: f64,
+    /// ρ_f: probability a following relationship is noisy (random model).
+    pub noisy_edge_fraction: f64,
+    /// ρ_t: probability a tweeting relationship is noisy (random model).
+    pub noisy_mention_fraction: f64,
+    /// The distance power law generating location-based follows.
+    pub power_law: PowerLaw,
+    /// Fraction of users whose registered home location is exposed.
+    pub registered_fraction: f64,
+    /// Fraction of *exposed* registered locations that are wrong (a random
+    /// other city). The paper takes registered locations as truth but
+    /// acknowledges "some registered locations are incorrect"; this knob
+    /// quantifies how much label noise each method tolerates.
+    pub label_noise_fraction: f64,
+    /// Fraction of users acting as celebrities that attract noisy follows.
+    pub celebrity_fraction: f64,
+    /// ψ_l mixture: mass on the city's own venues.
+    pub psi_own_weight: f64,
+    /// ψ_l mixture: mass on nearby cities' names.
+    pub psi_nearby_weight: f64,
+    /// ψ_l mixture: mass on far popular cities' names.
+    pub psi_popular_weight: f64,
+    /// Radius defining "nearby" venues in ψ_l, miles.
+    pub psi_nearby_radius: f64,
+    /// How many of the most populous cities form the "popular" venue pool.
+    pub psi_popular_k: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 2_000,
+            seed: 42,
+            mean_friends: 14.8,
+            mean_mentions: 29.0,
+            multi_location_fraction: 0.35,
+            third_location_fraction: 0.08,
+            nearby_second_fraction: 0.4,
+            nearby_radius_miles: 150.0,
+            noisy_edge_fraction: 0.15,
+            noisy_mention_fraction: 0.20,
+            power_law: PowerLaw::PAPER_TWITTER,
+            registered_fraction: 1.0,
+            label_noise_fraction: 0.0,
+            celebrity_fraction: 0.005,
+            psi_own_weight: 0.55,
+            psi_nearby_weight: 0.25,
+            psi_popular_weight: 0.20,
+            psi_nearby_radius: 100.0,
+            psi_popular_k: 30,
+        }
+    }
+}
+
+/// Output of one generator run.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// The observable dataset.
+    pub dataset: Dataset,
+    /// The exact generator-side truth.
+    pub truth: GroundTruth,
+}
+
+/// The generator itself; borrows the gazetteer it draws cities from.
+pub struct Generator<'g> {
+    gaz: &'g Gazetteer,
+    config: GeneratorConfig,
+}
+
+impl<'g> Generator<'g> {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    /// Panics if the config is degenerate (no users, non-probability
+    /// fractions, non-positive means).
+    pub fn new(gaz: &'g Gazetteer, config: GeneratorConfig) -> Self {
+        assert!(config.num_users > 0, "need at least one user");
+        assert!(config.mean_friends > 0.0 && config.mean_mentions > 0.0);
+        for (name, p) in [
+            ("multi_location_fraction", config.multi_location_fraction),
+            ("third_location_fraction", config.third_location_fraction),
+            ("nearby_second_fraction", config.nearby_second_fraction),
+            ("noisy_edge_fraction", config.noisy_edge_fraction),
+            ("noisy_mention_fraction", config.noisy_mention_fraction),
+            ("registered_fraction", config.registered_fraction),
+            ("label_noise_fraction", config.label_noise_fraction),
+            ("celebrity_fraction", config.celebrity_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} is not a probability");
+        }
+        Self { gaz, config }
+    }
+
+    /// Runs the full generative process.
+    pub fn generate(&self) -> GeneratedData {
+        let profiles = self.generate_profiles();
+        let users_at = self.index_users_by_city(&profiles);
+        let (mentions, mention_truth) = self.generate_mentions(&profiles);
+        let (edges, edge_truth) = self.generate_edges(&profiles, &users_at);
+        let registered = self.generate_registrations(&profiles);
+
+        let dataset = Dataset {
+            num_users: self.config.num_users as u32,
+            registered,
+            edges,
+            mentions,
+        };
+        let truth = GroundTruth { profiles, edge_truth, mention_truth };
+        debug_assert_eq!(
+            dataset.validate(self.gaz.num_cities(), self.gaz.num_venues()),
+            Ok(())
+        );
+        debug_assert_eq!(truth.validate(self.gaz.num_cities()), Ok(()));
+        GeneratedData { dataset, truth }
+    }
+
+    fn phase_rng(&self, phase: u64) -> Pcg64 {
+        Pcg64::new(SplitMix64::derive(self.config.seed, phase))
+    }
+
+    /// Step 1: true multi-location profiles.
+    fn generate_profiles(&self) -> Vec<Vec<(CityId, f64)>> {
+        let mut rng = self.phase_rng(1);
+        let pop_alias =
+            AliasTable::new(&self.gaz.population_weights()).expect("positive populations");
+        let mut profiles = Vec::with_capacity(self.config.num_users);
+        for _ in 0..self.config.num_users {
+            let home = CityId(pop_alias.sample(&mut rng) as u32);
+            let mut profile = vec![(home, 1.0)];
+            if rng.bernoulli(self.config.multi_location_fraction) {
+                if let Some(second) = self.pick_second_location(&mut rng, home, &pop_alias) {
+                    profile = vec![(home, 0.65), (second, 0.35)];
+                    if rng.bernoulli(self.config.third_location_fraction) {
+                        if let Some(third) =
+                            self.pick_distinct_city(&mut rng, &pop_alias, &[home, second])
+                        {
+                            profile = vec![(home, 0.60), (second, 0.28), (third, 0.12)];
+                        }
+                    }
+                }
+            }
+            profiles.push(profile);
+        }
+        profiles
+    }
+
+    /// A second location: nearby suburb/metro move or far relocation.
+    fn pick_second_location(
+        &self,
+        rng: &mut Pcg64,
+        home: CityId,
+        pop_alias: &AliasTable,
+    ) -> Option<CityId> {
+        if rng.bernoulli(self.config.nearby_second_fraction) {
+            let nearby: Vec<CityId> = self
+                .gaz
+                .cities_within(home, self.config.nearby_radius_miles)
+                .into_iter()
+                .filter(|&c| c != home)
+                .collect();
+            if nearby.is_empty() {
+                return self.pick_distinct_city(rng, pop_alias, &[home]);
+            }
+            let weights: Vec<f64> =
+                nearby.iter().map(|&c| self.gaz.city(c).population as f64).collect();
+            let table = AliasTable::new(&weights)?;
+            Some(nearby[table.sample(rng)])
+        } else {
+            self.pick_distinct_city(rng, pop_alias, &[home])
+        }
+    }
+
+    fn pick_distinct_city(
+        &self,
+        rng: &mut Pcg64,
+        pop_alias: &AliasTable,
+        exclude: &[CityId],
+    ) -> Option<CityId> {
+        for _ in 0..64 {
+            let c = CityId(pop_alias.sample(rng) as u32);
+            if !exclude.contains(&c) {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// city → users whose true profile contains it.
+    fn index_users_by_city(&self, profiles: &[Vec<(CityId, f64)>]) -> Vec<Vec<UserId>> {
+        let mut users_at = vec![Vec::new(); self.gaz.num_cities()];
+        for (i, profile) in profiles.iter().enumerate() {
+            for &(c, _) in profile {
+                users_at[c.index()].push(UserId(i as u32));
+            }
+        }
+        users_at
+    }
+
+    /// Step 2: tweeting relationships.
+    fn generate_mentions(
+        &self,
+        profiles: &[Vec<(CityId, f64)>],
+    ) -> (Vec<TweetMention>, Vec<MentionTruth>) {
+        let mut rng = self.phase_rng(2);
+        let (popular_ids, popular_alias) = self.global_venue_popularity();
+        let mut psi_cache: Vec<Option<(Vec<VenueId>, AliasTable)>> =
+            vec![None; self.gaz.num_cities()];
+        let mut mentions = Vec::new();
+        let mut truths = Vec::new();
+        for (i, profile) in profiles.iter().enumerate() {
+            let count = sample_poisson(&mut rng, self.config.mean_mentions);
+            for _ in 0..count {
+                if rng.bernoulli(self.config.noisy_mention_fraction) {
+                    let venue = popular_ids[popular_alias.sample(&mut rng)];
+                    mentions.push(TweetMention { user: UserId(i as u32), venue });
+                    truths.push(MentionTruth::Noisy);
+                } else {
+                    let z = sample_profile(&mut rng, profile);
+                    let (ids, table) = self.psi(&mut psi_cache, z);
+                    let venue = ids[table.sample(&mut rng)];
+                    mentions.push(TweetMention { user: UserId(i as u32), venue });
+                    truths.push(MentionTruth::Based { z });
+                }
+            }
+        }
+        (mentions, truths)
+    }
+
+    /// The random tweeting model T_R: global venue popularity ∝ the summed
+    /// population behind each venue name.
+    fn global_venue_popularity(&self) -> (Vec<VenueId>, AliasTable) {
+        let mut ids = Vec::new();
+        let mut weights = Vec::new();
+        for (v, venue) in self.gaz.venues().iter().enumerate() {
+            let pop: f64 =
+                venue.cities.iter().map(|&c| self.gaz.city(c).population as f64).sum();
+            let w = match venue.kind {
+                VenueKind::CityName => pop,
+                VenueKind::LocalEntity => pop * 0.15,
+            };
+            if w > 0.0 {
+                ids.push(VenueId(v as u32));
+                weights.push(w);
+            }
+        }
+        let table = AliasTable::new(&weights).expect("gazetteer has venues");
+        (ids, table)
+    }
+
+    /// Lazily builds ψ_l for city `l`: own venues + nearby city names + far
+    /// popular city names, with the configured mixture masses.
+    fn psi<'a>(
+        &self,
+        cache: &'a mut Vec<Option<(Vec<VenueId>, AliasTable)>>,
+        l: CityId,
+    ) -> &'a (Vec<VenueId>, AliasTable) {
+        if cache[l.index()].is_none() {
+            let mut ids = Vec::new();
+            let mut weights = Vec::new();
+
+            // Own venues: the city's name counts double its local entities.
+            let own = self.gaz.venues_of_city(l);
+            let own_unit = self.config.psi_own_weight / (own.len() as f64 + 1.0);
+            for &v in own {
+                let w = match self.gaz.venue(v).kind {
+                    VenueKind::CityName => 2.0 * own_unit,
+                    VenueKind::LocalEntity => own_unit,
+                };
+                ids.push(v);
+                weights.push(w);
+            }
+
+            // Nearby cities: weight ∝ population / (distance + 10).
+            let nearby: Vec<CityId> = self
+                .gaz
+                .cities_within(l, self.config.psi_nearby_radius)
+                .into_iter()
+                .filter(|&c| c != l)
+                .collect();
+            if !nearby.is_empty() {
+                let raw: Vec<f64> = nearby
+                    .iter()
+                    .map(|&c| {
+                        self.gaz.city(c).population as f64 / (self.gaz.distance(l, c) + 10.0)
+                    })
+                    .collect();
+                let total: f64 = raw.iter().sum();
+                for (&c, &r) in nearby.iter().zip(&raw) {
+                    if let Some(&v) = self.gaz.venues_of_city(c).first() {
+                        ids.push(v);
+                        weights.push(self.config.psi_nearby_weight * r / total);
+                    }
+                }
+            }
+
+            // Far popular cities (Hollywood-from-Austin effect).
+            let mut by_pop: Vec<CityId> =
+                (0..self.gaz.num_cities() as u32).map(CityId).collect();
+            by_pop.sort_by_key(|&c| std::cmp::Reverse(self.gaz.city(c).population));
+            let popular: Vec<CityId> = by_pop
+                .into_iter()
+                .filter(|&c| c != l)
+                .take(self.config.psi_popular_k)
+                .collect();
+            let pop_total: f64 =
+                popular.iter().map(|&c| self.gaz.city(c).population as f64).sum();
+            for &c in &popular {
+                if let Some(&v) = self.gaz.venues_of_city(c).first() {
+                    ids.push(v);
+                    weights.push(
+                        self.config.psi_popular_weight * self.gaz.city(c).population as f64
+                            / pop_total,
+                    );
+                }
+            }
+
+            let table = AliasTable::new(&weights).expect("psi weights are positive");
+            cache[l.index()] = Some((ids, table));
+        }
+        cache[l.index()].as_ref().expect("just built")
+    }
+
+    /// Step 3: following relationships.
+    fn generate_edges(
+        &self,
+        profiles: &[Vec<(CityId, f64)>],
+        users_at: &[Vec<UserId>],
+    ) -> (Vec<FollowEdge>, Vec<EdgeTruth>) {
+        let mut rng = self.phase_rng(3);
+        let n = self.config.num_users;
+
+        // Celebrity pool with Zipf-ish attractiveness.
+        let num_celebs = ((n as f64 * self.config.celebrity_fraction).ceil() as usize).max(1);
+        let celebs: Vec<UserId> =
+            (0..num_celebs).map(|_| UserId(rng.next_bounded(n) as u32)).collect();
+        let celeb_weights: Vec<f64> =
+            (0..num_celebs).map(|r| 1.0 / (1.0 + r as f64)).collect();
+        let celeb_alias = AliasTable::new(&celeb_weights).expect("non-empty celebrity pool");
+
+        // Friend-city alias tables, cached per follower assignment x:
+        // weight(y) ∝ |users(y)| · d(x, y)^α.
+        let mut city_alias: Vec<Option<AliasTable>> = vec![None; self.gaz.num_cities()];
+        let city_user_counts: Vec<f64> =
+            users_at.iter().map(|u| u.len() as f64).collect();
+
+        let mut seen = std::collections::HashSet::new();
+        let mut edges = Vec::new();
+        let mut truths = Vec::new();
+        for i in 0..n {
+            let follower = UserId(i as u32);
+            let count = sample_poisson(&mut rng, self.config.mean_friends);
+            for _ in 0..count {
+                let (edge, truth) = if rng.bernoulli(self.config.noisy_edge_fraction) {
+                    self.noisy_edge(&mut rng, follower, &celebs, &celeb_alias)
+                } else {
+                    match self.based_edge(
+                        &mut rng,
+                        follower,
+                        &profiles[i],
+                        users_at,
+                        &city_user_counts,
+                        &mut city_alias,
+                    ) {
+                        Some(pair) => pair,
+                        None => self.noisy_edge(&mut rng, follower, &celebs, &celeb_alias),
+                    }
+                };
+                if seen.insert((edge.follower, edge.friend)) {
+                    edges.push(edge);
+                    truths.push(truth);
+                }
+            }
+        }
+        (edges, truths)
+    }
+
+    fn noisy_edge(
+        &self,
+        rng: &mut Pcg64,
+        follower: UserId,
+        celebs: &[UserId],
+        celeb_alias: &AliasTable,
+    ) -> (FollowEdge, EdgeTruth) {
+        let n = self.config.num_users;
+        // 70% of noisy follows hit the celebrity pool, the rest are uniform.
+        let friend = loop {
+            let candidate = if rng.bernoulli(0.7) {
+                celebs[celeb_alias.sample(rng)]
+            } else {
+                UserId(rng.next_bounded(n) as u32)
+            };
+            if candidate != follower {
+                break candidate;
+            }
+            if n == 1 {
+                break candidate; // degenerate single-user dataset
+            }
+        };
+        (FollowEdge { follower, friend }, EdgeTruth::Noisy)
+    }
+
+    fn based_edge(
+        &self,
+        rng: &mut Pcg64,
+        follower: UserId,
+        profile: &[(CityId, f64)],
+        users_at: &[Vec<UserId>],
+        city_user_counts: &[f64],
+        city_alias: &mut Vec<Option<AliasTable>>,
+    ) -> Option<(FollowEdge, EdgeTruth)> {
+        let x = sample_profile(rng, profile);
+        if city_alias[x.index()].is_none() {
+            let row = self.gaz.distances().row(x.index());
+            let weights: Vec<f64> = row
+                .iter()
+                .zip(city_user_counts)
+                .map(|(&d, &cnt)| {
+                    if cnt == 0.0 {
+                        0.0
+                    } else {
+                        cnt * self.config.power_law.kernel(d as f64)
+                    }
+                })
+                .collect();
+            city_alias[x.index()] = AliasTable::new(&weights);
+        }
+        let table = city_alias[x.index()].as_ref()?;
+        for _ in 0..16 {
+            let y = CityId(table.sample(rng) as u32);
+            let pool = &users_at[y.index()];
+            if pool.is_empty() {
+                continue;
+            }
+            let friend = pool[rng.next_bounded(pool.len())];
+            if friend != follower {
+                return Some((FollowEdge { follower, friend }, EdgeTruth::Based { x, y }));
+            }
+        }
+        None
+    }
+
+    /// Step 4: expose registered home locations, optionally corrupted.
+    fn generate_registrations(&self, profiles: &[Vec<(CityId, f64)>]) -> Vec<Option<CityId>> {
+        let mut rng = self.phase_rng(4);
+        let n_cities = self.gaz.num_cities();
+        profiles
+            .iter()
+            .map(|p| {
+                if !rng.bernoulli(self.config.registered_fraction) {
+                    return None;
+                }
+                if self.config.label_noise_fraction > 0.0
+                    && rng.bernoulli(self.config.label_noise_fraction)
+                {
+                    // A wrong label: any city other than the true home.
+                    loop {
+                        let c = CityId(rng.next_bounded(n_cities) as u32);
+                        if c != p[0].0 || n_cities == 1 {
+                            return Some(c);
+                        }
+                    }
+                }
+                Some(p[0].0)
+            })
+            .collect()
+    }
+}
+
+/// Draws a city from a sparse profile (weights sum to 1).
+fn sample_profile(rng: &mut Pcg64, profile: &[(CityId, f64)]) -> CityId {
+    let mut u = rng.next_f64();
+    for &(c, w) in profile {
+        u -= w;
+        if u < 0.0 {
+            return c;
+        }
+    }
+    profile.last().expect("profiles are non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_gaz() -> Gazetteer {
+        Gazetteer::us_cities()
+    }
+
+    fn generate(num_users: usize, seed: u64) -> GeneratedData {
+        let gaz = small_gaz();
+        let config = GeneratorConfig { num_users, seed, ..Default::default() };
+        Generator::new(&gaz, config).generate()
+    }
+
+    #[test]
+    fn output_is_valid() {
+        let gaz = small_gaz();
+        let data = generate(500, 7);
+        assert_eq!(data.dataset.validate(gaz.num_cities(), gaz.num_venues()), Ok(()));
+        assert_eq!(data.truth.validate(gaz.num_cities()), Ok(()));
+        assert_eq!(data.dataset.num_users(), 500);
+        assert_eq!(data.dataset.edges.len(), data.truth.edge_truth.len());
+        assert_eq!(data.dataset.mentions.len(), data.truth.mention_truth.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(300, 11);
+        let b = generate(300, 11);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(300, 1);
+        let b = generate(300, 2);
+        assert_ne!(a.dataset.edges, b.dataset.edges);
+    }
+
+    #[test]
+    fn mean_degrees_match_config() {
+        let data = generate(2_000, 13);
+        let mean_friends = data.dataset.num_edges() as f64 / 2_000.0;
+        // Dedup trims a little below the Poisson mean; stay within 15%.
+        assert!(
+            (mean_friends - 14.8).abs() < 2.2,
+            "mean friends {mean_friends}"
+        );
+        let mean_mentions = data.dataset.num_mentions() as f64 / 2_000.0;
+        assert!((mean_mentions - 29.0).abs() < 1.5, "mean mentions {mean_mentions}");
+    }
+
+    #[test]
+    fn multi_location_fraction_matches_config() {
+        let data = generate(2_000, 17);
+        let multi = data.truth.multi_location_users().len() as f64 / 2_000.0;
+        assert!((multi - 0.35).abs() < 0.04, "multi fraction {multi}");
+    }
+
+    #[test]
+    fn noisy_fractions_match_config() {
+        let data = generate(2_000, 19);
+        let noisy_edges = data
+            .truth
+            .edge_truth
+            .iter()
+            .filter(|t| matches!(t, EdgeTruth::Noisy))
+            .count() as f64
+            / data.dataset.num_edges() as f64;
+        // Fallbacks convert a few location-based draws into noisy ones.
+        assert!((0.10..0.25).contains(&noisy_edges), "noisy edge rate {noisy_edges}");
+        let noisy_mentions = data
+            .truth
+            .mention_truth
+            .iter()
+            .filter(|t| matches!(t, MentionTruth::Noisy))
+            .count() as f64
+            / data.dataset.num_mentions() as f64;
+        assert!((0.15..0.26).contains(&noisy_mentions), "noisy mention rate {noisy_mentions}");
+    }
+
+    #[test]
+    fn based_edges_respect_truth_assignments() {
+        let gaz = small_gaz();
+        let data = generate(800, 23);
+        for (e, t) in data.dataset.edges.iter().zip(&data.truth.edge_truth) {
+            if let EdgeTruth::Based { x, y } = t {
+                let fp = &data.truth.profiles[e.follower.index()];
+                let gp = &data.truth.profiles[e.friend.index()];
+                assert!(fp.iter().any(|&(c, _)| c == *x), "x not in follower profile");
+                assert!(gp.iter().any(|&(c, _)| c == *y), "y not in friend profile");
+                assert!(x.index() < gaz.num_cities());
+            }
+        }
+    }
+
+    #[test]
+    fn based_mentions_respect_truth_assignments() {
+        let data = generate(500, 29);
+        for (m, t) in data.dataset.mentions.iter().zip(&data.truth.mention_truth) {
+            if let MentionTruth::Based { z } = t {
+                let p = &data.truth.profiles[m.user.index()];
+                assert!(p.iter().any(|&(c, _)| c == *z), "z not in user profile");
+            }
+        }
+    }
+
+    #[test]
+    fn based_edges_are_distance_skewed() {
+        // Location-based edges should be dramatically closer than noisy
+        // ones: the whole premise of Fig. 3(a).
+        let gaz = small_gaz();
+        let data = generate(2_000, 31);
+        let mut based = Vec::new();
+        let mut noisy = Vec::new();
+        for (e, t) in data.dataset.edges.iter().zip(&data.truth.edge_truth) {
+            let hf = data.truth.profiles[e.follower.index()][0].0;
+            let hg = data.truth.profiles[e.friend.index()][0].0;
+            let d = gaz.distance(hf, hg);
+            match t {
+                EdgeTruth::Based { .. } => based.push(d),
+                EdgeTruth::Noisy => noisy.push(d),
+            }
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let med_based = med(&mut based);
+        let med_noisy = med(&mut noisy);
+        assert!(
+            med_based < med_noisy * 0.5,
+            "based median {med_based} vs noisy {med_noisy}"
+        );
+    }
+
+    #[test]
+    fn registered_fraction_respected() {
+        let gaz = small_gaz();
+        let config = GeneratorConfig {
+            num_users: 1_000,
+            seed: 37,
+            registered_fraction: 0.16, // Twitter-wide rate from the paper
+            ..Default::default()
+        };
+        let data = Generator::new(&gaz, config).generate();
+        let frac = data.dataset.num_labeled() as f64 / 1_000.0;
+        assert!((frac - 0.16).abs() < 0.04, "labeled fraction {frac}");
+        // Registered locations, where present, equal the true home.
+        for (i, r) in data.dataset.registered.iter().enumerate() {
+            if let Some(c) = r {
+                assert_eq!(*c, data.truth.home(UserId(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn label_noise_corrupts_the_requested_fraction() {
+        let gaz = small_gaz();
+        let config = GeneratorConfig {
+            num_users: 1_000,
+            seed: 97,
+            label_noise_fraction: 0.25,
+            ..Default::default()
+        };
+        let data = Generator::new(&gaz, config).generate();
+        let wrong = (0..1_000u32)
+            .filter(|&u| {
+                data.dataset.registered[u as usize]
+                    .is_some_and(|c| c != data.truth.home(UserId(u)))
+            })
+            .count();
+        let rate = wrong as f64 / data.dataset.num_labeled() as f64;
+        assert!((rate - 0.25).abs() < 0.05, "noise rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn bad_config_rejected() {
+        let gaz = small_gaz();
+        Generator::new(
+            &gaz,
+            GeneratorConfig { noisy_edge_fraction: 1.5, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! CSR adjacency over the following network.
+//!
+//! The sampler and the baselines repeatedly ask "who does u follow" and
+//! "who follows u". Building a compressed sparse row structure once turns
+//! both into slice lookups. Edge *indices* (not just neighbor ids) are
+//! stored so the Gibbs sampler can find the assignment state of each
+//! incident relationship.
+
+use crate::model::{Dataset, UserId};
+
+/// Bidirectional CSR adjacency; values are indices into `dataset.edges`.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    out_offsets: Vec<u32>,
+    out_edges: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<u32>,
+    /// Mention indices per user, CSR.
+    mention_offsets: Vec<u32>,
+    mention_ids: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Builds adjacency from a dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        let n = dataset.num_users();
+        let (out_offsets, out_edges) =
+            csr(n, dataset.edges.iter().map(|e| e.follower.index()));
+        let (in_offsets, in_edges) = csr(n, dataset.edges.iter().map(|e| e.friend.index()));
+        let (mention_offsets, mention_ids) =
+            csr(n, dataset.mentions.iter().map(|m| m.user.index()));
+        Self { out_offsets, out_edges, in_offsets, in_edges, mention_offsets, mention_ids }
+    }
+
+    /// Edge indices where `u` is the follower (u's "friends" edges).
+    #[inline]
+    pub fn out_edges(&self, u: UserId) -> &[u32] {
+        let i = u.index();
+        &self.out_edges[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+    }
+
+    /// Edge indices where `u` is the friend (u's "followers" edges).
+    #[inline]
+    pub fn in_edges(&self, u: UserId) -> &[u32] {
+        let i = u.index();
+        &self.in_edges[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+    }
+
+    /// Mention indices tweeted by `u`.
+    #[inline]
+    pub fn mentions_of(&self, u: UserId) -> &[u32] {
+        let i = u.index();
+        &self.mention_ids[self.mention_offsets[i] as usize..self.mention_offsets[i + 1] as usize]
+    }
+
+    /// Out-degree (number of friends) of `u`.
+    pub fn num_friends(&self, u: UserId) -> usize {
+        self.out_edges(u).len()
+    }
+
+    /// In-degree (number of followers) of `u`.
+    pub fn num_followers(&self, u: UserId) -> usize {
+        self.in_edges(u).len()
+    }
+}
+
+/// Builds CSR offsets + values from an item→bucket assignment stream.
+fn csr(n: usize, buckets: impl Iterator<Item = usize> + Clone) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; n + 1];
+    for b in buckets.clone() {
+        counts[b + 1] += 1;
+    }
+    for i in 1..=n {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts.clone();
+    let mut cursor = offsets.clone();
+    let mut values = vec![0u32; offsets[n] as usize];
+    for (idx, b) in buckets.enumerate() {
+        values[cursor[b] as usize] = idx as u32;
+        cursor[b] += 1;
+    }
+    (offsets, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FollowEdge, TweetMention};
+    use mlp_gazetteer::VenueId;
+
+    fn dataset() -> Dataset {
+        let mut d = Dataset::new(4);
+        let e = |a: u32, b: u32| FollowEdge { follower: UserId(a), friend: UserId(b) };
+        d.edges = vec![e(0, 1), e(0, 2), e(1, 0), e(3, 0), e(2, 1)];
+        let m = |u: u32, v: u32| TweetMention { user: UserId(u), venue: VenueId(v) };
+        d.mentions = vec![m(0, 5), m(0, 6), m(2, 5)];
+        d
+    }
+
+    #[test]
+    fn out_edges_index_the_dataset() {
+        let d = dataset();
+        let adj = Adjacency::build(&d);
+        let out0: Vec<u32> = adj.out_edges(UserId(0)).to_vec();
+        assert_eq!(out0, vec![0, 1]);
+        for &s in &out0 {
+            assert_eq!(d.edges[s as usize].follower, UserId(0));
+        }
+        assert_eq!(adj.num_friends(UserId(0)), 2);
+        assert_eq!(adj.num_friends(UserId(3)), 1);
+    }
+
+    #[test]
+    fn in_edges_index_the_dataset() {
+        let d = dataset();
+        let adj = Adjacency::build(&d);
+        let in0: Vec<u32> = adj.in_edges(UserId(0)).to_vec();
+        assert_eq!(in0.len(), 2);
+        for &s in &in0 {
+            assert_eq!(d.edges[s as usize].friend, UserId(0));
+        }
+        assert_eq!(adj.num_followers(UserId(1)), 2);
+        assert_eq!(adj.num_followers(UserId(3)), 0);
+    }
+
+    #[test]
+    fn mentions_per_user() {
+        let d = dataset();
+        let adj = Adjacency::build(&d);
+        assert_eq!(adj.mentions_of(UserId(0)), &[0, 1]);
+        assert_eq!(adj.mentions_of(UserId(2)), &[2]);
+        assert!(adj.mentions_of(UserId(1)).is_empty());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(2);
+        let adj = Adjacency::build(&d);
+        assert!(adj.out_edges(UserId(0)).is_empty());
+        assert!(adj.in_edges(UserId(1)).is_empty());
+        assert!(adj.mentions_of(UserId(0)).is_empty());
+    }
+
+    #[test]
+    fn edge_partition_is_complete() {
+        // Every edge appears exactly once in out-CSR and once in in-CSR.
+        let d = dataset();
+        let adj = Adjacency::build(&d);
+        let mut out_all: Vec<u32> =
+            (0..4).flat_map(|u| adj.out_edges(UserId(u)).to_vec()).collect();
+        out_all.sort_unstable();
+        assert_eq!(out_all, vec![0, 1, 2, 3, 4]);
+        let mut in_all: Vec<u32> =
+            (0..4).flat_map(|u| adj.in_edges(UserId(u)).to_vec()).collect();
+        in_all.sort_unstable();
+        assert_eq!(in_all, vec![0, 1, 2, 3, 4]);
+    }
+}

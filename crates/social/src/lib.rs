@@ -1,0 +1,39 @@
+//! Dataset substrate: the Twitter-like data the MLP model consumes.
+//!
+//! The paper's evaluation runs on a May-2011 crawl of 139,180 Twitter users
+//! (their following network, up to 600 tweets each, and registered city-level
+//! home locations). That crawl cannot be redistributed or re-collected, so
+//! this crate provides the substitution described in DESIGN.md:
+//!
+//! * [`model`] — the abstract data the paper defines in Sec. 3: users,
+//!   following relationships `f⟨i,j⟩`, tweeting relationships `t⟨i,j⟩`, and
+//!   observed home locations for labeled users.
+//! * [`graph`] — CSR adjacency over the following network.
+//! * [`truth`] — ground truth the real crawl never had: every user's true
+//!   multi-location profile and every relationship's true location
+//!   assignments (or noisy flag), enabling exact evaluation of all three of
+//!   the paper's tasks.
+//! * [`generator`] — a synthetic Twitter generator parameterised to the
+//!   crawl's published statistics (14.8 friends, 14.9 followers and 29.0
+//!   tweeted venues per user; distance power law with exponent ≈ −0.55;
+//!   noisy relationships; multi-location users).
+//! * [`folds`] — the 5-fold cross-validation split of Sec. 5.1.
+//! * [`stats`] — the dataset statistics the paper reports, recomputed on any
+//!   dataset (including the 92% candidacy-coverage figure of Sec. 4.3).
+//! * [`codec`] — binary and JSON snapshots so generated datasets can be
+//!   saved, shipped, and reloaded byte-identically.
+
+pub mod codec;
+pub mod folds;
+pub mod generator;
+pub mod graph;
+pub mod model;
+pub mod stats;
+pub mod truth;
+
+pub use folds::Folds;
+pub use generator::{GeneratedData, Generator, GeneratorConfig};
+pub use graph::Adjacency;
+pub use model::{Dataset, FollowEdge, TweetMention, UserId};
+pub use stats::{following_probability_histogram, DatasetStats};
+pub use truth::{EdgeTruth, GroundTruth, MentionTruth};

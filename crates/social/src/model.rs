@@ -1,0 +1,211 @@
+//! The abstract data of paper Sec. 3: users, following relationships,
+//! tweeting relationships, and partially observed home locations.
+
+use mlp_gazetteer::{CityId, VenueId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a user — the paper's `u_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+/// A following relationship `f⟨i,j⟩`: `follower` follows `friend`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FollowEdge {
+    /// The user who follows (the paper's `u_i`).
+    pub follower: UserId,
+    /// The user being followed (the paper's `u_j`).
+    pub friend: UserId,
+}
+
+/// A tweeting relationship `t⟨i,j⟩`: `user` mentioned `venue` in a tweet.
+///
+/// A user can mention the same venue many times; each mention is a separate
+/// relationship (the paper's `t_{1:K}` are token instances, not types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TweetMention {
+    /// The tweeting user.
+    pub user: UserId,
+    /// The venue name mentioned.
+    pub venue: VenueId,
+}
+
+/// The observed data for one profiling problem instance.
+///
+/// `registered` holds the home location a user exposes in their profile
+/// (`None` = unlabeled). The evaluation harness additionally *masks* a test
+/// fold of registered locations; see [`crate::folds`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Number of users `N`; user ids are `0..num_users`.
+    pub num_users: u32,
+    /// Registered (observed) home location per user, `None` if not exposed.
+    pub registered: Vec<Option<CityId>>,
+    /// All following relationships `f_{1:S}`.
+    pub edges: Vec<FollowEdge>,
+    /// All tweeting relationships `t_{1:K}`.
+    pub mentions: Vec<TweetMention>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset over `num_users` users.
+    pub fn new(num_users: u32) -> Self {
+        Self {
+            num_users,
+            registered: vec![None; num_users as usize],
+            edges: Vec::new(),
+            mentions: Vec::new(),
+        }
+    }
+
+    /// Number of users `N`.
+    pub fn num_users(&self) -> usize {
+        self.num_users as usize
+    }
+
+    /// Number of following relationships `S`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of tweeting relationships `K`.
+    pub fn num_mentions(&self) -> usize {
+        self.mentions.len()
+    }
+
+    /// Ids of labeled users `U*` (registered location present).
+    pub fn labeled_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.registered
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| UserId(i as u32))
+    }
+
+    /// Number of labeled users.
+    pub fn num_labeled(&self) -> usize {
+        self.registered.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Returns a copy with the registered locations of `mask` hidden —
+    /// the train view for one cross-validation fold.
+    pub fn mask_users(&self, mask: &[UserId]) -> Dataset {
+        let mut out = self.clone();
+        for &u in mask {
+            out.registered[u.index()] = None;
+        }
+        out
+    }
+
+    /// Validates internal consistency (ids in range); returns a description
+    /// of the first violation found.
+    pub fn validate(&self, num_cities: usize, num_venues: usize) -> Result<(), String> {
+        let n = self.num_users;
+        if self.registered.len() != n as usize {
+            return Err(format!(
+                "registered has {} entries for {} users",
+                self.registered.len(),
+                n
+            ));
+        }
+        for (i, r) in self.registered.iter().enumerate() {
+            if let Some(c) = r {
+                if c.index() >= num_cities {
+                    return Err(format!("user {i} registered at out-of-range city {c}"));
+                }
+            }
+        }
+        for (s, e) in self.edges.iter().enumerate() {
+            if e.follower.0 >= n || e.friend.0 >= n {
+                return Err(format!("edge {s} references user out of range"));
+            }
+            if e.follower == e.friend {
+                return Err(format!("edge {s} is a self-loop at {}", e.follower));
+            }
+        }
+        for (k, m) in self.mentions.iter().enumerate() {
+            if m.user.0 >= n {
+                return Err(format!("mention {k} references user out of range"));
+            }
+            if m.venue.index() >= num_venues {
+                return Err(format!("mention {k} references venue out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut d = Dataset::new(3);
+        d.registered[0] = Some(CityId(0));
+        d.edges.push(FollowEdge { follower: UserId(0), friend: UserId(1) });
+        d.mentions.push(TweetMention { user: UserId(2), venue: VenueId(1) });
+        d
+    }
+
+    #[test]
+    fn counts() {
+        let d = tiny();
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_edges(), 1);
+        assert_eq!(d.num_mentions(), 1);
+        assert_eq!(d.num_labeled(), 1);
+        assert_eq!(d.labeled_users().collect::<Vec<_>>(), vec![UserId(0)]);
+    }
+
+    #[test]
+    fn mask_hides_labels() {
+        let d = tiny();
+        let masked = d.mask_users(&[UserId(0)]);
+        assert_eq!(masked.num_labeled(), 0);
+        assert_eq!(d.num_labeled(), 1, "original untouched");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny().validate(5, 5), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_city() {
+        let mut d = tiny();
+        d.registered[1] = Some(CityId(99));
+        assert!(d.validate(5, 5).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_self_loop() {
+        let mut d = tiny();
+        d.edges.push(FollowEdge { follower: UserId(1), friend: UserId(1) });
+        assert!(d.validate(5, 5).unwrap_err().contains("self-loop"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_user() {
+        let mut d = tiny();
+        d.edges.push(FollowEdge { follower: UserId(9), friend: UserId(1) });
+        assert!(d.validate(5, 5).is_err());
+    }
+
+    #[test]
+    fn user_id_display() {
+        assert_eq!(UserId(7).to_string(), "U7");
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full pipeline from gazetteer through
+//! generation, inference, and evaluation.
+
+use mlp::prelude::*;
+use mlp::social::codec;
+
+fn quick_config(seed: u64) -> MlpConfig {
+    MlpConfig { iterations: 10, burn_in: 5, seed, ..Default::default() }
+}
+
+#[test]
+fn generate_infer_evaluate_recovers_masked_homes() {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: 600, seed: 1001, ..Default::default() },
+    )
+    .generate();
+
+    // Mask one fold, train on the rest, predict the fold.
+    let folds = Folds::split(&data.dataset, 5, 1001);
+    let test_users = folds.test_users(0);
+    let train = folds.train_view(&data.dataset, 0);
+    let result = Mlp::new(&gaz, &train, quick_config(1001)).unwrap().run();
+
+    let preds: Vec<Option<CityId>> = test_users.iter().map(|&u| Some(result.home(u))).collect();
+    let truths: Vec<CityId> = test_users.iter().map(|&u| data.truth.home(u)).collect();
+    let acc = mlp::eval::acc_at_m(&gaz, &preds, &truths, 100.0);
+
+    // Chance level is ~1/|L| < 1%; anything near the paper's 62% is healthy.
+    assert!(acc > 0.40, "end-to-end masked-home ACC@100 = {acc}");
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 200, seed: 77, ..Default::default() },
+        )
+        .generate();
+        let result = Mlp::new(&gaz, &data.dataset, quick_config(77)).unwrap().run();
+        (data.dataset.edges.len(), result.profiles, result.power_law)
+    };
+    let (edges_a, profiles_a, pl_a) = run();
+    let (edges_b, profiles_b, pl_b) = run();
+    assert_eq!(edges_a, edges_b);
+    assert_eq!(profiles_a, profiles_b);
+    assert_eq!(pl_a, pl_b);
+}
+
+#[test]
+fn binary_snapshot_round_trips_through_inference() {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: 150, seed: 31, ..Default::default() },
+    )
+    .generate();
+
+    // Save, reload, and verify inference sees identical data.
+    let bytes = codec::encode(&data.dataset, &data.truth);
+    let (dataset2, truth2) = codec::decode(bytes).expect("decodes");
+    assert_eq!(data.dataset, dataset2);
+    assert_eq!(data.truth, truth2);
+
+    let a = Mlp::new(&gaz, &data.dataset, quick_config(31)).unwrap().run();
+    let b = Mlp::new(&gaz, &dataset2, quick_config(31)).unwrap().run();
+    assert_eq!(a.profiles, b.profiles, "identical data must give identical inference");
+}
+
+#[test]
+fn variants_consume_only_their_observations() {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: 300, seed: 47, ..Default::default() },
+    )
+    .generate();
+
+    // MLP_C's output must be invariant to edge shuffling/removal.
+    let mut no_edges = data.dataset.clone();
+    no_edges.edges.clear();
+    let cfg = MlpConfig { variant: Variant::TweetingOnly, ..quick_config(47) };
+    let with_edges = Mlp::new(&gaz, &data.dataset, cfg.clone()).unwrap().run();
+    let without_edges = Mlp::new(&gaz, &no_edges, cfg).unwrap().run();
+    assert_eq!(
+        with_edges.profiles, without_edges.profiles,
+        "MLP_C must ignore the following network entirely"
+    );
+
+    // Symmetrically, MLP_U must ignore tweets.
+    let mut no_mentions = data.dataset.clone();
+    no_mentions.mentions.clear();
+    let cfg = MlpConfig { variant: Variant::FollowingOnly, ..quick_config(47) };
+    let with_mentions = Mlp::new(&gaz, &data.dataset, cfg.clone()).unwrap().run();
+    let without_mentions = Mlp::new(&gaz, &no_mentions, cfg).unwrap().run();
+    assert_eq!(with_mentions.profiles, without_mentions.profiles);
+}
+
+#[test]
+fn parallel_inference_stays_close_to_sequential() {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: 400, seed: 53, ..Default::default() },
+    )
+    .generate();
+    let acc_of = |threads: usize| {
+        let cfg = MlpConfig { threads, ..quick_config(53) };
+        let result = Mlp::new(&gaz, &data.dataset, cfg).unwrap().run();
+        let hits = (0..400u32)
+            .filter(|&u| {
+                gaz.distance(result.home(UserId(u)), data.truth.home(UserId(u))) <= 100.0
+            })
+            .count();
+        hits as f64 / 400.0
+    };
+    let seq = acc_of(1);
+    let par = acc_of(4);
+    assert!(seq > 0.6, "sequential {seq}");
+    assert!((seq - par).abs() < 0.1, "sequential {seq} vs parallel {par}");
+}
+
+#[test]
+fn venue_extraction_feeds_the_pipeline() {
+    // Build a tiny hand-made dataset from raw tweet text via the extractor,
+    // then infer — exercising the gazetteer→social→core path end to end.
+    let gaz = Gazetteer::us_cities();
+    let extractor = VenueExtractor::new(&gaz);
+    let austin = gaz.city_by_name_state("austin", "TX").unwrap();
+    let la = gaz.city_by_name_state("los angeles", "CA").unwrap();
+
+    let mut dataset = Dataset::new(3);
+    dataset.registered[0] = Some(austin);
+    dataset.registered[1] = Some(la);
+    // User 2 is unlabeled but tweets like an Austinite.
+    let tweets = [
+        "good morning austin! tacos downtown austin later",
+        "missing the austin zoo today",
+        "watching the game in austin with friends",
+    ];
+    for text in tweets {
+        for venue in extractor.extract(text) {
+            dataset.mentions.push(mlp::social::TweetMention { user: UserId(2), venue });
+        }
+    }
+    // Users 0 and 1 tweet their own cities so ψ learns the venues.
+    for _ in 0..10 {
+        let v_austin = gaz.venue_by_name("austin").unwrap();
+        let v_la = gaz.venue_by_name("los angeles").unwrap();
+        dataset.mentions.push(mlp::social::TweetMention { user: UserId(0), venue: v_austin });
+        dataset.mentions.push(mlp::social::TweetMention { user: UserId(1), venue: v_la });
+    }
+
+    let cfg = MlpConfig { variant: Variant::TweetingOnly, ..quick_config(3) };
+    let result = Mlp::new(&gaz, &dataset, cfg).unwrap().run();
+    let home = result.home(UserId(2));
+    assert!(
+        gaz.distance(home, austin) <= 100.0,
+        "user 2 should land near Austin, got {}",
+        gaz.city(home).full_name()
+    );
+}

@@ -1,0 +1,79 @@
+//! Integration tests for dataset persistence: JSON and binary snapshots
+//! through the full generation → save → load → evaluate path, including
+//! adversarial inputs.
+
+use mlp::prelude::*;
+use mlp::social::codec::{self, DecodeError};
+use mlp::social::DatasetStats;
+
+fn generate(users: usize, seed: u64) -> (Gazetteer, GeneratedData) {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: users, seed, ..Default::default() },
+    )
+    .generate();
+    (gaz, data)
+}
+
+#[test]
+fn stats_survive_binary_round_trip() {
+    let (gaz, data) = generate(300, 2101);
+    let bytes = codec::encode(&data.dataset, &data.truth);
+    let (dataset2, _) = codec::decode(bytes).unwrap();
+    let a = DatasetStats::compute(&data.dataset, &gaz);
+    let b = DatasetStats::compute(&dataset2, &gaz);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn json_snapshot_is_human_readable_and_lossless() {
+    let (_, data) = generate(50, 2102);
+    let json = codec::to_json(&data.dataset, &data.truth);
+    assert!(json.contains("\"edges\""));
+    assert!(json.contains("\"profiles\""));
+    let (dataset2, truth2) = codec::from_json(&json).unwrap();
+    assert_eq!(data.dataset, dataset2);
+    assert_eq!(data.truth, truth2);
+}
+
+#[test]
+fn corrupted_snapshots_fail_loudly() {
+    let (_, data) = generate(50, 2103);
+    let bytes = codec::encode(&data.dataset, &data.truth);
+
+    // Flip the magic.
+    let mut bad = bytes.to_vec();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        codec::decode(bytes::Bytes::from(bad)).unwrap_err(),
+        DecodeError::BadMagic(_)
+    ));
+
+    // Truncate at an arbitrary interior byte.
+    let cut = bytes.slice(..bytes.len() * 2 / 3);
+    assert_eq!(codec::decode(cut).unwrap_err(), DecodeError::Truncated);
+
+    // Garbage JSON.
+    assert!(codec::from_json("{\"dataset\": 42}").is_err());
+}
+
+#[test]
+fn generated_statistics_track_the_paper() {
+    let (gaz, data) = generate(2_000, 2104);
+    let stats = DatasetStats::compute(&data.dataset, &gaz);
+    assert!((stats.mean_friends - 14.8).abs() < 2.5, "{}", stats.mean_friends);
+    assert!((stats.mean_mentions - 29.0).abs() < 2.0, "{}", stats.mean_mentions);
+    assert!(stats.candidacy_coverage > 0.85, "{}", stats.candidacy_coverage);
+}
+
+#[test]
+fn masked_dataset_snapshot_keeps_masking() {
+    let (_, data) = generate(100, 2105);
+    let folds = Folds::split(&data.dataset, 5, 2105);
+    let train = folds.train_view(&data.dataset, 0);
+    let bytes = codec::encode(&train, &data.truth);
+    let (train2, _) = codec::decode(bytes).unwrap();
+    assert_eq!(train.num_labeled(), train2.num_labeled());
+    assert!(train2.num_labeled() < data.dataset.num_labeled());
+}
