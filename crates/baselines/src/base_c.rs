@@ -80,13 +80,13 @@ impl<'a> BaseC<'a> {
                 continue;
             }
             // Modal city and the share of usage near it.
-            let (&modal, _) =
-                city_counts.iter().max_by_key(|&(c, &n)| (n, std::cmp::Reverse(*c))).expect("non-empty");
+            let (&modal, _) = city_counts
+                .iter()
+                .max_by_key(|&(c, &n)| (n, std::cmp::Reverse(*c)))
+                .expect("non-empty");
             let near_modal: u32 = city_counts
                 .iter()
-                .filter(|&(&c, _)| {
-                    gaz.distance(CityId(modal), CityId(c)) <= config.focus_radius
-                })
+                .filter(|&(&c, _)| gaz.distance(CityId(modal), CityId(c)) <= config.focus_radius)
                 .map(|(_, &n)| n)
                 .sum();
             if (near_modal as f64 / total as f64) < config.focus_threshold {

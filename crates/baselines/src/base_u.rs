@@ -80,8 +80,7 @@ impl<'a> BaseU<'a> {
     /// Learns the friendship curve from the labeled users of `dataset` and
     /// binds the predictor to it.
     pub fn fit(gaz: &'a Gazetteer, dataset: &'a Dataset, config: &BaseUConfig) -> Self {
-        let hist =
-            following_probability_histogram(dataset, gaz, config.bucket_miles, 3_200.0);
+        let hist = following_probability_histogram(dataset, gaz, config.bucket_miles, 3_200.0);
         let points = hist.weighted_curve(config.min_bucket_trials);
         let curve = fit_offset_power_law(&points, &config.offsets).unwrap_or(OffsetPowerLaw {
             // Backstrom et al.'s Facebook fit as the sparse-data fallback.
@@ -112,10 +111,7 @@ impl<'a> BaseU<'a> {
 
     /// Scores candidate `l`: Σ_neighbors ln p(d(l, l_v)).
     fn score(&self, candidate: CityId, neighbor_cities: &[CityId]) -> f64 {
-        neighbor_cities
-            .iter()
-            .map(|&v| self.curve.log_eval(self.gaz.distance(candidate, v)))
-            .sum()
+        neighbor_cities.iter().map(|&v| self.curve.log_eval(self.gaz.distance(candidate, v))).sum()
     }
 
     /// Full ranked scoring over the distinct neighbor cities.
@@ -146,14 +142,11 @@ impl HomePredictor for BaseU<'_> {
 
 /// Grid-search `b`, least-squares `(ln a, c)` per offset, pick the best
 /// weighted residual. Returns `None` with fewer than 3 usable points.
-fn fit_offset_power_law(
-    points: &[(f64, f64, f64)],
-    offsets: &[f64],
-) -> Option<OffsetPowerLaw> {
+fn fit_offset_power_law(points: &[(f64, f64, f64)], offsets: &[f64]) -> Option<OffsetPowerLaw> {
     let usable: Vec<(f64, f64, f64)> = points
         .iter()
         .copied()
-        .filter(|&(d, p, w)| d >= 0.0 && p > 0.0 && w > 0.0)
+        .filter(|&(d, p, w)| d >= 0.0 && p > 0.0 && p <= 1.0 && w > 0.0)
         .collect();
     if usable.len() < 3 {
         return None;
@@ -202,11 +195,9 @@ mod tests {
 
     fn generate(n: usize, seed: u64) -> (Gazetteer, mlp_social::GeneratedData) {
         let gaz = Gazetteer::us_cities();
-        let data = Generator::new(
-            &gaz,
-            GeneratorConfig { num_users: n, seed, ..Default::default() },
-        )
-        .generate();
+        let data =
+            Generator::new(&gaz, GeneratorConfig { num_users: n, seed, ..Default::default() })
+                .generate();
         (gaz, data)
     }
 

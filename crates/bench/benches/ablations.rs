@@ -9,11 +9,9 @@ use mlp_social::{Adjacency, Generator, GeneratorConfig};
 
 fn bench_candidacy_pruning(c: &mut Criterion) {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 500, seed: 7, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 500, seed: 7, ..Default::default() })
+            .generate();
     let adj = Adjacency::build(&data.dataset);
     let random = RandomModels::learn(&data.dataset, gaz.num_venues());
 
@@ -33,11 +31,9 @@ fn bench_candidacy_pruning(c: &mut Criterion) {
 
 fn bench_count_noisy(c: &mut Criterion) {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 500, seed: 7, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 500, seed: 7, ..Default::default() })
+            .generate();
     let adj = Adjacency::build(&data.dataset);
     let random = RandomModels::learn(&data.dataset, gaz.num_venues());
 

@@ -22,22 +22,10 @@ fn main() {
     let base_cfg = ctx.mlp_config.clone();
     let variants: Vec<(&str, MlpConfig)> = vec![
         ("full model (default)", base_cfg.clone()),
-        (
-            "no candidacy pruning",
-            MlpConfig { candidacy_pruning: false, ..base_cfg.clone() },
-        ),
-        (
-            "no supervision boost (Λ = 0)",
-            MlpConfig { supervision_boost: 0.0, ..base_cfg.clone() },
-        ),
-        (
-            "boost = 5",
-            MlpConfig { supervision_boost: 5.0, ..base_cfg.clone() },
-        ),
-        (
-            "boost = 100",
-            MlpConfig { supervision_boost: 100.0, ..base_cfg.clone() },
-        ),
+        ("no candidacy pruning", MlpConfig { candidacy_pruning: false, ..base_cfg.clone() }),
+        ("no supervision boost (Λ = 0)", MlpConfig { supervision_boost: 0.0, ..base_cfg.clone() }),
+        ("boost = 5", MlpConfig { supervision_boost: 5.0, ..base_cfg.clone() }),
+        ("boost = 100", MlpConfig { supervision_boost: 100.0, ..base_cfg.clone() }),
         (
             "no noise mixture (ρ_f = ρ_t ≈ 0)",
             MlpConfig { rho_f: 1e-6, rho_t: 1e-6, ..base_cfg.clone() },

@@ -44,12 +44,7 @@ fn main() {
         let base_u = task.run_method(Method::BaseU).acc_at_100;
         let mlp_u = task.run_method(Method::MlpU).acc_at_100;
         let mlp = task.run_method(Method::Mlp).acc_at_100;
-        table.add_row(vec![
-            format!("{:.0}%", noise * 100.0),
-            pct(base_u),
-            pct(mlp_u),
-            pct(mlp),
-        ]);
+        table.add_row(vec![format!("{:.0}%", noise * 100.0), pct(base_u), pct(mlp_u), pct(mlp)]);
         eprintln!("  done: noise {noise}");
     }
     println!("{table}");

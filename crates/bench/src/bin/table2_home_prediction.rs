@@ -15,7 +15,13 @@ fn main() {
     task.folds_to_run = args.folds;
 
     let mut table = TextTable::new(vec!["Method", "ACC@100 (measured)", "ACC@100 (paper)"]);
-    let paper = [("BaseU", "52.44%"), ("BaseC", "49.67%"), ("MLP_U", "58.8%"), ("MLP_C", "55.3%"), ("MLP", "62.3%")];
+    let paper = [
+        ("BaseU", "52.44%"),
+        ("BaseC", "49.67%"),
+        ("MLP_U", "58.8%"),
+        ("MLP_C", "55.3%"),
+        ("MLP", "62.3%"),
+    ];
     for (method, (_, paper_acc)) in Method::PAPER_LINEUP.iter().zip(paper) {
         let report = task.run_method(*method);
         table.add_row(vec![method.to_string(), pct(report.acc_at_100), paper_acc.to_string()]);

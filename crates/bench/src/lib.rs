@@ -48,11 +48,11 @@ impl BenchArgs {
     /// Parses `std::env::args`, applying `--quick` (a 1,000-user,
     /// single-fold smoke configuration) before explicit overrides.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = Self::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -108,7 +108,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> BenchArgs {
-        BenchArgs::from_iter(args.iter().map(|s| s.to_string()))
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
     }
 
     #[test]

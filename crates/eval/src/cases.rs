@@ -94,11 +94,8 @@ pub fn explanation_cases(
     for &s in adj.out_edges(user).iter().chain(adj.in_edges(user)) {
         let e = &ctx.data.dataset.edges[s as usize];
         let a = &mlp_result.edge_assignments[s as usize];
-        let (user_assignment, other, other_assignment) = if e.follower == user {
-            (a.x, e.friend, a.y)
-        } else {
-            (a.y, e.follower, a.x)
-        };
+        let (user_assignment, other, other_assignment) =
+            if e.follower == user { (a.x, e.friend, a.y) } else { (a.y, e.follower, a.x) };
         rows.push(ExplanationCase {
             other,
             other_registered: ctx.data.dataset.registered[other.index()],
@@ -113,10 +110,7 @@ pub fn explanation_cases(
 }
 
 /// Renders Table 5.
-pub fn render_explanation_table(
-    ctx: &ExperimentContext,
-    cases: &[ExplanationCase],
-) -> TextTable {
+pub fn render_explanation_table(ctx: &ExperimentContext, cases: &[ExplanationCase]) -> TextTable {
     let name = |c: CityId| ctx.gaz.city(c).full_name();
     let mut t = TextTable::new(vec![
         "Neighbor",
@@ -177,11 +171,8 @@ mod tests {
     #[test]
     fn discovery_cases_are_widely_separated() {
         let ctx = quick_ctx();
-        let result = crate::runner::run_mlp(
-            &ctx.gaz,
-            &ctx.data.dataset,
-            ctx.mlp_config_for(Method::Mlp),
-        );
+        let result =
+            crate::runner::run_mlp(&ctx.gaz, &ctx.data.dataset, ctx.mlp_config_for(Method::Mlp));
         let cases = discovery_cases(&ctx, &result, 3);
         for c in &cases {
             assert!(c.true_locations.len() >= 2);

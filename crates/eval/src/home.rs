@@ -50,8 +50,7 @@ impl<'a> HomeTask<'a> {
             let train = ctx.folds.train_view(&ctx.data.dataset, fold);
             let mlp_cfg = ctx.mlp_config_for(method);
             let preds = predict_homes(&ctx.gaz, &train, test_users, method, &mlp_cfg);
-            let truths: Vec<CityId> =
-                test_users.iter().map(|&u| ctx.data.truth.home(u)).collect();
+            let truths: Vec<CityId> = test_users.iter().map(|&u| ctx.data.truth.home(u)).collect();
             acc_sum += acc_at_m(&ctx.gaz, &preds, &truths, 100.0);
             for (i, (_, acc)) in
                 aad_curve(&ctx.gaz, &preds, &truths, &self.distances).into_iter().enumerate()

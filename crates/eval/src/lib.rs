@@ -30,7 +30,7 @@ pub mod table;
 
 pub use bootstrap::{bootstrap_accuracy, bootstrap_mean, BootstrapInterval};
 pub use home::{HomePredictionReport, HomeTask};
-pub use metrics::{acc_at_m, aad_curve, dp_at_k, dr_at_k, relationship_acc_at_m};
+pub use metrics::{aad_curve, acc_at_m, dp_at_k, dr_at_k, relationship_acc_at_m};
 pub use multi::{MultiLocationReport, MultiLocationTask};
 pub use relation::{RelationReport, RelationTask};
 pub use runner::{ExperimentContext, Method};

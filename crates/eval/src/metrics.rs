@@ -7,12 +7,7 @@ use mlp_gazetteer::{CityId, Gazetteer};
 ///
 /// A `None` prediction counts as a miss — the denominator is all test
 /// users, matching how the paper scores methods that fail to place a user.
-pub fn acc_at_m(
-    gaz: &Gazetteer,
-    predictions: &[Option<CityId>],
-    truths: &[CityId],
-    m: f64,
-) -> f64 {
+pub fn acc_at_m(gaz: &Gazetteer, predictions: &[Option<CityId>], truths: &[CityId], m: f64) -> f64 {
     assert_eq!(predictions.len(), truths.len(), "prediction/truth length mismatch");
     if truths.is_empty() {
         return 0.0;
@@ -114,9 +109,7 @@ pub fn relationship_acc_at_m(
         .iter()
         .zip(truths)
         .filter(|(p, (tx, ty))| {
-            p.is_some_and(|(px, py)| {
-                gaz.distance(px, *tx) <= m && gaz.distance(py, *ty) <= m
-            })
+            p.is_some_and(|(px, py)| gaz.distance(px, *tx) <= m && gaz.distance(py, *ty) <= m)
         })
         .count();
     hits as f64 / truths.len() as f64
@@ -225,9 +218,9 @@ mod tests {
         let nyc = city(&g, "new york", "NY");
         let truths = vec![(la, austin), (la, austin), (la, austin)];
         let preds = vec![
-            Some((sm, austin)),  // both within 100 → hit
-            Some((sm, nyc)),     // friend endpoint wrong → miss
-            None,                // no explanation → miss
+            Some((sm, austin)), // both within 100 → hit
+            Some((sm, nyc)),    // friend endpoint wrong → miss
+            None,               // no explanation → miss
         ];
         let acc = relationship_acc_at_m(&g, &preds, &truths, 100.0);
         assert!((acc - 1.0 / 3.0).abs() < 1e-12);

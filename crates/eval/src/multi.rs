@@ -127,10 +127,7 @@ mod tests {
         let mlp = task.run_method(Method::Mlp);
         let base_u = task.run_method(Method::BaseU);
         let (mlp_dr, base_dr) = (mlp.dr(2).unwrap(), base_u.dr(2).unwrap());
-        assert!(
-            mlp_dr > base_dr,
-            "MLP DR@2 {mlp_dr} must beat BaseU DR@2 {base_dr}"
-        );
+        assert!(mlp_dr > base_dr, "MLP DR@2 {mlp_dr} must beat BaseU DR@2 {base_dr}");
         assert!(mlp_dr > 0.5, "MLP DR@2 {mlp_dr}");
     }
 
@@ -147,10 +144,8 @@ mod tests {
 
     #[test]
     fn report_accessors() {
-        let report = MultiLocationReport {
-            method: Method::Mlp,
-            by_k: vec![(1, 0.8, 0.4), (2, 0.6, 0.55)],
-        };
+        let report =
+            MultiLocationReport { method: Method::Mlp, by_k: vec![(1, 0.8, 0.4), (2, 0.6, 0.55)] };
         assert_eq!(report.dp(2), Some(0.6));
         assert_eq!(report.dr(1), Some(0.4));
         assert_eq!(report.dp(9), None);

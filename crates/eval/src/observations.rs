@@ -31,11 +31,7 @@ pub fn following_curve(dataset: &Dataset, gaz: &Gazetteer, bucket_miles: f64) ->
 /// Fig. 3(b): the top-`k` tweeting probabilities at one city, from the
 /// mentions of users registered there. Returns `(venue, probability)`
 /// sorted by descending probability.
-pub fn tweeting_probabilities(
-    dataset: &Dataset,
-    city: CityId,
-    k: usize,
-) -> Vec<(VenueId, f64)> {
+pub fn tweeting_probabilities(dataset: &Dataset, city: CityId, k: usize) -> Vec<(VenueId, f64)> {
     let mut counts: HashMap<u32, u64> = HashMap::new();
     let mut total = 0u64;
     for m in &dataset.mentions {
@@ -47,10 +43,8 @@ pub fn tweeting_probabilities(
     if total == 0 {
         return Vec::new();
     }
-    let mut probs: Vec<(VenueId, f64)> = counts
-        .into_iter()
-        .map(|(v, n)| (VenueId(v), n as f64 / total as f64))
-        .collect();
+    let mut probs: Vec<(VenueId, f64)> =
+        counts.into_iter().map(|(v, n)| (VenueId(v), n as f64 / total as f64)).collect();
     probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
     probs.truncate(k);
     probs
@@ -89,12 +83,7 @@ pub fn user_footprint(
     }
     let venues =
         adj.mentions_of(user).iter().map(|&k| dataset.mentions[k as usize].venue).collect();
-    UserFootprint {
-        user,
-        true_locations: truth.locations(user),
-        neighbor_cities,
-        venues,
-    }
+    UserFootprint { user, true_locations: truth.locations(user), neighbor_cities, venues }
 }
 
 /// Picks a showcase multi-location user: two true locations at least
@@ -157,7 +146,12 @@ mod tests {
         // The top venue should resolve to (or near) the city itself.
         let top_cities = gaz.resolve_venue(probs[0].0);
         let near = top_cities.iter().any(|&c| gaz.distance(c, city) <= 100.0);
-        assert!(near, "top venue {:?} not near {}", gaz.venue(probs[0].0).name, gaz.city(city).full_name());
+        assert!(
+            near,
+            "top venue {:?} not near {}",
+            gaz.venue(probs[0].0).name,
+            gaz.city(city).full_name()
+        );
         // Probabilities sorted descending and ≤ 1.
         for w in probs.windows(2) {
             assert!(w[0].1 >= w[1].1);

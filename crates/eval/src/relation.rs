@@ -133,10 +133,7 @@ mod tests {
         let mlp = task.run_mlp();
         let base = task.run_base();
         let (mlp_acc, base_acc) = (mlp.acc_at(100.0).unwrap(), base.acc_at(100.0).unwrap());
-        assert!(
-            mlp_acc > base_acc,
-            "MLP {mlp_acc} must beat Base {base_acc} at 100 miles"
-        );
+        assert!(mlp_acc > base_acc, "MLP {mlp_acc} must beat Base {base_acc} at 100 miles");
         assert!(mlp_acc > 0.4, "MLP explanation ACC@100 {mlp_acc}");
     }
 

@@ -66,11 +66,8 @@ impl ExperimentContext {
             seed,
             ..Default::default()
         });
-        let data = Generator::new(
-            &gaz,
-            GeneratorConfig { num_users, seed, ..Default::default() },
-        )
-        .generate();
+        let data = Generator::new(&gaz, GeneratorConfig { num_users, seed, ..Default::default() })
+            .generate();
         let folds = Folds::split(&data.dataset, 5, seed);
         Self { gaz, data, folds, mlp_config: MlpConfig { seed, ..Default::default() } }
     }

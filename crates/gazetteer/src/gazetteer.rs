@@ -3,7 +3,9 @@
 use crate::city::{City, CityId};
 use crate::data::US_CITIES;
 use crate::synth::{expand, SynthConfig};
-use crate::venue::{local_entity_count, normalize_name, Venue, VenueId, VenueKind, LOCAL_ENTITY_TEMPLATES};
+use crate::venue::{
+    local_entity_count, normalize_name, Venue, VenueId, VenueKind, LOCAL_ENTITY_TEMPLATES,
+};
 use mlp_geo::{DistanceMatrix, GeoPoint, GridIndex};
 use std::collections::HashMap;
 
@@ -113,15 +115,7 @@ impl Gazetteer {
         let points: Vec<GeoPoint> = cities.iter().map(|c| c.center).collect();
         let distances = DistanceMatrix::build(&points);
         let grid = GridIndex::build(&points, 100.0).expect("non-empty city list");
-        Self {
-            cities,
-            venues,
-            city_name_index,
-            venue_name_index,
-            venues_by_city,
-            distances,
-            grid,
-        }
+        Self { cities, venues, city_name_index, venue_name_index, venues_by_city, distances, grid }
     }
 
     /// Number of candidate locations |L|.
@@ -161,10 +155,7 @@ impl Gazetteer {
 
     /// Looks up a city by `(name, state)`.
     pub fn city_by_name_state(&self, name: &str, state: &str) -> Option<CityId> {
-        self.cities_named(name)
-            .iter()
-            .copied()
-            .find(|&id| self.cities[id.index()].state == state)
+        self.cities_named(name).iter().copied().find(|&id| self.cities[id.index()].state == state)
     }
 
     /// The venue id for a surface form, if in vocabulary. The lookup is
@@ -287,8 +278,7 @@ mod tests {
         let la = g.city_by_name_state("los angeles", "CA").unwrap();
         let near = g.cities_within(la, 40.0);
         assert!(near.contains(&la));
-        let names: Vec<&str> =
-            near.iter().map(|&id| g.city(id).name.as_str()).collect();
+        let names: Vec<&str> = near.iter().map(|&id| g.city(id).name.as_str()).collect();
         assert!(names.contains(&"santa monica"));
         assert!(names.contains(&"burbank"));
         assert!(!names.contains(&"san diego"), "SD is ~120 mi away");
@@ -305,10 +295,7 @@ mod tests {
 
     #[test]
     fn synthetic_gazetteer_scales() {
-        let g = Gazetteer::with_synthetic(&SynthConfig {
-            total_cities: 500,
-            ..Default::default()
-        });
+        let g = Gazetteer::with_synthetic(&SynthConfig { total_cities: 500, ..Default::default() });
         assert_eq!(g.num_cities(), 500);
         assert_eq!(g.distances().len(), 500);
         // Every synthetic city has at least its own name as a venue.

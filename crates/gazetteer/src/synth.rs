@@ -110,11 +110,15 @@ pub fn expand(base: &[City], config: &SynthConfig) -> Vec<City> {
             NAME_PREFIXES[rng.next_bounded(NAME_PREFIXES.len())],
             NAME_SUFFIXES[rng.next_bounded(NAME_SUFFIXES.len())]
         );
-        let point = if rng.bernoulli(config.clustered_fraction) && anchors.is_some() {
-            let anchor = &base[anchors.as_ref().expect("non-empty").sample(&mut rng)];
-            jitter_near(&mut rng, anchor.center, config.cluster_radius_miles, &bbox)
-        } else {
-            uniform_in(&mut rng, &bbox)
+        // The Bernoulli draw happens unconditionally so the RNG stream is
+        // independent of whether anchors exist.
+        let clustered = rng.bernoulli(config.clustered_fraction);
+        let point = match anchors.as_ref().filter(|_| clustered) {
+            Some(anchor_alias) => {
+                let anchor = &base[anchor_alias.sample(&mut rng)];
+                jitter_near(&mut rng, anchor.center, config.cluster_radius_miles, &bbox)
+            }
+            None => uniform_in(&mut rng, &bbox),
         };
         let state = state_for(point).to_string();
         if !taken.insert((name.clone(), state.clone())) {
@@ -128,7 +132,12 @@ pub fn expand(base: &[City], config: &SynthConfig) -> Vec<City> {
     cities
 }
 
-fn jitter_near(rng: &mut Pcg64, anchor: GeoPoint, radius_miles: f64, bbox: &BoundingBox) -> GeoPoint {
+fn jitter_near(
+    rng: &mut Pcg64,
+    anchor: GeoPoint,
+    radius_miles: f64,
+    bbox: &BoundingBox,
+) -> GeoPoint {
     // Uniform direction, triangular-ish radial falloff (denser near anchor).
     let theta = rng.next_f64() * std::f64::consts::TAU;
     let r = radius_miles * rng.next_f64().sqrt() * rng.next_f64(); // bias inward

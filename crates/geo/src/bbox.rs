@@ -19,19 +19,17 @@ pub struct BoundingBox {
 
 impl BoundingBox {
     /// The continental United States (the paper's gazetteer scope).
-    pub const CONTINENTAL_US: BoundingBox = BoundingBox {
-        min_lat: 24.5,
-        max_lat: 49.5,
-        min_lon: -124.8,
-        max_lon: -66.9,
-    };
+    pub const CONTINENTAL_US: BoundingBox =
+        BoundingBox { min_lat: 24.5, max_lat: 49.5, min_lon: -124.8, max_lon: -66.9 };
 
     /// Creates a box from inclusive bounds.
     ///
     /// Returns `None` if the bounds are inverted or not finite.
     pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Option<Self> {
-        let finite =
-            min_lat.is_finite() && max_lat.is_finite() && min_lon.is_finite() && max_lon.is_finite();
+        let finite = min_lat.is_finite()
+            && max_lat.is_finite()
+            && min_lon.is_finite()
+            && max_lon.is_finite();
         if !finite || min_lat > max_lat || min_lon > max_lon {
             return None;
         }

@@ -43,14 +43,8 @@ impl GridIndex {
         let cols = (bbox.lon_span() / cell_deg).ceil().max(1.0) as usize;
         let rows = (bbox.lat_span() / cell_deg).ceil().max(1.0) as usize;
         let mut cells = vec![Vec::new(); cols * rows];
-        let mut idx = Self {
-            points: points.to_vec(),
-            bbox,
-            cell_deg,
-            cols,
-            rows,
-            cells: Vec::new(),
-        };
+        let mut idx =
+            Self { points: points.to_vec(), bbox, cell_deg, cols, rows, cells: Vec::new() };
         for (i, p) in points.iter().enumerate() {
             let (r, c) = idx.cell_of(*p);
             cells[r * cols + c].push(i as u32);
@@ -116,9 +110,8 @@ impl GridIndex {
         let mut radius = self.cell_deg * MILES_PER_DEG_LAT;
         loop {
             let hits = self.within_radius(center, radius);
-            if let Some(best) = hits
-                .into_iter()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            if let Some(best) =
+                hits.into_iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
             {
                 return best;
             }

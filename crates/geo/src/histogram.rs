@@ -67,8 +67,14 @@ impl DistanceHistogram {
     }
 
     /// Records `trials` trials with `successes` successes at distance `d`.
+    ///
+    /// Trials and successes may be recorded by *independent* calls — the
+    /// power-law fitters bucket all candidate pairs first (`successes = 0`)
+    /// and then stream observed edges in (`trials = 0`) — so `successes >
+    /// trials` within one call is legal. Keeping the aggregate per-bucket
+    /// ratio at or below 1 is the *caller's* invariant; curve consumers
+    /// must reject `p > 1` buckets (both power-law fitters filter them).
     pub fn record_bulk(&mut self, d: f64, trials: u64, successes: u64) {
-        debug_assert!(successes <= trials);
         if !(d >= 0.0) {
             return;
         }

@@ -29,12 +29,7 @@ pub struct Candidacy {
 
 impl Candidacy {
     /// Builds candidacy vectors and priors for every user.
-    pub fn build(
-        gaz: &Gazetteer,
-        dataset: &Dataset,
-        adj: &Adjacency,
-        config: &MlpConfig,
-    ) -> Self {
+    pub fn build(gaz: &Gazetteer, dataset: &Dataset, adj: &Adjacency, config: &MlpConfig) -> Self {
         let n = dataset.num_users();
         let mut candidates: Vec<Vec<CityId>> = Vec::with_capacity(n);
 

@@ -183,8 +183,6 @@ mod tests {
         assert!(MlpConfig { rho_t: -0.1, ..ok.clone() }.validate().is_err());
         assert!(MlpConfig { threads: 0, ..ok.clone() }.validate().is_err());
         assert!(MlpConfig { supervision_boost: -1.0, ..ok.clone() }.validate().is_err());
-        assert!(
-            MlpConfig { gibbs_em: true, em_iterations: 0, ..ok.clone() }.validate().is_err()
-        );
+        assert!(MlpConfig { gibbs_em: true, em_iterations: 0, ..ok.clone() }.validate().is_err());
     }
 }

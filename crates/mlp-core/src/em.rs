@@ -74,13 +74,9 @@ mod tests {
             sampler.sweep();
             sampler.state.accumulate();
         }
-        let fit = refit_power_law(
-            &gaz,
-            &data.dataset,
-            &cand,
-            &sampler.state,
-            |u| sampler.estimate_theta(u)[0].0,
-        )
+        let fit = refit_power_law(&gaz, &data.dataset, &cand, &sampler.state, |u| {
+            sampler.estimate_theta(u)[0].0
+        })
         .expect("refit should succeed at this scale");
         // The generator used α = −0.55; the refit should land in a
         // recognisable neighbourhood (city-level aggregation and the noisy
@@ -113,13 +109,9 @@ mod tests {
         let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
         let random = RandomModels::learn(&data.dataset, gaz.num_venues());
         let sampler = GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
-        let fit = refit_power_law(
-            &gaz,
-            &data.dataset,
-            &cand,
-            &sampler.state,
-            |u| sampler.estimate_theta(u)[0].0,
-        );
+        let fit = refit_power_law(&gaz, &data.dataset, &cand, &sampler.state, |u| {
+            sampler.estimate_theta(u)[0].0
+        });
         assert!(fit.is_none());
     }
 }

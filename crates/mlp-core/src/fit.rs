@@ -144,12 +144,7 @@ mod tests {
         let gaz = Gazetteer::us_cities();
         let data = Generator::new(
             &gaz,
-            GeneratorConfig {
-                num_users: 5,
-                seed: 7,
-                mean_friends: 2.0,
-                ..Default::default()
-            },
+            GeneratorConfig { num_users: 5, seed: 7, mean_friends: 2.0, ..Default::default() },
         )
         .generate();
         assert!(fit_power_law_from_labels(&gaz, &data.dataset).is_none());

@@ -62,21 +62,16 @@ pub fn geo_groups(
     for &s in adj.out_edges(user).iter().chain(adj.in_edges(user)) {
         let e = &dataset.edges[s as usize];
         let a = &result.edge_assignments[s as usize];
-        let (my_city, other) =
-            if e.follower == user { (a.x, e.friend) } else { (a.y, e.follower) };
+        let (my_city, other) = if e.follower == user { (a.x, e.friend) } else { (a.y, e.follower) };
         if a.noisy {
             noisy.push(other);
         } else {
             buckets.entry(my_city).or_default().push(other);
         }
     }
-    let mut groups: Vec<GeoGroup> = buckets
-        .into_iter()
-        .map(|(location, members)| GeoGroup { location, members })
-        .collect();
-    groups.sort_by(|a, b| {
-        b.members.len().cmp(&a.members.len()).then(a.location.cmp(&b.location))
-    });
+    let mut groups: Vec<GeoGroup> =
+        buckets.into_iter().map(|(location, members)| GeoGroup { location, members }).collect();
+    groups.sort_by(|a, b| b.members.len().cmp(&a.members.len()).then(a.location.cmp(&b.location)));
     GeoGrouping { user, groups, noisy }
 }
 
@@ -154,12 +149,7 @@ mod tests {
             let covered = locs
                 .iter()
                 .take(2)
-                .filter(|&&l| {
-                    grouping
-                        .groups
-                        .iter()
-                        .any(|g| gaz.distance(g.location, l) <= 100.0)
-                })
+                .filter(|&&l| grouping.groups.iter().any(|g| gaz.distance(g.location, l) <= 100.0))
                 .count();
             split += (covered == 2) as usize;
         }

@@ -23,9 +23,11 @@
 //! * [`candidacy`] — candidacy vectors `λ_i` and priors `γ_i`;
 //! * [`random_models`] — the empirical noise models `F_R` and `T_R`;
 //! * [`state`] — assignment state and collapsed count bookkeeping;
-//! * [`sampler`] — the Gibbs conditionals and sweep loop;
+//! * [`kernel`] — the stateless conditional-weight kernel (Eqs. 5–9),
+//!   shared by both sweep drivers;
+//! * [`sampler`] — the sequential sweep driver;
+//! * [`parallel`] — the AD-LDA-style chunked parallel sweep driver;
 //! * [`em`] — the Gibbs-EM power-law refit;
-//! * [`parallel`] — AD-LDA-style chunked parallel sweeps;
 //! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
 //! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`].
 
@@ -35,6 +37,7 @@ pub mod diagnostics;
 pub mod em;
 pub mod fit;
 pub mod geo_groups;
+pub mod kernel;
 pub mod model;
 pub mod parallel;
 pub mod random_models;
@@ -46,5 +49,6 @@ pub use config::{MlpConfig, Variant};
 pub use diagnostics::{Diagnostics, IterationStats};
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
+pub use kernel::{CountView, SamplerView};
 pub use model::{EdgeAssignment, MentionAssignment, Mlp, MlpResult};
 pub use random_models::RandomModels;

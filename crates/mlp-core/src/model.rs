@@ -70,11 +70,7 @@ impl MlpResult {
     /// Locations whose probability exceeds `threshold` (the paper's
     /// alternative profile extraction rule).
     pub fn locations_above(&self, u: UserId, threshold: f64) -> Vec<CityId> {
-        self.profiles[u.index()]
-            .iter()
-            .filter(|&&(_, p)| p > threshold)
-            .map(|&(c, _)| c)
-            .collect()
+        self.profiles[u.index()].iter().filter(|&&(_, p)| p > threshold).map(|&(c, _)| c).collect()
     }
 }
 
@@ -92,7 +88,11 @@ impl<'a> Mlp<'a> {
     /// `(α, β)` are learned from the labeled users here (paper Sec. 4.1), so
     /// both the sampler's initialisation and its conditionals run with a
     /// power law calibrated to *this* dataset.
-    pub fn new(gaz: &'a Gazetteer, dataset: &'a Dataset, config: MlpConfig) -> Result<Self, String> {
+    pub fn new(
+        gaz: &'a Gazetteer,
+        dataset: &'a Dataset,
+        config: MlpConfig,
+    ) -> Result<Self, String> {
         config.validate()?;
         dataset.validate(gaz.num_cities(), gaz.num_venues())?;
         let mut config = config;
@@ -121,11 +121,9 @@ impl<'a> Mlp<'a> {
         let mut sweep_counter = 0u64;
         for round in 0..em_rounds {
             for iter in 0..self.config.iterations {
-                let changes = if self.config.threads > 1 {
-                    parallel_sweep(&mut sampler, sweep_counter)
-                } else {
-                    sampler.sweep()
-                };
+                // One entry point for both modes: `parallel_sweep` runs the
+                // exact sequential sweep when `threads == 1`.
+                let changes = parallel_sweep(&mut sampler, sweep_counter);
                 sweep_counter += 1;
                 if iter >= self.config.burn_in {
                     sampler.state.accumulate();
@@ -133,15 +131,11 @@ impl<'a> Mlp<'a> {
 
                 let homes: Vec<CityId> =
                     (0..n).map(|u| sampler.estimate_theta(UserId(u as u32))[0].0).collect();
-                let moved =
-                    homes.iter().zip(&prev_homes).filter(|(a, b)| a != b).count();
+                let moved = homes.iter().zip(&prev_homes).filter(|(a, b)| a != b).count();
                 diagnostics.iterations.push(IterationStats {
                     iteration: (round * self.config.iterations + iter),
                     edge_change_fraction: ratio(changes.edges, self.dataset.num_edges()),
-                    mention_change_fraction: ratio(
-                        changes.mentions,
-                        self.dataset.num_mentions(),
-                    ),
+                    mention_change_fraction: ratio(changes.mentions, self.dataset.num_mentions()),
                     home_change_fraction: ratio(moved, n),
                     log_likelihood: sampler.log_likelihood_proxy(),
                 });
@@ -149,13 +143,11 @@ impl<'a> Mlp<'a> {
             }
             // M-step: refit (α, β) between rounds.
             if self.config.gibbs_em && round + 1 < em_rounds {
-                if let Some(fit) = refit_power_law(
-                    self.gaz,
-                    self.dataset,
-                    &candidacy,
-                    &sampler.state,
-                    |u| sampler.estimate_theta(u)[0].0,
-                ) {
+                if let Some(fit) =
+                    refit_power_law(self.gaz, self.dataset, &candidacy, &sampler.state, |u| {
+                        sampler.estimate_theta(u)[0].0
+                    })
+                {
                     sampler.power_law = fit;
                     diagnostics.power_law_trace.push((fit.alpha, fit.beta));
                 }
@@ -165,8 +157,7 @@ impl<'a> Mlp<'a> {
         let profiles: Vec<Vec<(CityId, f64)>> =
             (0..n).map(|u| sampler.estimate_theta(UserId(u as u32))).collect();
         let edge_assignments = self.extract_edge_assignments(&sampler, &candidacy, &profiles);
-        let mention_assignments =
-            self.extract_mention_assignments(&sampler, &candidacy, &profiles);
+        let mention_assignments = self.extract_mention_assignments(&sampler, &candidacy, &profiles);
 
         MlpResult {
             profiles,
@@ -187,11 +178,7 @@ impl<'a> Mlp<'a> {
         profiles: &[Vec<(CityId, f64)>],
     ) -> Vec<EdgeAssignment> {
         let theta = |u: UserId, city: CityId| -> f64 {
-            profiles[u.index()]
-                .iter()
-                .find(|&&(c, _)| c == city)
-                .map(|&(_, p)| p)
-                .unwrap_or(0.0)
+            profiles[u.index()].iter().find(|&&(c, _)| c == city).map(|&(_, p)| p).unwrap_or(0.0)
         };
         self.dataset
             .edges
@@ -230,11 +217,7 @@ impl<'a> Mlp<'a> {
         profiles: &[Vec<(CityId, f64)>],
     ) -> Vec<MentionAssignment> {
         let theta = |u: UserId, city: CityId| -> f64 {
-            profiles[u.index()]
-                .iter()
-                .find(|&&(c, _)| c == city)
-                .map(|&(_, p)| p)
-                .unwrap_or(0.0)
+            profiles[u.index()].iter().find(|&&(c, _)| c == city).map(|&(_, p)| p).unwrap_or(0.0)
         };
         self.dataset
             .mentions
@@ -281,7 +264,11 @@ mod tests {
     use super::*;
     use mlp_social::{EdgeTruth, Generator, GeneratorConfig};
 
-    fn run(num_users: usize, data_seed: u64, config: MlpConfig) -> (MlpResult, mlp_social::GeneratedData, Gazetteer) {
+    fn run(
+        num_users: usize,
+        data_seed: u64,
+        config: MlpConfig,
+    ) -> (MlpResult, mlp_social::GeneratedData, Gazetteer) {
         let gaz = Gazetteer::us_cities();
         let data = Generator::new(
             &gaz,
@@ -341,9 +328,7 @@ mod tests {
         let result = Mlp::new(&gaz, &train, quick_config()).unwrap().run();
         let hits = masked
             .iter()
-            .filter(|&&u| {
-                gaz.distance(result.home(u), data.truth.home(u)) <= 100.0
-            })
+            .filter(|&&u| gaz.distance(result.home(u), data.truth.home(u)) <= 100.0)
             .count();
         let acc = hits as f64 / masked.len() as f64;
         // The paper achieves 62% on real data; synthetic data is cleaner, so
@@ -406,11 +391,7 @@ mod tests {
             !result.diagnostics.power_law_trace.is_empty(),
             "EM must record at least one refit"
         );
-        assert_ne!(
-            result.power_law,
-            PowerLaw::PAPER_TWITTER,
-            "refit should move the parameters"
-        );
+        assert_ne!(result.power_law, PowerLaw::PAPER_TWITTER, "refit should move the parameters");
     }
 
     #[test]

@@ -1,24 +1,42 @@
-//! Approximate parallel Gibbs sweep (AD-LDA style).
+//! Approximate parallel Gibbs sweep (AD-LDA style), as a thin driver over
+//! [`crate::kernel`].
 //!
 //! The paper's dataset has ~160K users and millions of relationships; a
 //! sequential sweep is the bottleneck at that scale. Following the standard
 //! approximate-distributed-LDA recipe, a parallel sweep:
 //!
-//! 1. freezes the current count state as a read-only snapshot;
-//! 2. partitions relationships into `threads` contiguous chunks, each
-//!    resampled against the snapshot (each relationship still excludes its
-//!    *own* current contribution, but sees slightly stale counts for
-//!    relationships resampled concurrently in other chunks);
-//! 3. rebuilds the exact counts from the merged new assignments.
+//! 1. partitions relationships into `threads` contiguous chunks;
+//! 2. resamples every chunk concurrently against the sweep-start counts
+//!    (each relationship still excludes its *own* current contribution —
+//!    [`EdgeExcluded`]/[`MentionExcluded`] apply that arithmetically — but
+//!    sees stale counts for relationships resampled in other chunks);
+//! 3. merges the new assignments and applies each one's count delta
+//!    incrementally.
+//!
+//! Two things are deliberately *absent*:
+//!
+//! * **No state clone.** `std::thread::scope` lets every worker share a
+//!   plain `&SamplerState`: the counts are frozen for the duration of the
+//!   fork-join because nothing writes until all chunks are joined. The seed
+//!   implementation cloned the full `SamplerState` (assignments and
+//!   accumulators included) every sweep.
+//! * **No full count rebuild.** The merge applies remove/add deltas per
+//!   changed relationship instead of zeroing and recounting `ϕ`/`φ` from
+//!   scratch; `check_consistency` in the tests pins the equivalence.
 //!
 //! The stale reads make this an approximation of the exact chain, but the
 //! stationary behaviour is empirically indistinguishable at our scales —
 //! the `parallel_matches_sequential_quality` test and the ablation bench
-//! quantify it.
+//! quantify it. With `threads == 1` the driver falls back to the exact
+//! sequential sweep, so single-threaded results are byte-identical to
+//! [`GibbsSampler::sweep`].
 
+use crate::kernel::{self, EdgeExcluded, Endpoint, MentionExcluded, SamplerView};
 use crate::sampler::{GibbsSampler, SweepChanges};
+use crate::state::SamplerState;
 use mlp_sampling::{sample_categorical, Pcg64, SplitMix64};
-use mlp_social::UserId;
+use mlp_social::Dataset;
+use std::ops::Range;
 
 /// One chunk's newly sampled edge assignments.
 struct EdgeOut {
@@ -45,13 +63,9 @@ pub fn parallel_sweep(sampler: &mut GibbsSampler<'_>, sweep_index: u64) -> Sweep
     if threads <= 1 {
         return sampler.sweep();
     }
-    let snapshot = sampler.state.clone();
+    let view = sampler.view();
     let config = sampler.config();
-    let gaz = sampler.gazetteer();
-    let candidacy = sampler.candidacy();
     let dataset = sampler.dataset();
-    let random = sampler.random_models();
-    let power_law = sampler.power_law;
     let seed = config.seed;
 
     let num_edges = if config.variant.uses_following() { dataset.num_edges() } else { 0 };
@@ -60,197 +74,209 @@ pub fn parallel_sweep(sampler: &mut GibbsSampler<'_>, sweep_index: u64) -> Sweep
     let edge_chunks = chunk_ranges(num_edges, threads);
     let mention_chunks = chunk_ranges(num_mentions, threads);
 
-    let (edge_outs, mention_outs) = crossbeam::thread::scope(|scope| {
-        let snapshot = &snapshot;
-        let mut edge_handles = Vec::new();
-        for (t, range) in edge_chunks.iter().cloned().enumerate() {
-            edge_handles.push(scope.spawn(move |_| {
-                let mut rng = Pcg64::new(SplitMix64::derive(
-                    seed,
-                    0xE000_0000 ^ (sweep_index << 8) ^ t as u64,
-                ));
-                let mut out = EdgeOut {
-                    start: range.start,
-                    mu: Vec::with_capacity(range.len()),
-                    x: Vec::with_capacity(range.len()),
-                    y: Vec::with_capacity(range.len()),
-                };
-                let mut buf = Vec::new();
-                for s in range {
-                    let e = dataset.edges[s];
-                    let (i, j) = (e.follower, e.friend);
-                    let ci = candidacy.candidates(i);
-                    let cj = candidacy.candidates(j);
-                    let (old_mu, old_x, old_y) =
-                        (snapshot.mu[s], snapshot.x[s] as usize, snapshot.y[s] as usize);
-                    let counted = !old_mu || config.count_noisy_assignments;
+    let (edge_outs, mention_outs) = {
+        // Shared read-only borrow: frozen until every worker is joined.
+        let state = &sampler.state;
+        std::thread::scope(|scope| {
+            let edge_handles: Vec<_> = edge_chunks
+                .into_iter()
+                .enumerate()
+                .map(|(t, range)| {
+                    // Sweep index in the high half, chunk index in the low:
+                    // no (sweep, chunk) pair can alias another even at
+                    // absurd thread counts.
+                    let rng_seed = SplitMix64::derive(
+                        seed,
+                        0xE000_0000_0000_0000 ^ (sweep_index << 32) ^ t as u64,
+                    );
+                    scope.spawn(move || resample_edge_chunk(view, state, dataset, range, rng_seed))
+                })
+                .collect();
+            let mention_handles: Vec<_> = mention_chunks
+                .into_iter()
+                .enumerate()
+                .map(|(t, range)| {
+                    let rng_seed = SplitMix64::derive(
+                        seed,
+                        0x4000_0000_0000_0000 ^ (sweep_index << 32) ^ t as u64,
+                    );
+                    scope.spawn(move || {
+                        resample_mention_chunk(view, state, dataset, range, rng_seed)
+                    })
+                })
+                .collect();
+            let edge_outs: Vec<EdgeOut> =
+                edge_handles.into_iter().map(|h| h.join().expect("edge worker")).collect();
+            let mention_outs: Vec<MentionOut> =
+                mention_handles.into_iter().map(|h| h.join().expect("mention worker")).collect();
+            (edge_outs, mention_outs)
+        })
+    };
 
-                    // Exclude-current counts, computed arithmetically
-                    // against the frozen snapshot.
-                    let cnt = |u: UserId, c: usize, own: usize| -> f64 {
-                        let base = snapshot.user_count(u, c);
-                        (base - (counted && c == own) as u32) as f64
-                    };
-                    let tot = |u: UserId| -> f64 {
-                        (snapshot.user_total(u) - counted as u32) as f64
-                    };
-
-                    let x_city0 = ci[old_x];
-                    let y_city0 = cj[old_y];
-                    let gi = candidacy.gammas(i);
-                    let gj = candidacy.gammas(j);
-
-                    let pi = (cnt(i, old_x, old_x) + gi[old_x])
-                        / (tot(i) + candidacy.gamma_total(i));
-                    let pj = (cnt(j, old_y, old_y) + gj[old_y])
-                        / (tot(j) + candidacy.gamma_total(j));
-                    let d = gaz.distance(x_city0, y_city0);
-                    let w_based = (1.0 - config.rho_f) * pi * pj * power_law.eval(d);
-                    let w_noisy = config.rho_f * random.follow_prob();
-                    let new_mu = rng.next_f64() * (w_based + w_noisy) < w_noisy;
-
-                    buf.clear();
-                    for (c, &city) in ci.iter().enumerate() {
-                        let mut w = cnt(i, c, old_x) + gi[c];
-                        if !new_mu {
-                            w *= power_law.kernel(gaz.distance(city, y_city0));
-                        }
-                        buf.push(w);
-                    }
-                    let new_x = sample_categorical(&mut rng, &buf).expect("positive") as u16;
-                    let x_city = ci[new_x as usize];
-
-                    buf.clear();
-                    for (c, &city) in cj.iter().enumerate() {
-                        let mut w = cnt(j, c, old_y) + gj[c];
-                        if !new_mu {
-                            w *= power_law.kernel(gaz.distance(x_city, city));
-                        }
-                        buf.push(w);
-                    }
-                    let new_y = sample_categorical(&mut rng, &buf).expect("positive") as u16;
-
-                    out.mu.push(new_mu);
-                    out.x.push(new_x);
-                    out.y.push(new_y);
-                }
-                out
-            }));
-        }
-
-        let mut mention_handles = Vec::new();
-        for (t, range) in mention_chunks.iter().cloned().enumerate() {
-            mention_handles.push(scope.spawn(move |_| {
-                let mut rng = Pcg64::new(SplitMix64::derive(
-                    seed,
-                    0x4000_0000 ^ (sweep_index << 8) ^ t as u64,
-                ));
-                let mut out = MentionOut {
-                    start: range.start,
-                    nu: Vec::with_capacity(range.len()),
-                    z: Vec::with_capacity(range.len()),
-                };
-                let mut buf = Vec::new();
-                let v_total = gaz.num_venues() as f64;
-                for k in range {
-                    let m = dataset.mentions[k];
-                    let (i, v) = (m.user, m.venue);
-                    let ci = candidacy.candidates(i);
-                    let (old_nu, old_z) = (snapshot.nu[k], snapshot.z[k] as usize);
-                    let counted = !old_nu || config.count_noisy_assignments;
-                    let old_city = ci[old_z];
-
-                    let cnt = |c: usize| -> f64 {
-                        let base = snapshot.user_count(i, c);
-                        (base - (counted && c == old_z) as u32) as f64
-                    };
-                    let tot =
-                        (snapshot.user_total(i) - counted as u32) as f64;
-                    let venue_term = |l: mlp_gazetteer::CityId| -> f64 {
-                        let mut num = snapshot.venue_count(l, v) as f64;
-                        let mut den = snapshot.city_total(l) as f64;
-                        if !old_nu && l == old_city {
-                            num -= 1.0;
-                            den -= 1.0;
-                        }
-                        (num + config.delta) / (den + config.delta * v_total)
-                    };
-
-                    let gi = candidacy.gammas(i);
-                    let pz = (cnt(old_z) + gi[old_z]) / (tot + candidacy.gamma_total(i));
-                    let w_based = (1.0 - config.rho_t) * pz * venue_term(old_city);
-                    let w_noisy = config.rho_t * random.venue_prob(v);
-                    let new_nu = rng.next_f64() * (w_based + w_noisy) < w_noisy;
-
-                    buf.clear();
-                    for (c, &city) in ci.iter().enumerate() {
-                        let mut w = cnt(c) + gi[c];
-                        if !new_nu {
-                            w *= venue_term(city);
-                        }
-                        buf.push(w);
-                    }
-                    let new_z = sample_categorical(&mut rng, &buf).expect("positive") as u16;
-                    out.nu.push(new_nu);
-                    out.z.push(new_z);
-                }
-                out
-            }));
-        }
-
-        let edge_outs: Vec<EdgeOut> =
-            edge_handles.into_iter().map(|h| h.join().expect("edge worker")).collect();
-        let mention_outs: Vec<MentionOut> =
-            mention_handles.into_iter().map(|h| h.join().expect("mention worker")).collect();
-        (edge_outs, mention_outs)
-    })
-    .expect("crossbeam scope");
-
-    // Merge and count changes.
-    let mut changes = SweepChanges::default();
-    for out in edge_outs {
-        for (off, ((mu, x), y)) in
-            out.mu.iter().zip(&out.x).zip(&out.y).enumerate()
-        {
-            let s = out.start + off;
-            if sampler.state.mu[s] != *mu || sampler.state.x[s] != *x || sampler.state.y[s] != *y
-            {
-                changes.edges += 1;
-            }
-            sampler.state.mu[s] = *mu;
-            sampler.state.x[s] = *x;
-            sampler.state.y[s] = *y;
-        }
-    }
-    for out in mention_outs {
-        for (off, (nu, z)) in out.nu.iter().zip(&out.z).enumerate() {
-            let k = out.start + off;
-            if sampler.state.nu[k] != *nu || sampler.state.z[k] != *z {
-                changes.mentions += 1;
-            }
-            sampler.state.nu[k] = *nu;
-            sampler.state.z[k] = *z;
-        }
-    }
-
-    rebuild(sampler);
-    changes
+    merge(sampler, edge_outs, mention_outs)
 }
 
-fn rebuild(sampler: &mut GibbsSampler<'_>) {
+/// Resamples one contiguous range of edges against frozen counts.
+fn resample_edge_chunk(
+    view: SamplerView<'_>,
+    state: &SamplerState,
+    dataset: &Dataset,
+    range: Range<usize>,
+    rng_seed: u64,
+) -> EdgeOut {
+    let mut rng = Pcg64::new(rng_seed);
+    let mut out = EdgeOut {
+        start: range.start,
+        mu: Vec::with_capacity(range.len()),
+        x: Vec::with_capacity(range.len()),
+        y: Vec::with_capacity(range.len()),
+    };
+    // One weight buffer per chunk, reused across its whole range.
+    let mut buf = Vec::new();
+    for s in range {
+        let e = dataset.edges[s];
+        let (i, j) = (e.follower, e.friend);
+        let ci = view.candidacy.candidates(i);
+        let cj = view.candidacy.candidates(j);
+        let (old_mu, old_x, old_y) = (state.mu[s], state.x[s] as usize, state.y[s] as usize);
+        let counted = !old_mu || view.config.count_noisy_assignments;
+        let counts = EdgeExcluded::new(state, counted, i, old_x, j, old_y);
+
+        let x_city = ci[old_x];
+        let y_city = cj[old_y];
+
+        // --- μ_s | rest (Eq. 5) ---
+        let (w_based, w_noisy) = kernel::edge_selector_weights(
+            &view,
+            &counts,
+            Endpoint { user: i, pos: old_x, city: x_city },
+            Endpoint { user: j, pos: old_y, city: y_city },
+        );
+        let new_mu = rng.next_f64() * (w_based + w_noisy) < w_noisy;
+
+        // --- x_s | rest (Eq. 7) ---
+        kernel::edge_position_weights(&view, &counts, i, (!new_mu).then_some(y_city), &mut buf);
+        let new_x = sample_categorical(&mut rng, &buf).expect("x weights are positive (γ > 0)");
+        let x_city = ci[new_x];
+
+        // --- y_s | rest (Eq. 8) ---
+        kernel::edge_position_weights(&view, &counts, j, (!new_mu).then_some(x_city), &mut buf);
+        let new_y = sample_categorical(&mut rng, &buf).expect("y weights are positive (γ > 0)");
+
+        out.mu.push(new_mu);
+        out.x.push(new_x as u16);
+        out.y.push(new_y as u16);
+    }
+    out
+}
+
+/// Resamples one contiguous range of mentions against frozen counts.
+fn resample_mention_chunk(
+    view: SamplerView<'_>,
+    state: &SamplerState,
+    dataset: &Dataset,
+    range: Range<usize>,
+    rng_seed: u64,
+) -> MentionOut {
+    let mut rng = Pcg64::new(rng_seed);
+    let mut out = MentionOut {
+        start: range.start,
+        nu: Vec::with_capacity(range.len()),
+        z: Vec::with_capacity(range.len()),
+    };
+    let mut buf = Vec::new();
+    for k in range {
+        let m = dataset.mentions[k];
+        let (i, v) = (m.user, m.venue);
+        let ci = view.candidacy.candidates(i);
+        let (old_nu, old_z) = (state.nu[k], state.z[k] as usize);
+        let counted = !old_nu || view.config.count_noisy_assignments;
+        let old_city = ci[old_z];
+        let counts = MentionExcluded::new(state, counted, !old_nu, i, old_z, old_city, v);
+
+        // --- ν_k | rest (Eq. 6) ---
+        let (w_based, w_noisy) =
+            kernel::mention_selector_weights(&view, &counts, i, old_z, old_city, v);
+        let new_nu = rng.next_f64() * (w_based + w_noisy) < w_noisy;
+
+        // --- z_k | rest (Eq. 9) ---
+        kernel::mention_position_weights(&view, &counts, i, (!new_nu).then_some(v), &mut buf);
+        let new_z = sample_categorical(&mut rng, &buf).expect("z weights are positive (γ > 0)");
+
+        out.nu.push(new_nu);
+        out.z.push(new_z as u16);
+    }
+    out
+}
+
+/// Writes the chunk outputs back and applies each relationship's count
+/// delta incrementally (no full rebuild).
+fn merge(
+    sampler: &mut GibbsSampler<'_>,
+    edge_outs: Vec<EdgeOut>,
+    mention_outs: Vec<MentionOut>,
+) -> SweepChanges {
     let count_noisy = sampler.config().count_noisy_assignments;
-    let uses_f = sampler.config().variant.uses_following();
-    let uses_t = sampler.config().variant.uses_tweeting();
-    // The getters hand back borrows tied to the sampler's *input* lifetime,
-    // not to `sampler` itself, so mutating the state afterwards is fine.
     let dataset = sampler.dataset();
     let candidacy = sampler.candidacy();
-    sampler.state.rebuild_counts(dataset, candidacy, count_noisy, uses_f, uses_t);
+    let state = &mut sampler.state;
+    let mut changes = SweepChanges::default();
+
+    for out in edge_outs {
+        for (off, ((&new_mu, &new_x), &new_y)) in out.mu.iter().zip(&out.x).zip(&out.y).enumerate()
+        {
+            let s = out.start + off;
+            let e = dataset.edges[s];
+            let (old_mu, old_x, old_y) = (state.mu[s], state.x[s], state.y[s]);
+            if old_mu != new_mu || old_x != new_x || old_y != new_y {
+                changes.edges += 1;
+            }
+            if !old_mu || count_noisy {
+                state.remove_user(e.follower, old_x as usize);
+                state.remove_user(e.friend, old_y as usize);
+            }
+            if !new_mu || count_noisy {
+                state.add_user(e.follower, new_x as usize);
+                state.add_user(e.friend, new_y as usize);
+            }
+            state.mu[s] = new_mu;
+            state.x[s] = new_x;
+            state.y[s] = new_y;
+        }
+    }
+
+    for out in mention_outs {
+        for (off, (&new_nu, &new_z)) in out.nu.iter().zip(&out.z).enumerate() {
+            let k = out.start + off;
+            let m = dataset.mentions[k];
+            let cands = candidacy.candidates(m.user);
+            let (old_nu, old_z) = (state.nu[k], state.z[k]);
+            if old_nu != new_nu || old_z != new_z {
+                changes.mentions += 1;
+            }
+            if !old_nu || count_noisy {
+                state.remove_user(m.user, old_z as usize);
+            }
+            if !new_nu || count_noisy {
+                state.add_user(m.user, new_z as usize);
+            }
+            if !old_nu {
+                state.remove_venue(cands[old_z as usize], m.venue);
+            }
+            if !new_nu {
+                state.add_venue(cands[new_z as usize], m.venue);
+            }
+            state.nu[k] = new_nu;
+            state.z[k] = new_z;
+        }
+    }
+
+    changes
 }
 
 /// Splits `0..n` into `k` contiguous near-equal ranges (empty ranges for
 /// `n < k` workers are fine — those workers no-op).
-fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+fn chunk_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
     let k = k.max(1);
     let base = n / k;
     let rem = n % k;
@@ -306,7 +332,29 @@ mod tests {
             sampler
                 .state
                 .check_consistency(&data.dataset, &cand, false, true, true)
-                .expect("post-merge rebuild must be exact");
+                .expect("incremental merge must equal a rebuild");
+        }
+    }
+
+    #[test]
+    fn incremental_merge_exact_with_count_noisy() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 150, seed: 59, ..Default::default() },
+        )
+        .generate();
+        let config = MlpConfig { threads: 3, count_noisy_assignments: true, ..Default::default() };
+        let adj = Adjacency::build(&data.dataset);
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+        for sweep in 0..3 {
+            parallel_sweep(&mut sampler, sweep);
+            sampler
+                .state
+                .check_consistency(&data.dataset, &cand, true, true, true)
+                .expect("count-noisy incremental merge must also be exact");
         }
     }
 
@@ -352,11 +400,9 @@ mod tests {
     #[test]
     fn single_thread_falls_back_to_sequential() {
         let gaz = Gazetteer::us_cities();
-        let data = Generator::new(
-            &gaz,
-            GeneratorConfig { num_users: 50, seed: 57, ..Default::default() },
-        )
-        .generate();
+        let data =
+            Generator::new(&gaz, GeneratorConfig { num_users: 50, seed: 57, ..Default::default() })
+                .generate();
         let config = MlpConfig { threads: 1, ..Default::default() };
         let adj = Adjacency::build(&data.dataset);
         let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
@@ -364,5 +410,34 @@ mod tests {
         let mut sampler = GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
         let changes = parallel_sweep(&mut sampler, 0);
         assert!(changes.edges + changes.mentions > 0);
+    }
+
+    /// With `threads == 1` the parallel entry point must be *byte-identical*
+    /// to the sequential sweep: same assignments, same RNG stream.
+    #[test]
+    fn single_thread_is_byte_identical_to_sequential() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 120, seed: 61, ..Default::default() },
+        )
+        .generate();
+        let config = MlpConfig { threads: 1, ..Default::default() };
+        let adj = Adjacency::build(&data.dataset);
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+
+        let mut seq = GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+        let mut par = GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+        for sweep in 0..4 {
+            let a = seq.sweep();
+            let b = parallel_sweep(&mut par, sweep);
+            assert_eq!(a, b, "sweep {sweep} change counts differ");
+        }
+        assert_eq!(seq.state.mu, par.state.mu);
+        assert_eq!(seq.state.x, par.state.x);
+        assert_eq!(seq.state.y, par.state.y);
+        assert_eq!(seq.state.nu, par.state.nu);
+        assert_eq!(seq.state.z, par.state.z);
     }
 }

@@ -1,26 +1,23 @@
-//! The collapsed Gibbs sampler (paper Sec. 4.5, Eqs. 5–9).
+//! The sequential collapsed Gibbs sweep driver (paper Sec. 4.5).
 //!
 //! One sweep resamples, for every following relationship, the model
 //! selector `μ_s` and both location assignments `(x_s, y_s)`, and for every
 //! tweeting relationship the selector `ν_k` and assignment `z_k`, each from
-//! its conditional posterior given everything else. All conditionals reduce
-//! to products of
-//!
-//! * a profile pseudo-count term `(ϕ_{i,l} + γ_{i,l})` (exclude-current),
-//! * the power-law distance kernel `d(x,y)^α` for edges, and
-//! * the venue term `(φ_{l,v} + δ_v) / (Σ_v φ_{l,v} + δ·|V|)` for mentions,
-//!
-//! against the random-model likelihoods `P(f|F_R)`, `P(t|T_R)` weighted by
-//! `ρ_f`, `ρ_t`.
+//! its conditional posterior given everything else. The conditional weight
+//! math itself (Eqs. 5–9) lives in [`crate::kernel`] and is shared verbatim
+//! with the chunked parallel driver; this module owns only the *driver*
+//! concerns — exclude-current count bookkeeping, the RNG stream, and the
+//! sweep loop.
 
 use crate::candidacy::Candidacy;
 use crate::config::MlpConfig;
+use crate::kernel::{self, SamplerView};
 use crate::random_models::RandomModels;
 use crate::state::SamplerState;
 use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_geo::PowerLaw;
 use mlp_sampling::{sample_categorical, Pcg64, SplitMix64};
 use mlp_social::{Dataset, UserId};
-use mlp_geo::PowerLaw;
 
 /// The sampler: owns the mutable state and RNG, borrows everything static.
 pub struct GibbsSampler<'a> {
@@ -123,9 +120,8 @@ impl<'a> GibbsSampler<'a> {
     /// bonus`, where anchors are the labeled cities of edge counterparts.
     fn compute_init_modes(&self) -> Vec<Option<usize>> {
         let n = self.dataset.num_users();
-        let mut scores: Vec<Vec<f64>> = (0..n)
-            .map(|u| vec![0.0; self.candidacy.candidates(UserId(u as u32)).len()])
-            .collect();
+        let mut scores: Vec<Vec<f64>> =
+            (0..n).map(|u| vec![0.0; self.candidacy.candidates(UserId(u as u32)).len()]).collect();
         let mut has_signal = vec![false; n];
         if self.config.variant.uses_following() {
             for e in &self.dataset.edges {
@@ -173,22 +169,23 @@ impl<'a> GibbsSampler<'a> {
             .collect()
     }
 
-    /// Profile pseudo-count term for user `u` at candidate index `c`
-    /// (counts must already exclude the relationship being resampled).
-    #[inline]
-    fn profile_term(&self, u: UserId, c: usize) -> f64 {
-        let num = self.state.user_count(u, c) as f64 + self.candidacy.gammas(u)[c];
-        let den = self.state.user_total(u) as f64 + self.candidacy.gamma_total(u);
-        num / den
+    /// The read-only view the kernel evaluates against. Outlives any borrow
+    /// of `self` (it copies the sampler's own `'a` references), so drivers
+    /// can hold it while mutating state, RNG, and weight buffers.
+    pub fn view(&self) -> SamplerView<'a> {
+        SamplerView {
+            gaz: self.gaz,
+            candidacy: self.candidacy,
+            random: self.random,
+            config: self.config,
+            power_law: self.power_law,
+        }
     }
 
-    /// Venue term `(φ_{l,v} + δ) / (Σφ_l + δ|V|)`.
+    /// Venue term `(φ_{l,v} + δ) / (Σφ_l + δ|V|)` against live counts.
     #[inline]
     fn venue_term(&self, l: CityId, v: VenueId) -> f64 {
-        let num = self.state.venue_count(l, v) as f64 + self.config.delta;
-        let den =
-            self.state.city_total(l) as f64 + self.config.delta * self.gaz.num_venues() as f64;
-        num / den
+        kernel::venue_term(&self.view(), &self.state, l, v)
     }
 
     /// One full Gibbs sweep over all relationships.
@@ -225,50 +222,41 @@ impl<'a> GibbsSampler<'a> {
             self.state.remove_user(j, old_y as usize);
         }
 
-        let mut x_city = ci[old_x as usize];
-        let mut y_city = cj[old_y as usize];
+        let x_city = ci[old_x as usize];
+        let y_city = cj[old_y as usize];
+        let view = self.view();
 
-        // --- μ_s | rest (Eq. 5; we keep both endpoints' profile factors,
-        // the full conditional of the generative story — the paper's
-        // printed equation shows only the follower's, but with a
-        // data-calibrated (α, β) the two-factor form separates noisy from
-        // location-based edges more sharply) ---
-        let d = self.gaz.distance(x_city, y_city);
-        let w_based = (1.0 - self.config.rho_f)
-            * self.profile_term(i, old_x as usize)
-            * self.profile_term(j, old_y as usize)
-            * self.power_law.eval(d);
-        let w_noisy = self.config.rho_f * self.random.follow_prob();
+        // --- μ_s | rest (Eq. 5) ---
+        let (w_based, w_noisy) = kernel::edge_selector_weights(
+            &view,
+            &self.state,
+            kernel::Endpoint { user: i, pos: old_x as usize, city: x_city },
+            kernel::Endpoint { user: j, pos: old_y as usize, city: y_city },
+        );
         let new_mu = self.rng.next_f64() * (w_based + w_noisy) < w_noisy;
 
         // --- x_s | rest (Eq. 7) ---
-        let gi = self.candidacy.gammas(i);
-        self.weight_buf.clear();
-        for (c, &city) in ci.iter().enumerate() {
-            let mut w = self.state.user_count(i, c) as f64 + gi[c];
-            if !new_mu {
-                w *= self.power_law.kernel(self.gaz.distance(city, y_city));
-            }
-            self.weight_buf.push(w);
-        }
+        kernel::edge_position_weights(
+            &view,
+            &self.state,
+            i,
+            (!new_mu).then_some(y_city),
+            &mut self.weight_buf,
+        );
         let new_x = sample_categorical(&mut self.rng, &self.weight_buf)
             .expect("x weights are positive (γ > 0)") as u16;
-        x_city = ci[new_x as usize];
+        let x_city = ci[new_x as usize];
 
         // --- y_s | rest (Eq. 8) ---
-        let gj = self.candidacy.gammas(j);
-        self.weight_buf.clear();
-        for (c, &city) in cj.iter().enumerate() {
-            let mut w = self.state.user_count(j, c) as f64 + gj[c];
-            if !new_mu {
-                w *= self.power_law.kernel(self.gaz.distance(x_city, city));
-            }
-            self.weight_buf.push(w);
-        }
+        kernel::edge_position_weights(
+            &view,
+            &self.state,
+            j,
+            (!new_mu).then_some(x_city),
+            &mut self.weight_buf,
+        );
         let new_y = sample_categorical(&mut self.rng, &self.weight_buf)
             .expect("y weights are positive (γ > 0)") as u16;
-        y_city = cj[new_y as usize];
-        let _ = y_city;
 
         // Commit.
         if !new_mu || self.config.count_noisy_assignments {
@@ -297,22 +285,19 @@ impl<'a> GibbsSampler<'a> {
         }
 
         // --- ν_k | rest (Eq. 6) ---
-        let w_based = (1.0 - self.config.rho_t)
-            * self.profile_term(i, old_z as usize)
-            * self.venue_term(old_city, v);
-        let w_noisy = self.config.rho_t * self.random.venue_prob(v);
+        let view = self.view();
+        let (w_based, w_noisy) =
+            kernel::mention_selector_weights(&view, &self.state, i, old_z as usize, old_city, v);
         let new_nu = self.rng.next_f64() * (w_based + w_noisy) < w_noisy;
 
         // --- z_k | rest (Eq. 9) ---
-        let gi = self.candidacy.gammas(i);
-        self.weight_buf.clear();
-        for (c, &city) in ci.iter().enumerate() {
-            let mut w = self.state.user_count(i, c) as f64 + gi[c];
-            if !new_nu {
-                w *= self.venue_term(city, v);
-            }
-            self.weight_buf.push(w);
-        }
+        kernel::mention_position_weights(
+            &view,
+            &self.state,
+            i,
+            (!new_nu).then_some(v),
+            &mut self.weight_buf,
+        );
         let new_z = sample_categorical(&mut self.rng, &self.weight_buf)
             .expect("z weights are positive (γ > 0)") as u16;
         let new_city = ci[new_z as usize];
@@ -429,11 +414,8 @@ mod tests {
         config: MlpConfig,
     ) -> (Gazetteer, Dataset, MlpConfig, mlp_social::GroundTruth) {
         let gaz = Gazetteer::us_cities();
-        let data = Generator::new(
-            &gaz,
-            GeneratorConfig { num_users, seed, ..Default::default() },
-        )
-        .generate();
+        let data = Generator::new(&gaz, GeneratorConfig { num_users, seed, ..Default::default() })
+            .generate();
         (gaz, data.dataset, config, data.truth)
     }
 
@@ -489,10 +471,7 @@ mod tests {
         let changes = run_sweeps(&gaz, &dataset, &config, 12);
         let early = changes[0].edges + changes[0].mentions;
         let late = changes[11].edges + changes[11].mentions;
-        assert!(
-            (late as f64) < 0.8 * early as f64,
-            "no settling: first {early}, last {late}"
-        );
+        assert!((late as f64) < 0.8 * early as f64, "no settling: first {early}, last {late}");
     }
 
     #[test]

@@ -130,8 +130,7 @@ impl SamplerState {
     /// Removes one venue token `v` from city `l`.
     #[inline]
     pub fn remove_venue(&mut self, l: CityId, v: VenueId) {
-        let e = self
-            .venue_counts[l.index()]
+        let e = self.venue_counts[l.index()]
             .get_mut(&v.0)
             .expect("removing venue that was never added");
         debug_assert!(*e > 0);

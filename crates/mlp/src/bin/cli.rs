@@ -65,9 +65,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next().ok_or_else(|| format!("{flag} requires a value")).cloned()
-        };
+        let mut value = || it.next().ok_or_else(|| format!("{flag} requires a value")).cloned();
         match flag.as_str() {
             "--users" => o.users = parse_num(&value()?)? as usize,
             "--cities" => o.cities = parse_num(&value()?)? as usize,
@@ -92,10 +90,8 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let o = parse_options(&args[1..])?;
-    let gaz = Gazetteer::with_synthetic(&SynthConfig {
-        total_cities: o.cities,
-        ..Default::default()
-    });
+    let gaz =
+        Gazetteer::with_synthetic(&SynthConfig { total_cities: o.cities, ..Default::default() });
 
     match command.as_str() {
         "generate" => {
@@ -119,10 +115,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => {
             let (dataset, truth) = load(&o)?;
             println!("{}", DatasetStats::compute(&dataset, &gaz));
-            println!(
-                "multi-location users: {}",
-                truth.multi_location_users().len()
-            );
+            println!("multi-location users: {}", truth.multi_location_users().len());
             Ok(())
         }
         "profile" => {
@@ -149,11 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let grouping = geo_groups(&dataset, &adj, &result, user);
             println!("user {user}: {} geo groups", grouping.groups.len());
             for g in &grouping.groups {
-                println!(
-                    "  [{}] {} members",
-                    gaz.city(g.location).full_name(),
-                    g.members.len()
-                );
+                println!("  [{}] {} members", gaz.city(g.location).full_name(), g.members.len());
             }
             println!("  noisy relationships: {}", grouping.noisy.len());
             Ok(())

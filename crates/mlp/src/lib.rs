@@ -59,9 +59,7 @@ pub mod prelude {
     pub use mlp_eval::{ExperimentContext, HomeTask, Method, MultiLocationTask, RelationTask};
     pub use mlp_gazetteer::{CityId, Gazetteer, SynthConfig, VenueExtractor, VenueId};
     pub use mlp_geo::{GeoPoint, PowerLaw};
-    pub use mlp_social::{
-        Dataset, Folds, GeneratedData, Generator, GeneratorConfig, UserId,
-    };
+    pub use mlp_social::{Dataset, Folds, GeneratedData, Generator, GeneratorConfig, UserId};
 }
 
 #[cfg(test)]
@@ -71,11 +69,9 @@ mod tests {
     #[test]
     fn prelude_supports_the_full_pipeline() {
         let gaz = Gazetteer::us_cities();
-        let data = Generator::new(
-            &gaz,
-            GeneratorConfig { num_users: 60, seed: 5, ..Default::default() },
-        )
-        .generate();
+        let data =
+            Generator::new(&gaz, GeneratorConfig { num_users: 60, seed: 5, ..Default::default() })
+                .generate();
         let config = MlpConfig { iterations: 4, burn_in: 2, ..Default::default() };
         let result = Mlp::new(&gaz, &data.dataset, config).unwrap().run();
         assert_eq!(result.profiles.len(), 60);

@@ -130,7 +130,10 @@ mod tests {
         let xs = [-1000.0, -1000.5, -999.5];
         let got = log_sum_exp(&xs);
         assert!(got.is_finite());
-        assert!((got - (-999.5 + ((0.0f64).exp() + (-1.0f64).exp() + (-0.5f64).exp()).ln())).abs() < 1e-9);
+        assert!(
+            (got - (-999.5 + ((0.0f64).exp() + (-1.0f64).exp() + (-0.5f64).exp()).ln())).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -168,10 +171,7 @@ mod tests {
     #[test]
     fn log_categorical_all_neg_inf_is_none() {
         let mut rng = Pcg64::new(23);
-        assert_eq!(
-            sample_log_categorical(&mut rng, &[f64::NEG_INFINITY, f64::NEG_INFINITY]),
-            None
-        );
+        assert_eq!(sample_log_categorical(&mut rng, &[f64::NEG_INFINITY, f64::NEG_INFINITY]), None);
         assert_eq!(sample_log_categorical(&mut rng, &[]), None);
     }
 

@@ -206,8 +206,8 @@ mod tests {
         for _ in 0..n {
             hits[t.sample(&mut rng)] += 1;
         }
-        for i in 0..4 {
-            let got = hits[i] as f64 / n as f64;
+        for (i, &h) in hits.iter().enumerate() {
+            let got = h as f64 / n as f64;
             assert!((got - d.prob(i)).abs() < 0.01, "cat {i}");
         }
     }

@@ -27,7 +27,9 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
-    /// Next 64-bit output.
+    /// Next 64-bit output. (`next` is the canonical SplitMix64 operation
+    /// name; this type is not an `Iterator`.)
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -232,10 +234,7 @@ mod tests {
         }
         let expect = n as f64 / bound as f64;
         for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64 - expect).abs() < expect * 0.1,
-                "bucket {i} count {c} vs {expect}"
-            );
+            assert!((c as f64 - expect).abs() < expect * 0.1, "bucket {i} count {c} vs {expect}");
         }
     }
 

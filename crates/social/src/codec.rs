@@ -303,10 +303,8 @@ mod proptests {
         let users = 2u32..20;
         users.prop_flat_map(|n| {
             let reg = prop::collection::vec(prop::option::of(0u32..50), n as usize);
-            let edges = prop::collection::vec(
-                (0..n, 0..n, prop::option::of((0u32..50, 0u32..50))),
-                0..30,
-            );
+            let edges =
+                prop::collection::vec((0..n, 0..n, prop::option::of((0u32..50, 0u32..50))), 0..30);
             let mentions =
                 prop::collection::vec((0..n, 0u32..80, prop::option::of(0u32..50)), 0..40);
             let profiles = prop::collection::vec(
@@ -320,17 +318,11 @@ mod proptests {
                         registered: reg.into_iter().map(|o| o.map(CityId)).collect(),
                         edges: edges
                             .iter()
-                            .map(|&(a, b, _)| FollowEdge {
-                                follower: UserId(a),
-                                friend: UserId(b),
-                            })
+                            .map(|&(a, b, _)| FollowEdge { follower: UserId(a), friend: UserId(b) })
                             .collect(),
                         mentions: mentions
                             .iter()
-                            .map(|&(u, v, _)| TweetMention {
-                                user: UserId(u),
-                                venue: VenueId(v),
-                            })
+                            .map(|&(u, v, _)| TweetMention { user: UserId(u), venue: VenueId(v) })
                             .collect(),
                     };
                     let truth = GroundTruth {
@@ -338,10 +330,8 @@ mod proptests {
                             .into_iter()
                             .map(|p| {
                                 let total: f64 = p.iter().map(|&(_, w)| w).sum();
-                                let mut p: Vec<(CityId, f64)> = p
-                                    .into_iter()
-                                    .map(|(c, w)| (CityId(c), w / total))
-                                    .collect();
+                                let mut p: Vec<(CityId, f64)> =
+                                    p.into_iter().map(|(c, w)| (CityId(c), w / total)).collect();
                                 p.sort_by(|a, b| {
                                     b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0))
                                 });
@@ -352,9 +342,7 @@ mod proptests {
                             .iter()
                             .map(|&(_, _, t)| match t {
                                 None => EdgeTruth::Noisy,
-                                Some((x, y)) => {
-                                    EdgeTruth::Based { x: CityId(x), y: CityId(y) }
-                                }
+                                Some((x, y)) => EdgeTruth::Based { x: CityId(x), y: CityId(y) },
                             })
                             .collect(),
                         mention_truth: mentions

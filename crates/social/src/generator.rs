@@ -148,17 +148,10 @@ impl<'g> Generator<'g> {
         let (edges, edge_truth) = self.generate_edges(&profiles, &users_at);
         let registered = self.generate_registrations(&profiles);
 
-        let dataset = Dataset {
-            num_users: self.config.num_users as u32,
-            registered,
-            edges,
-            mentions,
-        };
+        let dataset =
+            Dataset { num_users: self.config.num_users as u32, registered, edges, mentions };
         let truth = GroundTruth { profiles, edge_truth, mention_truth };
-        debug_assert_eq!(
-            dataset.validate(self.gaz.num_cities(), self.gaz.num_venues()),
-            Ok(())
-        );
+        debug_assert_eq!(dataset.validate(self.gaz.num_cities(), self.gaz.num_venues()), Ok(()));
         debug_assert_eq!(truth.validate(self.gaz.num_cities()), Ok(()));
         GeneratedData { dataset, truth }
     }
@@ -281,8 +274,7 @@ impl<'g> Generator<'g> {
         let mut ids = Vec::new();
         let mut weights = Vec::new();
         for (v, venue) in self.gaz.venues().iter().enumerate() {
-            let pop: f64 =
-                venue.cities.iter().map(|&c| self.gaz.city(c).population as f64).sum();
+            let pop: f64 = venue.cities.iter().map(|&c| self.gaz.city(c).population as f64).sum();
             let w = match venue.kind {
                 VenueKind::CityName => pop,
                 VenueKind::LocalEntity => pop * 0.15,
@@ -300,7 +292,7 @@ impl<'g> Generator<'g> {
     /// popular city names, with the configured mixture masses.
     fn psi<'a>(
         &self,
-        cache: &'a mut Vec<Option<(Vec<VenueId>, AliasTable)>>,
+        cache: &'a mut [Option<(Vec<VenueId>, AliasTable)>],
         l: CityId,
     ) -> &'a (Vec<VenueId>, AliasTable) {
         if cache[l.index()].is_none() {
@@ -329,9 +321,7 @@ impl<'g> Generator<'g> {
             if !nearby.is_empty() {
                 let raw: Vec<f64> = nearby
                     .iter()
-                    .map(|&c| {
-                        self.gaz.city(c).population as f64 / (self.gaz.distance(l, c) + 10.0)
-                    })
+                    .map(|&c| self.gaz.city(c).population as f64 / (self.gaz.distance(l, c) + 10.0))
                     .collect();
                 let total: f64 = raw.iter().sum();
                 for (&c, &r) in nearby.iter().zip(&raw) {
@@ -343,16 +333,11 @@ impl<'g> Generator<'g> {
             }
 
             // Far popular cities (Hollywood-from-Austin effect).
-            let mut by_pop: Vec<CityId> =
-                (0..self.gaz.num_cities() as u32).map(CityId).collect();
+            let mut by_pop: Vec<CityId> = (0..self.gaz.num_cities() as u32).map(CityId).collect();
             by_pop.sort_by_key(|&c| std::cmp::Reverse(self.gaz.city(c).population));
-            let popular: Vec<CityId> = by_pop
-                .into_iter()
-                .filter(|&c| c != l)
-                .take(self.config.psi_popular_k)
-                .collect();
-            let pop_total: f64 =
-                popular.iter().map(|&c| self.gaz.city(c).population as f64).sum();
+            let popular: Vec<CityId> =
+                by_pop.into_iter().filter(|&c| c != l).take(self.config.psi_popular_k).collect();
+            let pop_total: f64 = popular.iter().map(|&c| self.gaz.city(c).population as f64).sum();
             for &c in &popular {
                 if let Some(&v) = self.gaz.venues_of_city(c).first() {
                     ids.push(v);
@@ -382,20 +367,18 @@ impl<'g> Generator<'g> {
         let num_celebs = ((n as f64 * self.config.celebrity_fraction).ceil() as usize).max(1);
         let celebs: Vec<UserId> =
             (0..num_celebs).map(|_| UserId(rng.next_bounded(n) as u32)).collect();
-        let celeb_weights: Vec<f64> =
-            (0..num_celebs).map(|r| 1.0 / (1.0 + r as f64)).collect();
+        let celeb_weights: Vec<f64> = (0..num_celebs).map(|r| 1.0 / (1.0 + r as f64)).collect();
         let celeb_alias = AliasTable::new(&celeb_weights).expect("non-empty celebrity pool");
 
         // Friend-city alias tables, cached per follower assignment x:
         // weight(y) ∝ |users(y)| · d(x, y)^α.
         let mut city_alias: Vec<Option<AliasTable>> = vec![None; self.gaz.num_cities()];
-        let city_user_counts: Vec<f64> =
-            users_at.iter().map(|u| u.len() as f64).collect();
+        let city_user_counts: Vec<f64> = users_at.iter().map(|u| u.len() as f64).collect();
 
         let mut seen = std::collections::HashSet::new();
         let mut edges = Vec::new();
         let mut truths = Vec::new();
-        for i in 0..n {
+        for (i, profile) in profiles.iter().enumerate().take(n) {
             let follower = UserId(i as u32);
             let count = sample_poisson(&mut rng, self.config.mean_friends);
             for _ in 0..count {
@@ -405,7 +388,7 @@ impl<'g> Generator<'g> {
                     match self.based_edge(
                         &mut rng,
                         follower,
-                        &profiles[i],
+                        profile,
                         users_at,
                         &city_user_counts,
                         &mut city_alias,
@@ -455,22 +438,22 @@ impl<'g> Generator<'g> {
         profile: &[(CityId, f64)],
         users_at: &[Vec<UserId>],
         city_user_counts: &[f64],
-        city_alias: &mut Vec<Option<AliasTable>>,
+        city_alias: &mut [Option<AliasTable>],
     ) -> Option<(FollowEdge, EdgeTruth)> {
         let x = sample_profile(rng, profile);
         if city_alias[x.index()].is_none() {
             let row = self.gaz.distances().row(x.index());
-            let weights: Vec<f64> = row
-                .iter()
-                .zip(city_user_counts)
-                .map(|(&d, &cnt)| {
-                    if cnt == 0.0 {
-                        0.0
-                    } else {
-                        cnt * self.config.power_law.kernel(d as f64)
-                    }
-                })
-                .collect();
+            let weights: Vec<f64> =
+                row.iter()
+                    .zip(city_user_counts)
+                    .map(|(&d, &cnt)| {
+                        if cnt == 0.0 {
+                            0.0
+                        } else {
+                            cnt * self.config.power_law.kernel(d as f64)
+                        }
+                    })
+                    .collect();
             city_alias[x.index()] = AliasTable::new(&weights);
         }
         let table = city_alias[x.index()].as_ref()?;
@@ -572,10 +555,7 @@ mod tests {
         let data = generate(2_000, 13);
         let mean_friends = data.dataset.num_edges() as f64 / 2_000.0;
         // Dedup trims a little below the Poisson mean; stay within 15%.
-        assert!(
-            (mean_friends - 14.8).abs() < 2.2,
-            "mean friends {mean_friends}"
-        );
+        assert!((mean_friends - 14.8).abs() < 2.2, "mean friends {mean_friends}");
         let mean_mentions = data.dataset.num_mentions() as f64 / 2_000.0;
         assert!((mean_mentions - 29.0).abs() < 1.5, "mean mentions {mean_mentions}");
     }
@@ -590,22 +570,15 @@ mod tests {
     #[test]
     fn noisy_fractions_match_config() {
         let data = generate(2_000, 19);
-        let noisy_edges = data
-            .truth
-            .edge_truth
-            .iter()
-            .filter(|t| matches!(t, EdgeTruth::Noisy))
-            .count() as f64
-            / data.dataset.num_edges() as f64;
+        let noisy_edges =
+            data.truth.edge_truth.iter().filter(|t| matches!(t, EdgeTruth::Noisy)).count() as f64
+                / data.dataset.num_edges() as f64;
         // Fallbacks convert a few location-based draws into noisy ones.
         assert!((0.10..0.25).contains(&noisy_edges), "noisy edge rate {noisy_edges}");
-        let noisy_mentions = data
-            .truth
-            .mention_truth
-            .iter()
-            .filter(|t| matches!(t, MentionTruth::Noisy))
-            .count() as f64
-            / data.dataset.num_mentions() as f64;
+        let noisy_mentions =
+            data.truth.mention_truth.iter().filter(|t| matches!(t, MentionTruth::Noisy)).count()
+                as f64
+                / data.dataset.num_mentions() as f64;
         assert!((0.15..0.26).contains(&noisy_mentions), "noisy mention rate {noisy_mentions}");
     }
 
@@ -658,10 +631,7 @@ mod tests {
         };
         let med_based = med(&mut based);
         let med_noisy = med(&mut noisy);
-        assert!(
-            med_based < med_noisy * 0.5,
-            "based median {med_based} vs noisy {med_noisy}"
-        );
+        assert!(med_based < med_noisy * 0.5, "based median {med_based} vs noisy {med_noisy}");
     }
 
     #[test]
@@ -696,8 +666,7 @@ mod tests {
         let data = Generator::new(&gaz, config).generate();
         let wrong = (0..1_000u32)
             .filter(|&u| {
-                data.dataset.registered[u as usize]
-                    .is_some_and(|c| c != data.truth.home(UserId(u)))
+                data.dataset.registered[u as usize].is_some_and(|c| c != data.truth.home(UserId(u)))
             })
             .count();
         let rate = wrong as f64 / data.dataset.num_labeled() as f64;
@@ -708,9 +677,6 @@ mod tests {
     #[should_panic(expected = "not a probability")]
     fn bad_config_rejected() {
         let gaz = small_gaz();
-        Generator::new(
-            &gaz,
-            GeneratorConfig { noisy_edge_fraction: 1.5, ..Default::default() },
-        );
+        Generator::new(&gaz, GeneratorConfig { noisy_edge_fraction: 1.5, ..Default::default() });
     }
 }

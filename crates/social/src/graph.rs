@@ -24,8 +24,7 @@ impl Adjacency {
     /// Builds adjacency from a dataset.
     pub fn build(dataset: &Dataset) -> Self {
         let n = dataset.num_users();
-        let (out_offsets, out_edges) =
-            csr(n, dataset.edges.iter().map(|e| e.follower.index()));
+        let (out_offsets, out_edges) = csr(n, dataset.edges.iter().map(|e| e.follower.index()));
         let (in_offsets, in_edges) = csr(n, dataset.edges.iter().map(|e| e.friend.index()));
         let (mention_offsets, mention_ids) =
             csr(n, dataset.mentions.iter().map(|m| m.user.index()));
@@ -151,8 +150,7 @@ mod tests {
             (0..4).flat_map(|u| adj.out_edges(UserId(u)).to_vec()).collect();
         out_all.sort_unstable();
         assert_eq!(out_all, vec![0, 1, 2, 3, 4]);
-        let mut in_all: Vec<u32> =
-            (0..4).flat_map(|u| adj.in_edges(UserId(u)).to_vec()).collect();
+        let mut in_all: Vec<u32> = (0..4).flat_map(|u| adj.in_edges(UserId(u)).to_vec()).collect();
         in_all.sort_unstable();
         assert_eq!(in_all, vec![0, 1, 2, 3, 4]);
     }

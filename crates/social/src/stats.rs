@@ -131,10 +131,9 @@ pub fn following_probability_histogram(
         }
     }
     for e in &dataset.edges {
-        if let (Some(a), Some(b)) = (
-            dataset.registered[e.follower.index()],
-            dataset.registered[e.friend.index()],
-        ) {
+        if let (Some(a), Some(b)) =
+            (dataset.registered[e.follower.index()], dataset.registered[e.friend.index()])
+        {
             hist.record_bulk(gaz.distance(a, b), 0, 1);
         }
     }
@@ -158,11 +157,7 @@ mod tests {
         assert_eq!(stats.labeled_fraction, 1.0);
         // The paper reports ~92% coverage; our generator should land in the
         // same region (location-based relationships dominate).
-        assert!(
-            stats.candidacy_coverage > 0.85,
-            "candidacy coverage {}",
-            stats.candidacy_coverage
-        );
+        assert!(stats.candidacy_coverage > 0.85, "candidacy coverage {}", stats.candidacy_coverage);
     }
 
     #[test]

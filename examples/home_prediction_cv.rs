@@ -18,14 +18,8 @@ fn main() {
     let mut task = HomeTask::new(&ctx);
     task.folds_to_run = 1;
 
-    let methods = [
-        Method::Voting,
-        Method::BaseU,
-        Method::BaseC,
-        Method::MlpU,
-        Method::MlpC,
-        Method::Mlp,
-    ];
+    let methods =
+        [Method::Voting, Method::BaseU, Method::BaseC, Method::MlpU, Method::MlpC, Method::Mlp];
     let mut table = TextTable::new(vec!["Method", "ACC@100", "ACC@20", "ACC@140"]);
     for method in methods {
         let report = task.run_method(method);

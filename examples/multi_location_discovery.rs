@@ -12,11 +12,9 @@ use mlp::prelude::*;
 
 fn main() {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 1_500, seed: 11, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 1_500, seed: 11, ..Default::default() })
+            .generate();
 
     let config = MlpConfig { iterations: 15, burn_in: 7, ..Default::default() };
     let result = Mlp::new(&gaz, &data.dataset, config).expect("valid inputs").run();
@@ -51,10 +49,7 @@ fn main() {
 
         println!("user {u}");
         println!("  true : {} / {}", name(truth[0]), name(truth[1]));
-        println!(
-            "  MLP  : {}",
-            mlp_top2.iter().map(|&c| name(c)).collect::<Vec<_>>().join(" / ")
-        );
+        println!("  MLP  : {}", mlp_top2.iter().map(|&c| name(c)).collect::<Vec<_>>().join(" / "));
         println!(
             "  BaseU: {}\n",
             base_top2.iter().map(|&c| name(c)).collect::<Vec<_>>().join(" / ")

@@ -17,11 +17,9 @@ fn main() {
     // 2. A synthetic Twitter whose generative story is the paper's model:
     //    multi-location users, power-law-over-distance follows, local +
     //    popular venue mentions, celebrity noise.
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 1_000, seed: 7, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 1_000, seed: 7, ..Default::default() })
+            .generate();
     println!(
         "dataset: {} users, {} follows, {} venue mentions",
         data.dataset.num_users(),
@@ -47,12 +45,8 @@ fn main() {
             .take(3)
             .map(|&(c, p)| format!("{} ({:.0}%)", gaz.city(c).full_name(), p * 100.0))
             .collect();
-        let truth: Vec<String> = data
-            .truth
-            .locations(user)
-            .iter()
-            .map(|&c| gaz.city(c).full_name())
-            .collect();
+        let truth: Vec<String> =
+            data.truth.locations(user).iter().map(|&c| gaz.city(c).full_name()).collect();
         println!("  {user}: inferred {} | true {}", profile.join(", "), truth.join(", "));
     }
 

@@ -14,24 +14,17 @@ use mlp::social::Adjacency;
 
 fn main() {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 1_500, seed: 13, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 1_500, seed: 13, ..Default::default() })
+            .generate();
 
     let config = MlpConfig { iterations: 15, burn_in: 7, ..Default::default() };
     let result = Mlp::new(&gaz, &data.dataset, config).expect("valid inputs").run();
 
     let adj = Adjacency::build(&data.dataset);
-    let user = mlp::eval::observations::showcase_user(
-        &data.dataset,
-        &data.truth,
-        &gaz,
-        &adj,
-        500.0,
-    )
-    .expect("a far-separated multi-location user exists at this scale");
+    let user =
+        mlp::eval::observations::showcase_user(&data.dataset, &data.truth, &gaz, &adj, 500.0)
+            .expect("a far-separated multi-location user exists at this scale");
 
     let name = |c: CityId| gaz.city(c).full_name();
     let truth: Vec<String> = data.truth.locations(user).iter().map(|&c| name(c)).collect();

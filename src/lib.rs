@@ -1,0 +1,8 @@
+//! Workspace root for the MLP reproduction (Li, Wang & Chang, PVLDB 2012).
+//!
+//! The real code lives in the `crates/` members; this package exists so the
+//! repository-level integration tests (`tests/`) and runnable examples
+//! (`examples/`) have a home in the Cargo workspace. See the top-level
+//! `README.md` for the crate map and quickstart.
+
+pub use mlp;

@@ -11,11 +11,9 @@ fn quick_config(seed: u64) -> MlpConfig {
 #[test]
 fn generate_infer_evaluate_recovers_masked_homes() {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 600, seed: 1001, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 600, seed: 1001, ..Default::default() })
+            .generate();
 
     // Mask one fold, train on the rest, predict the fold.
     let folds = Folds::split(&data.dataset, 5, 1001);
@@ -53,11 +51,9 @@ fn full_pipeline_is_deterministic() {
 #[test]
 fn binary_snapshot_round_trips_through_inference() {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 150, seed: 31, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 150, seed: 31, ..Default::default() })
+            .generate();
 
     // Save, reload, and verify inference sees identical data.
     let bytes = codec::encode(&data.dataset, &data.truth);
@@ -73,11 +69,9 @@ fn binary_snapshot_round_trips_through_inference() {
 #[test]
 fn variants_consume_only_their_observations() {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 300, seed: 47, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 300, seed: 47, ..Default::default() })
+            .generate();
 
     // MLP_C's output must be invariant to edge shuffling/removal.
     let mut no_edges = data.dataset.clone();
@@ -102,18 +96,14 @@ fn variants_consume_only_their_observations() {
 #[test]
 fn parallel_inference_stays_close_to_sequential() {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: 400, seed: 53, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 400, seed: 53, ..Default::default() })
+            .generate();
     let acc_of = |threads: usize| {
         let cfg = MlpConfig { threads, ..quick_config(53) };
         let result = Mlp::new(&gaz, &data.dataset, cfg).unwrap().run();
         let hits = (0..400u32)
-            .filter(|&u| {
-                gaz.distance(result.home(UserId(u)), data.truth.home(UserId(u))) <= 100.0
-            })
+            .filter(|&u| gaz.distance(result.home(UserId(u)), data.truth.home(UserId(u))) <= 100.0)
             .count();
         hits as f64 / 400.0
     };

@@ -65,10 +65,7 @@ fn fig7_shape_baseline_recall_is_flat_in_k() {
     // our methods, when K increases" (Sec. 5.2).
     let mlp_gain = mlp.dr(3).unwrap() - mlp.dr(1).unwrap();
     let base_gain = base_u.dr(3).unwrap() - base_u.dr(1).unwrap();
-    assert!(
-        mlp_gain > base_gain,
-        "DR gain K=1→3: MLP {mlp_gain} vs BaseU {base_gain}"
-    );
+    assert!(mlp_gain > base_gain, "DR gain K=1→3: MLP {mlp_gain} vs BaseU {base_gain}");
 }
 
 #[test]
@@ -87,19 +84,13 @@ fn fig8_shape_mlp_explains_relationships_better_than_homes() {
 #[test]
 fn fig5_shape_gibbs_converges_quickly() {
     let ctx = ctx(2016);
-    let result = mlp::eval::runner::run_mlp(
-        &ctx.gaz,
-        &ctx.data.dataset,
-        ctx.mlp_config_for(Method::Mlp),
-    );
+    let result =
+        mlp::eval::runner::run_mlp(&ctx.gaz, &ctx.data.dataset, ctx.mlp_config_for(Method::Mlp));
     // The paper observes convergence after ~14 iterations; grant slack but
     // require the home-change rate to collapse within the run.
     let first = result.diagnostics.iterations.first().unwrap().home_change_fraction;
     let last = result.diagnostics.iterations.last().unwrap().home_change_fraction;
-    assert!(
-        last < first.max(0.02),
-        "no convergence: first {first}, last {last}"
-    );
+    assert!(last < first.max(0.02), "no convergence: first {first}, last {last}");
     assert!(
         result.diagnostics.convergence_iteration(0.05).is_some(),
         "home-change never stabilised below 5%"

@@ -8,11 +8,9 @@ use mlp::social::DatasetStats;
 
 fn generate(users: usize, seed: u64) -> (Gazetteer, GeneratedData) {
     let gaz = Gazetteer::us_cities();
-    let data = Generator::new(
-        &gaz,
-        GeneratorConfig { num_users: users, seed, ..Default::default() },
-    )
-    .generate();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: users, seed, ..Default::default() })
+            .generate();
     (gaz, data)
 }
 

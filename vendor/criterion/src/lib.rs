@@ -1,0 +1,217 @@
+//! Offline shim for `criterion` (see `vendor/README.md`).
+//!
+//! Keeps the bench sources compiling and *running* without the real crate:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`, `BenchmarkId`, `black_box`, and
+//! `Bencher::iter`. Each benchmark is warmed up, then timed for a fixed
+//! number of samples; mean, min, and max per-iteration times are printed in
+//! a stable, greppable one-line format:
+//!
+//! ```text
+//! bench: gibbs_sweep/sequential/500  mean 1.234 ms  (min 1.201 ms, max 1.310 ms, 10 samples)
+//! ```
+//!
+//! There is no statistical analysis, HTML report, or baseline comparison —
+//! numbers land on stdout and BENCHMARKS.md records the trajectory by hand.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut run: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.default_sample_size, &mut run);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark under `group_name/name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut run: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, &mut run);
+        self
+    }
+
+    /// Runs a parameterised benchmark; the input is passed back to the
+    /// closure, matching criterion's signature.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut run: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, &mut |b| run(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the hot code.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, after warmup.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm up: run until ~50 ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warmups = 0;
+        while warmups < 3 && warm_start.elapsed() < Duration::from_millis(50) {
+            hint::black_box(routine());
+            warmups += 1;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, run: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { sample_size, samples: Vec::new() };
+    run(&mut b);
+    if b.samples.is_empty() {
+        println!("bench: {name}  (no samples — closure never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("non-empty");
+    let max = *b.samples.iter().max().expect("non-empty");
+    println!(
+        "bench: {name}  mean {}  (min {}, max {}, {} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        b.samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        // 3 warmups max + 3 samples.
+        assert!(calls >= 3, "routine must run at least once per sample");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

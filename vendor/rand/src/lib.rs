@@ -1,0 +1,55 @@
+//! Offline shim for the `rand` crate (see `vendor/README.md`).
+//!
+//! The workspace builds without network access, so instead of the real
+//! `rand` we vendor the tiny trait surface `mlp-sampling` actually uses:
+//! [`RngCore`], [`SeedableRng`], and [`Error`]. The workspace's generators
+//! (`Pcg64`, `SplitMix64`) are implemented locally in `mlp-sampling`; these
+//! traits only exist so they stay source-compatible with the real crate if
+//! the registry ever becomes available.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations. Our deterministic generators
+/// never fail, so this is never constructed outside of trait plumbing.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Self { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: uniform raw output.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// A generator that can be constructed deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed value accepted by [`SeedableRng::from_seed`].
+    type Seed;
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}

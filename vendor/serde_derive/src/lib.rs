@@ -1,0 +1,447 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits (the
+//! [`Value`]-tree flavour in `vendor/serde`) for the type shapes this
+//! workspace actually contains:
+//!
+//! * structs with named fields (lifetime generics allowed),
+//! * tuple structs — one field serialises transparently like a serde
+//!   newtype, several as an array,
+//! * enums with unit / tuple / struct variants, externally tagged exactly
+//!   like real serde: `"Unit"`, `{"Newtype": v}`, `{"Struct": {..}}`.
+//!
+//! Built directly on `proc_macro` token trees (no `syn`/`quote`, which are
+//! unavailable offline): we walk the item's tokens to recover its shape,
+//! then render the impl as a source string and re-parse it.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// What we learned about the deriving item.
+struct Input {
+    name: String,
+    /// Raw generics text, e.g. `<'a>`; empty when the item has none.
+    generics: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let (vn, ty) = (&v.name, &item.name);
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("{ty}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "{ty}::{vn}(f0) => ::serde::Value::Object(vec![(\
+                             String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{ty}::{vn}({binds}) => ::serde::Value::Object(vec![(\
+                                 String::from(\"{vn}\"), ::serde::Value::Array(vec![{vals}])\
+                                 )]),\n",
+                                binds = binds.join(", "),
+                                vals = vals.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push((String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{ty}::{vn} {{ {binds} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(inner))])\n}}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    render_impl(&item, "Serialize", &format!("fn to_value(&self) -> ::serde::Value {{\n{body}\n}}"))
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    let ty = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(obj, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "let obj = ::serde::expect_object(v, \"{ty}\")?;\n\
+                 Ok({ty} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({ty}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => {
+            let gets: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?")).collect();
+            format!(
+                "let arr = ::serde::expect_array(v, \"{ty}\")?;\n\
+                 if arr.len() != {n} {{\n\
+                 return Err(::serde::DeError::new(format!(\
+                 \"expected {n} elements for {ty}, found {{}}\", arr.len())));\n}}\n\
+                 Ok({ty}({gets}))",
+                gets = gets.join(", ")
+            )
+        }
+        Shape::Unit => format!("let _ = v; Ok({ty})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({ty}::{vn}),\n", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({ty}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let arr = ::serde::expect_array(inner, \"{ty}::{vn}\")?;\n\
+                                 if arr.len() != {n} {{\n\
+                                 return Err(::serde::DeError::new(\
+                                 \"wrong arity for {ty}::{vn}\"));\n}}\n\
+                                 return Ok({ty}::{vn}({gets}));\n}}\n",
+                                gets = gets.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::from_field(obj, \"{f}\")?,\n"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let obj = ::serde::expect_object(inner, \"{ty}::{vn}\")?;\n\
+                                 return Ok({ty}::{vn} {{\n{inits}}});\n}}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => return Err(::serde::DeError::new(format!(\
+                 \"unknown unit variant `{{other}}` for {ty}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = (&pairs[0].0, &pairs[0].1);\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => return Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{other}}` for {ty}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::new(format!(\
+                 \"expected {ty} variant, found {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    render_impl(
+        &item,
+        "Deserialize",
+        &format!(
+            "fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}"
+        ),
+    )
+}
+
+/// Renders `impl<G> ::serde::Trait for Name<G> { methods }` and re-parses.
+fn render_impl(item: &Input, trait_name: &str, methods: &str) -> TokenStream {
+    let src = format!(
+        "#[automatically_derived]\nimpl{g} ::serde::{trait_name} for {name}{g} {{\n{methods}\n}}",
+        g = item.generics,
+        name = item.name,
+    );
+    src.parse().unwrap_or_else(|e| panic!("serde_derive produced invalid Rust: {e}\n{src}"))
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = take_generics(&tokens, &mut pos);
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive only supports structs and enums, found `{other}`"),
+    };
+    drop(tokens.drain(..));
+    Input { name, generics, shape }
+}
+
+/// Consumes `#[...]` / `#![...]` attribute pairs.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        if let Some(TokenTree::Punct(bang)) = tokens.get(*pos) {
+            if bang.as_char() == '!' {
+                *pos += 1;
+            }
+        }
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *pos += 1,
+            other => panic!("serde_derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Captures a `<...>` generics group verbatim (lifetimes only in practice).
+fn take_generics(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return String::new(),
+    }
+    let mut depth = 0usize;
+    let mut out = String::new();
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+                out.push(p.as_char());
+                // A joint punct glues to the next token (`'a`, `::`); a
+                // space there would split the lexeme.
+                if p.spacing() == Spacing::Alone {
+                    out.push(' ');
+                }
+            }
+            other => {
+                out.push_str(&other.to_string());
+                out.push(' ');
+            }
+        }
+        *pos += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Field names of a named-fields body, in declaration order.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type_until_comma(&tokens, &mut pos);
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the `,` that ends the field (or at
+/// end of stream). Commas nested in `<...>` belong to the type.
+fn skip_type_until_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Number of fields in a tuple body (top-level comma count).
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type_until_comma(&tokens, &mut pos);
+        count += 1;
+    }
+    count
+}
+
+/// Parses an enum body into its variants.
+fn variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => panic!("serde_derive: expected `,` between variants, found {other:?}"),
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
