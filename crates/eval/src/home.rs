@@ -5,8 +5,12 @@
 //! curves are averaged over folds.
 
 use crate::metrics::{aad_curve, acc_at_m};
-use crate::runner::{predict_homes, ExperimentContext, Method};
+use crate::runner::{
+    predict_homes_cached, predict_ranked_warm, ExperimentContext, Method, TrainCache,
+};
+use mlp_core::FoldInConfig;
 use mlp_gazetteer::CityId;
+use std::cell::RefCell;
 
 /// Result of the home-prediction task for one method.
 #[derive(Debug, Clone)]
@@ -19,6 +23,16 @@ pub struct HomePredictionReport {
     pub aad: Vec<(f64, f64)>,
 }
 
+/// Cold vs warm serving comparison over the CV folds.
+#[derive(Debug, Clone)]
+pub struct WarmStartReport {
+    /// ACC@100 of the cold path: read the trained model's profiles.
+    pub cold_acc_at_100: f64,
+    /// ACC@100 of the warm path: fold each test user into the frozen
+    /// snapshot as if they were an unseen serving request.
+    pub warm_acc_at_100: f64,
+}
+
 /// The task runner.
 pub struct HomeTask<'a> {
     ctx: &'a ExperimentContext,
@@ -27,6 +41,10 @@ pub struct HomeTask<'a> {
     /// How many folds to actually run (≤ the context's k; fewer folds make
     /// the bench binaries' quick mode and the tests cheaper).
     pub folds_to_run: usize,
+    /// Memoized trainings shared by every run on this task: repeated
+    /// `run_method` calls (and the warm-start comparison) with identical
+    /// `(train, config)` inputs no longer re-run Gibbs from scratch.
+    cache: RefCell<TrainCache>,
 }
 
 impl<'a> HomeTask<'a> {
@@ -36,7 +54,13 @@ impl<'a> HomeTask<'a> {
             ctx,
             distances: (0..=7).map(|i| i as f64 * 20.0).collect(),
             folds_to_run: ctx.folds.k(),
+            cache: RefCell::new(TrainCache::new()),
         }
+    }
+
+    /// Number of distinct Gibbs trainings this task has performed.
+    pub fn trainings(&self) -> usize {
+        self.cache.borrow().len()
     }
 
     /// Runs one method over the folds.
@@ -49,7 +73,14 @@ impl<'a> HomeTask<'a> {
             let test_users = ctx.folds.test_users(fold);
             let train = ctx.folds.train_view(&ctx.data.dataset, fold);
             let mlp_cfg = ctx.mlp_config_for(method);
-            let preds = predict_homes(&ctx.gaz, &train, test_users, method, &mlp_cfg);
+            let preds = predict_homes_cached(
+                &ctx.gaz,
+                &train,
+                test_users,
+                method,
+                &mlp_cfg,
+                &mut self.cache.borrow_mut(),
+            );
             let truths: Vec<CityId> = test_users.iter().map(|&u| ctx.data.truth.home(u)).collect();
             acc_sum += acc_at_m(&ctx.gaz, &preds, &truths, 100.0);
             for (i, (_, acc)) in
@@ -73,6 +104,46 @@ impl<'a> HomeTask<'a> {
     /// Runs the paper's full Table-2 lineup.
     pub fn run_lineup(&self, methods: &[Method]) -> Vec<HomePredictionReport> {
         methods.iter().map(|&m| self.run_method(m)).collect()
+    }
+
+    /// Compares cold-path prediction (read the trained model's profiles)
+    /// against warm-start serving (fold each test user into the frozen
+    /// snapshot) over the folds. Training happens once per fold — the
+    /// snapshot rides along with the cold result through the cache, so
+    /// the warm path adds only the cheap fold-in chains.
+    pub fn run_warm_start(&self, fold_in: FoldInConfig) -> WarmStartReport {
+        let ctx = self.ctx;
+        let folds = self.folds_to_run.clamp(1, ctx.folds.k());
+        let mut cold_sum = 0.0;
+        let mut warm_sum = 0.0;
+        for fold in 0..folds {
+            let test_users = ctx.folds.test_users(fold);
+            let train = ctx.folds.train_view(&ctx.data.dataset, fold);
+            let mlp_cfg = ctx.mlp_config_for(Method::Mlp);
+            let trained = self.cache.borrow_mut().get_or_train(&ctx.gaz, &train, &mlp_cfg);
+            let truths: Vec<CityId> = test_users.iter().map(|&u| ctx.data.truth.home(u)).collect();
+
+            let cold: Vec<Option<CityId>> =
+                test_users.iter().map(|&u| Some(trained.result.home(u))).collect();
+            cold_sum += acc_at_m(&ctx.gaz, &cold, &truths, 100.0);
+
+            let warm: Vec<Option<CityId>> = predict_ranked_warm(
+                &ctx.gaz,
+                &trained.snapshot,
+                &ctx.data.dataset,
+                test_users,
+                fold_in.clone(),
+                1,
+            )
+            .into_iter()
+            .map(|r| r.first().copied())
+            .collect();
+            warm_sum += acc_at_m(&ctx.gaz, &warm, &truths, 100.0);
+        }
+        WarmStartReport {
+            cold_acc_at_100: cold_sum / folds as f64,
+            warm_acc_at_100: warm_sum / folds as f64,
+        }
     }
 }
 
@@ -136,5 +207,28 @@ mod tests {
         let reports = task.run_lineup(&[Method::Voting, Method::BaseU]);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].method, Method::Voting);
+    }
+
+    #[test]
+    fn warm_start_tracks_cold_and_shares_training() {
+        let ctx = quick_ctx();
+        let mut task = HomeTask::new(&ctx);
+        task.folds_to_run = 1;
+        // Cold CV first, then the warm comparison: the fold's training is
+        // reused, not re-run.
+        let cold = task.run_method(Method::Mlp);
+        assert_eq!(task.trainings(), 1);
+        let report = task.run_warm_start(FoldInConfig::default());
+        assert_eq!(task.trainings(), 1, "warm start must reuse the fold's training");
+        assert!((report.cold_acc_at_100 - cold.acc_at_100).abs() < 1e-12);
+        // The serving path may trail the cold path slightly (it only sees
+        // the user's own observations), but not collapse.
+        assert!(
+            report.warm_acc_at_100 > report.cold_acc_at_100 - 0.2,
+            "warm {} vs cold {}",
+            report.warm_acc_at_100,
+            report.cold_acc_at_100
+        );
+        assert!(report.warm_acc_at_100 > 0.3, "warm ACC@100 {}", report.warm_acc_at_100);
     }
 }

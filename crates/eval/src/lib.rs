@@ -29,9 +29,9 @@ pub mod runner;
 pub mod table;
 
 pub use bootstrap::{bootstrap_accuracy, bootstrap_mean, BootstrapInterval};
-pub use home::{HomePredictionReport, HomeTask};
+pub use home::{HomePredictionReport, HomeTask, WarmStartReport};
 pub use metrics::{aad_curve, acc_at_m, dp_at_k, dr_at_k, relationship_acc_at_m};
 pub use multi::{MultiLocationReport, MultiLocationTask};
 pub use relation::{RelationReport, RelationTask};
-pub use runner::{ExperimentContext, Method};
+pub use runner::{ExperimentContext, Method, TrainCache, TrainedMlp};
 pub use table::TextTable;

@@ -27,14 +27,49 @@ use mlp_gazetteer::{CityId, Gazetteer, VenueId};
 use mlp_geo::PowerLaw;
 use mlp_social::UserId;
 
+/// Per-user candidate lists and priors as the kernel consumes them.
+///
+/// [`Candidacy`] is the training-time implementation; the fold-in engine
+/// ([`crate::infer`]) implements it over a frozen
+/// [`crate::snapshot::PosteriorSnapshot`] plus one transient unseen user,
+/// which is how warm-start serving reuses the exact same conditionals.
+pub trait ProfileView {
+    /// Candidate cities of user `u`, sorted ascending.
+    fn candidates(&self, u: UserId) -> &[CityId];
+    /// Priors `γ_{u,·}` aligned with [`Self::candidates`].
+    fn gammas(&self, u: UserId) -> &[f64];
+    /// `Σ_l γ_{u,l}`.
+    fn gamma_total(&self, u: UserId) -> f64;
+}
+
+impl ProfileView for Candidacy {
+    #[inline]
+    fn candidates(&self, u: UserId) -> &[CityId] {
+        Candidacy::candidates(self, u)
+    }
+
+    #[inline]
+    fn gammas(&self, u: UserId) -> &[f64] {
+        Candidacy::gammas(self, u)
+    }
+
+    #[inline]
+    fn gamma_total(&self, u: UserId) -> f64 {
+        Candidacy::gamma_total(self, u)
+    }
+}
+
 /// Read-only bundle of everything static a conditional needs. Cheap to
 /// construct (five pointer-sized copies); build one per resampling call.
-#[derive(Clone, Copy)]
-pub struct SamplerView<'a> {
+///
+/// Generic over the candidacy source `P` so the same kernel serves both the
+/// training drivers (`P = Candidacy`, the default) and warm-start fold-in
+/// (`P = FoldInProfiles`).
+pub struct SamplerView<'a, P: ?Sized = Candidacy> {
     /// City/venue geography.
     pub gaz: &'a Gazetteer,
     /// Candidate lists and supervised Dirichlet priors `γ_i`.
-    pub candidacy: &'a Candidacy,
+    pub candidacy: &'a P,
     /// The empirical noise models `F_R` and `T_R`.
     pub random: &'a RandomModels,
     /// Hyper-parameters (`ρ_f`, `ρ_t`, `δ`, …).
@@ -42,6 +77,16 @@ pub struct SamplerView<'a> {
     /// Current power law `β·d^α` (mutated between sweeps by Gibbs-EM).
     pub power_law: PowerLaw,
 }
+
+// Manual impls: `#[derive]` would wrongly require `P: Clone`/`P: Copy`
+// even though only `&'a P` is stored.
+impl<P: ?Sized> Clone for SamplerView<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<P: ?Sized> Copy for SamplerView<'_, P> {}
 
 /// Collapsed-count accessors the kernel evaluates against.
 ///
@@ -213,7 +258,12 @@ impl<C: CountView> CountView for MentionExcluded<C> {
 
 /// Profile pseudo-count term `(ϕ_{u,c} + γ_{u,c}) / (ϕ_u + Σγ_u)`.
 #[inline]
-pub fn profile_term(view: &SamplerView<'_>, counts: &impl CountView, u: UserId, c: usize) -> f64 {
+pub fn profile_term<P: ProfileView + ?Sized>(
+    view: &SamplerView<'_, P>,
+    counts: &impl CountView,
+    u: UserId,
+    c: usize,
+) -> f64 {
     let num = counts.user_count(u, c) + view.candidacy.gammas(u)[c];
     let den = counts.user_total(u) + view.candidacy.gamma_total(u);
     num / den
@@ -221,7 +271,12 @@ pub fn profile_term(view: &SamplerView<'_>, counts: &impl CountView, u: UserId, 
 
 /// Venue term `(φ_{l,v} + δ) / (Σφ_l + δ·|V|)`.
 #[inline]
-pub fn venue_term(view: &SamplerView<'_>, counts: &impl CountView, l: CityId, v: VenueId) -> f64 {
+pub fn venue_term<P: ProfileView + ?Sized>(
+    view: &SamplerView<'_, P>,
+    counts: &impl CountView,
+    l: CityId,
+    v: VenueId,
+) -> f64 {
     let num = counts.venue_count(l, v) + view.config.delta;
     let den = counts.city_total(l) + view.config.delta * view.gaz.num_venues() as f64;
     num / den
@@ -246,8 +301,8 @@ pub struct Endpoint {
 /// follower's, but with a data-calibrated `(α, β)` the two-factor form
 /// separates noisy from location-based edges more sharply).
 #[inline]
-pub fn edge_selector_weights(
-    view: &SamplerView<'_>,
+pub fn edge_selector_weights<P: ProfileView + ?Sized>(
+    view: &SamplerView<'_, P>,
     counts: &impl CountView,
     follower: Endpoint,
     friend: Endpoint,
@@ -266,8 +321,8 @@ pub fn edge_selector_weights(
 /// city when the edge is location-based, or `None` when noisy (no distance
 /// factor).
 #[inline]
-pub fn edge_position_weights(
-    view: &SamplerView<'_>,
+pub fn edge_position_weights<P: ProfileView + ?Sized>(
+    view: &SamplerView<'_, P>,
     counts: &impl CountView,
     u: UserId,
     partner: Option<CityId>,
@@ -294,8 +349,8 @@ pub fn edge_position_weights(
 
 /// Eq. 6 — unnormalised selector weights `(w_based, w_noisy)` for `ν_k`.
 #[inline]
-pub fn mention_selector_weights(
-    view: &SamplerView<'_>,
+pub fn mention_selector_weights<P: ProfileView + ?Sized>(
+    view: &SamplerView<'_, P>,
     counts: &impl CountView,
     i: UserId,
     zi: usize,
@@ -313,8 +368,8 @@ pub fn mention_selector_weights(
 /// the mention assignment. `venue` is the mentioned venue when the mention
 /// is location-based, or `None` when noisy (no venue factor).
 #[inline]
-pub fn mention_position_weights(
-    view: &SamplerView<'_>,
+pub fn mention_position_weights<P: ProfileView + ?Sized>(
+    view: &SamplerView<'_, P>,
     counts: &impl CountView,
     u: UserId,
     venue: Option<VenueId>,

@@ -29,7 +29,11 @@
 //! * [`parallel`] — the AD-LDA-style chunked parallel sweep driver;
 //! * [`em`] — the Gibbs-EM power-law refit;
 //! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
-//! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`].
+//! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`];
+//! * [`snapshot`] — frozen posterior artifacts (versioned binary codec)
+//!   for warm-start serving;
+//! * [`infer`] — the fold-in engine predicting *unseen* users against a
+//!   frozen snapshot, sequentially or batched across scoped threads.
 
 pub mod candidacy;
 pub mod config;
@@ -37,11 +41,13 @@ pub mod diagnostics;
 pub mod em;
 pub mod fit;
 pub mod geo_groups;
+pub mod infer;
 pub mod kernel;
 pub mod model;
 pub mod parallel;
 pub mod random_models;
 pub mod sampler;
+pub mod snapshot;
 pub mod state;
 
 pub use candidacy::Candidacy;
@@ -49,6 +55,10 @@ pub use config::{MlpConfig, Variant};
 pub use diagnostics::{Diagnostics, IterationStats};
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
-pub use kernel::{CountView, SamplerView};
+pub use infer::{
+    determinism_hash, FoldInConfig, FoldInEngine, FoldInError, FoldInProfile, NewUserObservations,
+};
+pub use kernel::{CountView, ProfileView, SamplerView};
 pub use model::{EdgeAssignment, MentionAssignment, Mlp, MlpResult};
 pub use random_models::RandomModels;
+pub use snapshot::{gazetteer_fingerprint, PosteriorSnapshot, SnapshotError, UserPosterior};

@@ -12,6 +12,7 @@ use crate::em::refit_power_law;
 use crate::parallel::parallel_sweep;
 use crate::random_models::RandomModels;
 use crate::sampler::GibbsSampler;
+use crate::snapshot::PosteriorSnapshot;
 use mlp_gazetteer::{CityId, Gazetteer};
 use mlp_geo::PowerLaw;
 use mlp_social::{Adjacency, Dataset, UserId};
@@ -106,6 +107,18 @@ impl<'a> Mlp<'a> {
 
     /// Runs inference end to end and extracts all outputs.
     pub fn run(&self) -> MlpResult {
+        self.run_impl(false).0
+    }
+
+    /// Runs inference and additionally freezes the trained posterior into
+    /// a [`PosteriorSnapshot`] — the artifact warm-start serving
+    /// ([`crate::infer`]) predicts unseen users against.
+    pub fn run_with_snapshot(&self) -> (MlpResult, PosteriorSnapshot) {
+        let (result, snapshot) = self.run_impl(true);
+        (result, snapshot.expect("snapshot requested"))
+    }
+
+    fn run_impl(&self, want_snapshot: bool) -> (MlpResult, Option<PosteriorSnapshot>) {
         let adj = Adjacency::build(self.dataset);
         let candidacy = Candidacy::build(self.gaz, self.dataset, &adj, &self.config);
         let random = RandomModels::learn(self.dataset, self.gaz.num_venues());
@@ -159,14 +172,18 @@ impl<'a> Mlp<'a> {
         let edge_assignments = self.extract_edge_assignments(&sampler, &candidacy, &profiles);
         let mention_assignments = self.extract_mention_assignments(&sampler, &candidacy, &profiles);
 
-        MlpResult {
-            profiles,
-            edge_assignments,
-            mention_assignments,
-            power_law: sampler.power_law,
-            diagnostics,
-            mean_candidates: candidacy.mean_candidates(),
-        }
+        let snapshot = want_snapshot.then(|| PosteriorSnapshot::freeze(&sampler));
+        (
+            MlpResult {
+                profiles,
+                edge_assignments,
+                mention_assignments,
+                power_law: sampler.power_law,
+                diagnostics,
+                mean_candidates: candidacy.mean_candidates(),
+            },
+            snapshot,
+        )
     }
 
     /// MAP refinement of per-edge assignments: conditional argmax of

@@ -275,8 +275,9 @@ fn merge(
 }
 
 /// Splits `0..n` into `k` contiguous near-equal ranges (empty ranges for
-/// `n < k` workers are fine — those workers no-op).
-fn chunk_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
+/// `n < k` workers are fine — those workers no-op). Shared with the
+/// fold-in batch scheduler in [`crate::infer`].
+pub(crate) fn chunk_ranges(n: usize, k: usize) -> Vec<Range<usize>> {
     let k = k.max(1);
     let base = n / k;
     let rem = n % k;

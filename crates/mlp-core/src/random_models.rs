@@ -9,15 +9,23 @@ use mlp_gazetteer::VenueId;
 use mlp_sampling::EmpiricalDistribution;
 use mlp_social::Dataset;
 
+/// How venue noise probabilities are backed.
+#[derive(Debug, Clone)]
+enum VenueNoise {
+    /// Learned from observed mention counts, smoothed on lookup.
+    Empirical { popularity: EmpiricalDistribution, eps: f64 },
+    /// Thawed from a [`crate::snapshot::PosteriorSnapshot`]: the exact
+    /// per-venue probabilities the trained model used, bit for bit.
+    Frozen(Vec<f64>),
+}
+
 /// Learned random models, fixed for the duration of inference.
 #[derive(Debug, Clone)]
 pub struct RandomModels {
     /// p(f⟨i,j⟩ | F_R) = S / N².
     follow_prob: f64,
-    /// Venue popularity with additive smoothing.
-    venue_popularity: EmpiricalDistribution,
-    /// Smoothing pseudo-count for unseen venues.
-    venue_eps: f64,
+    /// Venue popularity `p(t⟨i,j⟩ | T_R)`.
+    venue: VenueNoise,
 }
 
 impl RandomModels {
@@ -29,11 +37,17 @@ impl RandomModels {
         // because the selector likelihood comparison then never occurs.
         let follow_prob = if n > 0.0 && s > 0.0 { (s / (n * n)).min(1.0) } else { 1e-9 };
 
-        let mut venue_popularity = EmpiricalDistribution::new(num_venues);
+        let mut popularity = EmpiricalDistribution::new(num_venues);
         for m in &dataset.mentions {
-            venue_popularity.record(m.venue.index(), 1);
+            popularity.record(m.venue.index(), 1);
         }
-        Self { follow_prob, venue_popularity, venue_eps: 0.5 }
+        Self { follow_prob, venue: VenueNoise::Empirical { popularity, eps: 0.5 } }
+    }
+
+    /// Rebuilds the models from frozen probabilities (snapshot thaw).
+    /// Lookups reproduce the training-time values exactly.
+    pub fn from_frozen(follow_prob: f64, venue_probs: Vec<f64>) -> Self {
+        Self { follow_prob, venue: VenueNoise::Frozen(venue_probs) }
     }
 
     /// `p(f⟨i,j⟩ | F_R)`.
@@ -46,7 +60,10 @@ impl RandomModels {
     /// produce zero likelihood).
     #[inline]
     pub fn venue_prob(&self, v: VenueId) -> f64 {
-        self.venue_popularity.smoothed_prob(v.index(), self.venue_eps)
+        match &self.venue {
+            VenueNoise::Empirical { popularity, eps } => popularity.smoothed_prob(v.index(), *eps),
+            VenueNoise::Frozen(probs) => probs[v.index()],
+        }
     }
 }
 

@@ -1,0 +1,530 @@
+//! Frozen posterior artifacts for warm-start serving.
+//!
+//! Training is expensive (a full-corpus Gibbs run); prediction for a user
+//! the model never saw should not be. A [`PosteriorSnapshot`] freezes
+//! everything a fold-in chain ([`crate::infer`]) needs from a trained
+//! sampler into one immutable, serialisable artifact:
+//!
+//! * the collapsed posterior — per-user mean counts `ϕ̄` over each user's
+//!   candidate list, and the venue counts `φ_{l,v}` with city totals;
+//! * the hyper-parameters the conditionals evaluate (`τ`, `δ`, `ρ_f`,
+//!   `ρ_t`, the calibrated power law, the `count_noisy` convention and
+//!   observation variant);
+//! * the learned noise models `F_R` and `T_R` as exact probabilities.
+//!
+//! The binary encoding follows the `mlp_social::codec` conventions: a
+//! little-endian layout over `bytes`, magic-tagged and versioned so stale
+//! or corrupted artifacts fail loudly with a typed [`SnapshotError`]
+//! instead of deserialising garbage. Serving fleets can therefore build
+//! the snapshot once offline, ship the bytes to replicas, and answer
+//! fold-in queries against a shared read-only copy — no locks, no count
+//! merging, because frozen counts never mutate.
+
+use crate::config::Variant;
+use crate::sampler::GibbsSampler;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_geo::PowerLaw;
+use mlp_social::UserId;
+
+const MAGIC: u32 = 0x4D4C_5053; // "MLPS"
+const VERSION: u16 = 1;
+
+/// Stable (FNV-1a, rustc-independent) content hash of a gazetteer:
+/// every city's name, state, coordinates, and population, and every
+/// venue's resolution list. Snapshots carry this so that thawing against
+/// a *different* geography — even one with the same city and venue
+/// counts — fails loudly instead of silently serving predictions whose
+/// city ids mean different places.
+pub fn gazetteer_fingerprint(gaz: &Gazetteer) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat_bytes = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat_bytes(&(gaz.num_cities() as u64).to_le_bytes());
+    eat_bytes(&(gaz.num_venues() as u64).to_le_bytes());
+    for city in gaz.cities() {
+        eat_bytes(city.name.as_bytes());
+        eat_bytes(city.state.as_bytes());
+        eat_bytes(&city.center.lat().to_bits().to_le_bytes());
+        eat_bytes(&city.center.lon().to_bits().to_le_bytes());
+        eat_bytes(&city.population.to_le_bytes());
+    }
+    for venue in gaz.venues() {
+        eat_bytes(venue.name.as_bytes());
+        eat_bytes(&(venue.cities.len() as u64).to_le_bytes());
+        for &c in &venue.cities {
+            eat_bytes(&c.0.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Errors raised when decoding a posterior snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Wrong magic number — not a posterior snapshot.
+    BadMagic(u32),
+    /// Snapshot from an incompatible format version.
+    BadVersion(u16),
+    /// Buffer ended before the declared payload.
+    Truncated,
+    /// An enum tag byte held an unknown value.
+    BadTag(u8),
+    /// Structurally invalid payload (mismatched lengths, bad ids).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:#x}"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadTag(t) => write!(f, "unknown snapshot tag byte {t}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One training user's frozen posterior: their candidate list, priors, and
+/// post-burn-in mean counts, plus the derived MAP home used to anchor
+/// fold-in edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserPosterior {
+    /// Candidate cities, sorted ascending (the Gibbs domain).
+    pub candidates: Vec<CityId>,
+    /// Priors `γ` aligned with `candidates`.
+    pub gammas: Vec<f64>,
+    /// Mean post-burn-in counts `ϕ̄` aligned with `candidates`.
+    pub mean_counts: Vec<f64>,
+    /// `Σ_c ϕ̄` (kept explicit so [`crate::kernel::CountView`] lookups
+    /// stay O(1)).
+    pub mean_total: f64,
+    /// `Σ_c γ`.
+    pub gamma_total: f64,
+    /// MAP home — the argmax of `θ̂` (Eq. 10).
+    pub home: CityId,
+}
+
+/// An immutable frozen posterior, ready for fold-in inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosteriorSnapshot {
+    /// Which observation types the model was trained on.
+    pub variant: Variant,
+    /// Whether noisy assignments contributed to `ϕ` during training.
+    pub count_noisy_assignments: bool,
+    /// τ — base candidate prior.
+    pub tau: f64,
+    /// δ — venue-multinomial prior.
+    pub delta: f64,
+    /// ρ_f — prior noise probability for following relationships.
+    pub rho_f: f64,
+    /// ρ_t — prior noise probability for tweeting relationships.
+    pub rho_t: f64,
+    /// The calibrated (possibly EM-refined) power law.
+    pub power_law: PowerLaw,
+    /// `p(f⟨i,j⟩ | F_R)`.
+    pub follow_prob: f64,
+    /// `p(t⟨i,j⟩ | T_R)` per venue id — exact training-time values.
+    pub venue_probs: Vec<f64>,
+    /// Gazetteer shape the snapshot was trained against.
+    pub num_cities: u32,
+    /// Venue vocabulary size.
+    pub num_venues: u32,
+    /// [`gazetteer_fingerprint`] of the training gazetteer — validated on
+    /// thaw so a snapshot cannot silently serve a different geography,
+    /// even one with identical shape.
+    pub gaz_fingerprint: u64,
+    /// Per-training-user posteriors, indexed by `UserId`.
+    pub users: Vec<UserPosterior>,
+    /// Frozen `φ_{l,·}` per city: `(venue id, count)` sorted by venue id.
+    pub venue_counts: Vec<Vec<(u32, f64)>>,
+    /// `Σ_v φ_{l,v}` per city.
+    pub city_totals: Vec<f64>,
+}
+
+impl PosteriorSnapshot {
+    /// Freezes a trained sampler into an immutable snapshot.
+    ///
+    /// Call after the final sweep (and after post-burn-in accumulation):
+    /// `ϕ̄` uses the accumulated means, `φ` the final venue counts, and the
+    /// power law whatever Gibbs-EM left behind.
+    pub fn freeze(sampler: &GibbsSampler<'_>) -> Self {
+        let gaz = sampler.gazetteer();
+        let candidacy = sampler.candidacy();
+        let config = sampler.config();
+        let n = sampler.dataset().num_users();
+
+        let users = (0..n)
+            .map(|u| {
+                let user = UserId(u as u32);
+                let candidates = candidacy.candidates(user).to_vec();
+                let gammas = candidacy.gammas(user).to_vec();
+                let mean_counts: Vec<f64> =
+                    (0..candidates.len()).map(|c| sampler.state.mean_user_count(user, c)).collect();
+                let mean_total = mean_counts.iter().sum();
+                UserPosterior {
+                    home: sampler.estimate_theta(user)[0].0,
+                    gamma_total: candidacy.gamma_total(user),
+                    candidates,
+                    gammas,
+                    mean_counts,
+                    mean_total,
+                }
+            })
+            .collect();
+
+        let venue_counts: Vec<Vec<(u32, f64)>> = (0..gaz.num_cities())
+            .map(|l| {
+                sampler
+                    .state
+                    .venue_count_row(CityId(l as u32))
+                    .into_iter()
+                    .map(|(v, c)| (v, c as f64))
+                    .collect()
+            })
+            .collect();
+        let city_totals = (0..gaz.num_cities())
+            .map(|l| sampler.state.city_total(CityId(l as u32)) as f64)
+            .collect();
+
+        Self {
+            variant: config.variant,
+            count_noisy_assignments: config.count_noisy_assignments,
+            tau: config.tau,
+            delta: config.delta,
+            rho_f: config.rho_f,
+            rho_t: config.rho_t,
+            power_law: sampler.power_law,
+            follow_prob: sampler.random_models().follow_prob(),
+            venue_probs: (0..gaz.num_venues())
+                .map(|v| sampler.random_models().venue_prob(VenueId(v as u32)))
+                .collect(),
+            num_cities: gaz.num_cities() as u32,
+            num_venues: gaz.num_venues() as u32,
+            gaz_fingerprint: gazetteer_fingerprint(gaz),
+            users,
+            venue_counts,
+            city_totals,
+        }
+    }
+
+    /// Number of training users in the snapshot.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Frozen `φ_{l,v}` lookup (zero for venues the city never hosted).
+    #[inline]
+    pub fn venue_count(&self, l: CityId, v: VenueId) -> f64 {
+        let row = &self.venue_counts[l.index()];
+        match row.binary_search_by_key(&v.0, |&(id, _)| id) {
+            Ok(i) => row[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Serialises the snapshot into the versioned binary format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            64 + self.venue_probs.len() * 8
+                + self.users.iter().map(|u| 32 + u.candidates.len() * 20).sum::<usize>()
+                + self.venue_counts.iter().map(|r| 8 + r.len() * 12).sum::<usize>(),
+        );
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(match self.variant {
+            Variant::FollowingOnly => 0,
+            Variant::TweetingOnly => 1,
+            Variant::Full => 2,
+        });
+        buf.put_u8(self.count_noisy_assignments as u8);
+        for x in [
+            self.tau,
+            self.delta,
+            self.rho_f,
+            self.rho_t,
+            self.power_law.alpha,
+            self.power_law.beta,
+            self.follow_prob,
+        ] {
+            buf.put_f64_le(x);
+        }
+        buf.put_u32_le(self.num_cities);
+        buf.put_u32_le(self.num_venues);
+        buf.put_u64_le(self.gaz_fingerprint);
+
+        buf.put_u32_le(self.venue_probs.len() as u32);
+        for &p in &self.venue_probs {
+            buf.put_f64_le(p);
+        }
+
+        buf.put_u32_le(self.users.len() as u32);
+        for u in &self.users {
+            buf.put_u32_le(u.candidates.len() as u32);
+            for i in 0..u.candidates.len() {
+                buf.put_u32_le(u.candidates[i].0);
+                buf.put_f64_le(u.gammas[i]);
+                buf.put_f64_le(u.mean_counts[i]);
+            }
+            buf.put_f64_le(u.mean_total);
+            buf.put_f64_le(u.gamma_total);
+            buf.put_u32_le(u.home.0);
+        }
+
+        buf.put_u32_le(self.venue_counts.len() as u32);
+        for (row, &total) in self.venue_counts.iter().zip(&self.city_totals) {
+            buf.put_u32_le(row.len() as u32);
+            for &(v, c) in row {
+                buf.put_u32_le(v);
+                buf.put_f64_le(c);
+            }
+            buf.put_f64_le(total);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a snapshot produced by [`Self::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Self, SnapshotError> {
+        fn need(buf: &Bytes, n: usize) -> Result<(), SnapshotError> {
+            if buf.remaining() < n {
+                Err(SnapshotError::Truncated)
+            } else {
+                Ok(())
+            }
+        }
+
+        need(&buf, 8)?;
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let variant = match buf.get_u8() {
+            0 => Variant::FollowingOnly,
+            1 => Variant::TweetingOnly,
+            2 => Variant::Full,
+            t => return Err(SnapshotError::BadTag(t)),
+        };
+        let count_noisy_assignments = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            t => return Err(SnapshotError::BadTag(t)),
+        };
+
+        need(&buf, 7 * 8 + 8 + 8)?;
+        let tau = buf.get_f64_le();
+        let delta = buf.get_f64_le();
+        let rho_f = buf.get_f64_le();
+        let rho_t = buf.get_f64_le();
+        let power_law = PowerLaw { alpha: buf.get_f64_le(), beta: buf.get_f64_le() };
+        let follow_prob = buf.get_f64_le();
+        let num_cities = buf.get_u32_le();
+        let num_venues = buf.get_u32_le();
+        let gaz_fingerprint = buf.get_u64_le();
+
+        need(&buf, 4)?;
+        let n_probs = buf.get_u32_le() as usize;
+        if n_probs != num_venues as usize {
+            return Err(SnapshotError::Corrupt("venue_probs length != num_venues"));
+        }
+        need(&buf, n_probs * 8)?;
+        let venue_probs: Vec<f64> = (0..n_probs).map(|_| buf.get_f64_le()).collect();
+
+        need(&buf, 4)?;
+        let n_users = buf.get_u32_le() as usize;
+        // A user record is at least 24 bytes; a declared count the buffer
+        // cannot possibly hold must fail *before* the pre-allocation, or a
+        // corrupt header turns into a multi-GB allocation instead of a
+        // typed error.
+        need(&buf, n_users.saturating_mul(24))?;
+        let mut users = Vec::with_capacity(n_users);
+        for _ in 0..n_users {
+            need(&buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len.saturating_mul(20).saturating_add(20))?;
+            let mut candidates = Vec::with_capacity(len);
+            let mut gammas = Vec::with_capacity(len);
+            let mut mean_counts = Vec::with_capacity(len);
+            for _ in 0..len {
+                let city = buf.get_u32_le();
+                if city >= num_cities {
+                    return Err(SnapshotError::Corrupt("candidate city out of range"));
+                }
+                candidates.push(CityId(city));
+                gammas.push(buf.get_f64_le());
+                mean_counts.push(buf.get_f64_le());
+            }
+            let mean_total = buf.get_f64_le();
+            let gamma_total = buf.get_f64_le();
+            let home = CityId(buf.get_u32_le());
+            if candidates.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SnapshotError::Corrupt("candidate list not sorted"));
+            }
+            // Fold-in anchors partners at `home` and binary-searches it in
+            // the candidate list; a snapshot violating that must not thaw.
+            if candidates.binary_search(&home).is_err() {
+                return Err(SnapshotError::Corrupt("home city is not a candidate"));
+            }
+            users.push(UserPosterior {
+                candidates,
+                gammas,
+                mean_counts,
+                mean_total,
+                gamma_total,
+                home,
+            });
+        }
+
+        need(&buf, 4)?;
+        let n_cities = buf.get_u32_le() as usize;
+        if n_cities != num_cities as usize {
+            return Err(SnapshotError::Corrupt("venue_counts length != num_cities"));
+        }
+        // Same bounded-allocation guard: 12 bytes minimum per city row.
+        need(&buf, n_cities.saturating_mul(12))?;
+        let mut venue_counts = Vec::with_capacity(n_cities);
+        let mut city_totals = Vec::with_capacity(n_cities);
+        for _ in 0..n_cities {
+            need(&buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(&buf, len.saturating_mul(12).saturating_add(8))?;
+            let row: Vec<(u32, f64)> =
+                (0..len).map(|_| (buf.get_u32_le(), buf.get_f64_le())).collect();
+            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(SnapshotError::Corrupt("venue count row not sorted"));
+            }
+            venue_counts.push(row);
+            city_totals.push(buf.get_f64_le());
+        }
+
+        Ok(Self {
+            variant,
+            count_noisy_assignments,
+            tau,
+            delta,
+            rho_f,
+            rho_t,
+            power_law,
+            follow_prob,
+            venue_probs,
+            num_cities,
+            num_venues,
+            gaz_fingerprint,
+            users,
+            venue_counts,
+            city_totals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidacy::Candidacy;
+    use crate::config::MlpConfig;
+    use crate::random_models::RandomModels;
+    use mlp_gazetteer::Gazetteer;
+    use mlp_social::{Adjacency, Generator, GeneratorConfig};
+
+    fn trained_snapshot(users: usize, seed: u64) -> PosteriorSnapshot {
+        let gaz = Gazetteer::us_cities();
+        let data =
+            Generator::new(&gaz, GeneratorConfig { num_users: users, seed, ..Default::default() })
+                .generate();
+        let config = MlpConfig { seed, ..Default::default() };
+        let adj = Adjacency::build(&data.dataset);
+        let cand = Candidacy::build(&gaz, &data.dataset, &adj, &config);
+        let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+        let mut sampler = GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+        for _ in 0..6 {
+            sampler.sweep();
+            sampler.state.accumulate();
+        }
+        PosteriorSnapshot::freeze(&sampler)
+    }
+
+    #[test]
+    fn freeze_captures_the_trained_state() {
+        let snap = trained_snapshot(120, 41);
+        assert_eq!(snap.num_users(), 120);
+        assert_eq!(snap.num_cities as usize, Gazetteer::us_cities().num_cities());
+        for u in &snap.users {
+            assert_eq!(u.candidates.len(), u.gammas.len());
+            assert_eq!(u.candidates.len(), u.mean_counts.len());
+            assert!((u.mean_total - u.mean_counts.iter().sum::<f64>()).abs() < 1e-9);
+            assert!(u.candidates.contains(&u.home));
+        }
+        // φ totals match their rows.
+        for (row, &total) in snap.venue_counts.iter().zip(&snap.city_totals) {
+            let sum: f64 = row.iter().map(|&(_, c)| c).sum();
+            assert_eq!(sum, total);
+        }
+        // Venue noise sums to one (it is T_R, a distribution).
+        let total: f64 = snap.venue_probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let snap = trained_snapshot(100, 43);
+        let decoded = PosteriorSnapshot::decode(snap.encode()).unwrap();
+        assert_eq!(snap, decoded);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let snap = trained_snapshot(20, 47);
+        let mut raw = snap.encode().to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::BadMagic(_)
+        ));
+        let mut raw = snap.encode().to_vec();
+        raw[4] = 0xFE;
+        assert!(matches!(
+            PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::BadVersion(_)
+        ));
+    }
+
+    #[test]
+    fn truncation_fails_loudly_at_every_cut() {
+        let snap = trained_snapshot(15, 53);
+        let bytes = snap.encode();
+        for cut in [0usize, 3, 8, 40, bytes.len() / 3, bytes.len() - 1] {
+            let err = PosteriorSnapshot::decode(bytes.slice(..cut)).unwrap_err();
+            assert_eq!(err, SnapshotError::Truncated, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frozen_noise_matches_training_bit_for_bit() {
+        let gaz = Gazetteer::us_cities();
+        let data =
+            Generator::new(&gaz, GeneratorConfig { num_users: 80, seed: 59, ..Default::default() })
+                .generate();
+        let random = RandomModels::learn(&data.dataset, gaz.num_venues());
+        let probs: Vec<f64> =
+            (0..gaz.num_venues()).map(|v| random.venue_prob(VenueId(v as u32))).collect();
+        let frozen = RandomModels::from_frozen(random.follow_prob(), probs);
+        assert_eq!(frozen.follow_prob().to_bits(), random.follow_prob().to_bits());
+        for v in 0..gaz.num_venues() as u32 {
+            assert_eq!(
+                frozen.venue_prob(VenueId(v)).to_bits(),
+                random.venue_prob(VenueId(v)).to_bits(),
+                "venue {v}"
+            );
+        }
+    }
+}

@@ -105,6 +105,15 @@ impl SamplerState {
         self.city_totals[l.index()]
     }
 
+    /// The non-zero `(venue, count)` entries of city `l`'s φ row, sorted by
+    /// venue id — the deterministic order snapshots serialise.
+    pub fn venue_count_row(&self, l: CityId) -> Vec<(u32, u32)> {
+        let mut row: Vec<(u32, u32)> =
+            self.venue_counts[l.index()].iter().map(|(&v, &n)| (v, n)).collect();
+        row.sort_unstable_by_key(|&(v, _)| v);
+        row
+    }
+
     /// Adds one assignment of user `u` to candidate index `c`.
     #[inline]
     pub fn add_user(&mut self, u: UserId, c: usize) {

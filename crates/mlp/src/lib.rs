@@ -55,7 +55,10 @@ pub mod prelude {
     pub use mlp_baselines::{
         BaseC, BaseCConfig, BaseU, BaseUConfig, HomeExplainer, HomePredictor, VotingClassifier,
     };
-    pub use mlp_core::{Mlp, MlpConfig, MlpResult, Variant};
+    pub use mlp_core::{
+        FoldInConfig, FoldInEngine, Mlp, MlpConfig, MlpResult, NewUserObservations,
+        PosteriorSnapshot, Variant,
+    };
     pub use mlp_eval::{ExperimentContext, HomeTask, Method, MultiLocationTask, RelationTask};
     pub use mlp_gazetteer::{CityId, Gazetteer, SynthConfig, VenueExtractor, VenueId};
     pub use mlp_geo::{GeoPoint, PowerLaw};

@@ -114,6 +114,61 @@ fn parallel_inference_stays_close_to_sequential() {
 }
 
 #[test]
+fn warm_start_fold_in_tracks_cold_training_on_held_out_users() {
+    // The serving scenario end to end: train on a corpus that has *no
+    // trace* of a set of users (no labels, no edges, no mentions), freeze
+    // the posterior, then predict those users by folding their
+    // observations into the snapshot — and demand accuracy within
+    // tolerance of the cold path, which trains a full model on the same
+    // split with the held-out users' observations included.
+    let gaz = Gazetteer::us_cities();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 600, seed: 4001, ..Default::default() })
+            .generate();
+
+    // Held-out set: one CV fold of labeled users.
+    let folds = Folds::split(&data.dataset, 5, 4001);
+    let held_out = folds.test_users(0);
+    let is_held: std::collections::HashSet<UserId> = held_out.iter().copied().collect();
+
+    // Cold path: labels masked, observations kept (the classic CV setup).
+    let cold_train = folds.train_view(&data.dataset, 0);
+
+    // Warm path: the training corpus never saw the held-out users at all.
+    let mut unseen_train = cold_train.clone();
+    unseen_train.edges.retain(|e| !is_held.contains(&e.follower) && !is_held.contains(&e.friend));
+    unseen_train.mentions.retain(|m| !is_held.contains(&m.user));
+
+    let config = MlpConfig { iterations: 10, burn_in: 5, seed: 4001, ..Default::default() };
+    let cold_result = Mlp::new(&gaz, &cold_train, config.clone()).unwrap().run();
+    let (_, snapshot) = Mlp::new(&gaz, &unseen_train, config).unwrap().run_with_snapshot();
+
+    // Serve each held-out user from their own observations, keeping only
+    // neighbors the snapshot actually trained on.
+    let engine = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
+    let mut batch = NewUserObservations::batch_from_dataset(&data.dataset, held_out);
+    for obs in &mut batch {
+        obs.neighbors.retain(|p| !is_held.contains(p));
+    }
+    let warm_profiles = engine.fold_in_batch(&batch).unwrap();
+
+    let acc = |preds: &[Option<CityId>]| {
+        let truths: Vec<CityId> = held_out.iter().map(|&u| data.truth.home(u)).collect();
+        mlp::eval::acc_at_m(&gaz, preds, &truths, 100.0)
+    };
+    let cold: Vec<Option<CityId>> = held_out.iter().map(|&u| Some(cold_result.home(u))).collect();
+    let warm: Vec<Option<CityId>> = warm_profiles.iter().map(|p| Some(p.home())).collect();
+    let (cold_acc, warm_acc) = (acc(&cold), acc(&warm));
+
+    assert!(cold_acc > 0.40, "cold baseline collapsed: {cold_acc}");
+    assert!(
+        warm_acc > cold_acc - 0.15,
+        "warm-start fold-in degraded too far: warm {warm_acc} vs cold {cold_acc}"
+    );
+    assert!(warm_acc > 0.35, "warm-start accuracy {warm_acc} not meaningfully above chance");
+}
+
+#[test]
 fn venue_extraction_feeds_the_pipeline() {
     // Build a tiny hand-made dataset from raw tweet text via the extractor,
     // then infer — exercising the gazetteer→social→core path end to end.

@@ -1,7 +1,10 @@
-//! Integration tests for dataset persistence: JSON and binary snapshots
-//! through the full generation → save → load → evaluate path, including
-//! adversarial inputs.
+//! Integration tests for persistence: dataset snapshots (JSON and binary)
+//! through the full generation → save → load → evaluate path, and
+//! posterior snapshots through train → freeze → encode → decode →
+//! fold-in, including adversarial inputs.
 
+use mlp::core::snapshot::{SnapshotError, UserPosterior};
+use mlp::core::Variant;
 use mlp::prelude::*;
 use mlp::social::codec::{self, DecodeError};
 use mlp::social::DatasetStats;
@@ -74,4 +77,163 @@ fn masked_dataset_snapshot_keeps_masking() {
     let (train2, _) = codec::decode(bytes).unwrap();
     assert_eq!(train.num_labeled(), train2.num_labeled());
     assert!(train2.num_labeled() < data.dataset.num_labeled());
+}
+
+// ---------------------------------------------------------------------------
+// Posterior snapshots (the warm-start serving artifact).
+// ---------------------------------------------------------------------------
+
+fn trained_posterior(users: usize, seed: u64) -> PosteriorSnapshot {
+    let (gaz, data) = generate(users, seed);
+    let config = MlpConfig { iterations: 6, burn_in: 3, seed, ..Default::default() };
+    Mlp::new(&gaz, &data.dataset, config).unwrap().run_with_snapshot().1
+}
+
+#[test]
+fn posterior_snapshot_round_trips_through_the_full_pipeline() {
+    let snap = trained_posterior(200, 2106);
+    let decoded = PosteriorSnapshot::decode(snap.encode()).unwrap();
+    assert_eq!(snap, decoded);
+}
+
+#[test]
+fn corrupted_posterior_snapshots_fail_loudly() {
+    let snap = trained_posterior(60, 2107);
+    let bytes = snap.encode();
+
+    // Flip the magic.
+    let mut bad = bytes.to_vec();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        PosteriorSnapshot::decode(bytes::Bytes::from(bad)).unwrap_err(),
+        SnapshotError::BadMagic(_)
+    ));
+
+    // Stale format version.
+    let mut bad = bytes.to_vec();
+    bad[4] = 0x7F;
+    assert!(matches!(
+        PosteriorSnapshot::decode(bytes::Bytes::from(bad)).unwrap_err(),
+        SnapshotError::BadVersion(_)
+    ));
+
+    // Invalid variant tag.
+    let mut bad = bytes.to_vec();
+    bad[6] = 9;
+    assert_eq!(
+        PosteriorSnapshot::decode(bytes::Bytes::from(bad)).unwrap_err(),
+        SnapshotError::BadTag(9)
+    );
+
+    // Truncation at an arbitrary interior byte.
+    assert_eq!(
+        PosteriorSnapshot::decode(bytes.slice(..bytes.len() * 2 / 3)).unwrap_err(),
+        SnapshotError::Truncated
+    );
+}
+
+mod posterior_proptests {
+    use super::*;
+    use mlp::geo::PowerLaw;
+    use proptest::prelude::*;
+
+    /// Arbitrary small-but-structurally-valid posterior snapshot, built
+    /// directly (not via training) so the codec is exercised on shapes the
+    /// trainer would never produce: empty users, empty venue rows, extreme
+    /// counts.
+    fn arb_posterior() -> impl Strategy<Value = PosteriorSnapshot> {
+        (4u32..25, 2u32..12, 0u8..3).prop_flat_map(|(num_cities, num_venues, variant)| {
+            let users = prop::collection::vec(
+                (
+                    prop::collection::vec((0..num_cities, 0.01f64..5.0, 0.0f64..10.0), 1..5),
+                    0usize..16,
+                ),
+                0..8,
+            );
+            let venue_rows = prop::collection::vec(
+                prop::collection::vec((0..num_venues, 0.0f64..20.0), 0..5),
+                num_cities as usize,
+            );
+            let venue_probs = prop::collection::vec(1e-6f64..1.0, num_venues as usize);
+            (Just((num_cities, num_venues, variant)), users, venue_rows, venue_probs).prop_map(
+                |((num_cities, num_venues, variant), users, venue_rows, venue_probs)| {
+                    let users: Vec<UserPosterior> = users
+                        .into_iter()
+                        .map(|(mut entries, sel)| {
+                            entries.sort_by_key(|e| e.0);
+                            entries.dedup_by_key(|e| e.0);
+                            let candidates: Vec<CityId> =
+                                entries.iter().map(|e| CityId(e.0)).collect();
+                            let gammas: Vec<f64> = entries.iter().map(|e| e.1).collect();
+                            let mean_counts: Vec<f64> = entries.iter().map(|e| e.2).collect();
+                            UserPosterior {
+                                home: candidates[sel % candidates.len()],
+                                mean_total: mean_counts.iter().sum(),
+                                gamma_total: gammas.iter().sum(),
+                                candidates,
+                                gammas,
+                                mean_counts,
+                            }
+                        })
+                        .collect();
+                    let mut city_totals = Vec::with_capacity(venue_rows.len());
+                    let venue_counts: Vec<Vec<(u32, f64)>> = venue_rows
+                        .into_iter()
+                        .map(|mut row| {
+                            row.sort_by_key(|e| e.0);
+                            row.dedup_by_key(|e| e.0);
+                            city_totals.push(row.iter().map(|&(_, c)| c).sum());
+                            row
+                        })
+                        .collect();
+                    PosteriorSnapshot {
+                        variant: match variant {
+                            0 => Variant::FollowingOnly,
+                            1 => Variant::TweetingOnly,
+                            _ => Variant::Full,
+                        },
+                        count_noisy_assignments: variant == 1,
+                        tau: 0.1,
+                        delta: 0.05,
+                        rho_f: 0.15,
+                        rho_t: 0.20,
+                        power_law: PowerLaw { alpha: -0.55, beta: 0.0045 },
+                        follow_prob: 1e-4,
+                        venue_probs,
+                        num_cities,
+                        num_venues,
+                        gaz_fingerprint: 0xDEAD_BEEF,
+                        users,
+                        venue_counts,
+                        city_totals,
+                    }
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Binary encode/decode is the identity on arbitrary snapshots.
+        #[test]
+        fn posterior_round_trip_arbitrary(snap in arb_posterior()) {
+            let decoded = PosteriorSnapshot::decode(snap.encode()).unwrap();
+            prop_assert_eq!(snap, decoded);
+        }
+
+        /// Any truncation of a valid snapshot fails cleanly with the typed
+        /// error (never panics, never silently succeeds).
+        #[test]
+        fn posterior_truncation_never_panics(snap in arb_posterior(), frac in 0.0f64..1.0) {
+            let bytes = snap.encode();
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            if cut < bytes.len() {
+                prop_assert_eq!(
+                    PosteriorSnapshot::decode(bytes.slice(..cut)).unwrap_err(),
+                    SnapshotError::Truncated
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,100 @@
+//! The warm-start determinism suite.
+//!
+//! Serving correctness here *is* determinism: a frozen snapshot plus a
+//! seed must produce one answer, whether the request is served inline,
+//! re-served tomorrow, served from re-decoded snapshot bytes, or fanned
+//! out across worker threads. Every test in this file pins one of those
+//! equalities bit for bit.
+
+use mlp::core::determinism_hash;
+use mlp::prelude::*;
+
+fn train_snapshot(users: usize, seed: u64) -> (Gazetteer, GeneratedData, PosteriorSnapshot) {
+    let gaz = Gazetteer::us_cities();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: users, seed, ..Default::default() })
+            .generate();
+    let config = MlpConfig { iterations: 8, burn_in: 4, seed, ..Default::default() };
+    let (_, snapshot) = Mlp::new(&gaz, &data.dataset, config).unwrap().run_with_snapshot();
+    (gaz, data, snapshot)
+}
+
+fn requests(data: &GeneratedData, n: u32) -> Vec<NewUserObservations> {
+    (0..n).map(|u| NewUserObservations::from_dataset(&data.dataset, UserId(u))).collect()
+}
+
+#[test]
+fn same_snapshot_same_seed_is_byte_identical() {
+    let (gaz, data, snapshot) = train_snapshot(200, 3001);
+    let batch = requests(&data, 30);
+    let engine = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
+    let a = engine.fold_in_batch(&batch).unwrap();
+    let b = engine.fold_in_batch(&batch).unwrap();
+    assert_eq!(a, b, "repeated serving must be reproducible");
+    assert_eq!(determinism_hash(&a), determinism_hash(&b));
+
+    // A fresh engine over the same snapshot is the same server.
+    let engine2 = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
+    assert_eq!(a, engine2.fold_in_batch(&batch).unwrap());
+
+    // A different seed is a different chain (sanity: the seed matters).
+    let reseeded =
+        FoldInEngine::new(&snapshot, &gaz, FoldInConfig { seed: 99, ..Default::default() })
+            .unwrap();
+    assert_ne!(determinism_hash(&a), determinism_hash(&reseeded.fold_in_batch(&batch).unwrap()));
+}
+
+#[test]
+fn batched_fold_in_is_bit_identical_to_sequential() {
+    let (gaz, data, snapshot) = train_snapshot(300, 3003);
+    let batch = requests(&data, 60);
+    let sequential =
+        FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads: 1, ..Default::default() })
+            .unwrap()
+            .fold_in_batch(&batch)
+            .unwrap();
+    for threads in [2usize, 3, 4, 8] {
+        let batched =
+            FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads, ..Default::default() })
+                .unwrap()
+                .fold_in_batch(&batch)
+                .unwrap();
+        assert_eq!(sequential, batched, "threads={threads} must not change predictions");
+        assert_eq!(determinism_hash(&sequential), determinism_hash(&batched));
+    }
+}
+
+#[test]
+fn decoded_snapshot_serves_identically_to_the_original() {
+    let (gaz, data, snapshot) = train_snapshot(150, 3005);
+    let batch = requests(&data, 25);
+    let decoded = PosteriorSnapshot::decode(snapshot.encode()).unwrap();
+    assert_eq!(snapshot, decoded);
+    let from_memory = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default())
+        .unwrap()
+        .fold_in_batch(&batch)
+        .unwrap();
+    let from_bytes = FoldInEngine::new(&decoded, &gaz, FoldInConfig::default())
+        .unwrap()
+        .fold_in_batch(&batch)
+        .unwrap();
+    assert_eq!(from_memory, from_bytes, "a shipped snapshot must serve exactly like the original");
+}
+
+#[test]
+fn single_fold_in_matches_batch_head() {
+    let (gaz, data, snapshot) = train_snapshot(120, 3007);
+    let batch = requests(&data, 10);
+    let engine = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
+    let whole = engine.fold_in_batch(&batch).unwrap();
+    // `fold_in` is defined as batch index 0.
+    assert_eq!(engine.fold_in(&batch[0]).unwrap(), whole[0]);
+}
+
+#[test]
+fn training_twice_freezes_identical_snapshots() {
+    let (_, _, a) = train_snapshot(150, 3009);
+    let (_, _, b) = train_snapshot(150, 3009);
+    assert_eq!(a, b, "training is deterministic, so freezing must be too");
+    assert_eq!(a.encode(), b.encode(), "and so is the serialised artifact");
+}
