@@ -214,7 +214,7 @@ impl ProfileView for FoldInProfiles<'_> {
         if u == self.new_user {
             &self.candidates
         } else {
-            &self.snap.users[u.index()].candidates
+            self.snap.users.candidates_of(u)
         }
     }
 
@@ -223,7 +223,7 @@ impl ProfileView for FoldInProfiles<'_> {
         if u == self.new_user {
             &self.gammas
         } else {
-            &self.snap.users[u.index()].gammas
+            self.snap.users.gammas_of(u)
         }
     }
 
@@ -232,7 +232,7 @@ impl ProfileView for FoldInProfiles<'_> {
         if u == self.new_user {
             self.gamma_total
         } else {
-            self.snap.users[u.index()].gamma_total
+            self.snap.users.gamma_total(u)
         }
     }
 }
@@ -254,7 +254,7 @@ impl CountView for FoldInCounts<'_> {
         if u == self.new_user {
             self.counts[c]
         } else {
-            self.snap.users[u.index()].mean_counts[c]
+            self.snap.users.mean_counts_of(u)[c]
         }
     }
 
@@ -263,7 +263,7 @@ impl CountView for FoldInCounts<'_> {
         if u == self.new_user {
             self.total
         } else {
-            self.snap.users[u.index()].mean_total
+            self.snap.users.mean_total(u)
         }
     }
 
@@ -274,7 +274,7 @@ impl CountView for FoldInCounts<'_> {
 
     #[inline]
     fn city_total(&self, l: CityId) -> f64 {
-        self.snap.city_totals[l.index()]
+        self.snap.venues.city_total(l)
     }
 }
 
@@ -386,7 +386,7 @@ impl<'a> FoldInEngine<'a> {
 
         // Validate + gather the observations the variant consumes.
         for &p in &obs.neighbors {
-            if p.index() >= snap.users.len() {
+            if p.index() >= snap.users.num_users() {
                 return Err(FoldInError::UnknownUser(p));
             }
         }
@@ -400,8 +400,7 @@ impl<'a> FoldInEngine<'a> {
 
         // Candidate list, the training recipe transplanted: partner homes
         // + venue resolutions, popular-city fallback when signal-free.
-        let mut candidates: Vec<CityId> =
-            neighbors.iter().map(|&p| snap.users[p.index()].home).collect();
+        let mut candidates: Vec<CityId> = neighbors.iter().map(|&p| snap.users.home(p)).collect();
         for &v in mentions {
             candidates.extend(self.gaz.resolve_venue(v).iter().copied());
         }
@@ -414,13 +413,13 @@ impl<'a> FoldInEngine<'a> {
 
         let gammas = vec![snap.tau; candidates.len()];
         let gamma_total = snap.tau * candidates.len() as f64;
-        let new_user = UserId(snap.users.len() as u32);
+        let new_user = UserId(snap.users.num_users() as u32);
 
         // Partner anchors, fixed for the whole chain.
         let anchors: Vec<Endpoint> = neighbors
             .iter()
             .map(|&p| {
-                let up = &snap.users[p.index()];
+                let up = snap.users.user(p);
                 let pos = up
                     .candidates
                     .binary_search(&up.home)
@@ -631,7 +630,7 @@ mod tests {
         let obs = NewUserObservations { neighbors: vec![anchor, anchor, anchor], mentions: vec![] };
         let engine = FoldInEngine::new(&snap, &gaz, FoldInConfig::default()).unwrap();
         let profile = engine.fold_in(&obs).unwrap();
-        let anchor_home = snap.users[anchor.index()].home;
+        let anchor_home = snap.users.user(anchor).home;
         assert!(
             gaz.distance(profile.home(), anchor_home) <= 100.0,
             "fold-in home {} should be near the only anchor {}",

@@ -18,6 +18,11 @@
 //! [`MentionExcluded`]. Because the weight math lives only here, the two
 //! drivers cannot drift numerically — the
 //! `kernel_weights_identical_across_drivers` test pins this down.
+//!
+//! The kernel never sees the count *layout*: [`SamplerState`] answers
+//! [`CountView`] lookups from its columnar CSR arenas
+//! ([`crate::count_store`]), the fold-in engine from frozen snapshot
+//! slabs — swapping a storage backend cannot change a single weight.
 
 use crate::candidacy::Candidacy;
 use crate::config::MlpConfig;

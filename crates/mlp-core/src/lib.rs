@@ -22,6 +22,8 @@
 //! * [`config`] — every model hyper-parameter, with the paper's defaults;
 //! * [`candidacy`] — candidacy vectors `λ_i` and priors `γ_i`;
 //! * [`random_models`] — the empirical noise models `F_R` and `T_R`;
+//! * [`count_store`] — columnar CSR count arenas (sparse venue counts
+//!   with dense fallback) shared by the sampler state and its drivers;
 //! * [`state`] — assignment state and collapsed count bookkeeping;
 //! * [`kernel`] — the stateless conditional-weight kernel (Eqs. 5–9),
 //!   shared by both sweep drivers;
@@ -37,6 +39,7 @@
 
 pub mod candidacy;
 pub mod config;
+pub mod count_store;
 pub mod diagnostics;
 pub mod em;
 pub mod fit;
@@ -52,6 +55,7 @@ pub mod state;
 
 pub use candidacy::Candidacy;
 pub use config::{MlpConfig, Variant};
+pub use count_store::{VenueCountStore, VenueRow};
 pub use diagnostics::{Diagnostics, IterationStats};
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
@@ -61,4 +65,7 @@ pub use infer::{
 pub use kernel::{CountView, ProfileView, SamplerView};
 pub use model::{EdgeAssignment, MentionAssignment, Mlp, MlpResult};
 pub use random_models::RandomModels;
-pub use snapshot::{gazetteer_fingerprint, PosteriorSnapshot, SnapshotError, UserPosterior};
+pub use snapshot::{
+    gazetteer_fingerprint, PosteriorSnapshot, SnapshotError, UserArena, UserPosterior, UserView,
+    VenueArena,
+};

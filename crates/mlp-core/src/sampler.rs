@@ -59,7 +59,7 @@ impl<'a> GibbsSampler<'a> {
             random,
             config,
             power_law: config.power_law,
-            state: SamplerState::new(dataset, candidacy, gaz.num_cities()),
+            state: SamplerState::new(dataset, candidacy, gaz.num_cities(), gaz.num_venues()),
             rng: Pcg64::new(SplitMix64::derive(config.seed, 0x9B5)),
             weight_buf: Vec::new(),
         };

@@ -12,13 +12,17 @@
 //!   observation variant);
 //! * the learned noise models `F_R` and `T_R` as exact probabilities.
 //!
-//! The binary encoding follows the `mlp_social::codec` conventions: a
-//! little-endian layout over `bytes`, magic-tagged and versioned so stale
-//! or corrupted artifacts fail loudly with a typed [`SnapshotError`]
-//! instead of deserialising garbage. Serving fleets can therefore build
-//! the snapshot once offline, ship the bytes to replicas, and answer
-//! fold-in queries against a shared read-only copy — no locks, no count
-//! merging, because frozen counts never mutate.
+//! Since format **v2** the posterior lives in CSR arenas ([`UserArena`],
+//! [`VenueArena`]): one offset table per arena and flat value slabs,
+//! mirroring the training-time layout in [`crate::state`]. The binary
+//! encoding is therefore a handful of length-prefixed slabs — no per-user
+//! records, no intermediate maps on decode — following the
+//! `mlp_social::codec` conventions: little-endian, magic-tagged and
+//! versioned so stale or corrupted artifacts fail loudly with a typed
+//! [`SnapshotError`] instead of deserialising garbage. Serving fleets can
+//! therefore build the snapshot once offline, ship the bytes to replicas,
+//! and answer fold-in queries against a shared read-only copy — no locks,
+//! no count merging, because frozen counts never mutate.
 
 use crate::config::Variant;
 use crate::sampler::GibbsSampler;
@@ -28,7 +32,7 @@ use mlp_geo::PowerLaw;
 use mlp_social::UserId;
 
 const MAGIC: u32 = 0x4D4C_5053; // "MLPS"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Stable (FNV-1a, rustc-independent) content hash of a gazetteer:
 /// every city's name, state, coordinates, and population, and every
@@ -68,8 +72,9 @@ pub fn gazetteer_fingerprint(gaz: &Gazetteer) -> u64 {
 pub enum SnapshotError {
     /// Wrong magic number — not a posterior snapshot.
     BadMagic(u32),
-    /// Snapshot from an incompatible format version.
-    BadVersion(u16),
+    /// Snapshot from an incompatible format version (e.g. a v1 artifact
+    /// from before the CSR arena layout).
+    UnsupportedVersion(u16),
     /// Buffer ended before the declared payload.
     Truncated,
     /// An enum tag byte held an unknown value.
@@ -82,7 +87,9 @@ impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:#x}"),
-            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads v{VERSION})")
+            }
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadTag(t) => write!(f, "unknown snapshot tag byte {t}"),
             SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
@@ -92,9 +99,9 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
-/// One training user's frozen posterior: their candidate list, priors, and
-/// post-burn-in mean counts, plus the derived MAP home used to anchor
-/// fold-in edges.
+/// One training user's posterior as an owned record — the *builder* input
+/// for [`UserArena::from_users`] (tests and the freeze path construct
+/// these; the stored representation is the arena).
 #[derive(Debug, Clone, PartialEq)]
 pub struct UserPosterior {
     /// Candidate cities, sorted ascending (the Gibbs domain).
@@ -110,6 +117,192 @@ pub struct UserPosterior {
     pub gamma_total: f64,
     /// MAP home — the argmax of `θ̂` (Eq. 10).
     pub home: CityId,
+}
+
+/// A borrowed view of one user's row across the arena slabs.
+#[derive(Debug, Clone, Copy)]
+pub struct UserView<'a> {
+    /// Candidate cities, sorted ascending.
+    pub candidates: &'a [CityId],
+    /// Priors `γ` aligned with `candidates`.
+    pub gammas: &'a [f64],
+    /// Mean counts `ϕ̄` aligned with `candidates`.
+    pub mean_counts: &'a [f64],
+    /// `Σ_c ϕ̄`.
+    pub mean_total: f64,
+    /// `Σ_c γ`.
+    pub gamma_total: f64,
+    /// MAP home.
+    pub home: CityId,
+}
+
+/// The frozen per-user posterior: a CSR offset table over flat
+/// `candidates`/`gammas`/`mean_counts` slabs plus per-user scalar columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserArena {
+    /// `num_users + 1` offsets into the three row slabs.
+    offsets: Vec<u32>,
+    candidates: Vec<CityId>,
+    gammas: Vec<f64>,
+    mean_counts: Vec<f64>,
+    mean_totals: Vec<f64>,
+    gamma_totals: Vec<f64>,
+    homes: Vec<CityId>,
+}
+
+impl UserArena {
+    /// Packs owned per-user records into the columnar arena.
+    pub fn from_users(users: impl IntoIterator<Item = UserPosterior>) -> Self {
+        let mut arena = Self {
+            offsets: vec![0],
+            candidates: Vec::new(),
+            gammas: Vec::new(),
+            mean_counts: Vec::new(),
+            mean_totals: Vec::new(),
+            gamma_totals: Vec::new(),
+            homes: Vec::new(),
+        };
+        for u in users {
+            arena.candidates.extend(u.candidates);
+            arena.gammas.extend(u.gammas);
+            arena.mean_counts.extend(u.mean_counts);
+            arena.offsets.push(arena.candidates.len() as u32);
+            arena.mean_totals.push(u.mean_total);
+            arena.gamma_totals.push(u.gamma_total);
+            arena.homes.push(u.home);
+        }
+        arena
+    }
+
+    /// Number of training users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// User `u`'s row across all slabs.
+    #[inline]
+    pub fn user(&self, u: UserId) -> UserView<'_> {
+        let i = u.index();
+        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        UserView {
+            candidates: &self.candidates[range.clone()],
+            gammas: &self.gammas[range.clone()],
+            mean_counts: &self.mean_counts[range],
+            mean_total: self.mean_totals[i],
+            gamma_total: self.gamma_totals[i],
+            home: self.homes[i],
+        }
+    }
+
+    // Single-column accessors for hot lookups that need one slab — the
+    // fold-in kernel calls these per conditional evaluation, so they must
+    // not assemble a whole `UserView`.
+
+    /// User `u`'s candidate row.
+    #[inline]
+    pub fn candidates_of(&self, u: UserId) -> &[CityId] {
+        &self.candidates[self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize]
+    }
+
+    /// User `u`'s γ row.
+    #[inline]
+    pub fn gammas_of(&self, u: UserId) -> &[f64] {
+        &self.gammas[self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize]
+    }
+
+    /// User `u`'s ϕ̄ row.
+    #[inline]
+    pub fn mean_counts_of(&self, u: UserId) -> &[f64] {
+        &self.mean_counts[self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize]
+    }
+
+    /// `Σ_c ϕ̄` for user `u`.
+    #[inline]
+    pub fn mean_total(&self, u: UserId) -> f64 {
+        self.mean_totals[u.index()]
+    }
+
+    /// `Σ_c γ` for user `u`.
+    #[inline]
+    pub fn gamma_total(&self, u: UserId) -> f64 {
+        self.gamma_totals[u.index()]
+    }
+
+    /// MAP home of user `u`.
+    #[inline]
+    pub fn home(&self, u: UserId) -> CityId {
+        self.homes[u.index()]
+    }
+}
+
+/// The frozen `φ` counts: CSR offsets over sorted `venue_ids` with a
+/// parallel `counts` slab, plus per-city totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueArena {
+    /// `num_cities + 1` offsets into `venue_ids`/`counts`.
+    offsets: Vec<u32>,
+    venue_ids: Vec<u32>,
+    counts: Vec<f64>,
+    city_totals: Vec<f64>,
+}
+
+impl VenueArena {
+    /// Packs per-city `(venue, count)` rows (ascending venue id) into the
+    /// arena; city totals are the row sums — exact, because training
+    /// counts are integers.
+    pub fn from_rows<R>(rows: impl Iterator<Item = R>) -> Self
+    where
+        R: IntoIterator<Item = (u32, f64)>,
+    {
+        let mut arena = Self {
+            offsets: vec![0],
+            venue_ids: Vec::new(),
+            counts: Vec::new(),
+            city_totals: Vec::new(),
+        };
+        for row in rows {
+            let mut total = 0.0;
+            for (v, c) in row {
+                arena.venue_ids.push(v);
+                arena.counts.push(c);
+                total += c;
+            }
+            arena.offsets.push(arena.venue_ids.len() as u32);
+            arena.city_totals.push(total);
+        }
+        arena
+    }
+
+    /// Number of cities.
+    #[inline]
+    pub fn num_cities(&self) -> usize {
+        self.city_totals.len()
+    }
+
+    /// `φ_{l,v}` lookup (zero for venues the city never hosted).
+    #[inline]
+    pub fn count(&self, l: CityId, v: VenueId) -> f64 {
+        let i = l.index();
+        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        match self.venue_ids[range.clone()].binary_search(&v.0) {
+            Ok(pos) => self.counts[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `Σ_v φ_{l,v}`.
+    #[inline]
+    pub fn city_total(&self, l: CityId) -> f64 {
+        self.city_totals[l.index()]
+    }
+
+    /// City `l`'s `(venue, count)` row, ascending by venue id.
+    pub fn row(&self, l: CityId) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let i = l.index();
+        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        self.venue_ids[range.clone()].iter().copied().zip(self.counts[range].iter().copied())
+    }
 }
 
 /// An immutable frozen posterior, ready for fold-in inference.
@@ -141,12 +334,10 @@ pub struct PosteriorSnapshot {
     /// thaw so a snapshot cannot silently serve a different geography,
     /// even one with identical shape.
     pub gaz_fingerprint: u64,
-    /// Per-training-user posteriors, indexed by `UserId`.
-    pub users: Vec<UserPosterior>,
-    /// Frozen `φ_{l,·}` per city: `(venue id, count)` sorted by venue id.
-    pub venue_counts: Vec<Vec<(u32, f64)>>,
-    /// `Σ_v φ_{l,v}` per city.
-    pub city_totals: Vec<f64>,
+    /// Per-training-user posteriors, CSR arena indexed by `UserId`.
+    pub users: UserArena,
+    /// Frozen `φ` CSR arena with per-city totals.
+    pub venues: VenueArena,
 }
 
 impl PosteriorSnapshot {
@@ -161,38 +352,30 @@ impl PosteriorSnapshot {
         let config = sampler.config();
         let n = sampler.dataset().num_users();
 
-        let users = (0..n)
-            .map(|u| {
-                let user = UserId(u as u32);
-                let candidates = candidacy.candidates(user).to_vec();
-                let gammas = candidacy.gammas(user).to_vec();
-                let mean_counts: Vec<f64> =
-                    (0..candidates.len()).map(|c| sampler.state.mean_user_count(user, c)).collect();
-                let mean_total = mean_counts.iter().sum();
-                UserPosterior {
-                    home: sampler.estimate_theta(user)[0].0,
-                    gamma_total: candidacy.gamma_total(user),
-                    candidates,
-                    gammas,
-                    mean_counts,
-                    mean_total,
-                }
-            })
-            .collect();
+        let users = UserArena::from_users((0..n).map(|u| {
+            let user = UserId(u as u32);
+            let candidates = candidacy.candidates(user).to_vec();
+            let gammas = candidacy.gammas(user).to_vec();
+            let mean_counts: Vec<f64> =
+                (0..candidates.len()).map(|c| sampler.state.mean_user_count(user, c)).collect();
+            let mean_total = mean_counts.iter().sum();
+            UserPosterior {
+                home: sampler.estimate_theta(user)[0].0,
+                gamma_total: candidacy.gamma_total(user),
+                candidates,
+                gammas,
+                mean_counts,
+                mean_total,
+            }
+        }));
 
-        let venue_counts: Vec<Vec<(u32, f64)>> = (0..gaz.num_cities())
-            .map(|l| {
-                sampler
-                    .state
-                    .venue_count_row(CityId(l as u32))
-                    .into_iter()
-                    .map(|(v, c)| (v, c as f64))
-                    .collect()
-            })
-            .collect();
-        let city_totals = (0..gaz.num_cities())
-            .map(|l| sampler.state.city_total(CityId(l as u32)) as f64)
-            .collect();
+        // The CSR state rows already iterate non-zero entries in venue-id
+        // order, so the arena packs straight off the live store — no
+        // intermediate maps, no sorting.
+        let venues =
+            VenueArena::from_rows((0..gaz.num_cities()).map(|l| {
+                sampler.state.venue_count_row(CityId(l as u32)).map(|(v, c)| (v, c as f64))
+            }));
 
         Self {
             variant: config.variant,
@@ -210,32 +393,37 @@ impl PosteriorSnapshot {
             num_venues: gaz.num_venues() as u32,
             gaz_fingerprint: gazetteer_fingerprint(gaz),
             users,
-            venue_counts,
-            city_totals,
+            venues,
         }
     }
 
     /// Number of training users in the snapshot.
     pub fn num_users(&self) -> usize {
-        self.users.len()
+        self.users.num_users()
     }
 
     /// Frozen `φ_{l,v}` lookup (zero for venues the city never hosted).
     #[inline]
     pub fn venue_count(&self, l: CityId, v: VenueId) -> f64 {
-        let row = &self.venue_counts[l.index()];
-        match row.binary_search_by_key(&v.0, |&(id, _)| id) {
-            Ok(i) => row[i].1,
-            Err(_) => 0.0,
-        }
+        self.venues.count(l, v)
     }
 
-    /// Serialises the snapshot into the versioned binary format.
+    /// Serialises the snapshot into the versioned binary format: a fixed
+    /// header followed by length-prefixed flat slabs — the arenas'
+    /// in-memory layout, written column by column.
     pub fn encode(&self) -> Bytes {
+        let nnz = self.users.candidates.len();
+        let vnz = self.venues.venue_ids.len();
+        let n = self.users.num_users();
+        let cities = self.venues.num_cities();
         let mut buf = BytesMut::with_capacity(
-            64 + self.venue_probs.len() * 8
-                + self.users.iter().map(|u| 32 + u.candidates.len() * 20).sum::<usize>()
-                + self.venue_counts.iter().map(|r| 8 + r.len() * 12).sum::<usize>(),
+            96 + self.venue_probs.len() * 8
+                + (n + 1) * 4
+                + nnz * 20
+                + n * 20
+                + (cities + 1) * 4
+                + vnz * 12
+                + cities * 8,
         );
         buf.put_u32_le(MAGIC);
         buf.put_u16_le(VERSION);
@@ -265,27 +453,45 @@ impl PosteriorSnapshot {
             buf.put_f64_le(p);
         }
 
-        buf.put_u32_le(self.users.len() as u32);
-        for u in &self.users {
-            buf.put_u32_le(u.candidates.len() as u32);
-            for i in 0..u.candidates.len() {
-                buf.put_u32_le(u.candidates[i].0);
-                buf.put_f64_le(u.gammas[i]);
-                buf.put_f64_le(u.mean_counts[i]);
-            }
-            buf.put_f64_le(u.mean_total);
-            buf.put_f64_le(u.gamma_total);
-            buf.put_u32_le(u.home.0);
+        // User arena: offsets, then each slab in column order.
+        buf.put_u32_le(n as u32);
+        buf.put_u32_le(nnz as u32);
+        for &o in &self.users.offsets {
+            buf.put_u32_le(o);
+        }
+        for &c in &self.users.candidates {
+            buf.put_u32_le(c.0);
+        }
+        for &g in &self.users.gammas {
+            buf.put_f64_le(g);
+        }
+        for &m in &self.users.mean_counts {
+            buf.put_f64_le(m);
+        }
+        for &m in &self.users.mean_totals {
+            buf.put_f64_le(m);
+        }
+        for &g in &self.users.gamma_totals {
+            buf.put_f64_le(g);
+        }
+        for &h in &self.users.homes {
+            buf.put_u32_le(h.0);
         }
 
-        buf.put_u32_le(self.venue_counts.len() as u32);
-        for (row, &total) in self.venue_counts.iter().zip(&self.city_totals) {
-            buf.put_u32_le(row.len() as u32);
-            for &(v, c) in row {
-                buf.put_u32_le(v);
-                buf.put_f64_le(c);
-            }
-            buf.put_f64_le(total);
+        // Venue arena.
+        buf.put_u32_le(cities as u32);
+        buf.put_u32_le(vnz as u32);
+        for &o in &self.venues.offsets {
+            buf.put_u32_le(o);
+        }
+        for &v in &self.venues.venue_ids {
+            buf.put_u32_le(v);
+        }
+        for &c in &self.venues.counts {
+            buf.put_f64_le(c);
+        }
+        for &t in &self.venues.city_totals {
+            buf.put_f64_le(t);
         }
         buf.freeze()
     }
@@ -300,6 +506,20 @@ impl PosteriorSnapshot {
             }
         }
 
+        /// Reads a length-validated offset table: starts at 0, is
+        /// non-decreasing, and ends exactly at `nnz`.
+        fn get_offsets(buf: &mut Bytes, rows: usize, nnz: u32) -> Result<Vec<u32>, SnapshotError> {
+            need(buf, (rows + 1) * 4)?;
+            let offsets: Vec<u32> = (0..=rows).map(|_| buf.get_u32_le()).collect();
+            if offsets[0] != 0 || offsets[rows] != nnz {
+                return Err(SnapshotError::Corrupt("offset table does not span its slab"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(SnapshotError::Corrupt("offset table not monotone"));
+            }
+            Ok(offsets)
+        }
+
         need(&buf, 8)?;
         let magic = buf.get_u32_le();
         if magic != MAGIC {
@@ -307,7 +527,7 @@ impl PosteriorSnapshot {
         }
         let version = buf.get_u16_le();
         if version != VERSION {
-            return Err(SnapshotError::BadVersion(version));
+            return Err(SnapshotError::UnsupportedVersion(version));
         }
         let variant = match buf.get_u8() {
             0 => Variant::FollowingOnly,
@@ -340,72 +560,68 @@ impl PosteriorSnapshot {
         need(&buf, n_probs * 8)?;
         let venue_probs: Vec<f64> = (0..n_probs).map(|_| buf.get_f64_le()).collect();
 
-        need(&buf, 4)?;
+        // --- User arena ---------------------------------------------------
+        need(&buf, 8)?;
         let n_users = buf.get_u32_le() as usize;
-        // A user record is at least 24 bytes; a declared count the buffer
-        // cannot possibly hold must fail *before* the pre-allocation, or a
+        let nnz = buf.get_u32_le();
+        // Every slab length is now known: a declared size the buffer
+        // cannot possibly hold must fail *before* any pre-allocation, or a
         // corrupt header turns into a multi-GB allocation instead of a
         // typed error.
-        need(&buf, n_users.saturating_mul(24))?;
-        let mut users = Vec::with_capacity(n_users);
-        for _ in 0..n_users {
-            need(&buf, 4)?;
-            let len = buf.get_u32_le() as usize;
-            need(&buf, len.saturating_mul(20).saturating_add(20))?;
-            let mut candidates = Vec::with_capacity(len);
-            let mut gammas = Vec::with_capacity(len);
-            let mut mean_counts = Vec::with_capacity(len);
-            for _ in 0..len {
-                let city = buf.get_u32_le();
-                if city >= num_cities {
-                    return Err(SnapshotError::Corrupt("candidate city out of range"));
-                }
-                candidates.push(CityId(city));
-                gammas.push(buf.get_f64_le());
-                mean_counts.push(buf.get_f64_le());
-            }
-            let mean_total = buf.get_f64_le();
-            let gamma_total = buf.get_f64_le();
-            let home = CityId(buf.get_u32_le());
-            if candidates.windows(2).any(|w| w[0] >= w[1]) {
+        need(&buf, (n_users + 1) * 4 + (nnz as usize) * 20 + n_users * 20)?;
+        let offsets = get_offsets(&mut buf, n_users, nnz)?;
+        let candidates: Vec<CityId> = (0..nnz).map(|_| CityId(buf.get_u32_le())).collect();
+        if candidates.iter().any(|c| c.0 >= num_cities) {
+            return Err(SnapshotError::Corrupt("candidate city out of range"));
+        }
+        let gammas: Vec<f64> = (0..nnz).map(|_| buf.get_f64_le()).collect();
+        let mean_counts: Vec<f64> = (0..nnz).map(|_| buf.get_f64_le()).collect();
+        let mean_totals: Vec<f64> = (0..n_users).map(|_| buf.get_f64_le()).collect();
+        let gamma_totals: Vec<f64> = (0..n_users).map(|_| buf.get_f64_le()).collect();
+        let homes: Vec<CityId> = (0..n_users).map(|_| CityId(buf.get_u32_le())).collect();
+        for u in 0..n_users {
+            let row = &candidates[offsets[u] as usize..offsets[u + 1] as usize];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(SnapshotError::Corrupt("candidate list not sorted"));
             }
             // Fold-in anchors partners at `home` and binary-searches it in
             // the candidate list; a snapshot violating that must not thaw.
-            if candidates.binary_search(&home).is_err() {
+            if row.binary_search(&homes[u]).is_err() {
                 return Err(SnapshotError::Corrupt("home city is not a candidate"));
             }
-            users.push(UserPosterior {
-                candidates,
-                gammas,
-                mean_counts,
-                mean_total,
-                gamma_total,
-                home,
-            });
         }
+        let users = UserArena {
+            offsets,
+            candidates,
+            gammas,
+            mean_counts,
+            mean_totals,
+            gamma_totals,
+            homes,
+        };
 
-        need(&buf, 4)?;
+        // --- Venue arena --------------------------------------------------
+        need(&buf, 8)?;
         let n_cities = buf.get_u32_le() as usize;
         if n_cities != num_cities as usize {
-            return Err(SnapshotError::Corrupt("venue_counts length != num_cities"));
+            return Err(SnapshotError::Corrupt("venue arena rows != num_cities"));
         }
-        // Same bounded-allocation guard: 12 bytes minimum per city row.
-        need(&buf, n_cities.saturating_mul(12))?;
-        let mut venue_counts = Vec::with_capacity(n_cities);
-        let mut city_totals = Vec::with_capacity(n_cities);
-        for _ in 0..n_cities {
-            need(&buf, 4)?;
-            let len = buf.get_u32_le() as usize;
-            need(&buf, len.saturating_mul(12).saturating_add(8))?;
-            let row: Vec<(u32, f64)> =
-                (0..len).map(|_| (buf.get_u32_le(), buf.get_f64_le())).collect();
-            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+        let vnz = buf.get_u32_le();
+        need(&buf, (n_cities + 1) * 4 + (vnz as usize) * 12 + n_cities * 8)?;
+        let offsets = get_offsets(&mut buf, n_cities, vnz)?;
+        let venue_ids: Vec<u32> = (0..vnz).map(|_| buf.get_u32_le()).collect();
+        if venue_ids.iter().any(|&v| v >= num_venues) {
+            return Err(SnapshotError::Corrupt("venue id out of range"));
+        }
+        let counts: Vec<f64> = (0..vnz).map(|_| buf.get_f64_le()).collect();
+        let city_totals: Vec<f64> = (0..n_cities).map(|_| buf.get_f64_le()).collect();
+        for l in 0..n_cities {
+            let row = &venue_ids[offsets[l] as usize..offsets[l + 1] as usize];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(SnapshotError::Corrupt("venue count row not sorted"));
             }
-            venue_counts.push(row);
-            city_totals.push(buf.get_f64_le());
         }
+        let venues = VenueArena { offsets, venue_ids, counts, city_totals };
 
         Ok(Self {
             variant,
@@ -421,8 +637,7 @@ impl PosteriorSnapshot {
             num_venues,
             gaz_fingerprint,
             users,
-            venue_counts,
-            city_totals,
+            venues,
         })
     }
 }
@@ -458,16 +673,18 @@ mod tests {
         let snap = trained_snapshot(120, 41);
         assert_eq!(snap.num_users(), 120);
         assert_eq!(snap.num_cities as usize, Gazetteer::us_cities().num_cities());
-        for u in &snap.users {
-            assert_eq!(u.candidates.len(), u.gammas.len());
-            assert_eq!(u.candidates.len(), u.mean_counts.len());
-            assert!((u.mean_total - u.mean_counts.iter().sum::<f64>()).abs() < 1e-9);
-            assert!(u.candidates.contains(&u.home));
+        for u in 0..snap.num_users() {
+            let view = snap.users.user(UserId(u as u32));
+            assert_eq!(view.candidates.len(), view.gammas.len());
+            assert_eq!(view.candidates.len(), view.mean_counts.len());
+            assert!((view.mean_total - view.mean_counts.iter().sum::<f64>()).abs() < 1e-9);
+            assert!(view.candidates.contains(&view.home));
         }
         // φ totals match their rows.
-        for (row, &total) in snap.venue_counts.iter().zip(&snap.city_totals) {
-            let sum: f64 = row.iter().map(|&(_, c)| c).sum();
-            assert_eq!(sum, total);
+        for l in 0..snap.venues.num_cities() {
+            let city = CityId(l as u32);
+            let sum: f64 = snap.venues.row(city).map(|(_, c)| c).sum();
+            assert_eq!(sum, snap.venues.city_total(city));
         }
         // Venue noise sums to one (it is T_R, a distribution).
         let total: f64 = snap.venue_probs.iter().sum();
@@ -494,8 +711,23 @@ mod tests {
         raw[4] = 0xFE;
         assert!(matches!(
             PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
-            SnapshotError::BadVersion(_)
+            SnapshotError::UnsupportedVersion(_)
         ));
+    }
+
+    /// A stored v1 artifact prefix (magic "MLPS" + version 1, as every v1
+    /// snapshot began) must fail with the typed version error — not panic,
+    /// and never decode as garbage v2 slabs.
+    #[test]
+    fn v1_snapshot_prefix_fails_with_unsupported_version() {
+        // First 6 bytes of any v1 artifact: 4D4C5053 LE + 0001 LE.
+        let mut v1 = vec![0x53, 0x50, 0x4C, 0x4D, 0x01, 0x00];
+        // Arbitrary v1 payload tail — must never be interpreted.
+        v1.extend_from_slice(&[0x02, 0x01, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]);
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(v1)).unwrap_err(),
+            SnapshotError::UnsupportedVersion(1)
+        );
     }
 
     #[test]

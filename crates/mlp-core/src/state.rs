@@ -12,13 +12,21 @@
 //! * `φ_{l,v}` — how often venue `v` was tweeted from city `l` among
 //!   location-based mentions.
 //!
+//! Counts are columnar: the `ϕ` rows live in one flat row-major [`Csr`]
+//! arena (one slab for the whole corpus, not a `Vec` per user), and the
+//! `φ` rows in a [`VenueCountStore`] — a CSR over the fixed support of
+//! reachable `(city, venue)` pairs. Both give the hot path contiguous
+//! memory, deterministic venue-id-ordered row iteration without sorting or
+//! allocating, and a stable flat *slot* space so a parallel sweep can merge
+//! per-thread deltas by index ([`crate::parallel`]).
+//!
 //! Post-burn-in sweeps are accumulated separately so the final `θ̂` (Eq. 10)
 //! averages over the posterior instead of trusting one sample.
 
 use crate::candidacy::Candidacy;
+use crate::count_store::{VenueCountStore, VenueRow};
 use mlp_gazetteer::{CityId, VenueId};
-use mlp_social::{Dataset, UserId};
-use std::collections::HashMap;
+use mlp_social::{Csr, Dataset, UserId};
 
 /// Mutable sampler state.
 #[derive(Debug, Clone)]
@@ -34,18 +42,16 @@ pub struct SamplerState {
     /// z_k — user-side assignment (index into user's candidates).
     pub z: Vec<u16>,
 
-    /// ϕ_{i,·} aligned with user i's candidate list.
-    user_counts: Vec<Vec<u32>>,
+    /// ϕ rows, one per user, aligned with the candidate lists — a flat
+    /// row-major arena.
+    user_counts: Csr<u32>,
     /// Σ_l ϕ_{i,l}.
     user_totals: Vec<u32>,
-    /// φ_{l,·} per city: venue id → count. Sparse because a city only ever
-    /// hosts a tiny slice of the vocabulary.
-    venue_counts: Vec<HashMap<u32, u32>>,
-    /// Σ_v φ_{l,v} per city.
-    city_totals: Vec<u32>,
+    /// φ_{l,·} — CSR sparse counts over the reachable support.
+    venue_counts: VenueCountStore,
 
-    /// Post-burn-in accumulation of `user_counts`.
-    acc_user_counts: Vec<Vec<u64>>,
+    /// Post-burn-in accumulation of `user_counts` (same row layout).
+    acc_user_counts: Csr<u64>,
     /// Number of accumulated sweeps.
     acc_sweeps: u32,
 }
@@ -54,23 +60,32 @@ impl SamplerState {
     /// Creates all-zero state sized for the dataset; assignments start at
     /// candidate index 0 and are expected to be randomised by the sampler's
     /// `init` before the first sweep.
-    pub fn new(dataset: &Dataset, candidacy: &Candidacy, num_cities: usize) -> Self {
+    ///
+    /// The venue-count support is derived here: a mention of venue `v` by
+    /// user `i` can only ever be assigned to a city in `i`'s candidate
+    /// list, so `(candidate, v)` pairs over all mentions cover every cell
+    /// the sampler can touch.
+    pub fn new(
+        dataset: &Dataset,
+        candidacy: &Candidacy,
+        num_cities: usize,
+        num_venues: usize,
+    ) -> Self {
         let n = dataset.num_users();
+        let row_lens = || (0..n).map(|u| candidacy.candidates(UserId(u as u32)).len());
+        let support = dataset.mentions.iter().flat_map(|m| {
+            candidacy.candidates(m.user).iter().map(move |&city| (city.0, m.venue.0))
+        });
         Self {
             mu: vec![false; dataset.num_edges()],
             x: vec![0; dataset.num_edges()],
             y: vec![0; dataset.num_edges()],
             nu: vec![false; dataset.num_mentions()],
             z: vec![0; dataset.num_mentions()],
-            user_counts: (0..n)
-                .map(|u| vec![0u32; candidacy.candidates(UserId(u as u32)).len()])
-                .collect(),
+            user_counts: Csr::with_row_lens(row_lens()),
             user_totals: vec![0; n],
-            venue_counts: vec![HashMap::new(); num_cities],
-            city_totals: vec![0; num_cities],
-            acc_user_counts: (0..n)
-                .map(|u| vec![0u64; candidacy.candidates(UserId(u as u32)).len()])
-                .collect(),
+            venue_counts: VenueCountStore::build(num_cities, num_venues, support),
+            acc_user_counts: Csr::with_row_lens(row_lens()),
             acc_sweeps: 0,
         }
     }
@@ -78,13 +93,13 @@ impl SamplerState {
     /// ϕ count of user `u` at candidate index `c`.
     #[inline]
     pub fn user_count(&self, u: UserId, c: usize) -> u32 {
-        self.user_counts[u.index()][c]
+        self.user_counts.row(u.index())[c]
     }
 
     /// The whole ϕ row of user `u`.
     #[inline]
     pub fn user_count_row(&self, u: UserId) -> &[u32] {
-        &self.user_counts[u.index()]
+        self.user_counts.row(u.index())
     }
 
     /// Σ_l ϕ_{u,l}.
@@ -96,66 +111,96 @@ impl SamplerState {
     /// φ_{l,v}.
     #[inline]
     pub fn venue_count(&self, l: CityId, v: VenueId) -> u32 {
-        self.venue_counts[l.index()].get(&v.0).copied().unwrap_or(0)
+        self.venue_counts.get(l, v)
     }
 
     /// Σ_v φ_{l,v}.
     #[inline]
     pub fn city_total(&self, l: CityId) -> u32 {
-        self.city_totals[l.index()]
+        self.venue_counts.total(l)
     }
 
-    /// The non-zero `(venue, count)` entries of city `l`'s φ row, sorted by
-    /// venue id — the deterministic order snapshots serialise.
-    pub fn venue_count_row(&self, l: CityId) -> Vec<(u32, u32)> {
-        let mut row: Vec<(u32, u32)> =
-            self.venue_counts[l.index()].iter().map(|(&v, &n)| (v, n)).collect();
-        row.sort_unstable_by_key(|&(v, _)| v);
-        row
+    /// The non-zero `(venue, count)` entries of city `l`'s φ row, ascending
+    /// by venue id — the deterministic order snapshots serialise. A
+    /// borrowed view over the CSR arena: no allocation, no sort.
+    #[inline]
+    pub fn venue_count_row(&self, l: CityId) -> VenueRow<'_> {
+        self.venue_counts.row(l)
     }
 
     /// Adds one assignment of user `u` to candidate index `c`.
     #[inline]
     pub fn add_user(&mut self, u: UserId, c: usize) {
-        self.user_counts[u.index()][c] += 1;
+        self.user_counts.row_mut(u.index())[c] += 1;
         self.user_totals[u.index()] += 1;
     }
 
     /// Removes one assignment of user `u` from candidate index `c`.
     #[inline]
     pub fn remove_user(&mut self, u: UserId, c: usize) {
-        debug_assert!(self.user_counts[u.index()][c] > 0, "count underflow");
-        self.user_counts[u.index()][c] -= 1;
+        let cell = &mut self.user_counts.row_mut(u.index())[c];
+        debug_assert!(*cell > 0, "count underflow");
+        *cell -= 1;
         self.user_totals[u.index()] -= 1;
     }
 
     /// Adds one venue token `v` at city `l`.
     #[inline]
     pub fn add_venue(&mut self, l: CityId, v: VenueId) {
-        *self.venue_counts[l.index()].entry(v.0).or_insert(0) += 1;
-        self.city_totals[l.index()] += 1;
+        self.venue_counts.add(l, v);
     }
 
     /// Removes one venue token `v` from city `l`.
     #[inline]
     pub fn remove_venue(&mut self, l: CityId, v: VenueId) {
-        let e = self.venue_counts[l.index()]
-            .get_mut(&v.0)
-            .expect("removing venue that was never added");
-        debug_assert!(*e > 0);
-        *e -= 1;
-        if *e == 0 {
-            self.venue_counts[l.index()].remove(&v.0);
+        self.venue_counts.remove(l, v);
+    }
+
+    // --- Flat slot space for parallel delta merges -----------------------
+
+    /// Size of the flat ϕ arena (codomain of [`Self::user_slot`]).
+    pub fn num_user_slots(&self) -> usize {
+        self.user_counts.num_values()
+    }
+
+    /// Flat arena index of `(u, c)`.
+    #[inline]
+    pub fn user_slot(&self, u: UserId, c: usize) -> usize {
+        self.user_counts.slot(u.index(), c)
+    }
+
+    /// Size of the flat φ slot space (codomain of [`Self::venue_slot`]).
+    pub fn num_venue_slots(&self) -> usize {
+        self.venue_counts.num_slots()
+    }
+
+    /// Flat slot of `(l, v)`; panics outside the reachable support.
+    #[inline]
+    pub fn venue_slot(&self, l: CityId, v: VenueId) -> usize {
+        self.venue_counts.slot_index(l, v)
+    }
+
+    /// Applies per-slot ϕ deltas and per-user total deltas by index.
+    pub fn apply_user_delta(&mut self, slots: &[i32], totals: &[i32]) {
+        debug_assert_eq!(slots.len(), self.num_user_slots());
+        debug_assert_eq!(totals.len(), self.user_totals.len());
+        for (c, &d) in self.user_counts.values_mut().iter_mut().zip(slots) {
+            *c = c.wrapping_add_signed(d);
         }
-        self.city_totals[l.index()] -= 1;
+        for (t, &d) in self.user_totals.iter_mut().zip(totals) {
+            *t = t.wrapping_add_signed(d);
+        }
+    }
+
+    /// Applies per-slot φ deltas and per-city total deltas by index.
+    pub fn apply_venue_delta(&mut self, slots: &[i32], totals: &[i32]) {
+        self.venue_counts.apply_delta(slots, totals);
     }
 
     /// Folds the current sweep's user counts into the accumulator.
     pub fn accumulate(&mut self) {
-        for (acc, cur) in self.acc_user_counts.iter_mut().zip(&self.user_counts) {
-            for (a, &c) in acc.iter_mut().zip(cur) {
-                *a += c as u64;
-            }
+        for (a, &c) in self.acc_user_counts.values_mut().iter_mut().zip(self.user_counts.values()) {
+            *a += c as u64;
         }
         self.acc_sweeps += 1;
     }
@@ -170,14 +215,14 @@ impl SamplerState {
     #[inline]
     pub fn mean_user_count(&self, u: UserId, c: usize) -> f64 {
         if self.acc_sweeps == 0 {
-            self.user_counts[u.index()][c] as f64
+            self.user_counts.row(u.index())[c] as f64
         } else {
-            self.acc_user_counts[u.index()][c] as f64 / self.acc_sweeps as f64
+            self.acc_user_counts.row(u.index())[c] as f64 / self.acc_sweeps as f64
         }
     }
 
     /// Rebuilds all counts from the current assignment vectors — used after
-    /// a parallel sweep where threads sampled against a frozen snapshot.
+    /// initialisation randomises the assignments.
     pub fn rebuild_counts(
         &mut self,
         dataset: &Dataset,
@@ -186,14 +231,9 @@ impl SamplerState {
         uses_following: bool,
         uses_tweeting: bool,
     ) {
-        for row in &mut self.user_counts {
-            row.fill(0);
-        }
+        self.user_counts.values_mut().fill(0);
         self.user_totals.fill(0);
-        for m in &mut self.venue_counts {
-            m.clear();
-        }
-        self.city_totals.fill(0);
+        self.venue_counts.clear();
 
         if uses_following {
             for (s, e) in dataset.edges.iter().enumerate() {
@@ -234,11 +274,8 @@ impl SamplerState {
         if fresh.user_totals != self.user_totals {
             return Err("user totals diverged".into());
         }
-        if fresh.city_totals != self.city_totals {
-            return Err("city totals diverged".into());
-        }
         if fresh.venue_counts != self.venue_counts {
-            return Err("venue counts diverged".into());
+            return Err("venue counts (or city totals) diverged".into());
         }
         Ok(())
     }
@@ -267,10 +304,14 @@ mod tests {
         (gaz, d, cand)
     }
 
+    fn state_for(gaz: &Gazetteer, d: &Dataset, cand: &Candidacy) -> SamplerState {
+        SamplerState::new(d, cand, gaz.num_cities(), gaz.num_venues())
+    }
+
     #[test]
     fn add_remove_round_trip() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         let u = UserId(0);
         st.add_user(u, 1);
         st.add_user(u, 1);
@@ -285,31 +326,33 @@ mod tests {
     #[test]
     fn venue_counts_round_trip() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         let austin = gaz.city_by_name_state("austin", "TX").unwrap();
-        let v = VenueId(3);
+        let v = gaz.venue_by_name("austin").unwrap();
         st.add_venue(austin, v);
         st.add_venue(austin, v);
         assert_eq!(st.venue_count(austin, v), 2);
         assert_eq!(st.city_total(austin), 2);
+        assert_eq!(st.venue_count_row(austin).collect::<Vec<_>>(), vec![(v.0, 2)]);
         st.remove_venue(austin, v);
         st.remove_venue(austin, v);
         assert_eq!(st.venue_count(austin, v), 0);
         assert_eq!(st.city_total(austin), 0);
+        assert!(st.venue_count_row(austin).next().is_none());
     }
 
     #[test]
     #[should_panic(expected = "removing venue that was never added")]
     fn removing_absent_venue_panics() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         st.remove_venue(CityId(0), VenueId(0));
     }
 
     #[test]
     fn rebuild_matches_manual_bookkeeping() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         // Assignments: edge 0 location-based, edge 1 noisy, mention 0 based.
         st.mu = vec![false, true];
         st.x = vec![0, 0];
@@ -330,7 +373,7 @@ mod tests {
     #[test]
     fn count_noisy_flag_includes_noisy_assignments() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         st.mu = vec![true, true];
         st.nu = vec![true];
         st.rebuild_counts(&d, &cand, true, true, true);
@@ -346,7 +389,7 @@ mod tests {
     #[test]
     fn accumulation_averages_sweeps() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         let u = UserId(0);
         st.add_user(u, 0);
         st.accumulate();
@@ -355,16 +398,50 @@ mod tests {
         assert_eq!(st.accumulated_sweeps(), 2);
         assert!((st.mean_user_count(u, 0) - 1.5).abs() < 1e-12);
         // Fallback to live counts before any accumulation.
-        let st2 = SamplerState::new(&d, &cand, gaz.num_cities());
+        let st2 = state_for(&gaz, &d, &cand);
         assert_eq!(st2.mean_user_count(u, 0), 0.0);
     }
 
     #[test]
     fn consistency_detects_corruption() {
         let (gaz, d, cand) = fixture();
-        let mut st = SamplerState::new(&d, &cand, gaz.num_cities());
+        let mut st = state_for(&gaz, &d, &cand);
         st.rebuild_counts(&d, &cand, false, true, true);
         st.add_user(UserId(0), 0); // corrupt
         assert!(st.check_consistency(&d, &cand, false, true, true).is_err());
+    }
+
+    #[test]
+    fn flat_deltas_reproduce_incremental_updates() {
+        let (gaz, d, cand) = fixture();
+        let mut incremental = state_for(&gaz, &d, &cand);
+        let mut merged = incremental.clone();
+        let u = UserId(0);
+        let city = cand.candidates(u)[0];
+        let v = d.mentions[0].venue;
+
+        incremental.add_user(u, 0);
+        incremental.add_user(u, 1);
+        incremental.remove_user(u, 0);
+        incremental.add_venue(city, v);
+
+        let mut user_slots = vec![0i32; merged.num_user_slots()];
+        let mut user_totals = vec![0i32; d.num_users()];
+        user_slots[merged.user_slot(u, 0)] += 1;
+        user_slots[merged.user_slot(u, 1)] += 1;
+        user_slots[merged.user_slot(u, 0)] -= 1;
+        user_totals[u.index()] += 1;
+        let mut venue_slots = vec![0i32; merged.num_venue_slots()];
+        let mut city_totals = vec![0i32; gaz.num_cities()];
+        venue_slots[merged.venue_slot(city, v)] += 1;
+        city_totals[city.index()] += 1;
+        merged.apply_user_delta(&user_slots, &user_totals);
+        merged.apply_venue_delta(&venue_slots, &city_totals);
+
+        assert_eq!(merged.user_count(u, 0), incremental.user_count(u, 0));
+        assert_eq!(merged.user_count(u, 1), incremental.user_count(u, 1));
+        assert_eq!(merged.user_total(u), incremental.user_total(u));
+        assert_eq!(merged.venue_count(city, v), incremental.venue_count(city, v));
+        assert_eq!(merged.city_total(city), incremental.city_total(city));
     }
 }

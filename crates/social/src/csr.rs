@@ -1,0 +1,150 @@
+//! A reusable compressed-sparse-row container.
+//!
+//! Every layer of the system stores "per-row variable-length data" somewhere:
+//! the adjacency lists here in `mlp_social`, the per-user count rows and the
+//! per-city venue-count support in `mlp-core`'s sampler state, and the frozen
+//! posterior arenas a snapshot serialises. [`Csr`] is the one primitive they
+//! all share: an offset table into a single flat value slab, so a whole
+//! column of the corpus is one contiguous allocation instead of a
+//! `Vec<Vec<_>>` (or a `HashMap`) of scattered heaps.
+
+/// An offset table plus one flat value slab; row `i` is
+/// `values[offsets[i]..offsets[i + 1]]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr<T> {
+    offsets: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl Csr<u32> {
+    /// Builds a CSR whose row `i` holds the *item indices* assigned to
+    /// bucket `i`, in item order (a stable counting sort — two passes over
+    /// the assignment stream, no comparisons, no hashing).
+    pub fn from_buckets(num_rows: usize, buckets: impl Iterator<Item = usize> + Clone) -> Csr<u32> {
+        let mut offsets = vec![0u32; num_rows + 1];
+        for b in buckets.clone() {
+            offsets[b + 1] += 1;
+        }
+        for i in 1..=num_rows {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut values = vec![0u32; offsets[num_rows] as usize];
+        for (idx, b) in buckets.enumerate() {
+            values[cursor[b] as usize] = idx as u32;
+            cursor[b] += 1;
+        }
+        Csr { offsets, values }
+    }
+}
+
+impl<T> Csr<T> {
+    /// Builds a CSR with the given row lengths, every value defaulted —
+    /// the shape of a zeroed count arena.
+    pub fn with_row_lens(lens: impl Iterator<Item = usize>) -> Self
+    where
+        T: Default + Clone,
+    {
+        let mut offsets = vec![0u32];
+        let mut total = 0u32;
+        for len in lens {
+            total += len as u32;
+            offsets.push(total);
+        }
+        Csr { offsets, values: vec![T::default(); total as usize] }
+    }
+
+    /// Builds a CSR by concatenating owned rows.
+    pub fn from_rows(rows: impl Iterator<Item = Vec<T>>) -> Self {
+        let mut offsets = vec![0u32];
+        let mut values = Vec::new();
+        for row in rows {
+            values.extend(row);
+            offsets.push(values.len() as u32);
+        }
+        Csr { offsets, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored values across all rows.
+    #[inline]
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Index into the flat slab of element `pos` of row `i` — the stable
+    /// "slot" identity used for flat delta merges.
+    #[inline]
+    pub fn slot(&self, i: usize, pos: usize) -> usize {
+        debug_assert!(pos < (self.offsets[i + 1] - self.offsets[i]) as usize);
+        self.offsets[i] as usize + pos
+    }
+
+    /// The whole flat value slab.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The whole flat value slab, mutable.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// The offset table (`num_rows + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_buckets_is_stable() {
+        let csr = Csr::from_buckets(3, [2usize, 0, 2, 1, 0].into_iter());
+        assert_eq!(csr.row(0), &[1, 4]);
+        assert_eq!(csr.row(1), &[3]);
+        assert_eq!(csr.row(2), &[0, 2]);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.num_values(), 5);
+    }
+
+    #[test]
+    fn with_row_lens_zeroes() {
+        let csr: Csr<u32> = Csr::with_row_lens([2usize, 0, 3].into_iter());
+        assert_eq!(csr.row(0), &[0, 0]);
+        assert!(csr.row(1).is_empty());
+        assert_eq!(csr.row(2), &[0, 0, 0]);
+        assert_eq!(csr.slot(2, 1), 3);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1u32, 2], vec![], vec![7]];
+        let csr = Csr::from_rows(rows.clone().into_iter());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(csr.row(i), row.as_slice());
+        }
+    }
+}

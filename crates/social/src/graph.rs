@@ -6,50 +6,49 @@
 //! stored so the Gibbs sampler can find the assignment state of each
 //! incident relationship.
 
+use crate::csr::Csr;
 use crate::model::{Dataset, UserId};
 
 /// Bidirectional CSR adjacency; values are indices into `dataset.edges`.
+///
+/// Each direction (and the mention index) is one [`Csr`] built with the
+/// stable counting sort, so the edge indices within a row always appear in
+/// dataset order — build order never depends on hashing.
 #[derive(Debug, Clone)]
 pub struct Adjacency {
-    out_offsets: Vec<u32>,
-    out_edges: Vec<u32>,
-    in_offsets: Vec<u32>,
-    in_edges: Vec<u32>,
-    /// Mention indices per user, CSR.
-    mention_offsets: Vec<u32>,
-    mention_ids: Vec<u32>,
+    out: Csr<u32>,
+    r#in: Csr<u32>,
+    /// Mention indices per user.
+    mentions: Csr<u32>,
 }
 
 impl Adjacency {
     /// Builds adjacency from a dataset.
     pub fn build(dataset: &Dataset) -> Self {
         let n = dataset.num_users();
-        let (out_offsets, out_edges) = csr(n, dataset.edges.iter().map(|e| e.follower.index()));
-        let (in_offsets, in_edges) = csr(n, dataset.edges.iter().map(|e| e.friend.index()));
-        let (mention_offsets, mention_ids) =
-            csr(n, dataset.mentions.iter().map(|m| m.user.index()));
-        Self { out_offsets, out_edges, in_offsets, in_edges, mention_offsets, mention_ids }
+        Self {
+            out: Csr::from_buckets(n, dataset.edges.iter().map(|e| e.follower.index())),
+            r#in: Csr::from_buckets(n, dataset.edges.iter().map(|e| e.friend.index())),
+            mentions: Csr::from_buckets(n, dataset.mentions.iter().map(|m| m.user.index())),
+        }
     }
 
     /// Edge indices where `u` is the follower (u's "friends" edges).
     #[inline]
     pub fn out_edges(&self, u: UserId) -> &[u32] {
-        let i = u.index();
-        &self.out_edges[self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize]
+        self.out.row(u.index())
     }
 
     /// Edge indices where `u` is the friend (u's "followers" edges).
     #[inline]
     pub fn in_edges(&self, u: UserId) -> &[u32] {
-        let i = u.index();
-        &self.in_edges[self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize]
+        self.r#in.row(u.index())
     }
 
     /// Mention indices tweeted by `u`.
     #[inline]
     pub fn mentions_of(&self, u: UserId) -> &[u32] {
-        let i = u.index();
-        &self.mention_ids[self.mention_offsets[i] as usize..self.mention_offsets[i + 1] as usize]
+        self.mentions.row(u.index())
     }
 
     /// Out-degree (number of friends) of `u`.
@@ -61,25 +60,6 @@ impl Adjacency {
     pub fn num_followers(&self, u: UserId) -> usize {
         self.in_edges(u).len()
     }
-}
-
-/// Builds CSR offsets + values from an item→bucket assignment stream.
-fn csr(n: usize, buckets: impl Iterator<Item = usize> + Clone) -> (Vec<u32>, Vec<u32>) {
-    let mut counts = vec![0u32; n + 1];
-    for b in buckets.clone() {
-        counts[b + 1] += 1;
-    }
-    for i in 1..=n {
-        counts[i] += counts[i - 1];
-    }
-    let offsets = counts.clone();
-    let mut cursor = offsets.clone();
-    let mut values = vec![0u32; offsets[n] as usize];
-    for (idx, b) in buckets.enumerate() {
-        values[cursor[b] as usize] = idx as u32;
-        cursor[b] += 1;
-    }
-    (offsets, values)
 }
 
 #[cfg(test)]

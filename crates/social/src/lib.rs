@@ -8,6 +8,9 @@
 //! * [`model`] — the abstract data the paper defines in Sec. 3: users,
 //!   following relationships `f⟨i,j⟩`, tweeting relationships `t⟨i,j⟩`, and
 //!   observed home locations for labeled users.
+//! * [`csr`] — the shared compressed-sparse-row container (offset table +
+//!   flat value slab) that the adjacency, the sampler's count arenas, and
+//!   the posterior-snapshot slabs are all built on.
 //! * [`graph`] — CSR adjacency over the following network.
 //! * [`truth`] — ground truth the real crawl never had: every user's true
 //!   multi-location profile and every relationship's true location
@@ -24,6 +27,7 @@
 //!   saved, shipped, and reloaded byte-identically.
 
 pub mod codec;
+pub mod csr;
 pub mod folds;
 pub mod generator;
 pub mod graph;
@@ -31,6 +35,7 @@ pub mod model;
 pub mod stats;
 pub mod truth;
 
+pub use csr::Csr;
 pub use folds::Folds;
 pub use generator::{GeneratedData, Generator, GeneratorConfig};
 pub use graph::Adjacency;

@@ -1,0 +1,95 @@
+//! Hot-path allocation regression tests.
+//!
+//! The seed's `SamplerState::venue_count_row` materialised and sorted a
+//! fresh `Vec` on every call — one allocation per city per snapshot
+//! freeze, and a latent trap for any future hot-loop caller. After the CSR
+//! port the row is a borrowed iterator over the count arena; this suite
+//! pins that with a counting global allocator: reading every φ row (and a
+//! warmed-up Gibbs sweep) must perform **zero** heap allocations.
+//!
+//! This file is its own test binary with exactly one `#[test]`, so no
+//! concurrent test thread can pollute the counter.
+
+use mlp::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts every allocation (and growth reallocation) in the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> usize {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn hot_paths_do_not_allocate() {
+    let gaz = Gazetteer::us_cities();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 200, seed: 77, ..Default::default() })
+            .generate();
+    let config = MlpConfig::default();
+    let adj = mlp::social::Adjacency::build(&data.dataset);
+    let cand = mlp::core::Candidacy::build(&gaz, &data.dataset, &adj, &config);
+    let random = mlp::core::RandomModels::learn(&data.dataset, gaz.num_venues());
+    let mut sampler =
+        mlp::core::sampler::GibbsSampler::new(&gaz, &data.dataset, &cand, &random, &config);
+    // Warm up: a couple of sweeps size the reusable weight buffer to the
+    // largest candidate list it will ever see.
+    for _ in 0..2 {
+        sampler.sweep();
+    }
+
+    // venue_count_row is a borrowed view over the CSR arena — reading
+    // every city's full φ row must not touch the heap.
+    let mut checksum = 0u64;
+    let rows = allocations(|| {
+        for l in 0..gaz.num_cities() {
+            for (v, c) in sampler.state.venue_count_row(CityId(l as u32)) {
+                checksum = checksum.wrapping_add((v as u64) << 32 | c as u64);
+            }
+        }
+    });
+    assert!(std::hint::black_box(checksum) > 0, "rows were non-empty");
+    assert_eq!(rows, 0, "venue_count_row allocated on the hot path");
+
+    // And the same for point lookups across the whole support.
+    let lookups = allocations(|| {
+        for m in &data.dataset.mentions {
+            for &city in cand.candidates(m.user) {
+                checksum = checksum.wrapping_add(sampler.state.venue_count(city, m.venue) as u64);
+            }
+        }
+    });
+    std::hint::black_box(checksum);
+    assert_eq!(lookups, 0, "venue_count allocated on the hot path");
+
+    // A warmed-up sequential sweep runs entirely in pre-sized arenas and
+    // the reused weight buffer.
+    let sweep = allocations(|| {
+        sampler.sweep();
+    });
+    assert_eq!(sweep, 0, "a warmed-up Gibbs sweep allocated {sweep} times");
+}

@@ -3,7 +3,7 @@
 //! posterior snapshots through train → freeze → encode → decode →
 //! fold-in, including adversarial inputs.
 
-use mlp::core::snapshot::{SnapshotError, UserPosterior};
+use mlp::core::snapshot::{SnapshotError, UserArena, UserPosterior, VenueArena};
 use mlp::core::Variant;
 use mlp::prelude::*;
 use mlp::social::codec::{self, DecodeError};
@@ -114,7 +114,7 @@ fn corrupted_posterior_snapshots_fail_loudly() {
     bad[4] = 0x7F;
     assert!(matches!(
         PosteriorSnapshot::decode(bytes::Bytes::from(bad)).unwrap_err(),
-        SnapshotError::BadVersion(_)
+        SnapshotError::UnsupportedVersion(_)
     ));
 
     // Invalid variant tag.
@@ -176,16 +176,11 @@ mod posterior_proptests {
                             }
                         })
                         .collect();
-                    let mut city_totals = Vec::with_capacity(venue_rows.len());
-                    let venue_counts: Vec<Vec<(u32, f64)>> = venue_rows
-                        .into_iter()
-                        .map(|mut row| {
-                            row.sort_by_key(|e| e.0);
-                            row.dedup_by_key(|e| e.0);
-                            city_totals.push(row.iter().map(|&(_, c)| c).sum());
-                            row
-                        })
-                        .collect();
+                    let venues = VenueArena::from_rows(venue_rows.into_iter().map(|mut row| {
+                        row.sort_by_key(|e| e.0);
+                        row.dedup_by_key(|e| e.0);
+                        row
+                    }));
                     PosteriorSnapshot {
                         variant: match variant {
                             0 => Variant::FollowingOnly,
@@ -203,9 +198,8 @@ mod posterior_proptests {
                         num_cities,
                         num_venues,
                         gaz_fingerprint: 0xDEAD_BEEF,
-                        users,
-                        venue_counts,
-                        city_totals,
+                        users: UserArena::from_users(users),
+                        venues,
                     }
                 },
             )
