@@ -128,7 +128,7 @@ impl<'a> BaseC<'a> {
         }
         let mut ranked: Vec<(CityId, f64)> =
             scores.into_iter().map(|(c, s)| (CityId(c), s)).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked
     }
 }

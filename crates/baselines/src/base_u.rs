@@ -125,7 +125,7 @@ impl<'a> BaseU<'a> {
         candidates.dedup();
         let mut scored: Vec<(CityId, f64)> =
             candidates.into_iter().map(|l| (l, self.score(l, &neighbors))).collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores").then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored
     }
 }

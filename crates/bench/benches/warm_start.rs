@@ -8,7 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mlp_core::{
-    FoldInConfig, FoldInEngine, Mlp, MlpConfig, NewUserObservations, PosteriorSnapshot,
+    FoldInConfig, FoldInEngine, Mlp, MlpConfig, NewUserObservations, OnlineUpdater,
+    PosteriorSnapshot, StalenessPolicy,
 };
 use mlp_gazetteer::Gazetteer;
 use mlp_social::{Generator, GeneratorConfig, UserId};
@@ -74,5 +75,49 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold_vs_warm);
+/// Delta commit vs cold retrain: absorbing the 40 new users' posteriors
+/// into the trained snapshot (fold-in + index-wise commit + incremental
+/// artifact encode — the whole online-refresh pipeline, including the
+/// per-iteration snapshot clone an updater would not normally pay) against
+/// retraining full Gibbs on D₀∪D₁, the only pre-refresh way to make the
+/// model absorb them.
+fn bench_online_refresh(c: &mut Criterion) {
+    let fx = fixture();
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: NUM_USERS, seed: 42, ..Default::default() },
+    )
+    .generate();
+    let unseen: Vec<UserId> =
+        ((NUM_USERS as u32 - NUM_UNSEEN)..NUM_USERS as u32).map(UserId).collect();
+    // Cold comparison corpus: everything observed, new users unlabeled.
+    let full_masked = data.dataset.mask_users(&unseen);
+
+    let mut group = c.benchmark_group("online_refresh_300_users");
+    group.sample_size(10);
+
+    group.bench_function("delta_commit_40_users", |b| {
+        b.iter(|| {
+            let mut updater = OnlineUpdater::new(
+                &fx.gaz,
+                fx.snapshot.clone(),
+                FoldInConfig::default(),
+                StalenessPolicy::default(),
+            )
+            .unwrap();
+            updater.absorb(&fx.requests).unwrap();
+            updater.commit().unwrap();
+            updater.encode_artifact().unwrap()
+        })
+    });
+
+    group.bench_function("cold_retrain_with_new_users", |b| {
+        b.iter(|| Mlp::new(&gaz, &full_masked, MlpConfig::default()).unwrap().run())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_online_refresh);
 criterion_main!(benches);

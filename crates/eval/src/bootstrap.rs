@@ -53,7 +53,7 @@ pub fn bootstrap_mean(
         }
         means.push(total / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_by(f64::total_cmp);
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);
     let hi_idx = ((resamples as f64 * (1.0 - alpha)) as usize).min(resamples - 1);

@@ -39,7 +39,7 @@ pub fn discovery_cases(
             let locs = ctx.data.truth.locations(u);
             ctx.gaz.distance(locs[0], locs[1])
         };
-        sep(b).partial_cmp(&sep(a)).expect("finite distances")
+        sep(b).total_cmp(&sep(a))
     });
     cohort
         .into_iter()

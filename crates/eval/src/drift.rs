@@ -1,0 +1,142 @@
+//! Drift measurement for online posterior refresh.
+//!
+//! An [`mlp_core::OnlineUpdater`] commits fold-in posteriors instead of
+//! retraining, which is an approximation: absorbed users are inferred
+//! against frozen counts, and trained users' rows never move. The honest
+//! question for a bounded-staleness policy is *how far* the refreshed
+//! posterior has drifted from what a cold retrain on the same data would
+//! serve. This module answers it with the paper's own yardstick —
+//! ACC@100 over the newly arrived users — comparing:
+//!
+//! * **refreshed** — train on the first `train_users` users only, then
+//!   absorb + commit everyone else through the updater in batches, and
+//!   read the committed MAP homes;
+//! * **retrained** — run full Gibbs from scratch on the whole corpus with
+//!   the new users' labels masked (they arrive unlabeled in both worlds),
+//!   and read the trained homes.
+//!
+//! The gap feeds [`mlp_core::OnlineUpdater::record_drift`], closing the
+//! loop: serve → measure → refresh when the policy says so.
+
+use mlp_core::{FoldInConfig, Mlp, MlpConfig, NewUserObservations, OnlineUpdater, StalenessPolicy};
+use mlp_gazetteer::{CityId, Gazetteer};
+use mlp_social::{GeneratedData, UserId};
+
+use crate::metrics::acc_at_m;
+
+/// Refreshed vs cold-retrained serving accuracy over the same new users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// ACC@100 of the online-refreshed posterior on the new users.
+    pub refreshed_acc_at_100: f64,
+    /// ACC@100 of a cold retrain (labels of the new users masked).
+    pub retrained_acc_at_100: f64,
+    /// How many new users were measured.
+    pub new_users: usize,
+    /// Commits the updater performed while absorbing them.
+    pub commits: usize,
+}
+
+impl DriftReport {
+    /// The staleness metric: how far refreshed serving trails the cold
+    /// retrain (clamped at zero — being *ahead* is not drift).
+    pub fn drift(&self) -> f64 {
+        (self.retrained_acc_at_100 - self.refreshed_acc_at_100).max(0.0)
+    }
+}
+
+/// Runs the refreshed-vs-retrained comparison on one generated corpus.
+///
+/// Users `0..train_users` form the offline training set D₀; users
+/// `train_users..` are D₁, absorbed through an [`OnlineUpdater`] in
+/// batches of `batch` (each batch committed before the next is absorbed,
+/// so later arrivals may cite earlier ones as neighbors). Deterministic
+/// end to end for fixed inputs.
+pub fn online_refresh_drift(
+    gaz: &Gazetteer,
+    data: &GeneratedData,
+    train_users: usize,
+    mlp_config: &MlpConfig,
+    fold_in: FoldInConfig,
+    batch: usize,
+) -> Result<DriftReport, String> {
+    let n = data.dataset.num_users();
+    if train_users == 0 || train_users >= n {
+        return Err(format!("train_users must split the corpus, got {train_users} of {n}"));
+    }
+    let new_users: Vec<UserId> = (train_users as u32..n as u32).map(UserId).collect();
+
+    // Refreshed path: D₀ training, D₁ absorbed online.
+    let d0 = data.dataset.prefix(train_users);
+    let (_, snapshot) = Mlp::new(gaz, &d0, mlp_config.clone())?.run_with_snapshot();
+    let mut updater = OnlineUpdater::new(gaz, snapshot, fold_in, StalenessPolicy::default())
+        .map_err(|e| e.to_string())?;
+    for chunk in new_users.chunks(batch.max(1)) {
+        let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, chunk);
+        let known = updater.snapshot().num_users();
+        for o in &mut obs {
+            o.neighbors.retain(|p| p.index() < known);
+        }
+        updater.absorb(&obs).map_err(|e| e.to_string())?;
+        updater.commit().map_err(|e| e.to_string())?;
+    }
+    let refreshed: Vec<Option<CityId>> =
+        new_users.iter().map(|&u| Some(updater.snapshot().users.home(u))).collect();
+
+    // Cold path: full corpus, new users' labels masked.
+    let masked = data.dataset.mask_users(&new_users);
+    let retrained_result = Mlp::new(gaz, &masked, mlp_config.clone())?.run();
+    let retrained: Vec<Option<CityId>> =
+        new_users.iter().map(|&u| Some(retrained_result.home(u))).collect();
+
+    let truths: Vec<CityId> = new_users.iter().map(|&u| data.truth.home(u)).collect();
+    Ok(DriftReport {
+        refreshed_acc_at_100: acc_at_m(gaz, &refreshed, &truths, 100.0),
+        retrained_acc_at_100: acc_at_m(gaz, &retrained, &truths, 100.0),
+        new_users: new_users.len(),
+        commits: updater.commits(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlp_social::{Generator, GeneratorConfig};
+
+    #[test]
+    fn refreshed_serving_tracks_cold_retrain() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 400, seed: 4201, ..Default::default() },
+        )
+        .generate();
+        let cfg = MlpConfig { iterations: 8, burn_in: 4, seed: 4201, ..Default::default() };
+        let report =
+            online_refresh_drift(&gaz, &data, 320, &cfg, FoldInConfig::default(), 20).unwrap();
+        assert_eq!(report.new_users, 80);
+        assert_eq!(report.commits, 4);
+        assert!(report.retrained_acc_at_100 > 0.4, "cold baseline collapsed: {report:?}");
+        assert!(
+            report.refreshed_acc_at_100 > 0.3,
+            "refreshed serving not meaningfully above chance: {report:?}"
+        );
+        assert!(report.drift() < 0.15, "online refresh drifted too far: {report:?}");
+    }
+
+    #[test]
+    fn degenerate_splits_are_rejected() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 50, seed: 4203, ..Default::default() },
+        )
+        .generate();
+        let cfg = MlpConfig { iterations: 2, burn_in: 1, seed: 4203, ..Default::default() };
+        for bad in [0usize, 50, 80] {
+            assert!(
+                online_refresh_drift(&gaz, &data, bad, &cfg, FoldInConfig::default(), 16).is_err()
+            );
+        }
+    }
+}

@@ -16,10 +16,13 @@
 //! * [`relation`] — Task 3: relationship explanation (Fig. 8);
 //! * [`observations`] — the Fig. 3 data-analysis artifacts;
 //! * [`cases`] — the case-study tables (Tabs. 4–5);
+//! * [`drift`] — refreshed-vs-retrained accuracy for the online-update
+//!   staleness policy;
 //! * [`table`] — plain-text table rendering shared by every bench binary.
 
 pub mod bootstrap;
 pub mod cases;
+pub mod drift;
 pub mod home;
 pub mod metrics;
 pub mod multi;
@@ -29,6 +32,7 @@ pub mod runner;
 pub mod table;
 
 pub use bootstrap::{bootstrap_accuracy, bootstrap_mean, BootstrapInterval};
+pub use drift::{online_refresh_drift, DriftReport};
 pub use home::{HomePredictionReport, HomeTask, WarmStartReport};
 pub use metrics::{aad_curve, acc_at_m, dp_at_k, dr_at_k, relationship_acc_at_m};
 pub use multi::{MultiLocationReport, MultiLocationTask};

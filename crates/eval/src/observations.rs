@@ -45,7 +45,7 @@ pub fn tweeting_probabilities(dataset: &Dataset, city: CityId, k: usize) -> Vec<
     }
     let mut probs: Vec<(VenueId, f64)> =
         counts.into_iter().map(|(v, n)| (VenueId(v), n as f64 / total as f64)).collect();
-    probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    probs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     probs.truncate(k);
     probs
 }

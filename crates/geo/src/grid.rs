@@ -110,9 +110,7 @@ impl GridIndex {
         let mut radius = self.cell_deg * MILES_PER_DEG_LAT;
         loop {
             let hits = self.within_radius(center, radius);
-            if let Some(best) =
-                hits.into_iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
-            {
+            if let Some(best) = hits.into_iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
                 return best;
             }
             radius *= 2.0;
@@ -129,7 +127,7 @@ impl GridIndex {
             .iter()
             .enumerate()
             .map(|(i, p)| (i as u32, haversine_miles(center, *p)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("index is never empty")
     }
 
@@ -145,7 +143,7 @@ impl GridIndex {
                 .enumerate()
                 .map(|(i, p)| (i as u32, haversine_miles(center, *p)))
                 .collect();
-            all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            all.sort_by(|a, b| a.1.total_cmp(&b.1));
             return all;
         }
         // Expanding search until at least k hits, then trim.
@@ -153,7 +151,7 @@ impl GridIndex {
         loop {
             let mut hits = self.within_radius(center, radius);
             if hits.len() >= k {
-                hits.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                hits.sort_by(|a, b| a.1.total_cmp(&b.1));
                 hits.truncate(k);
                 return hits;
             }
@@ -165,7 +163,7 @@ impl GridIndex {
                     .enumerate()
                     .map(|(i, p)| (i as u32, haversine_miles(center, *p)))
                     .collect();
-                all.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                all.sort_by(|a, b| a.1.total_cmp(&b.1));
                 all.truncate(k);
                 return all;
             }

@@ -33,12 +33,19 @@ use crate::config::MlpConfig;
 use crate::kernel::{self, CountView, Endpoint, ProfileView, SamplerView};
 use crate::parallel::chunk_ranges;
 use crate::random_models::RandomModels;
-use crate::snapshot::PosteriorSnapshot;
+use crate::snapshot::{PosteriorSnapshot, UserPosterior};
 use mlp_gazetteer::{CityId, Gazetteer, VenueId};
 use mlp_sampling::{sample_categorical, Pcg64, SplitMix64};
 use mlp_social::{Dataset, UserId};
 
 /// Errors raised by fold-in inference.
+///
+/// Every condition a serving request can trigger — mismatched geography,
+/// unknown ids, or a structurally inconsistent snapshot — surfaces here as
+/// a typed error. The serving path never panics on request content: the
+/// only `panic!`s left behind the public API guard *internal math
+/// invariants* (`γ > 0` making categorical weights positive), which no
+/// input reachable through this module can violate.
 #[derive(Debug, PartialEq, Eq)]
 pub enum FoldInError {
     /// The snapshot was trained against a different gazetteer — shape
@@ -53,6 +60,15 @@ pub enum FoldInError {
     UnknownUser(UserId),
     /// An observation referenced a venue outside the vocabulary.
     UnknownVenue(VenueId),
+    /// The snapshot itself is structurally inconsistent: the recorded MAP
+    /// home of `user` is not in their candidate list, so the user cannot
+    /// anchor a fold-in chain. Decoded artifacts are validated against
+    /// this at thaw time; an in-memory snapshot assembled by hand can
+    /// still violate it, and serving must reject — not crash on — it.
+    InconsistentSnapshot(UserId),
+    /// The engine could not build a non-empty candidate list (an empty
+    /// gazetteer leaves even the popular-city fallback empty).
+    NoCandidates,
 }
 
 impl std::fmt::Display for FoldInError {
@@ -68,6 +84,10 @@ impl std::fmt::Display for FoldInError {
             FoldInError::UnknownVenue(v) => {
                 write!(f, "observation references unknown venue {}", v.0)
             }
+            FoldInError::InconsistentSnapshot(u) => {
+                write!(f, "snapshot home of user {u} is not one of their candidates")
+            }
+            FoldInError::NoCandidates => write!(f, "no candidate cities available for fold-in"),
         }
     }
 }
@@ -175,6 +195,28 @@ impl FoldInProfile {
     pub fn top_k(&self, k: usize) -> Vec<CityId> {
         self.profile.iter().take(k).map(|&(c, _)| c).collect()
     }
+}
+
+/// One fold-in chain's full output: the serving profile plus everything an
+/// online commit needs to append the user to the posterior
+/// ([`crate::online::OnlineUpdater`]).
+///
+/// The profile is bit-identical to what [`FoldInEngine::fold_in`] returns —
+/// the record only *additionally* keeps the chain's mean counts in
+/// arena-ready form and the expected venue-count contributions of the
+/// user's location-based mentions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldInRecord {
+    /// The serving answer (`θ̂` sorted by descending probability).
+    pub profile: FoldInProfile,
+    /// The user's posterior row, ready to append to a
+    /// [`crate::snapshot::UserArena`].
+    pub posterior: UserPosterior,
+    /// Expected `φ` increments `(city, venue, weight)` from the user's
+    /// location-based mentions, sorted by `(city, venue)` with unique
+    /// keys. Weights are post-burn-in expectations, so they are
+    /// fractional and non-negative.
+    pub venue_deltas: Vec<(CityId, VenueId, f64)>,
 }
 
 /// FNV-1a over the bit patterns of a prediction set — the serving-path
@@ -341,28 +383,51 @@ impl<'a> FoldInEngine<'a> {
 
     /// Folds in a single unseen user (RNG stream of batch index 0).
     pub fn fold_in(&self, obs: &NewUserObservations) -> Result<FoldInProfile, FoldInError> {
-        self.fold_in_indexed(0, obs)
+        self.fold_in_indexed(0, obs, false).map(|r| r.profile)
     }
 
     /// Folds in a batch of unseen users. With `threads > 1` the batch is
     /// chunked across scoped workers sharing the read-only snapshot;
     /// results are bit-identical to the sequential run because every
     /// chain's RNG stream depends only on its index in `batch`.
+    ///
+    /// `threads: 0` behaves as `1` (exact sequential), and a batch shorter
+    /// than the thread count simply leaves the surplus workers idle.
     pub fn fold_in_batch(
         &self,
         batch: &[NewUserObservations],
     ) -> Result<Vec<FoldInProfile>, FoldInError> {
+        self.fold_in_each(batch, |i, o| self.fold_in_indexed(i, o, false).map(|r| r.profile))
+    }
+
+    /// [`Self::fold_in_batch`] returning full [`FoldInRecord`]s — the
+    /// commit-ready form the online updater consumes. Profiles are
+    /// bit-identical to [`Self::fold_in_batch`] on the same batch (the
+    /// extra bookkeeping draws no randomness).
+    pub fn fold_in_records(
+        &self,
+        batch: &[NewUserObservations],
+    ) -> Result<Vec<FoldInRecord>, FoldInError> {
+        self.fold_in_each(batch, |i, o| self.fold_in_indexed(i, o, true))
+    }
+
+    /// Shared batch scheduler: chunks `batch` across scoped workers (or
+    /// runs inline for `threads <= 1`), preserving request order.
+    fn fold_in_each<T: Send>(
+        &self,
+        batch: &[NewUserObservations],
+        run: impl Fn(usize, &NewUserObservations) -> Result<T, FoldInError> + Sync,
+    ) -> Result<Vec<T>, FoldInError> {
         let threads = self.config.threads.max(1);
         if threads == 1 {
-            return batch.iter().enumerate().map(|(i, o)| self.fold_in_indexed(i, o)).collect();
+            return batch.iter().enumerate().map(|(i, o)| run(i, o)).collect();
         }
+        let run = &run;
         let chunks = chunk_ranges(batch.len(), threads);
-        let outs: Vec<Result<Vec<FoldInProfile>, FoldInError>> = std::thread::scope(|scope| {
+        let outs: Vec<Result<Vec<T>, FoldInError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|range| {
-                    scope.spawn(move || range.map(|i| self.fold_in_indexed(i, &batch[i])).collect())
-                })
+                .map(|range| scope.spawn(move || range.map(|i| run(i, &batch[i])).collect()))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("fold-in worker")).collect()
         });
@@ -375,11 +440,15 @@ impl<'a> FoldInEngine<'a> {
 
     /// One user's complete fold-in chain. `index` is the user's position
     /// in the request batch; it seeds the chain's RNG stream.
+    /// `collect_venues` additionally accumulates the expected venue-count
+    /// contributions (pure bookkeeping — no extra RNG draws, so profiles
+    /// are identical either way).
     fn fold_in_indexed(
         &self,
         index: usize,
         obs: &NewUserObservations,
-    ) -> Result<FoldInProfile, FoldInError> {
+        collect_venues: bool,
+    ) -> Result<FoldInRecord, FoldInError> {
         let snap = self.snap;
         let uses_following = snap.variant.uses_following();
         let uses_tweeting = snap.variant.uses_tweeting();
@@ -410,12 +479,18 @@ impl<'a> FoldInEngine<'a> {
             candidates = self.popular.clone();
             candidates.sort_unstable();
         }
+        if candidates.is_empty() {
+            return Err(FoldInError::NoCandidates);
+        }
 
         let gammas = vec![snap.tau; candidates.len()];
         let gamma_total = snap.tau * candidates.len() as f64;
         let new_user = UserId(snap.users.num_users() as u32);
 
-        // Partner anchors, fixed for the whole chain.
+        // Partner anchors, fixed for the whole chain. Thawed artifacts are
+        // validated at decode time, but a hand-assembled snapshot can
+        // still record a home outside the candidate list — a typed error,
+        // never a crash, on the serving path.
         let anchors: Vec<Endpoint> = neighbors
             .iter()
             .map(|&p| {
@@ -423,10 +498,10 @@ impl<'a> FoldInEngine<'a> {
                 let pos = up
                     .candidates
                     .binary_search(&up.home)
-                    .expect("snapshot home is one of the user's candidates");
-                Endpoint { user: p, pos, city: up.home }
+                    .map_err(|_| FoldInError::InconsistentSnapshot(p))?;
+                Ok(Endpoint { user: p, pos, city: up.home })
             })
-            .collect();
+            .collect::<Result<_, FoldInError>>()?;
 
         let profiles = FoldInProfiles { snap, new_user, candidates, gammas, gamma_total };
         let view: SamplerView<'_, FoldInProfiles<'_>> = SamplerView {
@@ -471,7 +546,7 @@ impl<'a> FoldInEngine<'a> {
                 scores
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(c, _)| c)
                     .expect("non-empty candidates")
             })
@@ -509,8 +584,14 @@ impl<'a> FoldInEngine<'a> {
         }
 
         // The chain. Venue tokens stay out of φ (see module docs), so
-        // mention exclusion only touches the live ϕ.
-        let mut acc = vec![0.0f64; profiles.candidates.len()];
+        // mention exclusion only touches the live ϕ. When collecting for
+        // an online commit, `venue_acc[k * C + c]` additionally counts the
+        // post-burn-in sweeps where mention `k` sat location-based at
+        // candidate `c`.
+        let ncand = profiles.candidates.len();
+        let mut acc = vec![0.0f64; ncand];
+        let mut venue_acc =
+            if collect_venues { vec![0.0f64; mentions.len() * ncand] } else { Vec::new() };
         let mut acc_sweeps = 0u32;
         let mut buf: Vec<f64> = Vec::new();
         for sweep in 0..self.config.sweeps.max(1) {
@@ -569,29 +650,80 @@ impl<'a> FoldInEngine<'a> {
                 for (a, &c) in acc.iter_mut().zip(&counts.counts) {
                     *a += c;
                 }
+                if collect_venues {
+                    for (k, _) in mentions.iter().enumerate() {
+                        if !nu[k] {
+                            venue_acc[k * ncand + z[k]] += 1.0;
+                        }
+                    }
+                }
                 acc_sweeps += 1;
             }
         }
 
         // θ̂ per Eq. 10 over the accumulated means (falling back to the
         // final sample when burn_in swallowed every sweep).
-        let mean = |c: usize| {
-            if acc_sweeps == 0 {
-                counts.counts[c]
-            } else {
-                acc[c] / acc_sweeps as f64
-            }
-        };
-        let total: f64 =
-            (0..profiles.candidates.len()).map(&mean).sum::<f64>() + profiles.gamma_total;
+        let mean: Vec<f64> = (0..ncand)
+            .map(|c| if acc_sweeps == 0 { counts.counts[c] } else { acc[c] / acc_sweeps as f64 })
+            .collect();
+        let mean_total: f64 = mean.iter().sum();
+        let total = mean_total + profiles.gamma_total;
         let mut profile: Vec<(CityId, f64)> = profiles
             .candidates
             .iter()
             .enumerate()
-            .map(|(c, &city)| (city, (mean(c) + profiles.gammas[c]) / total))
+            .map(|(c, &city)| (city, (mean[c] + profiles.gammas[c]) / total))
             .collect();
-        profile.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probs").then(a.0.cmp(&b.0)));
-        Ok(FoldInProfile { profile })
+        profile.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        // Expected φ contributions of the location-based mentions, merged
+        // over mentions of the same venue: sorted-unique (city, venue)
+        // keys, ready for an index-wise delta merge at commit time.
+        let venue_deltas = if collect_venues {
+            let mut raw: Vec<(CityId, VenueId, f64)> = Vec::new();
+            if acc_sweeps == 0 {
+                for (k, &v) in mentions.iter().enumerate() {
+                    if !nu[k] {
+                        raw.push((profiles.candidates[z[k]], v, 1.0));
+                    }
+                }
+            } else {
+                for (k, &v) in mentions.iter().enumerate() {
+                    for (c, &city) in profiles.candidates.iter().enumerate() {
+                        let w = venue_acc[k * ncand + c];
+                        if w > 0.0 {
+                            raw.push((city, v, w / acc_sweeps as f64));
+                        }
+                    }
+                }
+            }
+            raw.sort_unstable_by_key(|&(l, v, _)| (l, v));
+            let mut merged: Vec<(CityId, VenueId, f64)> = Vec::with_capacity(raw.len());
+            for (l, v, w) in raw {
+                match merged.last_mut() {
+                    Some(last) if last.0 == l && last.1 == v => last.2 += w,
+                    _ => merged.push((l, v, w)),
+                }
+            }
+            merged
+        } else {
+            Vec::new()
+        };
+
+        let home = profile[0].0;
+        let FoldInProfiles { candidates, gammas, gamma_total, .. } = profiles;
+        Ok(FoldInRecord {
+            profile: FoldInProfile { profile },
+            posterior: UserPosterior {
+                candidates,
+                gammas,
+                mean_counts: mean,
+                mean_total,
+                gamma_total,
+                home,
+            },
+            venue_deltas,
+        })
     }
 }
 

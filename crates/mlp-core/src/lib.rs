@@ -32,10 +32,13 @@
 //! * [`em`] — the Gibbs-EM power-law refit;
 //! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
 //! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`];
-//! * [`snapshot`] — frozen posterior artifacts (versioned binary codec)
-//!   for warm-start serving;
+//! * [`snapshot`] — frozen posterior artifacts (versioned binary codec,
+//!   v3 with mergeable delta records) for warm-start serving;
 //! * [`infer`] — the fold-in engine predicting *unseen* users against a
-//!   frozen snapshot, sequentially or batched across scoped threads.
+//!   frozen snapshot, sequentially or batched across scoped threads;
+//! * [`online`] — incremental posterior refresh: absorbing new users into
+//!   mergeable [`snapshot::SnapshotDelta`]s and committing them without a
+//!   retrain, under a bounded staleness policy.
 
 pub mod candidacy;
 pub mod config;
@@ -47,6 +50,7 @@ pub mod geo_groups;
 pub mod infer;
 pub mod kernel;
 pub mod model;
+pub mod online;
 pub mod parallel;
 pub mod random_models;
 pub mod sampler;
@@ -60,12 +64,14 @@ pub use diagnostics::{Diagnostics, IterationStats};
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
 pub use infer::{
-    determinism_hash, FoldInConfig, FoldInEngine, FoldInError, FoldInProfile, NewUserObservations,
+    determinism_hash, FoldInConfig, FoldInEngine, FoldInError, FoldInProfile, FoldInRecord,
+    NewUserObservations,
 };
 pub use kernel::{CountView, ProfileView, SamplerView};
 pub use model::{EdgeAssignment, MentionAssignment, Mlp, MlpResult};
+pub use online::{OnlineError, OnlineUpdater, StalenessPolicy};
 pub use random_models::RandomModels;
 pub use snapshot::{
-    gazetteer_fingerprint, PosteriorSnapshot, SnapshotError, UserArena, UserPosterior, UserView,
-    VenueArena,
+    gazetteer_fingerprint, PosteriorSnapshot, SnapshotDelta, SnapshotError, UserArena,
+    UserPosterior, UserView, VenueArena,
 };

@@ -160,11 +160,7 @@ impl<'a> GibbsSampler<'a> {
                 if !has_signal[u] {
                     return None;
                 }
-                scores[u]
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-                    .map(|(c, _)| c)
+                scores[u].iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(c, _)| c)
             })
             .collect()
     }
@@ -327,7 +323,7 @@ impl<'a> GibbsSampler<'a> {
             let p = (self.state.mean_user_count(u, c) + gammas[c]) / total;
             probs.push((city, p));
         }
-        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probs").then(a.0.cmp(&b.0)));
+        probs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         probs
     }
 

@@ -32,7 +32,13 @@ use mlp_geo::PowerLaw;
 use mlp_social::UserId;
 
 const MAGIC: u32 = 0x4D4C_5053; // "MLPS"
-const VERSION: u16 = 2;
+/// Current write version: v3 = the v2 CSR-arena payload followed by a
+/// length-prefixed [`SnapshotDelta`] record section (online refresh).
+const VERSION: u16 = 3;
+/// Oldest version this build still reads. v2 artifacts (pre-refresh, no
+/// delta section) thaw unchanged; v1 artifacts fail with the typed
+/// [`SnapshotError::UnsupportedVersion`].
+const MIN_READ_VERSION: u16 = 2;
 
 /// Stable (FNV-1a, rustc-independent) content hash of a gazetteer:
 /// every city's name, state, coordinates, and population, and every
@@ -81,6 +87,13 @@ pub enum SnapshotError {
     BadTag(u8),
     /// Structurally invalid payload (mismatched lengths, bad ids).
     Corrupt(&'static str),
+    /// A declared size cannot be represented on this target (e.g. a u64
+    /// length prefix exceeding `usize::MAX` on 32-bit) or overflows the
+    /// byte-count arithmetic — rejected before any allocation.
+    Overflow(&'static str),
+    /// The in-memory state exceeds the format's `u32` slab limits and
+    /// cannot be encoded (or a delta commit would push it past them).
+    TooLarge(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -93,6 +106,12 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadTag(t) => write!(f, "unknown snapshot tag byte {t}"),
             SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            SnapshotError::Overflow(what) => {
+                write!(f, "snapshot size overflow: {what} not representable on this target")
+            }
+            SnapshotError::TooLarge(what) => {
+                write!(f, "snapshot exceeds format limits: {what}")
+            }
         }
     }
 }
@@ -151,9 +170,9 @@ pub struct UserArena {
 }
 
 impl UserArena {
-    /// Packs owned per-user records into the columnar arena.
-    pub fn from_users(users: impl IntoIterator<Item = UserPosterior>) -> Self {
-        let mut arena = Self {
+    /// An arena with no users.
+    pub fn empty() -> Self {
+        Self {
             offsets: vec![0],
             candidates: Vec::new(),
             gammas: Vec::new(),
@@ -161,23 +180,61 @@ impl UserArena {
             mean_totals: Vec::new(),
             gamma_totals: Vec::new(),
             homes: Vec::new(),
-        };
+        }
+    }
+
+    /// Packs owned per-user records into the columnar arena.
+    pub fn from_users(users: impl IntoIterator<Item = UserPosterior>) -> Self {
+        let mut arena = Self::empty();
         for u in users {
-            arena.candidates.extend(u.candidates);
-            arena.gammas.extend(u.gammas);
-            arena.mean_counts.extend(u.mean_counts);
-            arena.offsets.push(arena.candidates.len() as u32);
-            arena.mean_totals.push(u.mean_total);
-            arena.gamma_totals.push(u.gamma_total);
-            arena.homes.push(u.home);
+            arena.push(u);
         }
         arena
+    }
+
+    /// Appends one user's row; their id is the arena's previous
+    /// [`Self::num_users`].
+    pub fn push(&mut self, u: UserPosterior) {
+        self.candidates.extend(u.candidates);
+        self.gammas.extend(u.gammas);
+        self.mean_counts.extend(u.mean_counts);
+        self.offsets.push(self.candidates.len() as u32);
+        self.mean_totals.push(u.mean_total);
+        self.gamma_totals.push(u.gamma_total);
+        self.homes.push(u.home);
+    }
+
+    /// Appends every row of `other` (an index-wise slab concatenation —
+    /// the commit step of an online delta). Fails without mutating when
+    /// the combined slabs would overflow the format's `u32` offsets.
+    pub fn extend_from(&mut self, other: &UserArena) -> Result<(), SnapshotError> {
+        let base = self.candidates.len();
+        if base as u64 + other.candidates.len() as u64 > u32::MAX as u64 {
+            return Err(SnapshotError::TooLarge("user candidate slab exceeds u32::MAX entries"));
+        }
+        if self.num_users() as u64 + other.num_users() as u64 > u32::MAX as u64 {
+            return Err(SnapshotError::TooLarge("user count exceeds u32::MAX"));
+        }
+        self.offsets.extend(other.offsets[1..].iter().map(|&o| base as u32 + o));
+        self.candidates.extend_from_slice(&other.candidates);
+        self.gammas.extend_from_slice(&other.gammas);
+        self.mean_counts.extend_from_slice(&other.mean_counts);
+        self.mean_totals.extend_from_slice(&other.mean_totals);
+        self.gamma_totals.extend_from_slice(&other.gamma_totals);
+        self.homes.extend_from_slice(&other.homes);
+        Ok(())
     }
 
     /// Number of training users.
     #[inline]
     pub fn num_users(&self) -> usize {
         self.homes.len()
+    }
+
+    /// Total number of candidate entries across all rows.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.candidates.len()
     }
 
     /// User `u`'s row across all slabs.
@@ -303,6 +360,303 @@ impl VenueArena {
         let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
         self.venue_ids[range.clone()].iter().copied().zip(self.counts[range].iter().copied())
     }
+
+    /// Total number of stored `(city, venue)` cells.
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.venue_ids.len()
+    }
+
+    /// Merges sorted-unique COO weight deltas `(cities[i], venues[i]) +=
+    /// weights[i]` into the CSR slabs in one deterministic pass: existing
+    /// cells accumulate in place of the merged row, new cells splice in at
+    /// their venue-id position, and city totals absorb the per-city sums.
+    /// Inputs must already be validated (strictly ascending `(city,
+    /// venue)` keys in range, finite non-negative weights) — the caller is
+    /// [`PosteriorSnapshot::apply_delta`], which checks them with typed
+    /// errors. Cost is `O(existing + new)`, paid per commit rather than
+    /// per request.
+    fn apply_sorted_weights(
+        &mut self,
+        cities: &[u32],
+        venues: &[u32],
+        weights: &[f64],
+    ) -> Result<(), SnapshotError> {
+        if cities.is_empty() {
+            return Ok(());
+        }
+        if self.venue_ids.len() as u64 + venues.len() as u64 > u32::MAX as u64 {
+            return Err(SnapshotError::TooLarge("venue count slab exceeds u32::MAX entries"));
+        }
+        let mut new_offsets = Vec::with_capacity(self.offsets.len());
+        let mut new_ids = Vec::with_capacity(self.venue_ids.len() + venues.len());
+        let mut new_counts = Vec::with_capacity(self.venue_ids.len() + venues.len());
+        new_offsets.push(0u32);
+        let mut d = 0usize; // cursor into the delta COO
+        for l in 0..self.num_cities() {
+            let mut i = self.offsets[l] as usize;
+            let end = self.offsets[l + 1] as usize;
+            let mut total_add = 0.0f64;
+            while d < cities.len() && cities[d] as usize == l {
+                let v = venues[d];
+                // Copy existing entries below the delta's venue id.
+                while i < end && self.venue_ids[i] < v {
+                    new_ids.push(self.venue_ids[i]);
+                    new_counts.push(self.counts[i]);
+                    i += 1;
+                }
+                if i < end && self.venue_ids[i] == v {
+                    new_ids.push(v);
+                    new_counts.push(self.counts[i] + weights[d]);
+                    i += 1;
+                } else {
+                    new_ids.push(v);
+                    new_counts.push(weights[d]);
+                }
+                total_add += weights[d];
+                d += 1;
+            }
+            while i < end {
+                new_ids.push(self.venue_ids[i]);
+                new_counts.push(self.counts[i]);
+                i += 1;
+            }
+            new_offsets.push(new_ids.len() as u32);
+            self.city_totals[l] += total_add;
+        }
+        self.offsets = new_offsets;
+        self.venue_ids = new_ids;
+        self.counts = new_counts;
+        Ok(())
+    }
+}
+
+/// A mergeable increment to a [`PosteriorSnapshot`]: the unit of online
+/// posterior refresh.
+///
+/// A delta mirrors the snapshot's arenas as flat slabs — appended user
+/// rows live in their own [`UserArena`], and `φ` increments are a
+/// sorted-unique COO (`(city, venue) → weight`) that
+/// [`PosteriorSnapshot::apply_delta`] merges index-wise into the venue
+/// CSR. Deltas compose: [`Self::merge`] concatenates consecutive deltas
+/// into one (compaction), and the v3 binary format ships them as
+/// length-prefixed records after the base payload, so a serving replica
+/// can refresh by appending records instead of re-downloading the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// User count of the snapshot this delta appends after — the first
+    /// appended user gets id `base_users`.
+    base_users: u32,
+    /// Appended users as a columnar arena.
+    users: UserArena,
+    /// `φ` increments: city ids, parallel venue ids, parallel weights,
+    /// strictly ascending by `(city, venue)`.
+    venue_cities: Vec<u32>,
+    venue_ids: Vec<u32>,
+    venue_weights: Vec<f64>,
+}
+
+impl SnapshotDelta {
+    /// An empty delta applying after `base_users` trained users.
+    pub fn new(base_users: u32) -> Self {
+        Self {
+            base_users,
+            users: UserArena::empty(),
+            venue_cities: Vec::new(),
+            venue_ids: Vec::new(),
+            venue_weights: Vec::new(),
+        }
+    }
+
+    /// The user count this delta expects the snapshot to have.
+    pub fn base_users(&self) -> u32 {
+        self.base_users
+    }
+
+    /// Number of users this delta appends.
+    pub fn num_new_users(&self) -> usize {
+        self.users.num_users()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.users.num_users() == 0 && self.venue_cities.is_empty()
+    }
+
+    /// Appends one user's posterior row (id `base_users + previous
+    /// [`Self::num_new_users`]` once committed).
+    pub fn push_user(&mut self, user: UserPosterior) {
+        self.users.push(user);
+    }
+
+    /// Folds `(city, venue, weight)` increments into the delta's COO.
+    /// `deltas` must be sorted by `(city, venue)` with unique keys (the
+    /// form [`crate::infer::FoldInRecord`] produces); weights accumulate
+    /// for keys already present.
+    pub fn add_venue_weights(&mut self, deltas: &[(CityId, VenueId, f64)]) {
+        if deltas.is_empty() {
+            return;
+        }
+        let old_cities = std::mem::take(&mut self.venue_cities);
+        let old_ids = std::mem::take(&mut self.venue_ids);
+        let old_weights = std::mem::take(&mut self.venue_weights);
+        self.venue_cities.reserve(old_cities.len() + deltas.len());
+        self.venue_ids.reserve(old_ids.len() + deltas.len());
+        self.venue_weights.reserve(old_weights.len() + deltas.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_cities.len() || j < deltas.len() {
+            let take_old = match (old_cities.get(i), deltas.get(j)) {
+                (Some(&lc), Some(&(dc, dv, _))) => (lc, old_ids[i]) <= (dc.0, dv.0),
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_old {
+                let key = (old_cities[i], old_ids[i]);
+                let mut w = old_weights[i];
+                i += 1;
+                if j < deltas.len() && (deltas[j].0 .0, deltas[j].1 .0) == key {
+                    w += deltas[j].2;
+                    j += 1;
+                }
+                self.venue_cities.push(key.0);
+                self.venue_ids.push(key.1);
+                self.venue_weights.push(w);
+            } else {
+                let (dc, dv, dw) = deltas[j];
+                j += 1;
+                self.venue_cities.push(dc.0);
+                self.venue_ids.push(dv.0);
+                self.venue_weights.push(dw);
+            }
+        }
+    }
+
+    /// Compacts `next` into `self`: the combined delta applies both in
+    /// order. `next` must apply exactly where `self` leaves off
+    /// (`next.base_users == self.base_users + self.num_new_users()`), or
+    /// the merge is rejected with a typed error and `self` is unchanged.
+    pub fn merge(&mut self, next: &SnapshotDelta) -> Result<(), SnapshotError> {
+        if next.base_users as u64 != self.base_users as u64 + self.users.num_users() as u64 {
+            return Err(SnapshotError::Corrupt("delta sequence gap: base user count mismatch"));
+        }
+        self.users.extend_from(&next.users)?;
+        let coo: Vec<(CityId, VenueId, f64)> = next
+            .venue_cities
+            .iter()
+            .zip(&next.venue_ids)
+            .zip(&next.venue_weights)
+            .map(|((&l, &v), &w)| (CityId(l), VenueId(v), w))
+            .collect();
+        self.add_venue_weights(&coo);
+        Ok(())
+    }
+
+    /// Serialised record size in bytes (excluding the length prefix).
+    fn record_len(&self) -> u64 {
+        let n = self.users.num_users() as u64;
+        let nnz = self.users.num_entries() as u64;
+        let vnz = self.venue_cities.len() as u64;
+        4 + 4 + 4 + (n + 1) * 4 + nnz * 20 + n * 20 + 4 + vnz * 16
+    }
+
+    /// Appends the length-prefixed record (`u64` byte length + payload).
+    pub(crate) fn encode_record(&self, buf: &mut BytesMut) -> Result<(), SnapshotError> {
+        let n = u32::try_from(self.users.num_users())
+            .map_err(|_| SnapshotError::TooLarge("delta user count exceeds u32::MAX"))?;
+        let nnz = u32::try_from(self.users.num_entries())
+            .map_err(|_| SnapshotError::TooLarge("delta candidate slab exceeds u32::MAX"))?;
+        let vnz = u32::try_from(self.venue_cities.len())
+            .map_err(|_| SnapshotError::TooLarge("delta venue slab exceeds u32::MAX"))?;
+        buf.put_u64_le(self.record_len());
+        buf.put_u32_le(self.base_users);
+        buf.put_u32_le(n);
+        buf.put_u32_le(nnz);
+        for &o in &self.users.offsets {
+            buf.put_u32_le(o);
+        }
+        for &c in &self.users.candidates {
+            buf.put_u32_le(c.0);
+        }
+        for &g in &self.users.gammas {
+            buf.put_f64_le(g);
+        }
+        for &m in &self.users.mean_counts {
+            buf.put_f64_le(m);
+        }
+        for &m in &self.users.mean_totals {
+            buf.put_f64_le(m);
+        }
+        for &g in &self.users.gamma_totals {
+            buf.put_f64_le(g);
+        }
+        for &h in &self.users.homes {
+            buf.put_u32_le(h.0);
+        }
+        buf.put_u32_le(vnz);
+        for &l in &self.venue_cities {
+            buf.put_u32_le(l);
+        }
+        for &v in &self.venue_ids {
+            buf.put_u32_le(v);
+        }
+        for &w in &self.venue_weights {
+            buf.put_f64_le(w);
+        }
+        Ok(())
+    }
+
+    /// Parses one length-prefixed record. The `u64` length prefix is
+    /// checked against the remaining buffer *before* any slab is sized
+    /// (an absurd declared length is a typed error, not an allocation),
+    /// and a record that does not consume exactly its declared bytes is
+    /// rejected.
+    pub(crate) fn decode_record(buf: &mut Bytes) -> Result<Self, SnapshotError> {
+        need64(buf, 8)?;
+        let declared = buf.get_u64_le();
+        let len = usize::try_from(declared)
+            .map_err(|_| SnapshotError::Overflow("delta record length prefix"))?;
+        if buf.remaining() < len {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut rec = buf.split_to(len);
+
+        need64(&rec, 12)?;
+        let base_users = rec.get_u32_le();
+        let n = rec.get_u32_le() as usize;
+        let nnz = rec.get_u32_le();
+        need64(&rec, (n as u64 + 1) * 4 + nnz as u64 * 20 + n as u64 * 20)?;
+        let offsets = get_offsets(&mut rec, n, nnz)?;
+        let candidates: Vec<CityId> = (0..nnz).map(|_| CityId(rec.get_u32_le())).collect();
+        let gammas: Vec<f64> = (0..nnz).map(|_| rec.get_f64_le()).collect();
+        let mean_counts: Vec<f64> = (0..nnz).map(|_| rec.get_f64_le()).collect();
+        let mean_totals: Vec<f64> = (0..n).map(|_| rec.get_f64_le()).collect();
+        let gamma_totals: Vec<f64> = (0..n).map(|_| rec.get_f64_le()).collect();
+        let homes: Vec<CityId> = (0..n).map(|_| CityId(rec.get_u32_le())).collect();
+        need64(&rec, 4)?;
+        let vnz = rec.get_u32_le();
+        need64(&rec, vnz as u64 * 16)?;
+        let venue_cities: Vec<u32> = (0..vnz).map(|_| rec.get_u32_le()).collect();
+        let venue_ids: Vec<u32> = (0..vnz).map(|_| rec.get_u32_le()).collect();
+        let venue_weights: Vec<f64> = (0..vnz).map(|_| rec.get_f64_le()).collect();
+        if rec.has_remaining() {
+            return Err(SnapshotError::Corrupt("delta record longer than its payload"));
+        }
+        Ok(Self {
+            base_users,
+            users: UserArena {
+                offsets,
+                candidates,
+                gammas,
+                mean_counts,
+                mean_totals,
+                gamma_totals,
+                homes,
+            },
+            venue_cities,
+            venue_ids,
+            venue_weights,
+        })
+    }
 }
 
 /// An immutable frozen posterior, ready for fold-in inference.
@@ -410,14 +764,51 @@ impl PosteriorSnapshot {
 
     /// Serialises the snapshot into the versioned binary format: a fixed
     /// header followed by length-prefixed flat slabs — the arenas'
-    /// in-memory layout, written column by column.
+    /// in-memory layout, written column by column — and an empty delta
+    /// record section (v3).
+    ///
+    /// Panics if the snapshot exceeds the format's `u32` slab limits
+    /// (> 4 Gi candidate entries — hundreds of GiB of state); use
+    /// [`Self::try_encode`] for the typed error.
     pub fn encode(&self) -> Bytes {
+        self.try_encode().expect("snapshot within format slab limits")
+    }
+
+    /// [`Self::encode`] with the size limits surfaced as a typed error
+    /// instead of a panic.
+    pub fn try_encode(&self) -> Result<Bytes, SnapshotError> {
+        self.encode_with_deltas(&[])
+    }
+
+    /// Serialises this snapshot as a v3 *base* followed by `deltas` as
+    /// length-prefixed records. Decoding replays the records onto the
+    /// base, so the artifact thaws to the refreshed posterior — and a
+    /// publisher can ship an update by appending a record and patching the
+    /// count instead of re-encoding the arenas
+    /// ([`crate::online::OnlineUpdater::encode_artifact`] does exactly
+    /// that).
+    pub fn encode_with_deltas(&self, deltas: &[SnapshotDelta]) -> Result<Bytes, SnapshotError> {
+        let mut buf = self.encode_payload()?;
+        append_delta_section(&mut buf, deltas)?;
+        Ok(buf.freeze())
+    }
+
+    /// The v3 header + base payload, without the trailing delta section.
+    pub(crate) fn encode_payload(&self) -> Result<BytesMut, SnapshotError> {
         let nnz = self.users.candidates.len();
         let vnz = self.venues.venue_ids.len();
         let n = self.users.num_users();
         let cities = self.venues.num_cities();
+        let nnz32 = u32::try_from(nnz)
+            .map_err(|_| SnapshotError::TooLarge("user candidate slab exceeds u32::MAX entries"))?;
+        let vnz32 = u32::try_from(vnz)
+            .map_err(|_| SnapshotError::TooLarge("venue count slab exceeds u32::MAX entries"))?;
+        let n32 =
+            u32::try_from(n).map_err(|_| SnapshotError::TooLarge("user count exceeds u32::MAX"))?;
+        let cities32 = u32::try_from(cities)
+            .map_err(|_| SnapshotError::TooLarge("city count exceeds u32::MAX"))?;
         let mut buf = BytesMut::with_capacity(
-            96 + self.venue_probs.len() * 8
+            100 + self.venue_probs.len() * 8
                 + (n + 1) * 4
                 + nnz * 20
                 + n * 20
@@ -454,8 +845,8 @@ impl PosteriorSnapshot {
         }
 
         // User arena: offsets, then each slab in column order.
-        buf.put_u32_le(n as u32);
-        buf.put_u32_le(nnz as u32);
+        buf.put_u32_le(n32);
+        buf.put_u32_le(nnz32);
         for &o in &self.users.offsets {
             buf.put_u32_le(o);
         }
@@ -479,8 +870,8 @@ impl PosteriorSnapshot {
         }
 
         // Venue arena.
-        buf.put_u32_le(cities as u32);
-        buf.put_u32_le(vnz as u32);
+        buf.put_u32_le(cities32);
+        buf.put_u32_le(vnz32);
         for &o in &self.venues.offsets {
             buf.put_u32_le(o);
         }
@@ -493,40 +884,84 @@ impl PosteriorSnapshot {
         for &t in &self.venues.city_totals {
             buf.put_f64_le(t);
         }
-        buf.freeze()
+        Ok(buf)
     }
 
-    /// Decodes a snapshot produced by [`Self::encode`].
+    /// Commits a delta: appends its user rows to the user arena and
+    /// merges its `φ` increments into the venue CSR — index-wise, no
+    /// clone of the trained state, no retrain. Everything is validated
+    /// up front with typed errors (the same invariants [`Self::decode`]
+    /// enforces), so a failed apply leaves the snapshot untouched.
+    pub fn apply_delta(&mut self, delta: &SnapshotDelta) -> Result<(), SnapshotError> {
+        if delta.base_users as usize != self.users.num_users() {
+            return Err(SnapshotError::Corrupt("delta base user count mismatch"));
+        }
+        for u in 0..delta.users.num_users() {
+            let view = delta.users.user(UserId(u as u32));
+            if view.candidates.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SnapshotError::Corrupt("delta candidate list not sorted"));
+            }
+            if view.candidates.iter().any(|c| c.0 >= self.num_cities) {
+                return Err(SnapshotError::Corrupt("delta candidate city out of range"));
+            }
+            if view.candidates.binary_search(&view.home).is_err() {
+                return Err(SnapshotError::Corrupt("delta home city is not a candidate"));
+            }
+            if view.gammas.iter().any(|g| !g.is_finite() || *g <= 0.0) {
+                return Err(SnapshotError::Corrupt("delta gamma not finite-positive"));
+            }
+            if view.mean_counts.iter().any(|m| !m.is_finite() || *m < 0.0)
+                || !view.mean_total.is_finite()
+                || view.mean_total < 0.0
+                || !view.gamma_total.is_finite()
+                || view.gamma_total <= 0.0
+            {
+                return Err(SnapshotError::Corrupt("delta mean counts not finite-nonnegative"));
+            }
+        }
+        if delta.venue_cities.len() != delta.venue_ids.len()
+            || delta.venue_cities.len() != delta.venue_weights.len()
+        {
+            return Err(SnapshotError::Corrupt("delta venue columns misaligned"));
+        }
+        let keys = delta.venue_cities.iter().zip(&delta.venue_ids);
+        if keys.clone().any(|(&l, &v)| l >= self.num_cities || v >= self.num_venues) {
+            return Err(SnapshotError::Corrupt("delta venue cell out of range"));
+        }
+        let mut prev: Option<(u32, u32)> = None;
+        for (&l, &v) in keys {
+            if prev.is_some_and(|p| p >= (l, v)) {
+                return Err(SnapshotError::Corrupt("delta venue cells not sorted-unique"));
+            }
+            prev = Some((l, v));
+        }
+        if delta.venue_weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(SnapshotError::Corrupt("delta venue weight not finite-nonnegative"));
+        }
+        // Slab-limit checks up front too, so a failure below cannot leave
+        // one arena mutated and the other not.
+        if self.venues.num_entries() as u64 + delta.venue_ids.len() as u64 > u32::MAX as u64 {
+            return Err(SnapshotError::TooLarge("venue count slab exceeds u32::MAX entries"));
+        }
+        self.users.extend_from(&delta.users)?;
+        self.venues.apply_sorted_weights(
+            &delta.venue_cities,
+            &delta.venue_ids,
+            &delta.venue_weights,
+        )
+    }
+
+    /// Decodes a snapshot produced by [`Self::encode`] (v3) or by a
+    /// pre-refresh v2 build; v3 delta records are replayed onto the base
+    /// so the result is the refreshed posterior.
     pub fn decode(mut buf: Bytes) -> Result<Self, SnapshotError> {
-        fn need(buf: &Bytes, n: usize) -> Result<(), SnapshotError> {
-            if buf.remaining() < n {
-                Err(SnapshotError::Truncated)
-            } else {
-                Ok(())
-            }
-        }
-
-        /// Reads a length-validated offset table: starts at 0, is
-        /// non-decreasing, and ends exactly at `nnz`.
-        fn get_offsets(buf: &mut Bytes, rows: usize, nnz: u32) -> Result<Vec<u32>, SnapshotError> {
-            need(buf, (rows + 1) * 4)?;
-            let offsets: Vec<u32> = (0..=rows).map(|_| buf.get_u32_le()).collect();
-            if offsets[0] != 0 || offsets[rows] != nnz {
-                return Err(SnapshotError::Corrupt("offset table does not span its slab"));
-            }
-            if offsets.windows(2).any(|w| w[0] > w[1]) {
-                return Err(SnapshotError::Corrupt("offset table not monotone"));
-            }
-            Ok(offsets)
-        }
-
-        need(&buf, 8)?;
+        need64(&buf, 8)?;
         let magic = buf.get_u32_le();
         if magic != MAGIC {
             return Err(SnapshotError::BadMagic(magic));
         }
         let version = buf.get_u16_le();
-        if version != VERSION {
+        if !(MIN_READ_VERSION..=VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let variant = match buf.get_u8() {
@@ -541,7 +976,7 @@ impl PosteriorSnapshot {
             t => return Err(SnapshotError::BadTag(t)),
         };
 
-        need(&buf, 7 * 8 + 8 + 8)?;
+        need64(&buf, 7 * 8 + 8 + 8)?;
         let tau = buf.get_f64_le();
         let delta = buf.get_f64_le();
         let rho_f = buf.get_f64_le();
@@ -552,23 +987,24 @@ impl PosteriorSnapshot {
         let num_venues = buf.get_u32_le();
         let gaz_fingerprint = buf.get_u64_le();
 
-        need(&buf, 4)?;
+        need64(&buf, 4)?;
         let n_probs = buf.get_u32_le() as usize;
         if n_probs != num_venues as usize {
             return Err(SnapshotError::Corrupt("venue_probs length != num_venues"));
         }
-        need(&buf, n_probs * 8)?;
+        need64(&buf, n_probs as u64 * 8)?;
         let venue_probs: Vec<f64> = (0..n_probs).map(|_| buf.get_f64_le()).collect();
 
         // --- User arena ---------------------------------------------------
-        need(&buf, 8)?;
+        need64(&buf, 8)?;
         let n_users = buf.get_u32_le() as usize;
         let nnz = buf.get_u32_le();
         // Every slab length is now known: a declared size the buffer
         // cannot possibly hold must fail *before* any pre-allocation, or a
         // corrupt header turns into a multi-GB allocation instead of a
-        // typed error.
-        need(&buf, (n_users + 1) * 4 + (nnz as usize) * 20 + n_users * 20)?;
+        // typed error. The byte count is computed in u64 so a declared
+        // size near `u32::MAX` cannot wrap `usize` on 32-bit targets.
+        need64(&buf, (n_users as u64 + 1) * 4 + nnz as u64 * 20 + n_users as u64 * 20)?;
         let offsets = get_offsets(&mut buf, n_users, nnz)?;
         let candidates: Vec<CityId> = (0..nnz).map(|_| CityId(buf.get_u32_le())).collect();
         if candidates.iter().any(|c| c.0 >= num_cities) {
@@ -601,13 +1037,13 @@ impl PosteriorSnapshot {
         };
 
         // --- Venue arena --------------------------------------------------
-        need(&buf, 8)?;
+        need64(&buf, 8)?;
         let n_cities = buf.get_u32_le() as usize;
         if n_cities != num_cities as usize {
             return Err(SnapshotError::Corrupt("venue arena rows != num_cities"));
         }
         let vnz = buf.get_u32_le();
-        need(&buf, (n_cities + 1) * 4 + (vnz as usize) * 12 + n_cities * 8)?;
+        need64(&buf, (n_cities as u64 + 1) * 4 + vnz as u64 * 12 + n_cities as u64 * 8)?;
         let offsets = get_offsets(&mut buf, n_cities, vnz)?;
         let venue_ids: Vec<u32> = (0..vnz).map(|_| buf.get_u32_le()).collect();
         if venue_ids.iter().any(|&v| v >= num_venues) {
@@ -623,7 +1059,7 @@ impl PosteriorSnapshot {
         }
         let venues = VenueArena { offsets, venue_ids, counts, city_totals };
 
-        Ok(Self {
+        let mut snap = Self {
             variant,
             count_noisy_assignments,
             tau,
@@ -638,8 +1074,71 @@ impl PosteriorSnapshot {
             gaz_fingerprint,
             users,
             venues,
-        })
+        };
+
+        // --- Delta record section (v3) ------------------------------------
+        // Replay every committed increment onto the base, validating each
+        // one exactly like base state. A v2 artifact simply has no
+        // section.
+        if version >= 3 {
+            need64(&buf, 4)?;
+            let n_deltas = buf.get_u32_le();
+            for _ in 0..n_deltas {
+                let record = SnapshotDelta::decode_record(&mut buf)?;
+                snap.apply_delta(&record)?;
+            }
+        }
+        // A well-formed artifact ends exactly here; leftover bytes mean a
+        // stale in-place overwrite or a mangled concatenation, and
+        // silently ignoring them would mask the corruption.
+        if buf.has_remaining() {
+            return Err(SnapshotError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(snap)
     }
+}
+
+/// Appends the v3 trailer — `u32` record count + length-prefixed records
+/// — the one framing shared by [`PosteriorSnapshot::encode_with_deltas`]
+/// and the updater's incremental
+/// [`crate::online::OnlineUpdater::encode_artifact`].
+pub(crate) fn append_delta_section(
+    buf: &mut BytesMut,
+    deltas: &[SnapshotDelta],
+) -> Result<(), SnapshotError> {
+    let count = u32::try_from(deltas.len())
+        .map_err(|_| SnapshotError::TooLarge("delta record count exceeds u32::MAX"))?;
+    buf.put_u32_le(count);
+    for d in deltas {
+        d.encode_record(buf)?;
+    }
+    Ok(())
+}
+
+/// Fails with [`SnapshotError::Truncated`] when `buf` holds fewer than `n`
+/// bytes; declared sizes are computed in `u64` and converted checked, so a
+/// hostile header cannot wrap the byte count on 32-bit targets.
+fn need64(buf: &Bytes, n: u64) -> Result<(), SnapshotError> {
+    let n = usize::try_from(n).map_err(|_| SnapshotError::Overflow("declared payload size"))?;
+    if buf.remaining() < n {
+        Err(SnapshotError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads a length-validated offset table: starts at 0, is non-decreasing,
+/// and ends exactly at `nnz`.
+fn get_offsets(buf: &mut Bytes, rows: usize, nnz: u32) -> Result<Vec<u32>, SnapshotError> {
+    need64(buf, (rows as u64 + 1) * 4)?;
+    let offsets: Vec<u32> = (0..=rows).map(|_| buf.get_u32_le()).collect();
+    if offsets[0] != 0 || offsets[rows] != nnz {
+        return Err(SnapshotError::Corrupt("offset table does not span its slab"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Corrupt("offset table not monotone"));
+    }
+    Ok(offsets)
 }
 
 #[cfg(test)]
@@ -713,6 +1212,159 @@ mod tests {
             PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
             SnapshotError::UnsupportedVersion(_)
         ));
+    }
+
+    /// A v2 artifact — the pre-refresh format, byte-identical to v3 minus
+    /// the trailing delta record section — must still thaw. Synthesised
+    /// from a v3 encode by rewriting the version and dropping the empty
+    /// record count, which is exactly what a v2 writer produced.
+    #[test]
+    fn v2_snapshot_still_decodes() {
+        let snap = trained_snapshot(40, 48);
+        let v3 = snap.encode();
+        let mut v2 = v3.to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        v2.truncate(v2.len() - 4);
+        let decoded = PosteriorSnapshot::decode(Bytes::from(v2)).unwrap();
+        assert_eq!(snap, decoded, "v2 payload must thaw identically");
+    }
+
+    /// Future versions stay rejected with the typed error.
+    #[test]
+    fn v4_snapshot_rejected() {
+        let snap = trained_snapshot(15, 49);
+        let mut raw = snap.encode().to_vec();
+        raw[4..6].copy_from_slice(&4u16.to_le_bytes());
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::UnsupportedVersion(4)
+        );
+    }
+
+    /// v3 artifacts with delta records thaw to the refreshed posterior,
+    /// and structurally invalid records fail with typed errors — home
+    /// outside candidates, negative venue weights, and record
+    /// length-prefix mismatches all caught before the state mutates.
+    #[test]
+    fn delta_records_round_trip_and_validate() {
+        let base = trained_snapshot(30, 50);
+        let mut delta = SnapshotDelta::new(base.num_users() as u32);
+        delta.push_user(UserPosterior {
+            candidates: vec![CityId(1), CityId(5)],
+            gammas: vec![0.2, 0.2],
+            mean_counts: vec![3.0, 1.0],
+            mean_total: 4.0,
+            gamma_total: 0.4,
+            home: CityId(1),
+        });
+        delta.add_venue_weights(&[(CityId(1), VenueId(0), 1.5), (CityId(5), VenueId(2), 0.5)]);
+
+        let artifact = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap();
+        let thawed = PosteriorSnapshot::decode(artifact).unwrap();
+        assert_eq!(thawed.num_users(), base.num_users() + 1);
+        let added = thawed.users.user(UserId(base.num_users() as u32));
+        assert_eq!(added.home, CityId(1));
+        assert_eq!(added.mean_counts, &[3.0, 1.0]);
+        assert_eq!(
+            thawed.venue_count(CityId(1), VenueId(0)),
+            base.venue_count(CityId(1), VenueId(0)) + 1.5
+        );
+        assert_eq!(thawed.venues.city_total(CityId(5)), base.venues.city_total(CityId(5)) + 0.5);
+
+        // Same delta applied in memory matches the decoded artifact.
+        let mut applied = base.clone();
+        applied.apply_delta(&delta).unwrap();
+        assert_eq!(applied, thawed);
+
+        // Home outside candidates: typed, pre-mutation.
+        let mut bad = SnapshotDelta::new(base.num_users() as u32);
+        bad.push_user(UserPosterior {
+            candidates: vec![CityId(2)],
+            gammas: vec![0.2],
+            mean_counts: vec![1.0],
+            mean_total: 1.0,
+            gamma_total: 0.2,
+            home: CityId(3),
+        });
+        let mut target = base.clone();
+        assert_eq!(
+            target.apply_delta(&bad).unwrap_err(),
+            SnapshotError::Corrupt("delta home city is not a candidate")
+        );
+        assert_eq!(target, base, "failed apply must not mutate");
+
+        // Negative venue weight: rejected wherever it arrives from.
+        let mut negative = SnapshotDelta::new(base.num_users() as u32);
+        negative.add_venue_weights(&[(CityId(0), VenueId(0), -1.0)]);
+        assert_eq!(
+            target.apply_delta(&negative).unwrap_err(),
+            SnapshotError::Corrupt("delta venue weight not finite-nonnegative")
+        );
+        let encoded = base.encode_with_deltas(std::slice::from_ref(&negative)).unwrap();
+        assert_eq!(
+            PosteriorSnapshot::decode(encoded).unwrap_err(),
+            SnapshotError::Corrupt("delta venue weight not finite-nonnegative")
+        );
+
+        // A record that lies about its length is rejected.
+        let mut lying = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap().to_vec();
+        let prefix_at = lying.len() - (delta.record_len() as usize) - 8;
+        lying[prefix_at..prefix_at + 8].copy_from_slice(&(delta.record_len() + 8).to_le_bytes());
+        // Extend so the inflated length is available, making the record
+        // under-consume instead of truncate.
+        lying.extend_from_slice(&[0u8; 8]);
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(lying)).unwrap_err(),
+            SnapshotError::Corrupt("delta record longer than its payload")
+        );
+    }
+
+    /// Bytes past the end of a well-formed artifact mean a stale
+    /// in-place overwrite or mangled concatenation — rejected, not
+    /// silently ignored, on both the v3 and v2 read paths.
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let snap = trained_snapshot(10, 52);
+        let mut v3 = snap.encode().to_vec();
+        v3.push(0);
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(v3)).unwrap_err(),
+            SnapshotError::Corrupt("trailing bytes after snapshot")
+        );
+        let mut v2 = snap.encode().to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        v2.truncate(v2.len() - 4);
+        v2.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(v2)).unwrap_err(),
+            SnapshotError::Corrupt("trailing bytes after snapshot")
+        );
+    }
+
+    /// Delta sequence gaps are rejected at merge and apply time.
+    #[test]
+    fn delta_sequencing_is_enforced() {
+        let base = trained_snapshot(20, 51);
+        let wrong_base = SnapshotDelta::new(base.num_users() as u32 + 7);
+        let mut with_user = wrong_base.clone();
+        with_user.push_user(UserPosterior {
+            candidates: vec![CityId(0)],
+            gammas: vec![0.2],
+            mean_counts: vec![0.0],
+            mean_total: 0.0,
+            gamma_total: 0.2,
+            home: CityId(0),
+        });
+        let mut target = base.clone();
+        assert_eq!(
+            target.apply_delta(&with_user).unwrap_err(),
+            SnapshotError::Corrupt("delta base user count mismatch")
+        );
+        let mut first = SnapshotDelta::new(base.num_users() as u32);
+        assert_eq!(
+            first.merge(&with_user).unwrap_err(),
+            SnapshotError::Corrupt("delta sequence gap: base user count mismatch")
+        );
     }
 
     /// A stored v1 artifact prefix (magic "MLPS" + version 1, as every v1

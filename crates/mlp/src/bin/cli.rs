@@ -7,6 +7,8 @@
 //! mlp-cli profile  --data data.mlp --user 42 [--iters 20]   # one user's profile
 //! mlp-cli explain  --data data.mlp --user 42                # geo groups of a user
 //! mlp-cli evaluate --data data.mlp [--folds 5]              # masked-home ACC@100
+//! mlp-cli train    --data data.mlp --out model.mlps [--train-users N]
+//! mlp-cli refresh  --data data.mlp --snapshot model.mlps --out fresh.mlps
 //! ```
 //!
 //! Datasets are the binary snapshot format of `mlp::social::codec` (the
@@ -14,8 +16,17 @@
 //! the same `--cities` value when reading a snapshot as when it was
 //! generated — city ids index the gazetteer, and a mismatch is rejected at
 //! model construction.
+//!
+//! `train` freezes a trained posterior into a serving artifact
+//! (`PosteriorSnapshot`, format v3); `--train-users N` trains on the
+//! first `N` users only, leaving the rest to arrive later. `refresh`
+//! absorbs every dataset user beyond the artifact's trained count through
+//! the online updater — committing posterior deltas batch by batch, no
+//! retrain — and writes the refreshed artifact (base payload + delta
+//! records).
 
 use mlp::core::geo_groups::geo_groups;
+use mlp::core::FoldInError;
 use mlp::prelude::*;
 use mlp::social::codec;
 use mlp::social::{Adjacency, DatasetStats, GroundTruth};
@@ -39,7 +50,9 @@ const USAGE: &str = "usage:
   mlp-cli stats    --data FILE
   mlp-cli profile  --data FILE --user ID [--iters N] [--seed N]
   mlp-cli explain  --data FILE --user ID [--iters N] [--seed N]
-  mlp-cli evaluate --data FILE [--folds N] [--iters N] [--seed N]";
+  mlp-cli evaluate --data FILE [--folds N] [--iters N] [--seed N]
+  mlp-cli train    --data FILE --out SNAPSHOT [--train-users N] [--iters N] [--seed N]
+  mlp-cli refresh  --data FILE --snapshot SNAPSHOT --out SNAPSHOT [--batch N] [--seed N]";
 
 struct Options {
     users: usize,
@@ -47,8 +60,11 @@ struct Options {
     seed: u64,
     iters: usize,
     folds: usize,
+    batch: usize,
     user: Option<u32>,
+    train_users: Option<usize>,
     data: Option<String>,
+    snapshot: Option<String>,
     out: Option<String>,
 }
 
@@ -59,8 +75,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 42,
         iters: 20,
         folds: 5,
+        batch: 64,
         user: None,
+        train_users: None,
         data: None,
+        snapshot: None,
         out: None,
     };
     let mut it = args.iter();
@@ -72,8 +91,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--seed" => o.seed = parse_num(&value()?)?,
             "--iters" => o.iters = parse_num(&value()?)? as usize,
             "--folds" => o.folds = parse_num(&value()?)? as usize,
+            "--batch" => o.batch = parse_num(&value()?)? as usize,
             "--user" => o.user = Some(parse_num(&value()?)? as u32),
+            "--train-users" => o.train_users = Some(parse_num(&value()?)? as usize),
             "--data" => o.data = Some(value()?),
+            "--snapshot" => o.snapshot = Some(value()?),
             "--out" => o.out = Some(value()?),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -169,6 +191,86 @@ fn run(args: &[String]) -> Result<(), String> {
                 "masked-home ACC@100 on fold 0: {:.2}% ({hits}/{})",
                 100.0 * hits as f64 / test_users.len() as f64,
                 test_users.len()
+            );
+            Ok(())
+        }
+        "train" => {
+            let out = o.out.as_deref().ok_or("train needs --out SNAPSHOT")?;
+            let (dataset, _) = load(&o)?;
+            let n = o.train_users.unwrap_or(dataset.num_users());
+            if n == 0 || n > dataset.num_users() {
+                return Err(format!(
+                    "--train-users {n} out of range (dataset has {})",
+                    dataset.num_users()
+                ));
+            }
+            let train = dataset.prefix(n);
+            let config = MlpConfig {
+                iterations: o.iters,
+                burn_in: (o.iters / 2).max(1),
+                seed: o.seed,
+                ..Default::default()
+            };
+            let (_, snapshot) = Mlp::new(&gaz, &train, config)
+                .map_err(|e| format!("model rejected inputs: {e}"))?
+                .run_with_snapshot();
+            let bytes = snapshot.try_encode().map_err(|e| format!("encoding snapshot: {e}"))?;
+            std::fs::write(out, bytes.as_slice()).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {out}: posterior of {} users over {} cities ({} bytes)",
+                snapshot.num_users(),
+                snapshot.num_cities,
+                bytes.len()
+            );
+            Ok(())
+        }
+        "refresh" => {
+            let snap_path = o.snapshot.as_deref().ok_or("refresh needs --snapshot SNAPSHOT")?;
+            let out = o.out.as_deref().ok_or("refresh needs --out SNAPSHOT")?;
+            let (dataset, _) = load(&o)?;
+            let raw = std::fs::read(snap_path).map_err(|e| format!("reading {snap_path}: {e}"))?;
+            let snapshot = PosteriorSnapshot::decode(raw.into())
+                .map_err(|e| format!("decoding {snap_path}: {e}"))?;
+            let trained = snapshot.num_users();
+            if trained >= dataset.num_users() {
+                return Err(format!(
+                    "nothing to refresh: snapshot already covers {trained} of {} users",
+                    dataset.num_users()
+                ));
+            }
+            let fold_in = FoldInConfig { seed: o.seed, ..Default::default() };
+            let mut updater =
+                OnlineUpdater::new(&gaz, snapshot, fold_in, StalenessPolicy::default())
+                    .map_err(|e| format!("binding snapshot to gazetteer: {e}"))?;
+            let new_users: Vec<UserId> =
+                (trained as u32..dataset.num_users() as u32).map(UserId).collect();
+            for chunk in new_users.chunks(o.batch.max(1)) {
+                let mut obs = NewUserObservations::batch_from_dataset(&dataset, chunk);
+                let known = updater.snapshot().num_users();
+                for ob in &mut obs {
+                    ob.neighbors.retain(|p| p.index() < known);
+                }
+                updater.absorb(&obs).map_err(|e: FoldInError| format!("fold-in failed: {e}"))?;
+                let committed =
+                    updater.commit().map_err(|e| format!("delta commit failed: {e}"))?;
+                println!(
+                    "commit {}: +{committed} users ({} total)",
+                    updater.commits(),
+                    updater.snapshot().num_users()
+                );
+            }
+            let bytes = updater.encode_artifact().map_err(|e| format!("encoding artifact: {e}"))?;
+            std::fs::write(out, bytes.as_slice()).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} users, {} delta records, {} bytes{}",
+                updater.snapshot().num_users(),
+                updater.committed_deltas().len(),
+                bytes.len(),
+                if updater.needs_refresh() {
+                    " (staleness policy: schedule a cold retrain)"
+                } else {
+                    ""
+                }
             );
             Ok(())
         }

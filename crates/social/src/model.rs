@@ -110,6 +110,24 @@ impl Dataset {
         out
     }
 
+    /// The sub-dataset over users `0..n` as if the rest never existed:
+    /// labels truncated, and only edges/mentions whose endpoints all fall
+    /// below `n` kept. This is the train corpus for an online-refresh
+    /// split — users `n..` arrive later as serving requests.
+    pub fn prefix(&self, n: usize) -> Dataset {
+        let n = n.min(self.num_users());
+        let mut out = Dataset::new(n as u32);
+        out.registered.copy_from_slice(&self.registered[..n]);
+        out.edges = self
+            .edges
+            .iter()
+            .filter(|e| e.follower.index() < n && e.friend.index() < n)
+            .copied()
+            .collect();
+        out.mentions = self.mentions.iter().filter(|m| m.user.index() < n).copied().collect();
+        out
+    }
+
     /// Validates internal consistency (ids in range); returns a description
     /// of the first violation found.
     pub fn validate(&self, num_cities: usize, num_venues: usize) -> Result<(), String> {

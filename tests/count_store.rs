@@ -90,6 +90,83 @@ proptest! {
         }
     }
 
+    /// Tiny vocabularies are the dense-fallback edge: with
+    /// `num_venues < 16` the threshold `num_venues / 16` is zero, so
+    /// *every* city with non-empty support crosses it and goes dense.
+    /// The store must stay oracle-equivalent there — the panic-safety
+    /// proptest for the dense path's bounds checks (a dense row must
+    /// never alias a neighbor on out-of-range ids, rows must iterate
+    /// sorted-non-zero exactly like the sparse path).
+    #[test]
+    fn tiny_vocab_all_dense_matches_oracle(
+        num_venues in 1u32..16,
+        num_cities in 1u32..6,
+        raw_support in prop::collection::vec((0u32..6, 0u32..16), 1..30),
+        ops in prop::collection::vec((0usize..1000, 0u8..2), 0..120),
+    ) {
+        let support: Vec<(u32, u32)> = raw_support
+            .into_iter()
+            .map(|(l, v)| (l % num_cities, v % num_venues))
+            .collect();
+        let store = VenueCountStore::build(
+            num_cities as usize,
+            num_venues as usize,
+            support.iter().copied(),
+        );
+        // The dense-threshold claim itself: every supported city is dense,
+        // so the slot space is exactly (dense cities) × |V|.
+        let mut supported: Vec<u32> = support.iter().map(|&(l, _)| l).collect();
+        supported.sort_unstable();
+        supported.dedup();
+        prop_assert_eq!(
+            store.num_slots(),
+            supported.len() * num_venues as usize,
+            "every non-empty city must go dense below 16 venues"
+        );
+
+        let mut store = store;
+        let mut oracle: HashMap<(u32, u32), u32> = HashMap::new();
+        for &(i, kind) in &ops {
+            let (l, v) = support[i % support.len()];
+            let (city, venue) = (CityId(l), VenueId(v));
+            if kind == 0 {
+                store.add(city, venue);
+                *oracle.entry((l, v)).or_insert(0) += 1;
+            } else if oracle.get(&(l, v)).copied().unwrap_or(0) > 0 {
+                store.remove(city, venue);
+                *oracle.get_mut(&(l, v)).unwrap() -= 1;
+            }
+        }
+        for l in 0..num_cities {
+            let city = CityId(l);
+            // Out-of-vocabulary reads on a dense row are misses, never
+            // aliases into the next row.
+            prop_assert_eq!(store.get(city, VenueId(num_venues)), 0);
+            prop_assert_eq!(store.get(city, VenueId(u32::MAX)), 0);
+            for v in 0..num_venues {
+                prop_assert_eq!(
+                    store.get(city, VenueId(v)),
+                    oracle.get(&(l, v)).copied().unwrap_or(0),
+                    "count at ({}, {})", l, v
+                );
+            }
+            let mut expect: Vec<(u32, u32)> = oracle
+                .iter()
+                .filter(|&(&(cl, _), &c)| cl == l && c > 0)
+                .map(|(&(_, v), &c)| (v, c))
+                .collect();
+            expect.sort_unstable();
+            let got: Vec<(u32, u32)> = store.row(city).collect();
+            prop_assert_eq!(got, expect, "row iteration for city {}", l);
+            let total: u32 = oracle
+                .iter()
+                .filter(|&(&(cl, _), _)| cl == l)
+                .map(|(_, &c)| c)
+                .sum();
+            prop_assert_eq!(store.total(city), total, "total for city {}", l);
+        }
+    }
+
     /// The flat user-count arena (CSR slab) behaves exactly like the
     /// `Vec<Vec<u32>>` it replaced under random row updates.
     #[test]

@@ -1,0 +1,212 @@
+//! The online-refresh acceptance suite: train on D₀, commit deltas for
+//! D₁ through the [`OnlineUpdater`], and demand that (a) refreshed
+//! serving tracks a cold retrain on D₀∪D₁ within the warm-start
+//! tolerance, (b) the whole refresh pipeline is deterministic — repeat
+//! runs produce byte-identical artifacts — and (c) every artifact
+//! (compacted or not, incremental or re-encoded) thaws back to the
+//! posterior it was published from.
+
+use mlp::core::snapshot::SnapshotError;
+use mlp::core::{FoldInError, OnlineError};
+use mlp::eval::online_refresh_drift;
+use mlp::prelude::*;
+
+fn corpus(users: usize, seed: u64) -> (Gazetteer, GeneratedData) {
+    let gaz = Gazetteer::us_cities();
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: users, seed, ..Default::default() })
+            .generate();
+    (gaz, data)
+}
+
+fn quick_config(seed: u64) -> MlpConfig {
+    MlpConfig { iterations: 10, burn_in: 5, seed, ..Default::default() }
+}
+
+/// Builds an updater over a D₀-trained snapshot and absorbs+commits D₁ in
+/// `batch`-sized chunks, restricting neighbors to already-known users.
+fn refresh<'a>(
+    gaz: &'a Gazetteer,
+    data: &GeneratedData,
+    train_users: usize,
+    batch: usize,
+    seed: u64,
+) -> OnlineUpdater<'a> {
+    let d0 = data.dataset.prefix(train_users);
+    let (_, snapshot) = Mlp::new(gaz, &d0, quick_config(seed)).unwrap().run_with_snapshot();
+    let mut updater =
+        OnlineUpdater::new(gaz, snapshot, FoldInConfig::default(), StalenessPolicy::default())
+            .unwrap();
+    let ids: Vec<UserId> =
+        (train_users as u32..data.dataset.num_users() as u32).map(UserId).collect();
+    for chunk in ids.chunks(batch) {
+        let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, chunk);
+        let known = updater.snapshot().num_users();
+        for o in &mut obs {
+            o.neighbors.retain(|p| p.index() < known);
+        }
+        updater.absorb(&obs).unwrap();
+        updater.commit().unwrap();
+    }
+    updater
+}
+
+#[test]
+fn refreshed_serving_matches_cold_retrain_within_tolerance() {
+    // The acceptance bar: D₀ training + online D₁ commits must serve the
+    // D₁ users within the warm-start accuracy tolerance of a cold retrain
+    // on D₀∪D₁ (with D₁ labels masked in both worlds).
+    let (gaz, data) = corpus(600, 5001);
+    let report =
+        online_refresh_drift(&gaz, &data, 480, &quick_config(5001), FoldInConfig::default(), 30)
+            .unwrap();
+    assert_eq!(report.new_users, 120);
+    assert_eq!(report.commits, 4);
+    assert!(report.retrained_acc_at_100 > 0.40, "cold baseline collapsed: {report:?}");
+    assert!(report.refreshed_acc_at_100 > 0.35, "refreshed serving near chance: {report:?}");
+    assert!(
+        report.drift() < 0.15,
+        "online refresh drifted past the warm-start tolerance: {report:?}"
+    );
+}
+
+#[test]
+fn delta_commits_are_byte_identical_across_runs() {
+    let (gaz, data) = corpus(300, 5003);
+    let a = refresh(&gaz, &data, 240, 20, 5003);
+    let b = refresh(&gaz, &data, 240, 20, 5003);
+    assert_eq!(a.snapshot(), b.snapshot(), "repeat refresh must land on the same posterior");
+    assert_eq!(
+        a.snapshot().encode().as_slice(),
+        b.snapshot().encode().as_slice(),
+        "re-encoded refreshed posteriors must be byte-identical"
+    );
+    assert_eq!(
+        a.encode_artifact().unwrap().as_slice(),
+        b.encode_artifact().unwrap().as_slice(),
+        "incremental artifacts (base + delta records) must be byte-identical"
+    );
+}
+
+#[test]
+fn artifacts_thaw_back_to_the_refreshed_posterior() {
+    let (gaz, data) = corpus(260, 5005);
+    let updater = refresh(&gaz, &data, 200, 30, 5005);
+    assert_eq!(updater.committed_deltas().len(), 2);
+
+    // The incremental artifact: base payload + two delta records.
+    let incremental = PosteriorSnapshot::decode(updater.encode_artifact().unwrap()).unwrap();
+    assert_eq!(&incremental, updater.snapshot());
+
+    // A full re-encode of the refreshed posterior (zero records).
+    let reencoded = PosteriorSnapshot::decode(updater.snapshot().encode()).unwrap();
+    assert_eq!(&reencoded, updater.snapshot());
+
+    // And serving from the thawed artifact answers like the live one.
+    let obs = NewUserObservations::batch_from_dataset(&data.dataset, &[UserId(5), UserId(17)]);
+    let live = FoldInEngine::new(updater.snapshot(), &gaz, FoldInConfig::default())
+        .unwrap()
+        .fold_in_batch(&obs)
+        .unwrap();
+    let thawed = FoldInEngine::new(&incremental, &gaz, FoldInConfig::default())
+        .unwrap()
+        .fold_in_batch(&obs)
+        .unwrap();
+    assert_eq!(live, thawed);
+}
+
+#[test]
+fn committed_users_become_citable_neighbors() {
+    let (gaz, data) = corpus(200, 5007);
+    let d0 = data.dataset.prefix(160);
+    let (_, snapshot) = Mlp::new(&gaz, &d0, quick_config(5007)).unwrap().run_with_snapshot();
+    let mut updater =
+        OnlineUpdater::new(&gaz, snapshot, FoldInConfig::default(), StalenessPolicy::default())
+            .unwrap();
+
+    let first_new = UserId(160);
+    let cite_new = vec![NewUserObservations { neighbors: vec![first_new], mentions: vec![] }];
+    // Before any commit, user 160 does not exist in the posterior.
+    assert_eq!(
+        updater.absorb(&cite_new).unwrap_err(),
+        FoldInError::UnknownUser(first_new),
+        "uncommitted users must not be citable"
+    );
+
+    let ids: Vec<UserId> = (160..180).map(UserId).collect();
+    let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, &ids);
+    for o in &mut obs {
+        o.neighbors.retain(|p| p.index() < 160);
+    }
+    updater.absorb(&obs).unwrap();
+    updater.commit().unwrap();
+
+    // After the commit the same request folds in fine — and the committed
+    // neighbor's posterior pulls the requester toward their home.
+    let profile = &updater.absorb(&cite_new).unwrap()[0];
+    let committed_home = updater.snapshot().users.home(first_new);
+    assert!(
+        gaz.distance(profile.home(), committed_home) <= 100.0,
+        "requester should land near their only (committed) neighbor"
+    );
+}
+
+#[test]
+fn hand_corrupted_delta_records_fail_typed_not_loud() {
+    let (gaz, data) = corpus(220, 5009);
+    let d0 = data.dataset.prefix(180);
+    let (_, base) = Mlp::new(&gaz, &d0, quick_config(5009)).unwrap().run_with_snapshot();
+    let base_len = base.encode().len() - 4; // minus the empty record count
+    let mut updater =
+        OnlineUpdater::new(&gaz, base, FoldInConfig::default(), StalenessPolicy::default())
+            .unwrap();
+    let ids: Vec<UserId> = (180..220).map(UserId).collect();
+    let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, &ids);
+    for o in &mut obs {
+        o.neighbors.retain(|p| p.index() < 180);
+    }
+    updater.absorb(&obs).unwrap();
+    updater.commit().unwrap();
+    let artifact = updater.encode_artifact().unwrap();
+
+    // An absurd u64 length prefix must be a typed error before any
+    // allocation happens.
+    let mut huge = artifact.to_vec();
+    huge[base_len + 4..base_len + 12].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(
+        PosteriorSnapshot::decode(bytes::Bytes::from(huge)).unwrap_err(),
+        SnapshotError::Truncated
+    );
+
+    // Truncating anywhere inside the record section stays typed.
+    for cut in [base_len + 2, base_len + 9, artifact.len() - 3] {
+        assert_eq!(
+            PosteriorSnapshot::decode(artifact.slice(..cut)).unwrap_err(),
+            SnapshotError::Truncated,
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn updater_error_types_round_trip_through_display() {
+    // The CLI prints these; make sure the typed wrappers stay informative.
+    let (gaz, _) = corpus(60, 5011);
+    let other = Gazetteer::with_synthetic(&SynthConfig {
+        total_cities: gaz.num_cities() + 5,
+        seed: 9,
+        ..Default::default()
+    });
+    let data =
+        Generator::new(&gaz, GeneratorConfig { num_users: 60, seed: 5011, ..Default::default() })
+            .generate();
+    let (_, snapshot) =
+        Mlp::new(&gaz, &data.dataset, quick_config(5011)).unwrap().run_with_snapshot();
+    let Err(err) =
+        OnlineUpdater::new(&other, snapshot, FoldInConfig::default(), StalenessPolicy::default())
+    else {
+        panic!("mismatched gazetteer must be rejected")
+    };
+    assert!(matches!(err, OnlineError::FoldIn(FoldInError::GazetteerMismatch { .. })));
+    assert!(err.to_string().contains("cities x venues"));
+}

@@ -3,7 +3,7 @@
 //! posterior snapshots through train → freeze → encode → decode →
 //! fold-in, including adversarial inputs.
 
-use mlp::core::snapshot::{SnapshotError, UserArena, UserPosterior, VenueArena};
+use mlp::core::snapshot::{SnapshotDelta, SnapshotError, UserArena, UserPosterior, VenueArena};
 use mlp::core::Variant;
 use mlp::prelude::*;
 use mlp::social::codec::{self, DecodeError};
@@ -206,6 +206,52 @@ mod posterior_proptests {
         })
     }
 
+    /// An arbitrary structurally valid delta for a snapshot shape:
+    /// appended users respect the candidate invariants, and venue
+    /// increments are sorted-unique in-range non-negative weights.
+    fn arb_delta(
+        base_users: u32,
+        num_cities: u32,
+        num_venues: u32,
+    ) -> impl Strategy<Value = SnapshotDelta> {
+        let users = prop::collection::vec(
+            (prop::collection::vec((0..num_cities, 0.01f64..5.0, 0.0f64..10.0), 1..4), 0usize..8),
+            0..5,
+        );
+        let cells = prop::collection::vec((0..num_cities, 0..num_venues, 0.0f64..3.0), 0..12);
+        (users, cells).prop_map(move |(users, mut cells)| {
+            let mut delta = SnapshotDelta::new(base_users);
+            for (mut entries, sel) in users {
+                entries.sort_by_key(|e| e.0);
+                entries.dedup_by_key(|e| e.0);
+                let candidates: Vec<CityId> = entries.iter().map(|e| CityId(e.0)).collect();
+                let gammas: Vec<f64> = entries.iter().map(|e| e.1).collect();
+                let mean_counts: Vec<f64> = entries.iter().map(|e| e.2).collect();
+                delta.push_user(UserPosterior {
+                    home: candidates[sel % candidates.len()],
+                    mean_total: mean_counts.iter().sum(),
+                    gamma_total: gammas.iter().sum(),
+                    candidates,
+                    gammas,
+                    mean_counts,
+                });
+            }
+            cells.sort_by_key(|c| (c.0, c.1));
+            cells.dedup_by_key(|c| (c.0, c.1));
+            let coo: Vec<(CityId, VenueId, f64)> =
+                cells.into_iter().map(|(l, v, w)| (CityId(l), VenueId(v), w)).collect();
+            delta.add_venue_weights(&coo);
+            delta
+        })
+    }
+
+    fn arb_posterior_with_delta() -> impl Strategy<Value = (PosteriorSnapshot, SnapshotDelta)> {
+        arb_posterior().prop_flat_map(|snap| {
+            let delta = arb_delta(snap.num_users() as u32, snap.num_cities, snap.num_venues.max(1));
+            (Just(snap), delta)
+        })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -227,6 +273,38 @@ mod posterior_proptests {
                     PosteriorSnapshot::decode(bytes.slice(..cut)).unwrap_err(),
                     SnapshotError::Truncated
                 );
+            }
+        }
+
+        /// v3 artifacts carrying delta records thaw to exactly the base
+        /// with the delta applied — for arbitrary snapshot/delta shapes,
+        /// including empty deltas, empty user rows, and venue cells
+        /// outside the base support.
+        #[test]
+        fn delta_artifacts_replay_exactly((snap, delta) in arb_posterior_with_delta()) {
+            // Venue cells must target real venues; arb caps ids at
+            // max(num_venues, 1), so skip the degenerate no-venue shape
+            // when the delta actually carries cells.
+            prop_assume!(snap.num_venues > 0 || delta.is_empty());
+            let artifact = snap.encode_with_deltas(std::slice::from_ref(&delta)).unwrap();
+            let thawed = PosteriorSnapshot::decode(artifact).unwrap();
+            let mut applied = snap.clone();
+            applied.apply_delta(&delta).unwrap();
+            prop_assert_eq!(applied, thawed);
+        }
+
+        /// Truncating a delta-carrying artifact anywhere still fails with
+        /// a typed error — never a panic, never a silent partial replay.
+        #[test]
+        fn delta_artifact_truncation_never_panics(
+            (snap, delta) in arb_posterior_with_delta(),
+            frac in 0.0f64..1.0,
+        ) {
+            prop_assume!(snap.num_venues > 0 || delta.is_empty());
+            let bytes = snap.encode_with_deltas(std::slice::from_ref(&delta)).unwrap();
+            let cut = ((bytes.len() as f64) * frac) as usize;
+            if cut < bytes.len() {
+                prop_assert!(PosteriorSnapshot::decode(bytes.slice(..cut)).is_err());
             }
         }
     }

@@ -92,6 +92,41 @@ fn single_fold_in_matches_batch_head() {
 }
 
 #[test]
+fn batch_edge_cases_never_panic_or_diverge() {
+    let (gaz, data, snapshot) = train_snapshot(100, 3011);
+
+    // An empty batch is a valid request, whatever the thread count.
+    for threads in [0usize, 1, 4] {
+        let engine =
+            FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads, ..Default::default() })
+                .unwrap();
+        assert_eq!(engine.fold_in_batch(&[]).unwrap(), vec![]);
+    }
+
+    // threads: 0 must behave exactly as 1 (the sequential path)…
+    let batch = requests(&data, 7);
+    let zero =
+        FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads: 0, ..Default::default() })
+            .unwrap()
+            .fold_in_batch(&batch)
+            .unwrap();
+    let one = FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads: 1, ..Default::default() })
+        .unwrap()
+        .fold_in_batch(&batch)
+        .unwrap();
+    assert_eq!(zero, one, "threads: 0 must be the sequential path");
+
+    // …and far more workers than requests just idles the surplus.
+    let many =
+        FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads: 32, ..Default::default() })
+            .unwrap()
+            .fold_in_batch(&batch)
+            .unwrap();
+    assert_eq!(one, many, "threads > batch.len() must not change predictions");
+    assert_eq!(determinism_hash(&one), determinism_hash(&many));
+}
+
+#[test]
 fn training_twice_freezes_identical_snapshots() {
     let (_, _, a) = train_snapshot(150, 3009);
     let (_, _, b) = train_snapshot(150, 3009);

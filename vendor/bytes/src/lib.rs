@@ -17,6 +17,11 @@ pub trait Buf {
     /// Copies `dst.len()` bytes out and advances. Panics when short.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
         let mut b = [0u8; 1];
@@ -101,6 +106,11 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Appends raw bytes (mirrors the real crate's inherent method).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
     /// Converts into an immutable, cheaply cloneable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -152,6 +162,15 @@ impl Bytes {
     /// Copies the viewed bytes into a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// Splits the view: returns `[0, at)` and advances `self` to start at
+    /// `at`. O(1) — both views share storage. Panics when `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to {at} out of range for {}", self.len());
+        let front = Bytes { data: Arc::clone(&self.data), start: self.start, end: self.start + at };
+        self.start += at;
+        front
     }
 
     /// O(1) sub-view over `range` (indices relative to this view).
