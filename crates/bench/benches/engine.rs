@@ -1,0 +1,86 @@
+//! Facade overhead: `ServingEngine::profile_batch` vs the low-level
+//! `FoldInEngine::fold_in_batch` it wraps, on the 300-user synthetic
+//! dataset (40 unseen-user requests — the warm-start serving scale).
+//!
+//! The facade pays, per call: one mutex-guarded `Arc` clone (the epoch
+//! read), one `FoldInEngine` construction against the pinned snapshot,
+//! one clone of the request observations, and the typed response
+//! mapping. The acceptance bar for PR 5 is < 5% over the direct path,
+//! recorded in BENCHMARKS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlp_core::{
+    FoldInConfig, FoldInEngine, Mlp, MlpConfig, NewUserObservations, PosteriorSnapshot,
+    ProfileRequest, ServingEngine,
+};
+use mlp_gazetteer::Gazetteer;
+use mlp_social::{Generator, GeneratorConfig, UserId};
+use std::collections::HashSet;
+
+const NUM_USERS: usize = 300;
+const NUM_UNSEEN: u32 = 40;
+
+struct Fixture {
+    gaz: Gazetteer,
+    observations: Vec<NewUserObservations>,
+    requests: Vec<ProfileRequest>,
+    snapshot: PosteriorSnapshot,
+}
+
+fn fixture() -> Fixture {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: NUM_USERS, seed: 42, ..Default::default() },
+    )
+    .generate();
+    let unseen: Vec<UserId> =
+        ((NUM_USERS as u32 - NUM_UNSEEN)..NUM_USERS as u32).map(UserId).collect();
+    let held: HashSet<UserId> = unseen.iter().copied().collect();
+    let mut train = data.dataset.mask_users(&unseen);
+    train.edges.retain(|e| !held.contains(&e.follower) && !held.contains(&e.friend));
+    train.mentions.retain(|m| !held.contains(&m.user));
+    let mut observations = NewUserObservations::batch_from_dataset(&data.dataset, &unseen);
+    for obs in &mut observations {
+        obs.neighbors.retain(|p| !held.contains(p));
+    }
+    let requests = observations.iter().cloned().map(ProfileRequest::new).collect();
+    let (_, snapshot) = Mlp::new(&gaz, &train, MlpConfig::default()).unwrap().run_with_snapshot();
+    Fixture { gaz, observations, requests, snapshot }
+}
+
+fn bench_engine_profile_batch(c: &mut Criterion) {
+    let fx = fixture();
+    let mut group = c.benchmark_group("engine_profile_batch");
+    group.sample_size(10);
+
+    // The low-level baseline: a pre-built fold-in engine answering the
+    // whole request wave (the PR 2 serving idiom).
+    group.bench_function("direct_fold_in_batch_40_users", |b| {
+        let engine = FoldInEngine::new(&fx.snapshot, &fx.gaz, FoldInConfig::default()).unwrap();
+        b.iter(|| engine.fold_in_batch(&fx.observations).unwrap())
+    });
+
+    // The facade: epoch read + per-call fold-in engine construction +
+    // typed responses, all inside the measured loop.
+    group.bench_function("facade_profile_batch_40_users", |b| {
+        let engine = ServingEngine::builder(&fx.gaz).from_snapshot(fx.snapshot.clone()).unwrap();
+        b.iter(|| engine.profile_batch(&fx.requests).unwrap())
+    });
+
+    // Same comparison at the single-request scale, where fixed per-call
+    // overhead has nowhere to hide.
+    group.bench_function("direct_fold_in_single_user", |b| {
+        let engine = FoldInEngine::new(&fx.snapshot, &fx.gaz, FoldInConfig::default()).unwrap();
+        b.iter(|| engine.fold_in(&fx.observations[0]).unwrap())
+    });
+    group.bench_function("facade_profile_single_user", |b| {
+        let engine = ServingEngine::builder(&fx.gaz).from_snapshot(fx.snapshot.clone()).unwrap();
+        b.iter(|| engine.profile(&fx.requests[0]).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_profile_batch);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates the paper's dataset statistics (Sec. 5, "Data Collection"
 //! and Sec. 4.3): users / edges / mentions, mean friends-followers-venues
-//! per user, and the candidacy-coverage figure ("about 92% [of] users
+//! per user, and the candidacy-coverage figure ("about 92% \[of\] users
 //! whose locations appear in their relationships").
 
 use mlp_bench::BenchArgs;

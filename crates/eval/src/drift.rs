@@ -1,24 +1,24 @@
 //! Drift measurement for online posterior refresh.
 //!
-//! An [`mlp_core::OnlineUpdater`] commits fold-in posteriors instead of
-//! retraining, which is an approximation: absorbed users are inferred
-//! against frozen counts, and trained users' rows never move. The honest
+//! A [`mlp_core::ServingEngine`] refresh commits fold-in posteriors
+//! instead of retraining, which is an approximation: absorbed users are
+//! inferred against frozen counts, and trained users' rows never move. The honest
 //! question for a bounded-staleness policy is *how far* the refreshed
 //! posterior has drifted from what a cold retrain on the same data would
 //! serve. This module answers it with the paper's own yardstick —
 //! ACC@100 over the newly arrived users — comparing:
 //!
 //! * **refreshed** — train on the first `train_users` users only, then
-//!   absorb + commit everyone else through the updater in batches, and
+//!   absorb + commit everyone else through the engine in batches, and
 //!   read the committed MAP homes;
 //! * **retrained** — run full Gibbs from scratch on the whole corpus with
 //!   the new users' labels masked (they arrive unlabeled in both worlds),
 //!   and read the trained homes.
 //!
-//! The gap feeds [`mlp_core::OnlineUpdater::record_drift`], closing the
+//! The gap feeds [`mlp_core::ServingEngine::record_drift`], closing the
 //! loop: serve → measure → refresh when the policy says so.
 
-use mlp_core::{FoldInConfig, Mlp, MlpConfig, NewUserObservations, OnlineUpdater, StalenessPolicy};
+use mlp_core::{FoldInConfig, Mlp, MlpConfig, ServingEngine};
 use mlp_gazetteer::{CityId, Gazetteer};
 use mlp_social::{GeneratedData, UserId};
 
@@ -48,10 +48,15 @@ impl DriftReport {
 /// Runs the refreshed-vs-retrained comparison on one generated corpus.
 ///
 /// Users `0..train_users` form the offline training set D₀; users
-/// `train_users..` are D₁, absorbed through an [`OnlineUpdater`] in
-/// batches of `batch` (each batch committed before the next is absorbed,
-/// so later arrivals may cite earlier ones as neighbors). Deterministic
-/// end to end for fixed inputs.
+/// `train_users..` are D₁, absorbed through a [`ServingEngine`] refresh in
+/// batches of `batch` (each batch committed — and its epoch published —
+/// before the next is absorbed, so later arrivals may cite earlier ones as
+/// neighbors). Deterministic end to end for fixed inputs.
+///
+/// Since the PR 5 facade migration, `fold_in` must satisfy the engine's
+/// strict `FoldInConfig::validate` gate (nonzero sweeps/threads, burn-in
+/// below the chain) — the low-level layer's permissive clamps (e.g.
+/// `threads: 0` as sequential) are rejected here with a typed message.
 pub fn online_refresh_drift(
     gaz: &Gazetteer,
     data: &GeneratedData,
@@ -66,22 +71,18 @@ pub fn online_refresh_drift(
     }
     let new_users: Vec<UserId> = (train_users as u32..n as u32).map(UserId).collect();
 
-    // Refreshed path: D₀ training, D₁ absorbed online.
-    let d0 = data.dataset.prefix(train_users);
-    let (_, snapshot) = Mlp::new(gaz, &d0, mlp_config.clone())?.run_with_snapshot();
-    let mut updater = OnlineUpdater::new(gaz, snapshot, fold_in, StalenessPolicy::default())
+    // Refreshed path: D₀ training, D₁ absorbed online through the facade.
+    let engine = ServingEngine::builder(gaz)
+        .mlp_config(mlp_config.clone())
+        .fold_in_config(fold_in)
+        .train(&data.dataset.prefix(train_users))
         .map_err(|e| e.to_string())?;
-    for chunk in new_users.chunks(batch.max(1)) {
-        let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, chunk);
-        let known = updater.snapshot().num_users();
-        for o in &mut obs {
-            o.neighbors.retain(|p| p.index() < known);
-        }
-        updater.absorb(&obs).map_err(|e| e.to_string())?;
-        updater.commit().map_err(|e| e.to_string())?;
-    }
+    engine
+        .refresh_from_dataset(&data.dataset, &new_users, batch.max(1))
+        .map_err(|e| e.to_string())?;
+    let refreshed_snapshot = engine.snapshot();
     let refreshed: Vec<Option<CityId>> =
-        new_users.iter().map(|&u| Some(updater.snapshot().users.home(u))).collect();
+        new_users.iter().map(|&u| Some(refreshed_snapshot.users.home(u))).collect();
 
     // Cold path: full corpus, new users' labels masked.
     let masked = data.dataset.mask_users(&new_users);
@@ -94,7 +95,7 @@ pub fn online_refresh_drift(
         refreshed_acc_at_100: acc_at_m(gaz, &refreshed, &truths, 100.0),
         retrained_acc_at_100: acc_at_m(gaz, &retrained, &truths, 100.0),
         new_users: new_users.len(),
-        commits: updater.commits(),
+        commits: engine.commits(),
     })
 }
 

@@ -1,6 +1,6 @@
 //! Venue extraction from tweet text.
 //!
-//! The paper "extracted venues from [tweets] based on the same gazetteer".
+//! The paper "extracted venues from \[tweets\] based on the same gazetteer".
 //! We reproduce that step: lower-case word tokenization, then greedy
 //! longest-first n-gram matching against the venue vocabulary, so
 //! `"see gaga in hollywood"` yields the venue `hollywood` and

@@ -1,6 +1,6 @@
 //! Candidacy vectors `λ_i` and supervised priors `γ_i` (paper Sec. 4.3).
 //!
-//! "We utilize location[s] observed from a user's neighbors to set his
+//! "We utilize location\[s\] observed from a user's neighbors to set his
 //! candidacy vector. Specifically, we assume that λ_{i,j} is 1 if and only
 //! if the j-th candidate location is observed from u_i's following and
 //! tweeting relationships." Registered locations resolve directly; tweeted

@@ -2,6 +2,56 @@
 
 use mlp_geo::PowerLaw;
 
+/// A configuration field that cannot drive a well-defined chain.
+///
+/// Both [`MlpConfig::validate`] and
+/// [`crate::infer::FoldInConfig::validate`] report violations through this
+/// one enum, and the [`crate::engine::EngineBuilder`] build paths refuse to
+/// construct a [`crate::engine::ServingEngine`] over an invalid
+/// configuration — degenerate chains (zero sweeps, burn-in swallowing every
+/// sample, zero worker threads) fail loudly at build time instead of
+/// silently producing garbage posteriors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A count field that must be nonzero (iterations, sweeps, threads,
+    /// EM rounds, fallback candidates) was zero.
+    Zero(&'static str),
+    /// `burn_in` must be strictly below the chain length, or every sweep
+    /// is discarded and the accumulated posterior is empty.
+    BurnInTooLarge {
+        /// The configured burn-in.
+        burn_in: usize,
+        /// The configured chain length it must stay below.
+        chain_len: usize,
+    },
+    /// A real-valued hyper-parameter sat outside its domain (NaN included).
+    OutOfDomain {
+        /// Field name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable domain, e.g. `"(0, inf)"`.
+        domain: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Zero(name) => write!(f, "{name} must be positive"),
+            ConfigError::BurnInTooLarge { burn_in, chain_len } => {
+                write!(f, "burn_in ({burn_in}) must be below the chain length ({chain_len})")
+            }
+            ConfigError::OutOfDomain { name, value, domain } => {
+                write!(f, "{name} must lie in {domain}, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which observation types the model consumes — the paper's three variants
 /// evaluated in Tables 2 and 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,34 +164,38 @@ impl MlpConfig {
     }
 
     /// Validates parameter ranges; returns the first violation.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.iterations == 0 {
-            return Err("iterations must be positive".into());
+            return Err(ConfigError::Zero("iterations"));
         }
         if self.burn_in >= self.iterations {
-            return Err(format!(
-                "burn_in ({}) must be below iterations ({})",
-                self.burn_in, self.iterations
-            ));
+            return Err(ConfigError::BurnInTooLarge {
+                burn_in: self.burn_in,
+                chain_len: self.iterations,
+            });
         }
         for (name, v) in [("tau", self.tau), ("delta", self.delta)] {
             if !(v > 0.0) || !v.is_finite() {
-                return Err(format!("{name} must be positive, got {v}"));
+                return Err(ConfigError::OutOfDomain { name, value: v, domain: "(0, inf)" });
             }
         }
         if !(self.supervision_boost >= 0.0) {
-            return Err("supervision_boost must be non-negative".into());
+            return Err(ConfigError::OutOfDomain {
+                name: "supervision_boost",
+                value: self.supervision_boost,
+                domain: "[0, inf)",
+            });
         }
         for (name, p) in [("rho_f", self.rho_f), ("rho_t", self.rho_t)] {
             if !(0.0..1.0).contains(&p) {
-                return Err(format!("{name} must be in [0,1), got {p}"));
+                return Err(ConfigError::OutOfDomain { name, value: p, domain: "[0, 1)" });
             }
         }
         if self.threads == 0 {
-            return Err("threads must be positive".into());
+            return Err(ConfigError::Zero("threads"));
         }
         if self.gibbs_em && self.em_iterations == 0 {
-            return Err("em_iterations must be positive when gibbs_em is on".into());
+            return Err(ConfigError::Zero("em_iterations (gibbs_em is on)"));
         }
         Ok(())
     }
@@ -184,5 +238,22 @@ mod tests {
         assert!(MlpConfig { threads: 0, ..ok.clone() }.validate().is_err());
         assert!(MlpConfig { supervision_boost: -1.0, ..ok.clone() }.validate().is_err());
         assert!(MlpConfig { gibbs_em: true, em_iterations: 0, ..ok.clone() }.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed_and_printable() {
+        let ok = MlpConfig::default();
+        assert_eq!(
+            MlpConfig { iterations: 0, ..ok.clone() }.validate(),
+            Err(ConfigError::Zero("iterations"))
+        );
+        assert_eq!(
+            MlpConfig { burn_in: 30, iterations: 30, ..ok.clone() }.validate(),
+            Err(ConfigError::BurnInTooLarge { burn_in: 30, chain_len: 30 })
+        );
+        let nan = MlpConfig { tau: f64::NAN, ..ok.clone() }.validate().unwrap_err();
+        assert!(matches!(nan, ConfigError::OutOfDomain { name: "tau", .. }));
+        let msg = MlpConfig { rho_f: 1.5, ..ok }.validate().unwrap_err().to_string();
+        assert!(msg.contains("rho_f") && msg.contains("[0, 1)"), "{msg}");
     }
 }

@@ -47,6 +47,7 @@ use mlp_social::{Dataset, UserId};
 /// invariants* (`γ > 0` making categorical weights positive), which no
 /// input reachable through this module can violate.
 #[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FoldInError {
     /// The snapshot was trained against a different gazetteer — shape
     /// (`cities`/`venues`) or content (`fingerprint`) differs.
@@ -177,6 +178,35 @@ impl Default for FoldInConfig {
     }
 }
 
+impl FoldInConfig {
+    /// Validates the configuration; returns the first violation.
+    ///
+    /// [`FoldInEngine`] itself stays permissive for backward compatibility
+    /// (`threads: 0` runs sequentially, `sweeps: 0` clamps to one, a
+    /// burn-in swallowing every sweep falls back to the final sample) —
+    /// this is the strict check the [`crate::engine::EngineBuilder`] build paths
+    /// enforces so a serving deployment cannot run degenerate chains.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::ConfigError;
+        if self.sweeps == 0 {
+            return Err(ConfigError::Zero("sweeps"));
+        }
+        if self.burn_in >= self.sweeps {
+            return Err(ConfigError::BurnInTooLarge {
+                burn_in: self.burn_in,
+                chain_len: self.sweeps,
+            });
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::Zero("threads"));
+        }
+        if self.fallback_popular_k == 0 {
+            return Err(ConfigError::Zero("fallback_popular_k"));
+        }
+        Ok(())
+    }
+}
+
 /// An unseen user's inferred location profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FoldInProfile {
@@ -222,6 +252,15 @@ pub struct FoldInRecord {
 /// FNV-1a over the bit patterns of a prediction set — the serving-path
 /// fingerprint the determinism suite (and the CI smoke job) pins.
 pub fn determinism_hash(profiles: &[FoldInProfile]) -> u64 {
+    determinism_hash_rankings(profiles.iter().map(|p| p.profile.as_slice()))
+}
+
+/// The hash behind [`determinism_hash`], generic over how the rankings are
+/// stored so [`crate::engine::response_determinism_hash`] produces the
+/// *same* fingerprint for the same predictions.
+pub(crate) fn determinism_hash_rankings<'s>(
+    rankings: impl Iterator<Item = &'s [(CityId, f64)]>,
+) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |x: u64| {
         for b in x.to_le_bytes() {
@@ -229,9 +268,9 @@ pub fn determinism_hash(profiles: &[FoldInProfile]) -> u64 {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
     };
-    for p in profiles {
-        eat(p.profile.len() as u64);
-        for &(c, w) in &p.profile {
+    for ranked in rankings {
+        eat(ranked.len() as u64);
+        for &(c, w) in ranked {
             eat(c.0 as u64);
             eat(w.to_bits());
         }
@@ -320,18 +359,59 @@ impl CountView for FoldInCounts<'_> {
     }
 }
 
+/// Everything [`FoldInEngine::new`] derives from a snapshot besides the
+/// frozen counts themselves: the thawed noise models, the reassembled
+/// hyper-parameters, and the popular-city fallback list. None of it
+/// changes when delta commits append users, so
+/// [`crate::engine::ServingEngine`] derives it once at build time and
+/// rebuilds per-epoch engines from clones through
+/// [`FoldInEngine::from_validated_parts`] — skipping the per-call
+/// gazetteer-fingerprint walk.
+#[derive(Debug, Clone)]
+pub(crate) struct DerivedParts {
+    /// Thawed noise models (exact training-time probabilities).
+    pub(crate) random: RandomModels,
+    /// Hyper-parameters reassembled for the kernel's `SamplerView`.
+    pub(crate) mlp_config: MlpConfig,
+    /// Fallback candidates for signal-free users: most populous cities.
+    pub(crate) popular: Vec<CityId>,
+}
+
+impl DerivedParts {
+    pub(crate) fn derive(
+        snap: &PosteriorSnapshot,
+        gaz: &Gazetteer,
+        fallback_popular_k: usize,
+    ) -> Self {
+        let mut by_pop: Vec<CityId> = (0..gaz.num_cities() as u32).map(CityId).collect();
+        by_pop.sort_by_key(|&c| std::cmp::Reverse(gaz.city(c).population));
+        by_pop.truncate(fallback_popular_k.max(1));
+        Self {
+            random: RandomModels::from_frozen(snap.follow_prob, snap.venue_probs.clone()),
+            mlp_config: MlpConfig {
+                variant: snap.variant,
+                count_noisy_assignments: snap.count_noisy_assignments,
+                tau: snap.tau,
+                delta: snap.delta,
+                rho_f: snap.rho_f,
+                rho_t: snap.rho_t,
+                power_law: snap.power_law,
+                fit_power_law_from_data: false,
+                ..Default::default()
+            },
+            popular: by_pop,
+        }
+    }
+}
+
 /// The fold-in engine: a frozen snapshot plus everything derived from it
 /// once, shared read-only by every chain (and every batch worker).
 pub struct FoldInEngine<'a> {
     snap: &'a PosteriorSnapshot,
     gaz: &'a Gazetteer,
     config: FoldInConfig,
-    /// Thawed noise models (exact training-time probabilities).
-    random: RandomModels,
-    /// Hyper-parameters reassembled for the kernel's `SamplerView`.
-    mlp_config: MlpConfig,
-    /// Fallback candidates for signal-free users: most populous cities.
-    popular: Vec<CityId>,
+    /// See [`DerivedParts`].
+    parts: DerivedParts,
 }
 
 impl<'a> FoldInEngine<'a> {
@@ -351,29 +431,23 @@ impl<'a> FoldInEngine<'a> {
                 gazetteer: (gaz.num_cities() as u32, gaz.num_venues() as u32, gaz_print),
             });
         }
-        let mut by_pop: Vec<CityId> = (0..gaz.num_cities() as u32).map(CityId).collect();
-        by_pop.sort_by_key(|&c| std::cmp::Reverse(gaz.city(c).population));
-        by_pop.truncate(config.fallback_popular_k.max(1));
+        let parts = DerivedParts::derive(snap, gaz, config.fallback_popular_k);
+        Ok(Self { snap, gaz, config, parts })
+    }
 
-        let mlp_config = MlpConfig {
-            variant: snap.variant,
-            count_noisy_assignments: snap.count_noisy_assignments,
-            tau: snap.tau,
-            delta: snap.delta,
-            rho_f: snap.rho_f,
-            rho_t: snap.rho_t,
-            power_law: snap.power_law,
-            fit_power_law_from_data: false,
-            ..Default::default()
-        };
-        Ok(Self {
-            random: RandomModels::from_frozen(snap.follow_prob, snap.venue_probs.clone()),
-            snap,
-            gaz,
-            config,
-            mlp_config,
-            popular: by_pop,
-        })
+    /// The fast path for [`crate::engine::ServingEngine`]: rebinds an
+    /// engine to a (possibly delta-refreshed) snapshot from parts the
+    /// caller derived when it validated the snapshot/gazetteer pairing —
+    /// no fingerprint walk, no re-derivation. Callers must guarantee
+    /// `parts` came from [`DerivedParts::derive`] over the same gazetteer
+    /// and hyper-parameters (delta commits never change either).
+    pub(crate) fn from_validated_parts(
+        snap: &'a PosteriorSnapshot,
+        gaz: &'a Gazetteer,
+        config: FoldInConfig,
+        parts: DerivedParts,
+    ) -> Self {
+        Self { snap, gaz, config, parts }
     }
 
     /// The engine's fold-in configuration.
@@ -397,7 +471,20 @@ impl<'a> FoldInEngine<'a> {
         &self,
         batch: &[NewUserObservations],
     ) -> Result<Vec<FoldInProfile>, FoldInError> {
-        self.fold_in_each(batch, |i, o| self.fold_in_indexed(i, o, false).map(|r| r.profile))
+        self.fold_in_batch_by(batch.len(), |i| &batch[i])
+    }
+
+    /// [`Self::fold_in_batch`] fetching each request's observations by
+    /// index — the crate-internal bridge for callers whose batches wrap
+    /// observations in a richer request type
+    /// ([`crate::engine::ServingEngine::profile_batch`]), avoiding an
+    /// intermediate owned copy of every neighbor/mention list.
+    pub(crate) fn fold_in_batch_by<'b>(
+        &self,
+        len: usize,
+        get: impl Fn(usize) -> &'b NewUserObservations + Sync,
+    ) -> Result<Vec<FoldInProfile>, FoldInError> {
+        self.fold_in_each(len, |i| self.fold_in_indexed(i, get(i), false).map(|r| r.profile))
     }
 
     /// [`Self::fold_in_batch`] returning full [`FoldInRecord`]s — the
@@ -408,30 +495,31 @@ impl<'a> FoldInEngine<'a> {
         &self,
         batch: &[NewUserObservations],
     ) -> Result<Vec<FoldInRecord>, FoldInError> {
-        self.fold_in_each(batch, |i, o| self.fold_in_indexed(i, o, true))
+        self.fold_in_each(batch.len(), |i| self.fold_in_indexed(i, &batch[i], true))
     }
 
-    /// Shared batch scheduler: chunks `batch` across scoped workers (or
-    /// runs inline for `threads <= 1`), preserving request order.
+    /// Shared batch scheduler: chunks request indices `0..len` across
+    /// scoped workers (or runs inline for `threads <= 1`), preserving
+    /// request order.
     fn fold_in_each<T: Send>(
         &self,
-        batch: &[NewUserObservations],
-        run: impl Fn(usize, &NewUserObservations) -> Result<T, FoldInError> + Sync,
+        len: usize,
+        run: impl Fn(usize) -> Result<T, FoldInError> + Sync,
     ) -> Result<Vec<T>, FoldInError> {
         let threads = self.config.threads.max(1);
         if threads == 1 {
-            return batch.iter().enumerate().map(|(i, o)| run(i, o)).collect();
+            return (0..len).map(&run).collect();
         }
         let run = &run;
-        let chunks = chunk_ranges(batch.len(), threads);
+        let chunks = chunk_ranges(len, threads);
         let outs: Vec<Result<Vec<T>, FoldInError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|range| scope.spawn(move || range.map(|i| run(i, &batch[i])).collect()))
+                .map(|range| scope.spawn(move || range.map(run).collect()))
                 .collect();
             handles.into_iter().map(|h| h.join().expect("fold-in worker")).collect()
         });
-        let mut merged = Vec::with_capacity(batch.len());
+        let mut merged = Vec::with_capacity(len);
         for out in outs {
             merged.extend(out?);
         }
@@ -476,7 +564,7 @@ impl<'a> FoldInEngine<'a> {
         candidates.sort_unstable();
         candidates.dedup();
         if candidates.is_empty() {
-            candidates = self.popular.clone();
+            candidates = self.parts.popular.clone();
             candidates.sort_unstable();
         }
         if candidates.is_empty() {
@@ -507,8 +595,8 @@ impl<'a> FoldInEngine<'a> {
         let view: SamplerView<'_, FoldInProfiles<'_>> = SamplerView {
             gaz: self.gaz,
             candidacy: &profiles,
-            random: &self.random,
-            config: &self.mlp_config,
+            random: &self.parts.random,
+            config: &self.parts.mlp_config,
             power_law: snap.power_law,
         };
         let mut counts = FoldInCounts {

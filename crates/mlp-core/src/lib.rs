@@ -38,13 +38,18 @@
 //!   frozen snapshot, sequentially or batched across scoped threads;
 //! * [`online`] — incremental posterior refresh: absorbing new users into
 //!   mergeable [`snapshot::SnapshotDelta`]s and committing them without a
-//!   retrain, under a bounded staleness policy.
+//!   retrain, under a bounded staleness policy;
+//! * [`engine`] — **the serving facade**: [`engine::ServingEngine`] unifies
+//!   train / fold-in / refresh behind one typed, concurrency-safe API with
+//!   epoch-published snapshots. [`snapshot`], [`infer`], and [`online`]
+//!   remain public as the low-level layer it is built from.
 
 pub mod candidacy;
 pub mod config;
 pub mod count_store;
 pub mod diagnostics;
 pub mod em;
+pub mod engine;
 pub mod fit;
 pub mod geo_groups;
 pub mod infer;
@@ -58,9 +63,13 @@ pub mod snapshot;
 pub mod state;
 
 pub use candidacy::Candidacy;
-pub use config::{MlpConfig, Variant};
+pub use config::{ConfigError, MlpConfig, Variant};
 pub use count_store::{VenueCountStore, VenueRow};
 pub use diagnostics::{Diagnostics, IterationStats};
+pub use engine::{
+    response_determinism_hash, CommitInfo, EngineBuilder, EngineError, ProfileRequest,
+    ProfileResponse, RankedCities, RefreshReport, ServingEngine, SnapshotHandle,
+};
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
 pub use infer::{

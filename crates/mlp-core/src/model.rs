@@ -94,7 +94,7 @@ impl<'a> Mlp<'a> {
         dataset: &'a Dataset,
         config: MlpConfig,
     ) -> Result<Self, String> {
-        config.validate()?;
+        config.validate().map_err(|e| e.to_string())?;
         dataset.validate(gaz.num_cities(), gaz.num_venues())?;
         let mut config = config;
         if config.fit_power_law_from_data {

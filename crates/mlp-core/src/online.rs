@@ -44,6 +44,7 @@ use mlp_gazetteer::Gazetteer;
 /// side (snapshot/gazetteer mismatch) or the format side (unencodable
 /// state) can object.
 #[derive(Debug, PartialEq)]
+#[non_exhaustive]
 pub enum OnlineError {
     /// The snapshot cannot serve against this gazetteer.
     FoldIn(FoldInError),
@@ -60,7 +61,14 @@ impl std::fmt::Display for OnlineError {
     }
 }
 
-impl std::error::Error for OnlineError {}
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::FoldIn(e) => Some(e),
+            OnlineError::Snapshot(e) => Some(e),
+        }
+    }
+}
 
 impl From<FoldInError> for OnlineError {
     fn from(e: FoldInError) -> Self {
@@ -103,6 +111,11 @@ pub struct OnlineUpdater<'a> {
     /// construction so publishing an update appends delta records instead
     /// of re-encoding the arenas.
     base_payload: Bytes,
+    /// Snapshot-derived fold-in state (noise models, hyper-parameters,
+    /// popular fallback), derived once here — delta commits never change
+    /// it — so each absorb rebinds a fold-in engine without re-walking
+    /// the gazetteer fingerprint or re-sorting cities.
+    parts: crate::infer::DerivedParts,
     /// Staged but not yet committed.
     pending: SnapshotDelta,
     /// Commit history since the base snapshot, in order.
@@ -123,8 +136,9 @@ impl<'a> OnlineUpdater<'a> {
     ) -> Result<Self, OnlineError> {
         // Engine construction performs the fingerprint validation; the
         // engine itself is rebuilt per absorb (the snapshot mutates
-        // between commits).
+        // between commits) from the parts derived here.
         FoldInEngine::new(&snapshot, gaz, fold_in.clone())?;
+        let parts = crate::infer::DerivedParts::derive(&snapshot, gaz, fold_in.fallback_popular_k);
         let base_payload = snapshot.encode_payload()?.freeze();
         let base_users = snapshot.num_users() as u32;
         Ok(Self {
@@ -133,6 +147,7 @@ impl<'a> OnlineUpdater<'a> {
             fold_in,
             policy,
             base_payload,
+            parts,
             pending: SnapshotDelta::new(base_users),
             committed: Vec::new(),
             commits: 0,
@@ -144,6 +159,13 @@ impl<'a> OnlineUpdater<'a> {
     /// users are *not* visible here until [`Self::commit`].
     pub fn snapshot(&self) -> &PosteriorSnapshot {
         &self.snapshot
+    }
+
+    /// The snapshot-derived fold-in state computed at construction —
+    /// shared with [`crate::engine::ServingEngine`] so the read path and
+    /// the absorb path can never derive divergent copies.
+    pub(crate) fn derived_parts(&self) -> &crate::infer::DerivedParts {
+        &self.parts
     }
 
     /// Consumes the updater, returning the refreshed snapshot (pending
@@ -168,7 +190,12 @@ impl<'a> OnlineUpdater<'a> {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
-        let engine = FoldInEngine::new(&self.snapshot, self.gaz, self.fold_in.clone())?;
+        let engine = FoldInEngine::from_validated_parts(
+            &self.snapshot,
+            self.gaz,
+            self.fold_in.clone(),
+            self.parts.clone(),
+        );
         let records = engine.fold_in_records(batch)?;
         let mut profiles = Vec::with_capacity(records.len());
         // One COO merge for the whole batch — per-record merging would

@@ -75,6 +75,7 @@ pub fn gazetteer_fingerprint(gaz: &Gazetteer) -> u64 {
 
 /// Errors raised when decoding a posterior snapshot.
 #[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SnapshotError {
     /// Wrong magic number — not a posterior snapshot.
     BadMagic(u32),

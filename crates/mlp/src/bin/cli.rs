@@ -17,16 +17,16 @@
 //! generated — city ids index the gazetteer, and a mismatch is rejected at
 //! model construction.
 //!
-//! `train` freezes a trained posterior into a serving artifact
-//! (`PosteriorSnapshot`, format v3); `--train-users N` trains on the
-//! first `N` users only, leaving the rest to arrive later. `refresh`
-//! absorbs every dataset user beyond the artifact's trained count through
-//! the online updater — committing posterior deltas batch by batch, no
-//! retrain — and writes the refreshed artifact (base payload + delta
-//! records).
+//! `train` and `refresh` both drive the [`ServingEngine`] facade: `train`
+//! cold-trains and writes the serving artifact (`PosteriorSnapshot`,
+//! format v3; `--train-users N` trains on the first `N` users only,
+//! leaving the rest to arrive later); `refresh` thaws the artifact into an
+//! engine and absorbs every dataset user beyond the trained count —
+//! committing posterior deltas batch by batch, one published epoch per
+//! commit, no retrain — then writes the refreshed artifact (base payload +
+//! delta records).
 
 use mlp::core::geo_groups::geo_groups;
-use mlp::core::FoldInError;
 use mlp::prelude::*;
 use mlp::social::codec;
 use mlp::social::{Adjacency, DatasetStats, GroundTruth};
@@ -174,13 +174,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let folds = Folds::split(&dataset, o.folds.max(2), o.seed);
             let test_users = folds.test_users(0);
             let train = folds.train_view(&dataset, 0);
-            let config = MlpConfig {
-                iterations: o.iters,
-                burn_in: (o.iters / 2).max(1),
-                seed: o.seed,
-                ..Default::default()
-            };
-            let result = Mlp::new(&gaz, &train, config)
+            let result = Mlp::new(&gaz, &train, mlp_config(&o))
                 .map_err(|e| format!("model rejected inputs: {e}"))?
                 .run();
             let hits = test_users
@@ -205,22 +199,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 ));
             }
             let train = dataset.prefix(n);
-            let config = MlpConfig {
-                iterations: o.iters,
-                burn_in: (o.iters / 2).max(1),
-                seed: o.seed,
-                ..Default::default()
-            };
-            let (_, snapshot) = Mlp::new(&gaz, &train, config)
-                .map_err(|e| format!("model rejected inputs: {e}"))?
-                .run_with_snapshot();
-            let bytes = snapshot.try_encode().map_err(|e| format!("encoding snapshot: {e}"))?;
-            std::fs::write(out, bytes.as_slice()).map_err(|e| format!("writing {out}: {e}"))?;
+            let engine = ServingEngine::builder(&gaz)
+                .mlp_config(mlp_config(&o))
+                .train(&train)
+                .map_err(|e| format!("training engine: {e}"))?;
+            let written = engine.write_artifact(out).map_err(|e| format!("writing {out}: {e}"))?;
+            let snapshot = engine.snapshot();
             println!(
-                "wrote {out}: posterior of {} users over {} cities ({} bytes)",
+                "wrote {out}: posterior of {} users over {} cities ({written} bytes)",
                 snapshot.num_users(),
                 snapshot.num_cities,
-                bytes.len()
             );
             Ok(())
         }
@@ -228,45 +216,35 @@ fn run(args: &[String]) -> Result<(), String> {
             let snap_path = o.snapshot.as_deref().ok_or("refresh needs --snapshot SNAPSHOT")?;
             let out = o.out.as_deref().ok_or("refresh needs --out SNAPSHOT")?;
             let (dataset, _) = load(&o)?;
-            let raw = std::fs::read(snap_path).map_err(|e| format!("reading {snap_path}: {e}"))?;
-            let snapshot = PosteriorSnapshot::decode(raw.into())
-                .map_err(|e| format!("decoding {snap_path}: {e}"))?;
-            let trained = snapshot.num_users();
+            let fold_in = FoldInConfig { seed: o.seed, ..Default::default() };
+            let engine = ServingEngine::builder(&gaz)
+                .fold_in_config(fold_in)
+                .from_artifact_file(snap_path)
+                .map_err(|e| format!("loading {snap_path}: {e}"))?;
+            let trained = engine.snapshot().num_users();
             if trained >= dataset.num_users() {
                 return Err(format!(
                     "nothing to refresh: snapshot already covers {trained} of {} users",
                     dataset.num_users()
                 ));
             }
-            let fold_in = FoldInConfig { seed: o.seed, ..Default::default() };
-            let mut updater =
-                OnlineUpdater::new(&gaz, snapshot, fold_in, StalenessPolicy::default())
-                    .map_err(|e| format!("binding snapshot to gazetteer: {e}"))?;
             let new_users: Vec<UserId> =
                 (trained as u32..dataset.num_users() as u32).map(UserId).collect();
-            for chunk in new_users.chunks(o.batch.max(1)) {
-                let mut obs = NewUserObservations::batch_from_dataset(&dataset, chunk);
-                let known = updater.snapshot().num_users();
-                for ob in &mut obs {
-                    ob.neighbors.retain(|p| p.index() < known);
-                }
-                updater.absorb(&obs).map_err(|e: FoldInError| format!("fold-in failed: {e}"))?;
-                let committed =
-                    updater.commit().map_err(|e| format!("delta commit failed: {e}"))?;
+            let report = engine
+                .refresh_from_dataset(&dataset, &new_users, o.batch.max(1))
+                .map_err(|e| format!("refresh failed: {e}"))?;
+            for commit in &report.commits {
                 println!(
-                    "commit {}: +{committed} users ({} total)",
-                    updater.commits(),
-                    updater.snapshot().num_users()
+                    "commit {}: +{} users ({} total)",
+                    commit.epoch, commit.appended, commit.total_users
                 );
             }
-            let bytes = updater.encode_artifact().map_err(|e| format!("encoding artifact: {e}"))?;
-            std::fs::write(out, bytes.as_slice()).map_err(|e| format!("writing {out}: {e}"))?;
+            let written = engine.write_artifact(out).map_err(|e| format!("writing {out}: {e}"))?;
             println!(
-                "wrote {out}: {} users, {} delta records, {} bytes{}",
-                updater.snapshot().num_users(),
-                updater.committed_deltas().len(),
-                bytes.len(),
-                if updater.needs_refresh() {
+                "wrote {out}: {} users, {} delta records, {written} bytes{}",
+                engine.snapshot().num_users(),
+                engine.commits(),
+                if report.needs_retrain {
                     " (staleness policy: schedule a cold retrain)"
                 } else {
                     ""
@@ -292,12 +270,13 @@ fn user_id(o: &Options, dataset: &Dataset) -> Result<UserId, String> {
     Ok(UserId(id))
 }
 
+/// The one place `--iters`/`--seed` become an inference config. Burn-in
+/// is half the chain, which stays strictly below it for every
+/// `--iters >= 1` (`--iters 1` runs a single accumulated sweep).
+fn mlp_config(o: &Options) -> MlpConfig {
+    MlpConfig { iterations: o.iters, burn_in: o.iters / 2, seed: o.seed, ..Default::default() }
+}
+
 fn infer(gaz: &Gazetteer, dataset: &Dataset, o: &Options) -> MlpResult {
-    let config = MlpConfig {
-        iterations: o.iters,
-        burn_in: (o.iters / 2).max(1),
-        seed: o.seed,
-        ..Default::default()
-    };
-    Mlp::new(gaz, dataset, config).expect("snapshot datasets are valid").run()
+    Mlp::new(gaz, dataset, mlp_config(o)).expect("snapshot datasets are valid").run()
 }

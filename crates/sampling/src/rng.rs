@@ -132,7 +132,7 @@ impl Pcg64 {
         }
     }
 
-    /// Bernoulli draw with success probability `p` (clamped to [0,1]).
+    /// Bernoulli draw with success probability `p` (clamped to \[0,1\]).
     #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
         self.next_f64() < p

@@ -1,52 +1,40 @@
-//! Online posterior refresh end to end: train on yesterday's users,
-//! absorb today's signups through the [`OnlineUpdater`] in committed
-//! batches (no retrain), publish the incremental artifact, and verify a
-//! replica thaws it to exactly the refreshed posterior.
+//! Online posterior refresh end to end, through the [`ServingEngine`]
+//! facade: cold-train on yesterday's users, absorb today's signups with
+//! `refresh_from_dataset` (each committed batch publishes a new epoch —
+//! no retrain), publish the incremental artifact, and verify a replica
+//! thaws it to exactly the refreshed posterior.
 //!
 //! ```sh
 //! cargo run --release --example online_refresh
 //! ```
 //!
 //! The example doubles as a smoke check for the refresh pipeline: it
-//! asserts that absorbed answers match plain serving, that the
-//! incremental artifact (base payload + delta records) decodes back to
-//! the live snapshot, and that a second identical run commits
-//! byte-identical artifacts.
+//! asserts that refresh answers match plain serving, that the incremental
+//! artifact (base payload + delta records) decodes back to the published
+//! posterior, and that a second identical run commits byte-identical
+//! artifacts.
 
 use mlp::prelude::*;
 use std::time::Instant;
 
-fn run_refresh<'a>(gaz: &'a Gazetteer, data: &GeneratedData) -> (OnlineUpdater<'a>, usize) {
+fn run_refresh<'a>(gaz: &'a Gazetteer, data: &GeneratedData) -> (ServingEngine<'a>, usize) {
     // Yesterday: train on the first 260 users only — the last 40 do not
     // exist yet (no labels, no edges, no mentions).
-    let d0 = data.dataset.prefix(260);
     let config = MlpConfig { iterations: 12, burn_in: 6, seed: 42, ..Default::default() };
-    let (_, snapshot) = Mlp::new(gaz, &d0, config).unwrap().run_with_snapshot();
+    let engine =
+        ServingEngine::builder(gaz).mlp_config(config).train(&data.dataset.prefix(260)).unwrap();
 
-    let mut updater =
-        OnlineUpdater::new(gaz, snapshot, FoldInConfig::default(), StalenessPolicy::default())
-            .unwrap();
-
-    // Today: signups arrive in two batches of 20. Each batch is folded in
-    // against the current posterior and committed, so the second batch
-    // may cite first-batch users as neighbors.
-    let mut hits = 0usize;
-    for start in [260u32, 280u32] {
-        let ids: Vec<UserId> = (start..start + 20).map(UserId).collect();
-        let mut batch = NewUserObservations::batch_from_dataset(&data.dataset, &ids);
-        let known = updater.snapshot().num_users();
-        for obs in &mut batch {
-            obs.neighbors.retain(|p| p.index() < known);
-        }
-        let profiles = updater.absorb(&batch).unwrap();
-        hits += ids
-            .iter()
-            .zip(&profiles)
-            .filter(|&(&u, p)| gaz.distance(p.home(), data.truth.home(u)) <= 100.0)
-            .count();
-        updater.commit().unwrap();
-    }
-    (updater, hits)
+    // Today: signups arrive in two batches of 20. The engine folds each
+    // batch in against the current epoch, commits, and publishes the next
+    // epoch — so the second batch may cite first-batch users as neighbors.
+    let signups: Vec<UserId> = (260..300).map(UserId).collect();
+    let report = engine.refresh_from_dataset(&data.dataset, &signups, 20).unwrap();
+    let hits = signups
+        .iter()
+        .zip(&report.profiles)
+        .filter(|&(&u, r)| gaz.distance(r.ranked.home(), data.truth.home(u)) <= 100.0)
+        .count();
+    (engine, hits)
 }
 
 fn main() {
@@ -56,32 +44,37 @@ fn main() {
             .generate();
 
     let t0 = Instant::now();
-    let (updater, hits) = run_refresh(&gaz, &data);
+    let (engine, hits) = run_refresh(&gaz, &data);
     let refreshed_in = t0.elapsed();
     println!(
         "absorbed 40 signups in {} commits ({hits} within 100 miles of their true home) \
          in {refreshed_in:.2?}",
-        updater.commits()
+        engine.commits()
     );
 
     // Publish: base payload + delta records, appended per commit.
-    let artifact = updater.encode_artifact().unwrap();
+    let artifact = engine.encode_artifact().unwrap();
     println!(
-        "refreshed posterior: {} users, {} delta records, artifact = {} KiB",
-        updater.snapshot().num_users(),
-        updater.committed_deltas().len(),
+        "refreshed posterior: {} users, epoch {}, artifact = {} KiB",
+        engine.snapshot().num_users(),
+        engine.epoch(),
         artifact.len() / 1024
     );
 
     // A replica thaws the incremental artifact to the exact posterior.
-    let thawed = PosteriorSnapshot::decode(artifact).expect("artifact decodes");
-    assert_eq!(&thawed, updater.snapshot(), "replica must thaw to the live posterior");
+    let replica =
+        ServingEngine::builder(&gaz).from_artifact(artifact).expect("artifact thaws into engine");
+    assert_eq!(
+        replica.snapshot().snapshot(),
+        engine.snapshot().snapshot(),
+        "replica must thaw to the published posterior"
+    );
 
     // The whole pipeline is deterministic: a second run publishes
     // byte-identical bytes.
     let (again, _) = run_refresh(&gaz, &data);
     assert_eq!(
-        updater.encode_artifact().unwrap(),
+        engine.encode_artifact().unwrap(),
         again.encode_artifact().unwrap(),
         "repeat refresh must publish byte-identical artifacts"
     );
@@ -90,7 +83,7 @@ fn main() {
     // for a cold retrain, so after 2 we are comfortably fresh.
     println!(
         "commits since base: {} (policy says refresh: {})",
-        updater.commits(),
-        updater.needs_refresh()
+        engine.commits(),
+        engine.needs_retrain()
     );
 }

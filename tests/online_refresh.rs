@@ -1,13 +1,13 @@
-//! The online-refresh acceptance suite: train on D₀, commit deltas for
-//! D₁ through the [`OnlineUpdater`], and demand that (a) refreshed
-//! serving tracks a cold retrain on D₀∪D₁ within the warm-start
-//! tolerance, (b) the whole refresh pipeline is deterministic — repeat
-//! runs produce byte-identical artifacts — and (c) every artifact
+//! The online-refresh acceptance suite, on the `ServingEngine` facade:
+//! train on D₀, refresh D₁ through `refresh_from_dataset`, and demand
+//! that (a) refreshed serving tracks a cold retrain on D₀∪D₁ within the
+//! warm-start tolerance, (b) the whole refresh pipeline is deterministic —
+//! repeat runs produce byte-identical artifacts — and (c) every artifact
 //! (compacted or not, incremental or re-encoded) thaws back to the
 //! posterior it was published from.
 
 use mlp::core::snapshot::SnapshotError;
-use mlp::core::{FoldInError, OnlineError};
+use mlp::core::{EngineError, FoldInError};
 use mlp::eval::online_refresh_drift;
 use mlp::prelude::*;
 
@@ -23,32 +23,23 @@ fn quick_config(seed: u64) -> MlpConfig {
     MlpConfig { iterations: 10, burn_in: 5, seed, ..Default::default() }
 }
 
-/// Builds an updater over a D₀-trained snapshot and absorbs+commits D₁ in
-/// `batch`-sized chunks, restricting neighbors to already-known users.
+/// Cold-trains an engine on the first `train_users` users and refreshes
+/// everyone else into it in `batch`-sized committed chunks.
 fn refresh<'a>(
     gaz: &'a Gazetteer,
     data: &GeneratedData,
     train_users: usize,
     batch: usize,
     seed: u64,
-) -> OnlineUpdater<'a> {
-    let d0 = data.dataset.prefix(train_users);
-    let (_, snapshot) = Mlp::new(gaz, &d0, quick_config(seed)).unwrap().run_with_snapshot();
-    let mut updater =
-        OnlineUpdater::new(gaz, snapshot, FoldInConfig::default(), StalenessPolicy::default())
-            .unwrap();
+) -> ServingEngine<'a> {
+    let engine = ServingEngine::builder(gaz)
+        .mlp_config(quick_config(seed))
+        .train(&data.dataset.prefix(train_users))
+        .unwrap();
     let ids: Vec<UserId> =
         (train_users as u32..data.dataset.num_users() as u32).map(UserId).collect();
-    for chunk in ids.chunks(batch) {
-        let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, chunk);
-        let known = updater.snapshot().num_users();
-        for o in &mut obs {
-            o.neighbors.retain(|p| p.index() < known);
-        }
-        updater.absorb(&obs).unwrap();
-        updater.commit().unwrap();
-    }
-    updater
+    engine.refresh_from_dataset(&data.dataset, &ids, batch).unwrap();
+    engine
 }
 
 #[test]
@@ -75,7 +66,12 @@ fn delta_commits_are_byte_identical_across_runs() {
     let (gaz, data) = corpus(300, 5003);
     let a = refresh(&gaz, &data, 240, 20, 5003);
     let b = refresh(&gaz, &data, 240, 20, 5003);
-    assert_eq!(a.snapshot(), b.snapshot(), "repeat refresh must land on the same posterior");
+    assert_eq!(a.epoch(), 3);
+    assert_eq!(
+        a.snapshot().snapshot(),
+        b.snapshot().snapshot(),
+        "repeat refresh must land on the same posterior"
+    );
     assert_eq!(
         a.snapshot().encode().as_slice(),
         b.snapshot().encode().as_slice(),
@@ -91,62 +87,75 @@ fn delta_commits_are_byte_identical_across_runs() {
 #[test]
 fn artifacts_thaw_back_to_the_refreshed_posterior() {
     let (gaz, data) = corpus(260, 5005);
-    let updater = refresh(&gaz, &data, 200, 30, 5005);
-    assert_eq!(updater.committed_deltas().len(), 2);
+    let engine = refresh(&gaz, &data, 200, 30, 5005);
+    assert_eq!(engine.commits(), 2);
 
     // The incremental artifact: base payload + two delta records.
-    let incremental = PosteriorSnapshot::decode(updater.encode_artifact().unwrap()).unwrap();
-    assert_eq!(&incremental, updater.snapshot());
+    let incremental = PosteriorSnapshot::decode(engine.encode_artifact().unwrap()).unwrap();
+    assert_eq!(&incremental, engine.snapshot().snapshot());
 
     // A full re-encode of the refreshed posterior (zero records).
-    let reencoded = PosteriorSnapshot::decode(updater.snapshot().encode()).unwrap();
-    assert_eq!(&reencoded, updater.snapshot());
+    let reencoded = PosteriorSnapshot::decode(engine.snapshot().encode()).unwrap();
+    assert_eq!(&reencoded, engine.snapshot().snapshot());
 
-    // And serving from the thawed artifact answers like the live one.
-    let obs = NewUserObservations::batch_from_dataset(&data.dataset, &[UserId(5), UserId(17)]);
-    let live = FoldInEngine::new(updater.snapshot(), &gaz, FoldInConfig::default())
+    // And an engine thawed from the artifact answers like the live one
+    // (epoch tags differ — the thawed engine starts a fresh epoch history
+    // at 0 while the live one sits at 2 — but the predictions are
+    // bit-identical).
+    let reqs = ProfileRequest::batch_from_dataset(&data.dataset, &[UserId(5), UserId(17)]);
+    let live = engine.profile_batch(&reqs).unwrap();
+    let thawed = ServingEngine::builder(&gaz)
+        .from_artifact(engine.encode_artifact().unwrap())
         .unwrap()
-        .fold_in_batch(&obs)
+        .profile_batch(&reqs)
         .unwrap();
-    let thawed = FoldInEngine::new(&incremental, &gaz, FoldInConfig::default())
-        .unwrap()
-        .fold_in_batch(&obs)
-        .unwrap();
-    assert_eq!(live, thawed);
+    assert_eq!(live[0].epoch, 2);
+    assert_eq!(thawed[0].epoch, 0);
+    assert_eq!(
+        mlp::core::response_determinism_hash(&live),
+        mlp::core::response_determinism_hash(&thawed)
+    );
+    for (l, t) in live.iter().zip(&thawed) {
+        assert_eq!(l.ranked, t.ranked);
+    }
 }
 
 #[test]
 fn committed_users_become_citable_neighbors() {
     let (gaz, data) = corpus(200, 5007);
-    let d0 = data.dataset.prefix(160);
-    let (_, snapshot) = Mlp::new(&gaz, &d0, quick_config(5007)).unwrap().run_with_snapshot();
-    let mut updater =
-        OnlineUpdater::new(&gaz, snapshot, FoldInConfig::default(), StalenessPolicy::default())
-            .unwrap();
+    let engine = ServingEngine::builder(&gaz)
+        .mlp_config(quick_config(5007))
+        .train(&data.dataset.prefix(160))
+        .unwrap();
 
     let first_new = UserId(160);
-    let cite_new = vec![NewUserObservations { neighbors: vec![first_new], mentions: vec![] }];
-    // Before any commit, user 160 does not exist in the posterior.
-    assert_eq!(
-        updater.absorb(&cite_new).unwrap_err(),
-        FoldInError::UnknownUser(first_new),
-        "uncommitted users must not be citable"
-    );
+    let cite_new = vec![ProfileRequest::new(NewUserObservations {
+        neighbors: vec![first_new],
+        mentions: vec![],
+    })];
+    // Before any commit, user 160 does not exist in the posterior — both
+    // serving and (strict) refreshing reject the citation typed.
+    assert!(matches!(
+        engine.profile_batch(&cite_new).unwrap_err(),
+        EngineError::FoldIn(FoldInError::UnknownUser(u)) if u == first_new
+    ));
+    assert!(matches!(
+        engine.refresh(&cite_new).unwrap_err(),
+        EngineError::FoldIn(FoldInError::UnknownUser(u)) if u == first_new
+    ));
+    assert_eq!(engine.epoch(), 0, "a failed refresh publishes nothing");
 
     let ids: Vec<UserId> = (160..180).map(UserId).collect();
-    let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, &ids);
-    for o in &mut obs {
-        o.neighbors.retain(|p| p.index() < 160);
-    }
-    updater.absorb(&obs).unwrap();
-    updater.commit().unwrap();
+    engine.refresh_from_dataset(&data.dataset, &ids, ids.len()).unwrap();
+    assert_eq!(engine.epoch(), 1);
 
     // After the commit the same request folds in fine — and the committed
     // neighbor's posterior pulls the requester toward their home.
-    let profile = &updater.absorb(&cite_new).unwrap()[0];
-    let committed_home = updater.snapshot().users.home(first_new);
+    let response = &engine.profile_batch(&cite_new).unwrap()[0];
+    assert_eq!(response.epoch, 1);
+    let committed_home = engine.snapshot().users.home(first_new);
     assert!(
-        gaz.distance(profile.home(), committed_home) <= 100.0,
+        gaz.distance(response.ranked.home(), committed_home) <= 100.0,
         "requester should land near their only (committed) neighbor"
     );
 }
@@ -154,20 +163,14 @@ fn committed_users_become_citable_neighbors() {
 #[test]
 fn hand_corrupted_delta_records_fail_typed_not_loud() {
     let (gaz, data) = corpus(220, 5009);
-    let d0 = data.dataset.prefix(180);
-    let (_, base) = Mlp::new(&gaz, &d0, quick_config(5009)).unwrap().run_with_snapshot();
-    let base_len = base.encode().len() - 4; // minus the empty record count
-    let mut updater =
-        OnlineUpdater::new(&gaz, base, FoldInConfig::default(), StalenessPolicy::default())
-            .unwrap();
+    let engine = ServingEngine::builder(&gaz)
+        .mlp_config(quick_config(5009))
+        .train(&data.dataset.prefix(180))
+        .unwrap();
+    let base_len = engine.snapshot().encode().len() - 4; // minus the empty record count
     let ids: Vec<UserId> = (180..220).map(UserId).collect();
-    let mut obs = NewUserObservations::batch_from_dataset(&data.dataset, &ids);
-    for o in &mut obs {
-        o.neighbors.retain(|p| p.index() < 180);
-    }
-    updater.absorb(&obs).unwrap();
-    updater.commit().unwrap();
-    let artifact = updater.encode_artifact().unwrap();
+    engine.refresh_from_dataset(&data.dataset, &ids, ids.len()).unwrap();
+    let artifact = engine.encode_artifact().unwrap();
 
     // An absurd u64 length prefix must be a typed error before any
     // allocation happens.
@@ -178,18 +181,26 @@ fn hand_corrupted_delta_records_fail_typed_not_loud() {
         SnapshotError::Truncated
     );
 
-    // Truncating anywhere inside the record section stays typed.
+    // Truncating anywhere inside the record section stays typed — whether
+    // thawed raw or through the engine builder.
     for cut in [base_len + 2, base_len + 9, artifact.len() - 3] {
         assert_eq!(
             PosteriorSnapshot::decode(artifact.slice(..cut)).unwrap_err(),
             SnapshotError::Truncated,
             "cut at {cut}"
         );
+        assert!(
+            matches!(
+                ServingEngine::builder(&gaz).from_artifact(artifact.slice(..cut)).unwrap_err(),
+                EngineError::Snapshot(SnapshotError::Truncated)
+            ),
+            "cut at {cut} through the builder"
+        );
     }
 }
 
 #[test]
-fn updater_error_types_round_trip_through_display() {
+fn engine_error_types_round_trip_through_display() {
     // The CLI prints these; make sure the typed wrappers stay informative.
     let (gaz, _) = corpus(60, 5011);
     let other = Gazetteer::with_synthetic(&SynthConfig {
@@ -202,11 +213,7 @@ fn updater_error_types_round_trip_through_display() {
             .generate();
     let (_, snapshot) =
         Mlp::new(&gaz, &data.dataset, quick_config(5011)).unwrap().run_with_snapshot();
-    let Err(err) =
-        OnlineUpdater::new(&other, snapshot, FoldInConfig::default(), StalenessPolicy::default())
-    else {
-        panic!("mismatched gazetteer must be rejected")
-    };
-    assert!(matches!(err, OnlineError::FoldIn(FoldInError::GazetteerMismatch { .. })));
+    let err = ServingEngine::builder(&other).from_snapshot(snapshot).unwrap_err();
+    assert!(matches!(err, EngineError::FoldIn(FoldInError::GazetteerMismatch { .. })));
     assert!(err.to_string().contains("cities x venues"));
 }

@@ -1,12 +1,14 @@
-//! The warm-start determinism suite.
+//! The warm-start determinism suite, on the `ServingEngine` facade.
 //!
-//! Serving correctness here *is* determinism: a frozen snapshot plus a
+//! Serving correctness here *is* determinism: a frozen posterior plus a
 //! seed must produce one answer, whether the request is served inline,
-//! re-served tomorrow, served from re-decoded snapshot bytes, or fanned
-//! out across worker threads. Every test in this file pins one of those
-//! equalities bit for bit.
+//! re-served tomorrow, served by an engine thawed from artifact bytes, or
+//! fanned out across worker threads. Every test in this file pins one of
+//! those equalities bit for bit. (The `batch_edge_cases` test exercises
+//! the low-level `FoldInEngine` directly — the permissive layer under the
+//! facade, whose `threads: 0` clamp the strict builder refuses.)
 
-use mlp::core::determinism_hash;
+use mlp::core::{determinism_hash, response_determinism_hash};
 use mlp::prelude::*;
 
 fn train_snapshot(users: usize, seed: u64) -> (Gazetteer, GeneratedData, PosteriorSnapshot) {
@@ -19,80 +21,89 @@ fn train_snapshot(users: usize, seed: u64) -> (Gazetteer, GeneratedData, Posteri
     (gaz, data, snapshot)
 }
 
-fn requests(data: &GeneratedData, n: u32) -> Vec<NewUserObservations> {
-    (0..n).map(|u| NewUserObservations::from_dataset(&data.dataset, UserId(u))).collect()
+fn requests(data: &GeneratedData, n: u32) -> Vec<ProfileRequest> {
+    let ids: Vec<UserId> = (0..n).map(UserId).collect();
+    ProfileRequest::batch_from_dataset(&data.dataset, &ids)
+}
+
+fn engine<'a>(
+    gaz: &'a Gazetteer,
+    snapshot: &PosteriorSnapshot,
+    fold_in: FoldInConfig,
+) -> ServingEngine<'a> {
+    ServingEngine::builder(gaz).fold_in_config(fold_in).from_snapshot(snapshot.clone()).unwrap()
 }
 
 #[test]
 fn same_snapshot_same_seed_is_byte_identical() {
     let (gaz, data, snapshot) = train_snapshot(200, 3001);
     let batch = requests(&data, 30);
-    let engine = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
-    let a = engine.fold_in_batch(&batch).unwrap();
-    let b = engine.fold_in_batch(&batch).unwrap();
+    let serving = engine(&gaz, &snapshot, FoldInConfig::default());
+    let a = serving.profile_batch(&batch).unwrap();
+    let b = serving.profile_batch(&batch).unwrap();
     assert_eq!(a, b, "repeated serving must be reproducible");
-    assert_eq!(determinism_hash(&a), determinism_hash(&b));
+    assert_eq!(response_determinism_hash(&a), response_determinism_hash(&b));
 
     // A fresh engine over the same snapshot is the same server.
-    let engine2 = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
-    assert_eq!(a, engine2.fold_in_batch(&batch).unwrap());
+    let serving2 = engine(&gaz, &snapshot, FoldInConfig::default());
+    assert_eq!(a, serving2.profile_batch(&batch).unwrap());
 
     // A different seed is a different chain (sanity: the seed matters).
-    let reseeded =
-        FoldInEngine::new(&snapshot, &gaz, FoldInConfig { seed: 99, ..Default::default() })
-            .unwrap();
-    assert_ne!(determinism_hash(&a), determinism_hash(&reseeded.fold_in_batch(&batch).unwrap()));
+    let reseeded = engine(&gaz, &snapshot, FoldInConfig { seed: 99, ..Default::default() });
+    assert_ne!(
+        response_determinism_hash(&a),
+        response_determinism_hash(&reseeded.profile_batch(&batch).unwrap())
+    );
 }
 
 #[test]
-fn batched_fold_in_is_bit_identical_to_sequential() {
+fn batched_serving_is_bit_identical_to_sequential() {
     let (gaz, data, snapshot) = train_snapshot(300, 3003);
     let batch = requests(&data, 60);
-    let sequential =
-        FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads: 1, ..Default::default() })
-            .unwrap()
-            .fold_in_batch(&batch)
-            .unwrap();
+    let sequential = engine(&gaz, &snapshot, FoldInConfig { threads: 1, ..Default::default() })
+        .profile_batch(&batch)
+        .unwrap();
     for threads in [2usize, 3, 4, 8] {
-        let batched =
-            FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads, ..Default::default() })
-                .unwrap()
-                .fold_in_batch(&batch)
-                .unwrap();
+        let batched = engine(&gaz, &snapshot, FoldInConfig { threads, ..Default::default() })
+            .profile_batch(&batch)
+            .unwrap();
         assert_eq!(sequential, batched, "threads={threads} must not change predictions");
-        assert_eq!(determinism_hash(&sequential), determinism_hash(&batched));
+        assert_eq!(response_determinism_hash(&sequential), response_determinism_hash(&batched));
     }
 }
 
 #[test]
-fn decoded_snapshot_serves_identically_to_the_original() {
+fn thawed_artifact_serves_identically_to_the_original() {
     let (gaz, data, snapshot) = train_snapshot(150, 3005);
     let batch = requests(&data, 25);
-    let decoded = PosteriorSnapshot::decode(snapshot.encode()).unwrap();
-    assert_eq!(snapshot, decoded);
-    let from_memory = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default())
-        .unwrap()
-        .fold_in_batch(&batch)
-        .unwrap();
-    let from_bytes = FoldInEngine::new(&decoded, &gaz, FoldInConfig::default())
-        .unwrap()
-        .fold_in_batch(&batch)
-        .unwrap();
-    assert_eq!(from_memory, from_bytes, "a shipped snapshot must serve exactly like the original");
+    let from_memory = engine(&gaz, &snapshot, FoldInConfig::default());
+    let from_bytes = ServingEngine::builder(&gaz)
+        .from_artifact(snapshot.encode())
+        .expect("artifact thaws into an engine");
+    assert_eq!(from_bytes.snapshot().snapshot(), &snapshot);
+    assert_eq!(
+        from_memory.profile_batch(&batch).unwrap(),
+        from_bytes.profile_batch(&batch).unwrap(),
+        "a shipped artifact must serve exactly like the original"
+    );
 }
 
 #[test]
-fn single_fold_in_matches_batch_head() {
+fn single_profile_matches_batch_head() {
     let (gaz, data, snapshot) = train_snapshot(120, 3007);
     let batch = requests(&data, 10);
-    let engine = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default()).unwrap();
-    let whole = engine.fold_in_batch(&batch).unwrap();
-    // `fold_in` is defined as batch index 0.
-    assert_eq!(engine.fold_in(&batch[0]).unwrap(), whole[0]);
+    let serving = engine(&gaz, &snapshot, FoldInConfig::default());
+    let whole = serving.profile_batch(&batch).unwrap();
+    // `profile` is defined as batch index 0.
+    assert_eq!(serving.profile(&batch[0]).unwrap(), whole[0]);
 }
 
 #[test]
 fn batch_edge_cases_never_panic_or_diverge() {
+    // The low-level layer: `FoldInEngine` stays permissive (threads: 0
+    // runs sequentially) even though `EngineBuilder` would refuse the
+    // config — callers wiring the primitives directly keep the old
+    // semantics.
     let (gaz, data, snapshot) = train_snapshot(100, 3011);
 
     // An empty batch is a valid request, whatever the thread count.
@@ -104,7 +115,8 @@ fn batch_edge_cases_never_panic_or_diverge() {
     }
 
     // threads: 0 must behave exactly as 1 (the sequential path)…
-    let batch = requests(&data, 7);
+    let ids: Vec<UserId> = (0..7).map(UserId).collect();
+    let batch = NewUserObservations::batch_from_dataset(&data.dataset, &ids);
     let zero =
         FoldInEngine::new(&snapshot, &gaz, FoldInConfig { threads: 0, ..Default::default() })
             .unwrap()
@@ -124,6 +136,22 @@ fn batch_edge_cases_never_panic_or_diverge() {
             .unwrap();
     assert_eq!(one, many, "threads > batch.len() must not change predictions");
     assert_eq!(determinism_hash(&one), determinism_hash(&many));
+}
+
+#[test]
+fn facade_and_low_level_hashes_agree() {
+    // `response_determinism_hash` must fingerprint identically to the
+    // low-level `determinism_hash` for the same predictions — the CI
+    // smoke hash survives the facade migration unchanged.
+    let (gaz, data, snapshot) = train_snapshot(140, 3013);
+    let reqs = requests(&data, 20);
+    let obs: Vec<NewUserObservations> = reqs.iter().map(|r| r.observations.clone()).collect();
+    let low = FoldInEngine::new(&snapshot, &gaz, FoldInConfig::default())
+        .unwrap()
+        .fold_in_batch(&obs)
+        .unwrap();
+    let high = engine(&gaz, &snapshot, FoldInConfig::default()).profile_batch(&reqs).unwrap();
+    assert_eq!(determinism_hash(&low), response_determinism_hash(&high));
 }
 
 #[test]
