@@ -1,0 +1,41 @@
+//! Closed-loop serving load generator (see `mlp_bench::load`).
+//!
+//! ```text
+//! serve_load [--users N] [--clients N] [--seconds F] [--seed N]
+//!            [--threads N] [--coalesce N] [--no-churn] [--churn-batch N]
+//!            [--smoke] [--contend]
+//! ```
+//!
+//! Default mode trains a synthetic posterior and races closed-loop
+//! clients against a background refresh writer, printing sustained QPS
+//! and p50/p90/p99/p999 latency. `--contend` instead compares contended
+//! epoch-handle acquisition through a mutex baseline versus the
+//! lock-free path. `--smoke` is the CI gate: a sub-second run that must
+//! serve without a single error.
+
+use mlp_bench::load::{self, LoadConfig, LoadMode};
+use std::time::Duration;
+
+fn main() {
+    let (config, mode) = LoadConfig::parse_from(std::env::args().skip(1));
+    println!("{}", config.banner());
+    match mode {
+        LoadMode::Contend => {
+            let window = Duration::from_secs_f64(config.seconds.max(0.05));
+            let report = load::contend(&config, window).expect("contend run");
+            println!("{}", report.summary());
+        }
+        LoadMode::Measure => {
+            let report = load::run(&config).expect("load run");
+            println!("{}", report.summary());
+        }
+        LoadMode::Smoke => {
+            let report = load::run(&config).expect("smoke run");
+            println!("{}", report.summary());
+            assert!(report.qps() > 0.0, "smoke: engine served nothing");
+            assert_eq!(report.errors, 0, "smoke: serving errors under churn");
+            assert_eq!(report.churn_errors, 0, "smoke: churn writer errored");
+            println!("smoke: ok");
+        }
+    }
+}

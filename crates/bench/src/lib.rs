@@ -19,6 +19,13 @@
 //!
 //! Criterion microbenches live in `benches/`. Every binary accepts
 //! `--users N --cities N --seed N --iters N --folds N --quick`.
+//!
+//! Beyond the paper artifacts, [`load`] is the closed-loop serving load
+//! generator behind the `serve_load` binary (sustained QPS and tail
+//! latency against [`mlp_core::ServingEngine`], with and without
+//! refresh churn).
+
+pub mod load;
 
 use mlp_core::MlpConfig;
 use mlp_eval::ExperimentContext;

@@ -1,0 +1,485 @@
+//! Closed-loop load generation against the serving engine.
+//!
+//! The paper's evaluation measures model quality; this module measures
+//! the *serving* claims of the engine layer: sustained single-user QPS
+//! under concurrent readers, tail latency while a background writer
+//! churns refresh commits, and the contended cost of acquiring an epoch
+//! handle. The harness is closed-loop — each client issues its next
+//! request only after the previous answer returns, so reported QPS is a
+//! sustained rate, not an open-loop arrival fantasy.
+//!
+//! Three pieces:
+//!
+//! * [`LoadConfig`] / [`LoadConfig::parse_from`] — the `serve_load`
+//!   binary's knobs (trained users, client count, duration, coalescing
+//!   wave bound, churn writer on/off);
+//! * [`run`] — trains a synthetic posterior, then races N clients
+//!   (optionally through a [`mlp_core::Coalescer`]) against an optional
+//!   refresh-churn writer for the configured duration, folding every
+//!   response time into a mergeable [`LatencyHistogram`];
+//! * [`contend`] — the before/after of the lock-free epoch publication:
+//!   T threads hammering handle acquisition through a mutex-guarded
+//!   baseline (the pre-lock-free design) versus
+//!   [`ServingEngine::snapshot`].
+
+use mlp_core::engine::{EngineError, ProfileRequest, ServingEngine};
+use mlp_core::{FoldInConfig, MlpConfig};
+use mlp_gazetteer::Gazetteer;
+use mlp_geo::LatencyHistogram;
+use mlp_sampling::{Pcg64, SplitMix64};
+use mlp_social::{Generator, GeneratorConfig, UserId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Everything the `serve_load` binary can vary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Users trained into the base posterior.
+    pub users: usize,
+    /// Extra generated users reserved for the churn writer to absorb.
+    pub churn_pool: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Wall-clock measurement window in seconds.
+    pub seconds: f64,
+    /// Master seed (training, request schedule, churn schedule).
+    pub seed: u64,
+    /// Fold-in worker threads per request wave.
+    pub threads: usize,
+    /// Coalescer wave bound; `0` serves every request directly through
+    /// [`ServingEngine::profile`] with no coalescing.
+    pub coalesce: usize,
+    /// Whether the background writer churns refresh commits during the
+    /// measurement window.
+    pub churn: bool,
+    /// Users absorbed per refresh commit.
+    pub churn_batch: usize,
+    /// Pause between churn commits (keeps the 1-writer box from starving
+    /// readers; commits clone the posterior).
+    pub churn_pause: Duration,
+    /// Gibbs sweeps for the synthetic cold train.
+    pub train_iters: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            users: 400,
+            churn_pool: 120,
+            clients: 4,
+            seconds: 5.0,
+            seed: 2012,
+            threads: 1,
+            coalesce: 8,
+            churn: true,
+            churn_batch: 8,
+            churn_pause: Duration::from_millis(25),
+            train_iters: 8,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The CI smoke configuration: small corpus, two clients, a
+    /// sub-second window — enough to prove the serving path moves under
+    /// concurrent churn without eating CI minutes.
+    pub fn smoke() -> Self {
+        Self {
+            users: 80,
+            churn_pool: 24,
+            clients: 2,
+            seconds: 0.5,
+            churn_batch: 4,
+            train_iters: 4,
+            ..Self::default()
+        }
+    }
+
+    /// Parses `serve_load` flags from an explicit iterator (testable).
+    /// `--smoke` applies the smoke preset before explicit overrides.
+    ///
+    /// # Panics
+    /// Panics on unknown flags or malformed values (the binary's
+    /// fail-loud contract, matching [`crate::BenchArgs`]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> (Self, LoadMode) {
+        let mut out = Self::default();
+        let mut mode = LoadMode::Measure;
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("{flag}: {e}"))
+            };
+            match flag.as_str() {
+                "--smoke" => {
+                    out = Self::smoke();
+                    mode = LoadMode::Smoke;
+                }
+                "--contend" => mode = LoadMode::Contend,
+                "--no-churn" => out.churn = false,
+                "--users" => out.users = value(&flag) as usize,
+                "--clients" => out.clients = value(&flag) as usize,
+                "--seconds" => out.seconds = value(&flag),
+                "--seed" => out.seed = value(&flag) as u64,
+                "--threads" => out.threads = value(&flag) as usize,
+                "--coalesce" => out.coalesce = value(&flag) as usize,
+                "--churn-batch" => out.churn_batch = value(&flag) as usize,
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        (out, mode)
+    }
+
+    /// One-line provenance banner.
+    pub fn banner(&self) -> String {
+        format!(
+            "# serve_load | users={} clients={} seconds={} seed={} threads={} coalesce={} \
+             churn={} churn_batch={}",
+            self.users,
+            self.clients,
+            self.seconds,
+            self.seed,
+            self.threads,
+            self.coalesce,
+            if self.churn { "on" } else { "off" },
+            self.churn_batch
+        )
+    }
+}
+
+/// What the `serve_load` binary was asked to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Full measurement run, report to stdout.
+    Measure,
+    /// The CI gate: smoke preset + hard assertions on the report.
+    Smoke,
+    /// The handle-acquisition contention comparison instead of a load run.
+    Contend,
+}
+
+/// What a [`run`] measured.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests answered successfully across all clients.
+    pub requests: u64,
+    /// Requests answered with an error (must be zero on a healthy run).
+    pub errors: u64,
+    /// The actual measurement window.
+    pub elapsed: Duration,
+    /// Response-time distribution across all clients.
+    pub latency: LatencyHistogram,
+    /// Epochs the churn writer published during the window.
+    pub epochs_published: u64,
+    /// Refresh calls the churn writer completed.
+    pub churn_refreshes: u64,
+    /// Refresh calls that failed (must be zero on a healthy run).
+    pub churn_errors: u64,
+}
+
+impl LoadReport {
+    /// Sustained successful-request rate.
+    pub fn qps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// A quantile in microseconds (`0.0` when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.latency.quantile(q).unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// The stdout/BENCHMARKS.md summary block.
+    pub fn summary(&self) -> String {
+        format!(
+            "qps={:.1} requests={} errors={} elapsed={:.2}s\n\
+             latency_us: p50={:.1} p90={:.1} p99={:.1} p999={:.1} max={:.1} mean={:.1}\n\
+             churn: epochs_published={} refreshes={} errors={}",
+            self.qps(),
+            self.requests,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.quantile_us(0.5),
+            self.quantile_us(0.9),
+            self.quantile_us(0.99),
+            self.quantile_us(0.999),
+            self.latency.max_nanos().unwrap_or(0) as f64 / 1_000.0,
+            self.latency.mean_nanos().unwrap_or(0.0) / 1_000.0,
+            self.epochs_published,
+            self.churn_refreshes,
+            self.churn_errors,
+        )
+    }
+}
+
+/// Trains a synthetic posterior and drives the closed loop described in
+/// the [module docs](self). Returns after `config.seconds` of wall
+/// clock (training time excluded).
+pub fn run(config: &LoadConfig) -> Result<LoadReport, EngineError> {
+    let gaz = Gazetteer::us_cities();
+    let total_users = config.users + config.churn_pool;
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: total_users, seed: config.seed, ..Default::default() },
+    )
+    .generate();
+    let iters = config.train_iters.max(2);
+    let engine = ServingEngine::builder(&gaz)
+        .mlp_config(MlpConfig {
+            iterations: iters,
+            burn_in: (iters / 2).max(1),
+            seed: config.seed,
+            ..Default::default()
+        })
+        .fold_in_config(FoldInConfig { threads: config.threads.max(1), ..Default::default() })
+        .train(&data.dataset.prefix(config.users))?;
+
+    // Request pool: the trained users' own observations, re-served as if
+    // unseen. Neighbor edges stay within the base posterior so requests
+    // remain valid no matter how far churn has advanced.
+    let ids: Vec<UserId> = (0..config.users).map(|u| UserId(u as u32)).collect();
+    let mut pool = ProfileRequest::batch_from_dataset(&data.dataset, &ids);
+    for r in &mut pool {
+        r.observations.neighbors.retain(|p| p.index() < config.users);
+    }
+
+    // Churn pool: the reserved tail users, absorbed round-robin (a lap
+    // re-absorbs them as fresh posterior rows — harmless for a load
+    // test, the posterior just keeps growing).
+    let churn_ids: Vec<UserId> = (config.users..total_users).map(|u| UserId(u as u32)).collect();
+    let mut churn_pool = ProfileRequest::batch_from_dataset(&data.dataset, &churn_ids);
+    for r in &mut churn_pool {
+        r.observations.neighbors.retain(|p| p.index() < config.users);
+    }
+
+    let coalescer = (config.coalesce > 0).then(|| engine.coalescer(config.coalesce));
+    let stop = AtomicBool::new(false);
+    let epoch_start = engine.epoch();
+
+    let (per_client, churn_out) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..config.clients.max(1))
+            .map(|c| {
+                let (engine, coalescer, pool, stop) = (&engine, &coalescer, &pool, &stop);
+                scope.spawn(move || {
+                    let mut rng = Pcg64::new(SplitMix64::derive(
+                        config.seed,
+                        0xC11E_0000_0000_0000 ^ c as u64,
+                    ));
+                    let mut latency = LatencyHistogram::new();
+                    let (mut ok, mut errors) = (0u64, 0u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let request = &pool[rng.next_bounded(pool.len())];
+                        let begin = Instant::now();
+                        let out = match coalescer {
+                            Some(co) => co.profile(request),
+                            None => engine.profile(request),
+                        };
+                        latency.record_duration(begin.elapsed());
+                        match out {
+                            Ok(_) => ok += 1,
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (latency, ok, errors)
+                })
+            })
+            .collect();
+
+        let churn = config.churn.then(|| {
+            let (engine, churn_pool, stop) = (&engine, &churn_pool, &stop);
+            let batch = config.churn_batch.max(1);
+            let pause = config.churn_pause;
+            scope.spawn(move || {
+                let (mut refreshes, mut errors) = (0u64, 0u64);
+                let mut next = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut wave = Vec::with_capacity(batch);
+                    for _ in 0..batch {
+                        wave.push(churn_pool[next % churn_pool.len()].clone());
+                        next += 1;
+                    }
+                    match engine.refresh(&wave) {
+                        Ok(_) => refreshes += 1,
+                        Err(_) => errors += 1,
+                    }
+                    std::thread::sleep(pause);
+                }
+                (refreshes, errors)
+            })
+        });
+
+        std::thread::sleep(Duration::from_secs_f64(config.seconds.max(0.05)));
+        stop.store(true, Ordering::Relaxed);
+        let per_client: Vec<_> =
+            clients.into_iter().map(|h| h.join().expect("load client")).collect();
+        let churn_out = churn.map(|h| h.join().expect("churn writer"));
+        (per_client, churn_out)
+    });
+
+    let mut latency = LatencyHistogram::new();
+    let (mut requests, mut errors) = (0u64, 0u64);
+    for (h, ok, err) in per_client {
+        latency.merge(&h);
+        requests += ok;
+        errors += err;
+    }
+    let (churn_refreshes, churn_errors) = churn_out.unwrap_or((0, 0));
+    Ok(LoadReport {
+        requests,
+        errors,
+        elapsed: Duration::from_secs_f64(config.seconds.max(0.05)),
+        latency,
+        epochs_published: engine.epoch() - epoch_start,
+        churn_refreshes,
+        churn_errors,
+    })
+}
+
+/// The contended handle-acquisition comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct ContendReport {
+    /// Hammering threads.
+    pub threads: usize,
+    /// Acquisitions per second through the mutex-guarded baseline (the
+    /// pre-lock-free publication design: lock, clone the `Arc`, unlock).
+    pub mutex_ops_per_sec: f64,
+    /// Acquisitions per second through [`ServingEngine::snapshot`].
+    pub lock_free_ops_per_sec: f64,
+}
+
+impl ContendReport {
+    /// Lock-free speedup over the mutex baseline.
+    pub fn speedup(&self) -> f64 {
+        self.lock_free_ops_per_sec / self.mutex_ops_per_sec.max(f64::MIN_POSITIVE)
+    }
+
+    /// One summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "contend threads={}: mutex={:.0} ops/s lock_free={:.0} ops/s speedup={:.2}x",
+            self.threads,
+            self.mutex_ops_per_sec,
+            self.lock_free_ops_per_sec,
+            self.speedup()
+        )
+    }
+}
+
+/// Measures contended epoch-handle acquisition: `threads` workers
+/// spinning on handle acquisition for `window` through (a) a mutex
+/// around the published handle — the structure the lock-free swap
+/// replaced — and (b) the engine's own [`ServingEngine::snapshot`].
+pub fn contend(config: &LoadConfig, window: Duration) -> Result<ContendReport, EngineError> {
+    let gaz = Gazetteer::us_cities();
+    let data = Generator::new(
+        &gaz,
+        GeneratorConfig { num_users: config.users, seed: config.seed, ..Default::default() },
+    )
+    .generate();
+    let iters = config.train_iters.max(2);
+    let engine = ServingEngine::builder(&gaz)
+        .mlp_config(MlpConfig {
+            iterations: iters,
+            burn_in: (iters / 2).max(1),
+            seed: config.seed,
+            ..Default::default()
+        })
+        .train(&data.dataset)?;
+
+    let threads = config.clients.max(1);
+    let baseline = Mutex::new(engine.snapshot());
+    let mutex_ops = hammer(threads, window, || {
+        let handle = baseline.lock().expect("baseline lock").clone();
+        std::hint::black_box(handle.epoch());
+    });
+    let lock_free_ops = hammer(threads, window, || {
+        let handle = engine.snapshot();
+        std::hint::black_box(handle.epoch());
+    });
+    Ok(ContendReport {
+        threads,
+        mutex_ops_per_sec: mutex_ops as f64 / window.as_secs_f64(),
+        lock_free_ops_per_sec: lock_free_ops as f64 / window.as_secs_f64(),
+    })
+}
+
+/// Spins `threads` workers on `op` for `window`; total completed ops.
+fn hammer(threads: usize, window: Duration, op: impl Fn() + Sync) -> u64 {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let (stop, op) = (&stop, &op);
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        op();
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        workers.into_iter().map(|h| h.join().expect("hammer worker")).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> (LoadConfig, LoadMode) {
+        LoadConfig::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let (c, mode) = parse(&[]);
+        assert_eq!(mode, LoadMode::Measure);
+        assert_eq!(c, LoadConfig::default());
+
+        let (c, _) = parse(&["--users", "99", "--seconds", "0.25", "--no-churn"]);
+        assert_eq!(c.users, 99);
+        assert_eq!(c.seconds, 0.25);
+        assert!(!c.churn);
+    }
+
+    #[test]
+    fn smoke_preset_then_override() {
+        let (c, mode) = parse(&["--smoke", "--clients", "3"]);
+        assert_eq!(mode, LoadMode::Smoke);
+        assert_eq!(c.clients, 3, "explicit flag wins over the preset");
+        assert_eq!(c.users, LoadConfig::smoke().users);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn tiny_run_serves_without_errors() {
+        // A deliberately minuscule closed loop — one client, no churn,
+        // 50ms — proving the harness wiring end to end in debug CI time.
+        let config = LoadConfig {
+            users: 40,
+            churn_pool: 8,
+            clients: 1,
+            seconds: 0.05,
+            coalesce: 2,
+            churn: false,
+            train_iters: 2,
+            ..LoadConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.errors, 0);
+        assert!(report.requests > 0, "a 50ms window must serve something");
+        assert_eq!(report.latency.count(), report.requests);
+        assert!(report.summary().contains("qps="));
+    }
+}

@@ -1,4 +1,4 @@
-//! Distance-bucketed event histograms.
+//! Distance- and latency-bucketed event histograms.
 //!
 //! Fig. 3(a) of the paper is built by bucketing ~2.5·10^10 labeled-user
 //! pairs into 1-mile intervals and, per bucket, dividing the number of pairs
@@ -6,6 +6,11 @@
 //! is that structure: a `trials` counter and a `successes` counter per
 //! bucket, yielding an empirical probability curve that [`crate::powerlaw`]
 //! can fit.
+//!
+//! [`LatencyHistogram`] reuses the same fixed-memory recording idea for the
+//! serving benchmarks: log-spaced buckets over nanosecond samples, O(1)
+//! record, mergeable across worker threads, with quantile readout
+//! (p50/p99/p999) at a bounded ≤6.25% relative error.
 
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +152,154 @@ impl DistanceHistogram {
     }
 }
 
+/// Sub-bucket resolution of [`LatencyHistogram`]: 2^4 = 16 log-spaced
+/// sub-buckets per power of two, bounding the relative quantile error at
+/// `1/16 = 6.25%`.
+const LAT_SUB_BITS: u32 = 4;
+const LAT_SUB: usize = 1 << LAT_SUB_BITS;
+/// Total bucket count: the exact region `0..16` plus 16 sub-buckets for
+/// each of the 60 remaining octaves of a `u64` (highest index is
+/// `60 * 16 + 15`).
+const LAT_BUCKETS: usize = (64 - LAT_SUB_BITS as usize + 1) * LAT_SUB;
+
+/// Fixed-memory log-bucketed latency histogram over nanosecond samples.
+///
+/// Recording is O(1) (a shift, a mask, one counter bump) and never
+/// allocates, so it can sit inside a benchmark's hot loop; per-thread
+/// histograms [`merge`](Self::merge) losslessly. Values up to 16ns are
+/// exact; above that each power of two splits into 16 sub-buckets, so any
+/// [`quantile`](Self::quantile) readout is within 6.25% of the true
+/// sample. Min, max, count and sum are tracked exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_nanos: u64,
+    min_nanos: u64,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram covering the full `u64` nanosecond range.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; LAT_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        if nanos < LAT_SUB as u64 {
+            return nanos as usize; // exact region
+        }
+        let msb = 63 - nanos.leading_zeros(); // >= LAT_SUB_BITS
+        let shift = msb - LAT_SUB_BITS;
+        let sub = ((nanos >> shift) as usize) & (LAT_SUB - 1);
+        (msb - LAT_SUB_BITS + 1) as usize * LAT_SUB + sub
+    }
+
+    /// The `[low, high]` nanosecond range bucket `index` covers.
+    fn bucket_bounds(index: usize) -> (u64, u64) {
+        if index < LAT_SUB {
+            return (index as u64, index as u64);
+        }
+        let octave = (index / LAT_SUB) as u32; // >= 1
+        let sub = (index % LAT_SUB) as u64;
+        let shift = octave - 1;
+        let low = (LAT_SUB as u64 + sub) << shift;
+        let high = ((LAT_SUB as u64 + sub + 1) << shift) - 1;
+        (low, high)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// [`Self::record`] for a [`std::time::Duration`] (saturating at
+    /// `u64::MAX` nanoseconds — ~584 years).
+    #[inline]
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded sample (`None` when empty).
+    pub fn min_nanos(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_nanos)
+    }
+
+    /// Exact largest recorded sample (`None` when empty).
+    pub fn max_nanos(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_nanos)
+    }
+
+    /// Exact mean in nanoseconds (`None` when empty).
+    pub fn mean_nanos(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_nanos as f64 / self.count as f64)
+    }
+
+    /// The sample at quantile `q ∈ [0, 1]`, as the midpoint of its bucket
+    /// clamped to the exact recorded `[min, max]` — within 6.25% of the
+    /// true order statistic. `None` when empty; `q` outside `[0, 1]` is
+    /// clamped.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic asked for.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extremes are tracked exactly — answer them exactly.
+        if rank == 1 {
+            return Some(self.min_nanos);
+        }
+        if rank == self.count {
+            return Some(self.max_nanos);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (low, high) = Self::bucket_bounds(i);
+                let mid = low + (high - low) / 2;
+                return Some(mid.clamp(self.min_nanos, self.max_nanos));
+            }
+        }
+        Some(self.max_nanos) // unreachable: counts sum to self.count
+    }
+
+    /// Merges another histogram into this one (lossless — geometry is
+    /// fixed, so per-thread recorders always line up).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +377,86 @@ mod tests {
         let fit = crate::fit_log_log(&h.probability_curve(1)).unwrap();
         assert!((fit.alpha - truth.alpha).abs() < 0.01, "alpha {}", fit.alpha);
         assert!((fit.beta / truth.beta - 1.0).abs() < 0.05, "beta {}", fit.beta);
+    }
+
+    #[test]
+    fn latency_buckets_are_contiguous_and_ordered() {
+        // Every u64 maps to a bucket whose bounds contain it, and bucket
+        // index is monotone in the sample value.
+        let mut prev = 0usize;
+        for shift in 0..64u32 {
+            for v in [1u64 << shift, (1u64 << shift) + 1, (1u64 << shift).wrapping_sub(1).max(1)] {
+                let i = LatencyHistogram::bucket_index(v);
+                let (low, high) = LatencyHistogram::bucket_bounds(i);
+                assert!(low <= v && v <= high, "v={v} i={i} range=[{low},{high}]");
+            }
+            let i = LatencyHistogram::bucket_index(1u64 << shift);
+            assert!(i >= prev, "indices must not decrease across octaves");
+            prev = i;
+        }
+        assert!(LatencyHistogram::bucket_index(u64::MAX) < LAT_BUCKETS);
+    }
+
+    #[test]
+    fn latency_quantiles_are_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        // 1..=10_000 in a scrambled order; true p50 = 5000, p99 = 9900.
+        let mut v = 1u64;
+        for _ in 0..10_000 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(v % 10_000 + 1);
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, lo, hi) in [(0.5, 4000.0, 6000.0), (0.99, 9000.0, 10_000.0)] {
+            let got = h.quantile(q).unwrap() as f64;
+            assert!(got >= lo && got <= hi, "q={q} got={got}");
+        }
+        assert_eq!(h.quantile(1.0), h.max_nanos());
+        assert_eq!(h.quantile(0.0), h.min_nanos());
+    }
+
+    #[test]
+    fn latency_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.25, 3), (0.5, 7), (0.75, 11)] {
+            assert_eq!(h.quantile(q).unwrap(), want, "q={q}");
+        }
+        assert_eq!(h.mean_nanos().unwrap(), 7.5);
+    }
+
+    #[test]
+    fn latency_merge_matches_single_recorder() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 997 + 13;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            };
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min_nanos(), all.min_nanos());
+        assert_eq!(a.max_nanos(), all.max_nanos());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn latency_empty_histogram_reports_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min_nanos(), None);
+        assert_eq!(h.max_nanos(), None);
+        assert_eq!(h.mean_nanos(), None);
+        assert_eq!(h.count(), 0);
     }
 }

@@ -29,7 +29,7 @@ pub mod powerlaw;
 pub use bbox::BoundingBox;
 pub use distance::{equirectangular_miles, haversine_miles, EARTH_RADIUS_MILES};
 pub use grid::GridIndex;
-pub use histogram::DistanceHistogram;
+pub use histogram::{DistanceHistogram, LatencyHistogram};
 pub use matrix::DistanceMatrix;
 pub use point::GeoPoint;
 pub use powerlaw::{fit_log_log, fit_log_log_weighted, PowerLaw};

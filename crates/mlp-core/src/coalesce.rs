@@ -1,0 +1,324 @@
+//! Request coalescing: group-commit batching for concurrent single-user
+//! serving.
+//!
+//! High-QPS serving arrives as many concurrent *single-user*
+//! [`ProfileRequest`]s, but the engine's per-call overhead (epoch read,
+//! fold-in engine assembly, scheduler pass) amortises across a batch. A
+//! [`Coalescer`] closes that gap without changing a single answer:
+//! concurrent callers enqueue their request and one of them — the
+//! *leader* — drains up to `max_batch` queued requests into one
+//! [`ServingEngine::profile_each`] wave, then distributes the answers.
+//!
+//! * **Determinism is preserved exactly.** Coalesced grouping is timing
+//!   dependent, so answers must not depend on which requests share a
+//!   wave. They don't: `profile_each` pins every chain to the singleton
+//!   RNG stream (batch index 0), making each answer bit-identical to a
+//!   standalone [`ServingEngine::profile`] call — under coalescing,
+//!   alone, or replayed serially.
+//! * **Group-commit leadership.** The first caller to find no active
+//!   leader becomes one; callers arriving while a wave is in flight just
+//!   enqueue and wait. A finishing leader that sees a non-empty queue
+//!   *promotes* one waiter to leader instead of looping, so no caller is
+//!   stuck serving other people's requests indefinitely — each leader
+//!   serves at most one wave beyond its own.
+//! * **Typed errors stay per-request.** A wave that fails falls back to
+//!   serving each member individually, so a request-specific failure
+//!   (say, an unknown neighbor) reaches exactly the caller who sent it
+//!   and never poisons wave-mates.
+//!
+//! ```
+//! use mlp_core::engine::{ProfileRequest, ServingEngine};
+//! use mlp_core::MlpConfig;
+//! use mlp_gazetteer::Gazetteer;
+//! use mlp_social::{Generator, GeneratorConfig, UserId};
+//!
+//! let gaz = Gazetteer::us_cities();
+//! let data = Generator::new(
+//!     &gaz,
+//!     GeneratorConfig { num_users: 60, seed: 19, ..Default::default() },
+//! )
+//! .generate();
+//! let engine = ServingEngine::builder(&gaz)
+//!     .mlp_config(MlpConfig { iterations: 4, burn_in: 2, seed: 19, ..Default::default() })
+//!     .train(&data.dataset.prefix(50))
+//!     .unwrap();
+//!
+//! let coalescer = engine.coalescer(8);
+//! let mut requests = ProfileRequest::batch_from_dataset(&data.dataset, &[UserId(3), UserId(7)]);
+//! for r in &mut requests {
+//!     r.observations.neighbors.retain(|p| p.index() < 50);
+//! }
+//! std::thread::scope(|scope| {
+//!     let handles: Vec<_> =
+//!         requests.iter().map(|r| scope.spawn(|| coalescer.profile(r).unwrap())).collect();
+//!     for (h, r) in handles.into_iter().zip(&requests) {
+//!         // Whatever grouping the race produced, each answer equals the
+//!         // standalone call.
+//!         assert_eq!(h.join().unwrap(), engine.profile(r).unwrap());
+//!     }
+//! });
+//! ```
+
+use crate::engine::{lock, EngineError, ProfileRequest, ProfileResponse, ServingEngine};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A bounded group-commit batcher over one [`ServingEngine`]. Built by
+/// [`ServingEngine::coalescer`]; see the [module docs](self) for the
+/// protocol and the determinism contract.
+pub struct Coalescer<'e, 'a> {
+    engine: &'e ServingEngine<'a>,
+    max_batch: usize,
+    shared: Mutex<Shared>,
+}
+
+/// The queue and the leadership flag, guarded together: leadership
+/// changes hands only while holding this lock, so an enqueued request
+/// always has exactly one live leader responsible for draining it.
+#[derive(Default)]
+struct Shared {
+    queue: Vec<Entry>,
+    leader_active: bool,
+}
+
+struct Entry {
+    request: ProfileRequest,
+    waiter: Arc<Waiter>,
+}
+
+/// One caller's parked state: completed by the leader that drains its
+/// entry, or promoted to leadership by a leader stepping down.
+struct Waiter {
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+enum State {
+    Waiting,
+    /// Promoted: wake up and drain the queue yourself (your own entry is
+    /// still in it).
+    Lead,
+    Done(Result<ProfileResponse, EngineError>),
+}
+
+impl Waiter {
+    fn new() -> Self {
+        Self { state: Mutex::new(State::Waiting), ready: Condvar::new() }
+    }
+
+    fn set(&self, state: State) {
+        *lock(&self.state) = state;
+        self.ready.notify_one();
+    }
+}
+
+impl<'e, 'a> Coalescer<'e, 'a> {
+    /// A coalescer over `engine` grouping at most `max_batch` requests
+    /// per wave (`0` behaves as `1`).
+    pub fn new(engine: &'e ServingEngine<'a>, max_batch: usize) -> Self {
+        Self { engine, max_batch: max_batch.max(1), shared: Mutex::new(Shared::default()) }
+    }
+
+    /// The engine this coalescer serves through.
+    pub fn engine(&self) -> &'e ServingEngine<'a> {
+        self.engine
+    }
+
+    /// The wave-size bound.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Profiles one unseen user through the coalescing queue. Blocks
+    /// until a leader (possibly this caller) serves the request; the
+    /// answer is bit-identical to [`ServingEngine::profile`] on the same
+    /// request, whatever grouping the race produced.
+    pub fn profile(&self, request: &ProfileRequest) -> Result<ProfileResponse, EngineError> {
+        let waiter = Arc::new(Waiter::new());
+        let lead = {
+            let mut shared = lock(&self.shared);
+            shared.queue.push(Entry { request: request.clone(), waiter: Arc::clone(&waiter) });
+            // Claim leadership under the queue lock: either a leader is
+            // already active (and is now responsible for this entry) or
+            // this caller becomes it — an enqueued request can never be
+            // left behind with nobody draining.
+            !std::mem::replace(&mut shared.leader_active, true)
+        };
+        if lead {
+            self.run_leader();
+        }
+        loop {
+            let mut state = lock(&waiter.state);
+            match std::mem::replace(&mut *state, State::Waiting) {
+                State::Done(result) => return result,
+                State::Lead => {
+                    drop(state);
+                    self.run_leader();
+                }
+                State::Waiting => {
+                    let parked =
+                        waiter.ready.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
+                    drop(parked);
+                }
+            }
+        }
+    }
+
+    /// Drains one wave as the leader, then steps down — completing every
+    /// drained waiter and either releasing leadership (empty queue) or
+    /// promoting the next queued waiter to leader.
+    fn run_leader(&self) {
+        let batch: Vec<Entry> = {
+            let mut shared = lock(&self.shared);
+            let take = shared.queue.len().min(self.max_batch);
+            shared.queue.drain(..take).collect()
+        };
+        if !batch.is_empty() {
+            let (requests, waiters): (Vec<ProfileRequest>, Vec<Arc<Waiter>>) =
+                batch.into_iter().map(|e| (e.request, e.waiter)).unzip();
+            match self.engine.profile_each(&requests) {
+                Ok(responses) => {
+                    for (waiter, response) in waiters.into_iter().zip(responses) {
+                        waiter.set(State::Done(Ok(response)));
+                    }
+                }
+                Err(_) => {
+                    // A wave error is usually request-specific (e.g. one
+                    // unknown neighbor). Re-serve each member alone so
+                    // every caller gets its own typed outcome instead of
+                    // a shared, unattributable failure.
+                    for (waiter, request) in waiters.into_iter().zip(&requests) {
+                        waiter.set(State::Done(self.engine.profile(request)));
+                    }
+                }
+            }
+        }
+        let next = {
+            let mut shared = lock(&self.shared);
+            match shared.queue.first() {
+                Some(entry) => Some(Arc::clone(&entry.waiter)),
+                None => {
+                    shared.leader_active = false;
+                    None
+                }
+            }
+        };
+        if let Some(next) = next {
+            // Hand leadership to a waiter whose entry is still queued:
+            // this leader's own caller already has its answer, and the
+            // promoted one drains its own request in its first wave.
+            next.set(State::Lead);
+        }
+    }
+}
+
+impl std::fmt::Debug for Coalescer<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shared = lock(&self.shared);
+        f.debug_struct("Coalescer")
+            .field("max_batch", &self.max_batch)
+            .field("queued", &shared.queue.len())
+            .field("leader_active", &shared.leader_active)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MlpConfig;
+    use crate::infer::NewUserObservations;
+    use mlp_gazetteer::Gazetteer;
+    use mlp_social::{GeneratedData, Generator, GeneratorConfig, UserId};
+
+    fn corpus(users: usize, seed: u64) -> (Gazetteer, GeneratedData) {
+        let gaz = Gazetteer::us_cities();
+        let data =
+            Generator::new(&gaz, GeneratorConfig { num_users: users, seed, ..Default::default() })
+                .generate();
+        (gaz, data)
+    }
+
+    fn quick(seed: u64) -> MlpConfig {
+        MlpConfig { iterations: 6, burn_in: 3, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn coalesced_answers_equal_standalone_profiles() {
+        let (gaz, data) = corpus(80, 301);
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(quick(301))
+            .train(&data.dataset.prefix(60))
+            .unwrap();
+        let ids: Vec<UserId> = (60..76).map(UserId).collect();
+        let mut requests = ProfileRequest::batch_from_dataset(&data.dataset, &ids);
+        for r in &mut requests {
+            r.observations.neighbors.retain(|p| p.index() < 60);
+        }
+
+        // Expected: each request served alone, serially.
+        let expected: Vec<ProfileResponse> =
+            requests.iter().map(|r| engine.profile(r).unwrap()).collect();
+
+        // Race all sixteen through a small-wave coalescer.
+        let coalescer = engine.coalescer(4);
+        let got: Vec<ProfileResponse> = std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                requests.iter().map(|r| scope.spawn(|| coalescer.profile(r).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(expected, got, "coalescing must not change any answer");
+    }
+
+    #[test]
+    fn wave_errors_stay_per_request() {
+        let (gaz, data) = corpus(60, 303);
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(quick(303))
+            .train(&data.dataset.prefix(50))
+            .unwrap();
+        let mut good =
+            ProfileRequest::batch_from_dataset(&data.dataset, &[UserId(3)]).pop().unwrap();
+        good.observations.neighbors.retain(|p| p.index() < 50);
+        let bad = ProfileRequest::new(NewUserObservations {
+            neighbors: vec![UserId(55)], // unknown to the 50-user posterior
+            mentions: vec![],
+        });
+
+        let coalescer = engine.coalescer(8);
+        let (good_out, bad_out) = std::thread::scope(|scope| {
+            let g = scope.spawn(|| coalescer.profile(&good));
+            let b = scope.spawn(|| coalescer.profile(&bad));
+            (g.join().unwrap(), b.join().unwrap())
+        });
+        assert_eq!(good_out.unwrap(), engine.profile(&good).unwrap());
+        assert!(
+            matches!(
+                bad_out.unwrap_err(),
+                EngineError::FoldIn(crate::infer::FoldInError::UnknownUser(UserId(55)))
+            ),
+            "the failing request's caller gets the typed error"
+        );
+    }
+
+    #[test]
+    fn sequential_use_works_without_contention() {
+        let (gaz, data) = corpus(60, 305);
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(quick(305))
+            .train(&data.dataset.prefix(50))
+            .unwrap();
+        let mut requests =
+            ProfileRequest::batch_from_dataset(&data.dataset, &[UserId(1), UserId(2)]);
+        for r in &mut requests {
+            r.observations.neighbors.retain(|p| p.index() < 50);
+        }
+        let coalescer = engine.coalescer(32);
+        for r in &requests {
+            assert_eq!(coalescer.profile(r).unwrap(), engine.profile(r).unwrap());
+        }
+        // Leadership fully released between calls.
+        let dump = format!("{coalescer:?}");
+        assert!(dump.contains("leader_active: false"), "{dump}");
+        assert!(dump.contains("queued: 0"), "{dump}");
+    }
+}

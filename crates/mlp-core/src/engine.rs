@@ -16,11 +16,19 @@
 //!   ([`EngineBuilder::from_artifact`]).
 //! * **Epoch-published snapshots** — the engine keeps the authoritative
 //!   posterior behind a single-writer path and *publishes* it as an
-//!   immutable epoch (`Mutex<Arc<…>>`, arc-swap style). Readers grab a
-//!   cheap [`SnapshotHandle`] — an `Arc` clone under a momentary lock —
-//!   and serve against it lock-free; a refresh commit publishes the next
-//!   epoch without ever blocking readers mid-batch. Every reader observes
-//!   a full pre- or post-commit posterior, never a torn one.
+//!   immutable epoch through a lock-free [`ArcSwap`]: readers grab a
+//!   cheap [`SnapshotHandle`] — an `Arc` clone with **no lock anywhere on
+//!   the path** — and serve against it; a refresh commit publishes the
+//!   next epoch with one atomic pointer swap, never blocking readers
+//!   mid-batch. Every reader observes a full pre- or post-commit
+//!   posterior, never a torn one, and the monitoring surface
+//!   ([`ServingEngine::epoch`], [`commits`](ServingEngine::commits),
+//!   [`needs_retrain`](ServingEngine::needs_retrain)) is wait-free.
+//! * **Request coalescing** — concurrent single-user requests can opt
+//!   into a [`crate::coalesce::Coalescer`] that groups them into one
+//!   fold-in wave per epoch read (see [`ServingEngine::coalescer`]),
+//!   answering each exactly as a standalone [`ServingEngine::profile`]
+//!   call would.
 //! * **Typed vocabulary** — [`ProfileRequest`] in,
 //!   [`ProfileResponse`]/[`RankedCities`] out, one [`EngineError`] over
 //!   config, model, snapshot, fold-in, and IO failures.
@@ -71,6 +79,7 @@
 //! assert_eq!(engine.snapshot().num_users(), 80);
 //! ```
 
+use crate::coalesce::Coalescer;
 use crate::config::{ConfigError, MlpConfig};
 use crate::infer::{
     determinism_hash_rankings, DerivedParts, FoldInConfig, FoldInEngine, FoldInError,
@@ -79,11 +88,12 @@ use crate::infer::{
 use crate::model::Mlp;
 use crate::online::{OnlineError, OnlineUpdater, StalenessPolicy};
 use crate::snapshot::{PosteriorSnapshot, SnapshotError};
+use arc_swap::ArcSwap;
 use bytes::Bytes;
 use mlp_gazetteer::{CityId, Gazetteer};
 use mlp_social::{Dataset, UserId};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Everything that can go wrong across the serving lifecycle, in one
@@ -454,7 +464,8 @@ impl<'a> EngineBuilder<'a> {
             identity,
             commits_published: AtomicUsize::new(updater.commits()),
             stale: AtomicBool::new(updater.needs_refresh()),
-            published: Mutex::new(published),
+            epoch_published: AtomicU64::new(0),
+            published: ArcSwap::new(published),
             writer: Mutex::new(updater),
         })
     }
@@ -479,10 +490,14 @@ pub struct ServingEngine<'a> {
     commits_published: AtomicUsize,
     /// Monitoring mirror of the staleness verdict, same rationale.
     stale: AtomicBool,
-    /// The published epoch. Readers lock only long enough to clone the
-    /// `Arc`; the single writer locks only long enough to swap it after a
-    /// commit — reads never wait on a refresh in progress.
-    published: Mutex<Arc<Epoch>>,
+    /// Wait-free mirror of the published epoch number — [`Self::epoch`]
+    /// must answer without even the lock-free swap's retry loop.
+    epoch_published: AtomicU64,
+    /// The published epoch. Readers clone the `Arc` lock-free; the single
+    /// writer publishes the next epoch with one atomic swap after a
+    /// commit — reads never wait on a refresh in progress, and no mutex
+    /// exists anywhere on the read path.
+    published: ArcSwap<Epoch>,
     /// The single-writer path: the authoritative posterior plus the
     /// delta/staleness bookkeeping. Held for the whole fold-in → stage →
     /// commit → publish sequence so refreshes serialise.
@@ -491,7 +506,9 @@ pub struct ServingEngine<'a> {
 
 impl std::fmt::Debug for ServingEngine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let published = lock(&self.published);
+        // Monitoring surface: a lock-free epoch load, so dumping an engine
+        // never blocks behind a refresh holding the writer lock.
+        let published = self.published.load_full();
         f.debug_struct("ServingEngine")
             .field("epoch", &published.epoch)
             .field("users", &published.snapshot.num_users())
@@ -516,15 +533,16 @@ impl<'a> ServingEngine<'a> {
         &self.fold_in
     }
 
-    /// A read handle on the currently published posterior epoch (a
-    /// momentary lock around an `Arc` clone).
+    /// A read handle on the currently published posterior epoch — a
+    /// lock-free `Arc` clone, never contended by the writer.
     pub fn snapshot(&self) -> SnapshotHandle {
-        SnapshotHandle { inner: Arc::clone(&lock(&self.published)) }
+        SnapshotHandle { inner: self.published.load_full() }
     }
 
     /// The currently published epoch number (0 at build, +1 per commit).
+    /// A wait-free monitoring read — one atomic load, no lock, no retry.
     pub fn epoch(&self) -> u64 {
-        lock(&self.published).epoch
+        self.epoch_published.load(Ordering::Acquire)
     }
 
     /// Profiles one unseen user (defined as the head of a one-request
@@ -580,6 +598,41 @@ impl<'a> ServingEngine<'a> {
         let profiles = engine.fold_in_batch_by(requests.len(), |i| &requests[i].observations)?;
         let epoch = handle.epoch();
         Ok(profiles.into_iter().map(|p| ProfileResponse { ranked: p.into(), epoch }).collect())
+    }
+
+    /// Profiles each request as an *independent single-user call* sharing
+    /// one epoch read and one scheduler pass: every answer is
+    /// bit-identical to what [`Self::profile`] would return for that
+    /// request alone (each chain pins the singleton RNG stream), so
+    /// grouping requests never changes any of them. This is the serving
+    /// primitive behind [`Self::coalescer`]; for batches whose answers
+    /// should match [`crate::FoldInEngine::fold_in_batch`] semantics
+    /// (index-derived streams), use [`Self::profile_batch`] instead.
+    pub fn profile_each(
+        &self,
+        requests: &[ProfileRequest],
+    ) -> Result<Vec<ProfileResponse>, EngineError> {
+        let handle = self.snapshot();
+        let engine = FoldInEngine::from_validated_parts(
+            handle.snapshot(),
+            self.gaz,
+            self.fold_in.clone(),
+            self.parts.clone(),
+        );
+        let profiles =
+            engine.fold_in_singletons_by(requests.len(), |i| &requests[i].observations)?;
+        let epoch = handle.epoch();
+        Ok(profiles.into_iter().map(|p| ProfileResponse { ranked: p.into(), epoch }).collect())
+    }
+
+    /// A bounded group-commit [`Coalescer`] over this engine: concurrent
+    /// single-user [`Coalescer::profile`] calls are grouped into waves of
+    /// up to `max_batch` requests, each wave served through
+    /// [`Self::profile_each`] (one epoch read, one scheduler pass) with
+    /// every answer exactly what a standalone [`Self::profile`] call
+    /// would have returned. See [`crate::coalesce`] for the protocol.
+    pub fn coalescer(&self, max_batch: usize) -> Coalescer<'_, 'a> {
+        Coalescer::new(self, max_batch)
     }
 
     /// Absorbs a batch of new users into the posterior and publishes the
@@ -659,8 +712,8 @@ impl<'a> ServingEngine<'a> {
         let appended = updater.commit()?;
         let mut commits = Vec::new();
         // Served-at epoch: the posterior the chains actually ran against
-        // (published only moves below, and we hold the writer lock).
-        let served_epoch = lock(&self.published).epoch;
+        // (the epoch only moves below, and we hold the writer lock).
+        let served_epoch = self.epoch_published.load(Ordering::Acquire);
         if appended > 0 {
             let next = Arc::new(Epoch {
                 epoch: served_epoch + 1,
@@ -672,7 +725,11 @@ impl<'a> ServingEngine<'a> {
                 total_users: next.snapshot.num_users(),
                 epoch: next.epoch,
             });
-            *lock(&self.published) = next;
+            // Publish order matters for the wait-free mirror: swap the
+            // epoch in first, then advance the number, so `epoch()` never
+            // runs ahead of what `snapshot()` can observe.
+            self.published.store(Arc::clone(&next));
+            self.epoch_published.store(next.epoch, Ordering::Release);
         }
         let needs_retrain = updater.needs_refresh();
         self.commits_published.store(updater.commits(), Ordering::Release);
@@ -738,7 +795,7 @@ impl<'a> ServingEngine<'a> {
 /// Panic-free mutex acquisition: a poisoned lock (a panicking reader or
 /// writer elsewhere) still yields the data — the serving path never
 /// compounds one failure into a global outage.
-fn lock<'m, T>(m: &'m Mutex<T>) -> MutexGuard<'m, T> {
+pub(crate) fn lock<'m, T>(m: &'m Mutex<T>) -> MutexGuard<'m, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 

@@ -487,6 +487,20 @@ impl<'a> FoldInEngine<'a> {
         self.fold_in_each(len, |i| self.fold_in_indexed(i, get(i), false).map(|r| r.profile))
     }
 
+    /// [`Self::fold_in_batch_by`] with every chain pinned to the RNG
+    /// stream of batch index 0: each answer is bit-identical to a
+    /// standalone [`Self::fold_in`] call on that request alone. This is
+    /// the coalescing contract ([`crate::coalesce`]) — grouping
+    /// concurrent single-user requests into one wave must not change any
+    /// answer, no matter which requests happen to share the wave.
+    pub(crate) fn fold_in_singletons_by<'b>(
+        &self,
+        len: usize,
+        get: impl Fn(usize) -> &'b NewUserObservations + Sync,
+    ) -> Result<Vec<FoldInProfile>, FoldInError> {
+        self.fold_in_each(len, |i| self.fold_in_indexed(0, get(i), false).map(|r| r.profile))
+    }
+
     /// [`Self::fold_in_batch`] returning full [`FoldInRecord`]s — the
     /// commit-ready form the online updater consumes. Profiles are
     /// bit-identical to [`Self::fold_in_batch`] on the same batch (the
@@ -507,7 +521,11 @@ impl<'a> FoldInEngine<'a> {
         run: impl Fn(usize) -> Result<T, FoldInError> + Sync,
     ) -> Result<Vec<T>, FoldInError> {
         let threads = self.config.threads.max(1);
-        if threads == 1 {
+        // Single-request batches never pay the scoped-spawn setup, even
+        // with a multi-threaded configuration: one chain cannot be split,
+        // and inline execution is bit-identical (streams depend only on
+        // the request index, not on which thread runs the chain).
+        if threads == 1 || len <= 1 {
             return (0..len).map(&run).collect();
         }
         let run = &run;
@@ -885,6 +903,26 @@ mod tests {
         let par = par_engine.fold_in_batch(&batch).unwrap();
         assert_eq!(seq, par);
         assert_eq!(determinism_hash(&seq), determinism_hash(&par));
+    }
+
+    #[test]
+    fn single_request_fast_path_is_bit_identical_to_spawned() {
+        // A one-request batch takes the inline no-spawn path even with
+        // `threads: 4`; its answer must stay bit-identical to the same
+        // request served as the head of a spawned multi-request batch
+        // (streams depend only on batch index, never on the executing
+        // thread).
+        let (gaz, data, snap) = train(120, 111);
+        let batch: Vec<NewUserObservations> =
+            (0..8).map(|u| NewUserObservations::from_dataset(&data.dataset, UserId(u))).collect();
+        let engine =
+            FoldInEngine::new(&snap, &gaz, FoldInConfig { threads: 4, ..Default::default() })
+                .unwrap();
+        let spawned = engine.fold_in_batch(&batch).unwrap();
+        let inline = engine.fold_in_batch(&batch[..1]).unwrap();
+        assert_eq!(inline[0], spawned[0]);
+        // And the single-request convenience rides the same fast path.
+        assert_eq!(engine.fold_in(&batch[0]).unwrap(), spawned[0]);
     }
 
     #[test]

@@ -41,10 +41,14 @@
 //!   retrain, under a bounded staleness policy;
 //! * [`engine`] — **the serving facade**: [`engine::ServingEngine`] unifies
 //!   train / fold-in / refresh behind one typed, concurrency-safe API with
-//!   epoch-published snapshots. [`snapshot`], [`infer`], and [`online`]
-//!   remain public as the low-level layer it is built from.
+//!   epoch-published snapshots (lock-free readers, single-writer refresh).
+//!   [`snapshot`], [`infer`], and [`online`] remain public as the
+//!   low-level layer it is built from;
+//! * [`coalesce`] — group-commit batching of concurrent single-user
+//!   requests over the facade, answer-preserving by construction.
 
 pub mod candidacy;
+pub mod coalesce;
 pub mod config;
 pub mod count_store;
 pub mod diagnostics;
@@ -63,6 +67,7 @@ pub mod snapshot;
 pub mod state;
 
 pub use candidacy::Candidacy;
+pub use coalesce::Coalescer;
 pub use config::{ConfigError, MlpConfig, Variant};
 pub use count_store::{VenueCountStore, VenueRow};
 pub use diagnostics::{Diagnostics, IterationStats};

@@ -56,10 +56,10 @@ pub mod prelude {
         BaseC, BaseCConfig, BaseU, BaseUConfig, HomeExplainer, HomePredictor, VotingClassifier,
     };
     pub use mlp_core::{
-        ConfigError, EngineBuilder, EngineError, FoldInConfig, FoldInEngine, Mlp, MlpConfig,
-        MlpResult, NewUserObservations, OnlineUpdater, PosteriorSnapshot, ProfileRequest,
-        ProfileResponse, RankedCities, RefreshReport, ServingEngine, SnapshotDelta, SnapshotHandle,
-        StalenessPolicy, Variant,
+        Coalescer, ConfigError, EngineBuilder, EngineError, FoldInConfig, FoldInEngine, Mlp,
+        MlpConfig, MlpResult, NewUserObservations, OnlineUpdater, PosteriorSnapshot,
+        ProfileRequest, ProfileResponse, RankedCities, RefreshReport, ServingEngine, SnapshotDelta,
+        SnapshotHandle, StalenessPolicy, Variant,
     };
     pub use mlp_eval::{ExperimentContext, HomeTask, Method, MultiLocationTask, RelationTask};
     pub use mlp_gazetteer::{CityId, Gazetteer, SynthConfig, VenueExtractor, VenueId};

@@ -1,0 +1,343 @@
+//! Offline shim for `arc-swap` (see `vendor/README.md`).
+//!
+//! Implements the subset of arc-swap 1.x the workspace consumes — an
+//! atomically swappable `Arc<T>` whose **read path never takes a lock** —
+//! with the same externally observable semantics as
+//! [`ArcSwap::load_full`] / [`store`](ArcSwap::store) /
+//! [`swap`](ArcSwap::swap) in the real crate:
+//!
+//! * `load_full` returns a fully owned `Arc<T>` that stays valid for as
+//!   long as the caller keeps it, no matter how many swaps happen after;
+//! * readers never block behind a writer and never observe a torn or
+//!   freed value;
+//! * writers serialise among themselves (the real crate's stores also
+//!   contend on an internal generation lock) but never wait for readers
+//!   that already hold returned `Arc`s.
+//!
+//! # How: a two-slot hazard handshake
+//!
+//! The real crate's lock-free `load` relies on per-thread debt slots; this
+//! shim gets the same guarantees with a simpler scheme that exploits how
+//! the workspace uses it (single logical writer, short read sections):
+//! two fixed slots, each holding an `Option<Arc<T>>` plus a `pinned`
+//! reader counter and a `valid` flag, and a `current` slot index.
+//!
+//! A reader pins the current slot (`pinned += 1`), re-checks `valid`, and
+//! only then clones the `Arc` out; a writer publishes into the *other*
+//! slot and reclaims it first: set `valid = false`, wait for `pinned == 0`,
+//! then overwrite. All flag/counter accesses are `SeqCst`, which makes the
+//! handshake airtight: if the writer's `pinned == 0` check succeeds, any
+//! reader still between its increment and its clone is guaranteed to
+//! observe `valid == false` and back off (its increment would otherwise
+//! have been visible to the writer's check), so the writer never frees or
+//! overwrites an `Arc` mid-clone. The previously published slot stays
+//! valid until the *next* swap reclaims it, so in-flight readers of the
+//! old value always finish cleanly.
+//!
+//! Costs accepted by the shim: the value published two swaps ago is kept
+//! alive until the next swap (one extra `Arc` of memory), readers retry —
+//! they never block — if they race the one-in-a-million reclaim window,
+//! and a writer spin-waits for the handful of instructions a concurrent
+//! reader needs to finish its clone.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// One publication slot: a value cell guarded by the pin/valid handshake.
+struct Slot<T> {
+    /// Readers currently inside the pin-check-clone window.
+    pinned: AtomicUsize,
+    /// Whether `value` may be cloned. Cleared by the writer *before* it
+    /// waits out the pinned readers and touches the cell.
+    valid: AtomicBool,
+    /// The published value. Only the writer (serialised by
+    /// [`ArcSwap::writer`]) mutates it, and only while `valid` is false
+    /// and `pinned` is zero.
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Self {
+            pinned: AtomicUsize::new(0),
+            valid: AtomicBool::new(false),
+            value: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// An `Arc<T>` that can be swapped atomically: lock-free `load_full` for
+/// readers, serialised `store`/`swap` for writers. The shimmed subset of
+/// `arc_swap::ArcSwap`.
+pub struct ArcSwap<T> {
+    slots: [Slot<T>; 2],
+    /// Index of the slot holding the current value. Always points at a
+    /// valid slot.
+    current: AtomicUsize,
+    /// Serialises writers; never touched by `load_full`.
+    writer: Mutex<()>,
+}
+
+// The shim moves/clones `Arc<T>` across threads through the slots, which
+// needs exactly the bounds `Arc<T>: Send + Sync` needs.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Wraps `initial` as the current value.
+    pub fn new(initial: Arc<T>) -> Self {
+        let this = Self {
+            slots: [Slot::empty(), Slot::empty()],
+            current: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        };
+        // No concurrency possible yet: `this` is not shared.
+        unsafe { *this.slots[0].value.get() = Some(initial) };
+        this.slots[0].valid.store(true, SeqCst);
+        this
+    }
+
+    /// Like [`Self::new`] from a bare value (`arc_swap` parity helper).
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Returns an owned clone of the current value without ever taking a
+    /// lock. The returned `Arc` stays valid however many swaps follow.
+    ///
+    /// Lock-free: the only retry is racing a writer's once-per-swap slot
+    /// reclaim, and each retry finds a newer published value.
+    pub fn load_full(&self) -> Arc<T> {
+        loop {
+            let slot = &self.slots[self.current.load(SeqCst)];
+            slot.pinned.fetch_add(1, SeqCst);
+            if slot.valid.load(SeqCst) {
+                // Safe: `valid` seen true *after* pinning means the writer
+                // cannot be mutating the cell (it clears `valid` first and
+                // then waits for `pinned == 0` — SeqCst makes one of the
+                // two checks fail), so the cell holds a live Arc.
+                let arc = unsafe {
+                    (*slot.value.get()).as_ref().expect("valid slot holds a value").clone()
+                };
+                slot.pinned.fetch_sub(1, SeqCst);
+                return arc;
+            }
+            slot.pinned.fetch_sub(1, SeqCst);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Publishes `new` as the current value, dropping this container's
+    /// reference to the value published two stores ago.
+    pub fn store(&self, new: Arc<T>) {
+        self.publish(new);
+    }
+
+    /// Publishes `new` and returns the value it replaced.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let guard = lock(&self.writer);
+        let cur = &self.slots[self.current.load(SeqCst)];
+        // Clone the outgoing value before publishing so the return value
+        // is exactly what was current when the swap took effect.
+        // Safe: we are the only writer (guard held) and the current slot
+        // is never mutated while current; concurrent readers only clone.
+        let old = unsafe { (*cur.value.get()).as_ref().expect("current slot holds a value") };
+        let old = Arc::clone(old);
+        self.publish_locked(new);
+        drop(guard);
+        old
+    }
+
+    /// Consumes the container, returning the current value.
+    pub fn into_inner(mut self) -> Arc<T> {
+        let cur = *self.current.get_mut();
+        self.slots[cur].value.get_mut().take().expect("current slot holds a value")
+    }
+
+    fn publish(&self, new: Arc<T>) {
+        let guard = lock(&self.writer);
+        self.publish_locked(new);
+        drop(guard);
+    }
+
+    /// The writer-side half of the handshake. Caller holds `self.writer`.
+    fn publish_locked(&self, new: Arc<T>) {
+        let free = 1 - self.current.load(SeqCst);
+        let slot = &self.slots[free];
+        // Retire the free slot: it may still hold the value published two
+        // swaps ago, with late readers mid-clone on it.
+        slot.valid.store(false, SeqCst);
+        while slot.pinned.load(SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        // No reader can touch the cell now: any pin after this point
+        // re-checks `valid`, sees false, and backs off (see module docs).
+        unsafe { *slot.value.get() = Some(new) };
+        slot.valid.store(true, SeqCst);
+        self.current.store(free, SeqCst);
+        // The old slot stays valid so in-flight readers finish their
+        // clone; the *next* publish reclaims it.
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::from_pointee(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("current", &self.current.load(SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Panic-free mutex acquisition (a poisoned writer lock still yields).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn load_returns_the_stored_value() {
+        let cell = ArcSwap::from_pointee(41u32);
+        assert_eq!(*cell.load_full(), 41);
+        cell.store(Arc::new(42));
+        assert_eq!(*cell.load_full(), 42);
+        let old = cell.swap(Arc::new(43));
+        assert_eq!(*old, 42);
+        assert_eq!(*cell.load_full(), 43);
+        assert_eq!(*cell.into_inner(), 43);
+    }
+
+    #[test]
+    fn loaded_arcs_outlive_any_number_of_swaps() {
+        let cell = ArcSwap::from_pointee(0u64);
+        let pinned = cell.load_full();
+        for i in 1..100u64 {
+            cell.store(Arc::new(i));
+        }
+        assert_eq!(*pinned, 0, "an Arc returned by load_full must pin its value");
+        assert_eq!(*cell.load_full(), 99);
+    }
+
+    /// Counts live instances so leaks and double frees both show up.
+    struct Counted(Arc<AtomicU64>);
+    impl Counted {
+        fn new(live: &Arc<AtomicU64>) -> Self {
+            live.fetch_add(1, SeqCst);
+            Self(Arc::clone(live))
+        }
+    }
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            let prev = self.0.fetch_sub(1, SeqCst);
+            assert!(prev > 0, "double drop");
+        }
+    }
+
+    #[test]
+    fn every_published_value_is_dropped_exactly_once() {
+        let live = Arc::new(AtomicU64::new(0));
+        {
+            let cell = ArcSwap::new(Arc::new(Counted::new(&live)));
+            for _ in 0..50 {
+                cell.store(Arc::new(Counted::new(&live)));
+            }
+            // The container retains at most the current and previous value.
+            assert!(live.load(SeqCst) <= 2, "live {}", live.load(SeqCst));
+        }
+        assert_eq!(live.load(SeqCst), 0, "dropping the cell must drop retained values");
+    }
+
+    /// A payload whose halves must agree — a torn read or use-after-free
+    /// would surface as a mismatch (or a crash under a sanitizer).
+    struct Sealed {
+        a: u64,
+        b: u64,
+    }
+    impl Sealed {
+        fn new(v: u64) -> Self {
+            Self { a: v, b: v ^ 0xDEAD_BEEF_CAFE_F00D }
+        }
+        fn check(&self) -> u64 {
+            assert_eq!(self.b, self.a ^ 0xDEAD_BEEF_CAFE_F00D, "torn payload");
+            self.a
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_or_stale_frees() {
+        let live = Arc::new(AtomicU64::new(0));
+        let writes = 2_000u64;
+        {
+            let cell = ArcSwap::new(Arc::new((Sealed::new(0), Counted::new(&live))));
+            std::thread::scope(|scope| {
+                let cell = &cell;
+                let readers: Vec<_> = (0..4)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut last = 0u64;
+                            let mut reads = 0u64;
+                            while last < writes {
+                                let v = cell.load_full();
+                                let seen = v.0.check();
+                                assert!(seen >= last, "published values went backwards");
+                                last = seen;
+                                reads += 1;
+                            }
+                            reads
+                        })
+                    })
+                    .collect();
+                let live = &live;
+                let writer = scope.spawn(move || {
+                    for i in 1..=writes {
+                        cell.store(Arc::new((Sealed::new(i), Counted::new(live))));
+                    }
+                });
+                writer.join().expect("writer");
+                for r in readers {
+                    assert!(r.join().expect("reader") > 0);
+                }
+            });
+            assert!(live.load(SeqCst) <= 2);
+        }
+        assert_eq!(live.load(SeqCst), 0, "no value may leak under churn");
+    }
+
+    #[test]
+    fn concurrent_swappers_serialise_without_losing_values() {
+        // Multiple writers racing `swap`: every published value must come
+        // back out exactly once (through a later swap or the final state).
+        let cell = Arc::new(ArcSwap::from_pointee(u64::MAX));
+        let per_writer = 500u64;
+        let mut recovered: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3u64)
+                .map(|w| {
+                    let cell = Arc::clone(&cell);
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        for i in 0..per_writer {
+                            got.push(*cell.swap(Arc::new(w * per_writer + i)));
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("swapper")).collect()
+        });
+        recovered.push(*Arc::try_unwrap(cell).expect("sole owner").into_inner());
+        recovered.sort_unstable();
+        let mut expect: Vec<u64> = (0..3 * per_writer).collect();
+        expect.push(u64::MAX);
+        assert_eq!(recovered, expect, "each swapped-in value must be returned exactly once");
+    }
+}
