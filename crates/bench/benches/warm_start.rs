@@ -69,7 +69,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
 
     // The offline freeze + encode cost a serving fleet pays once.
     group.bench_function("snapshot_encode_decode", |b| {
-        b.iter(|| PosteriorSnapshot::decode(fx.snapshot.encode()).unwrap())
+        b.iter(|| PosteriorSnapshot::decode(fx.snapshot.try_encode().unwrap()).unwrap())
     });
 
     group.finish();

@@ -1,9 +1,10 @@
 //! Closed-loop serving load generator (see `mlp_bench::load`).
 //!
 //! ```text
-//! serve_load [--users N] [--clients N] [--seconds F] [--seed N]
-//!            [--threads N] [--coalesce N] [--no-churn] [--churn-batch N]
-//!            [--smoke] [--contend]
+//! serve_load [--users N] [--churn-pool N] [--clients N] [--seconds F]
+//!            [--seed N] [--threads N] [--coalesce N] [--no-churn]
+//!            [--churn-batch N] [--artifact FILE] [--kill-after F]
+//!            [--compact-bytes N] [--smoke] [--contend] [--recover]
 //! ```
 //!
 //! Default mode trains a synthetic posterior and races closed-loop
@@ -12,6 +13,15 @@
 //! epoch-handle acquisition through a mutex baseline versus the
 //! lock-free path. `--smoke` is the CI gate: a sub-second run that must
 //! serve without a single error.
+//!
+//! `--artifact FILE` makes the run file-backed on the durable path:
+//! every churn commit is fsync'd to the sidecar `FILE.wal` before it
+//! publishes, and `--kill-after S` aborts the process mid-churn — the
+//! crash half of the crash-recovery harness. `--recover` (with the same
+//! flags) is the other half: it reopens the artifact, replays the
+//! committed log, truncates any torn tail, and asserts the recovered
+//! posterior byte-identical — and bit-identically serving — versus an
+//! uninterrupted replay of the same churn waves.
 
 use mlp_bench::load::{self, LoadConfig, LoadMode};
 use std::time::Duration;
@@ -36,6 +46,11 @@ fn main() {
             assert_eq!(report.errors, 0, "smoke: serving errors under churn");
             assert_eq!(report.churn_errors, 0, "smoke: churn writer errored");
             println!("smoke: ok");
+        }
+        LoadMode::Recover => {
+            let summary = load::recover(&config).expect("recover run");
+            println!("{}", summary.summary());
+            println!("recover: ok");
         }
     }
 }

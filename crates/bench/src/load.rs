@@ -8,26 +8,35 @@
 //! request only after the previous answer returns, so reported QPS is a
 //! sustained rate, not an open-loop arrival fantasy.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`LoadConfig`] / [`LoadConfig::parse_from`] — the `serve_load`
 //!   binary's knobs (trained users, client count, duration, coalescing
-//!   wave bound, churn writer on/off);
+//!   wave bound, churn writer on/off, durable artifact, kill timer);
 //! * [`run`] — trains a synthetic posterior, then races N clients
 //!   (optionally through a [`mlp_core::Coalescer`]) against an optional
 //!   refresh-churn writer for the configured duration, folding every
-//!   response time into a mergeable [`LatencyHistogram`];
+//!   response time into a mergeable [`LatencyHistogram`]. With
+//!   `--artifact` the engine is file-backed on the durable path (every
+//!   churn commit fsync'd to the sidecar write-ahead log before
+//!   publish), and `--kill-after S` aborts the process mid-churn — the
+//!   crash half of the crash-recovery harness;
+//! * [`recover`] — the verification half: reopens the artifact (replaying
+//!   the committed log, truncating any torn tail) and proves the
+//!   recovered posterior byte-identical — and bit-identically serving —
+//!   versus an uninterrupted replay of the same churn waves;
 //! * [`contend`] — the before/after of the lock-free epoch publication:
 //!   T threads hammering handle acquisition through a mutex-guarded
 //!   baseline (the pre-lock-free design) versus
 //!   [`ServingEngine::snapshot`].
 
-use mlp_core::engine::{EngineError, ProfileRequest, ServingEngine};
+use mlp_core::engine::{response_determinism_hash, EngineError, ProfileRequest, ServingEngine};
 use mlp_core::{FoldInConfig, MlpConfig};
 use mlp_gazetteer::Gazetteer;
 use mlp_geo::LatencyHistogram;
 use mlp_sampling::{Pcg64, SplitMix64};
-use mlp_social::{Generator, GeneratorConfig, UserId};
+use mlp_social::{GeneratedData, Generator, GeneratorConfig, UserId};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -60,6 +69,17 @@ pub struct LoadConfig {
     pub churn_pause: Duration,
     /// Gibbs sweeps for the synthetic cold train.
     pub train_iters: usize,
+    /// File-backed mode: the base artifact path. Trained and written on
+    /// first use, then (re)opened on the durable path — churn commits
+    /// are fsync'd to the sidecar `<artifact>.wal` before publish.
+    pub artifact: Option<String>,
+    /// Crash mode: abort the process (no unwinding, no flush) this many
+    /// seconds into the measurement window.
+    pub kill_after: Option<f64>,
+    /// WAL auto-compaction threshold in bytes. Defaults to `u64::MAX`
+    /// (off): crash verification replays the log against the *original*
+    /// base artifact, so the crash run must not fold the log into it.
+    pub compact_bytes: u64,
 }
 
 impl Default for LoadConfig {
@@ -76,6 +96,9 @@ impl Default for LoadConfig {
             churn_batch: 8,
             churn_pause: Duration::from_millis(25),
             train_iters: 8,
+            artifact: None,
+            kill_after: None,
+            compact_bytes: u64::MAX,
         }
     }
 }
@@ -107,11 +130,10 @@ impl LoadConfig {
         let mut mode = LoadMode::Measure;
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |flag: &str| {
-                it.next()
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
-                    .parse::<f64>()
-                    .unwrap_or_else(|e| panic!("{flag}: {e}"))
+            let mut value =
+                |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} requires a value"));
+            let num = |flag: &str, raw: String| {
+                raw.parse::<f64>().unwrap_or_else(|e| panic!("{flag}: {e}"))
             };
             match flag.as_str() {
                 "--smoke" => {
@@ -119,23 +141,31 @@ impl LoadConfig {
                     mode = LoadMode::Smoke;
                 }
                 "--contend" => mode = LoadMode::Contend,
+                "--recover" => mode = LoadMode::Recover,
                 "--no-churn" => out.churn = false,
-                "--users" => out.users = value(&flag) as usize,
-                "--clients" => out.clients = value(&flag) as usize,
-                "--seconds" => out.seconds = value(&flag),
-                "--seed" => out.seed = value(&flag) as u64,
-                "--threads" => out.threads = value(&flag) as usize,
-                "--coalesce" => out.coalesce = value(&flag) as usize,
-                "--churn-batch" => out.churn_batch = value(&flag) as usize,
+                "--users" => out.users = num(&flag, value(&flag)) as usize,
+                "--churn-pool" => out.churn_pool = num(&flag, value(&flag)) as usize,
+                "--clients" => out.clients = num(&flag, value(&flag)) as usize,
+                "--seconds" => out.seconds = num(&flag, value(&flag)),
+                "--seed" => out.seed = num(&flag, value(&flag)) as u64,
+                "--threads" => out.threads = num(&flag, value(&flag)) as usize,
+                "--coalesce" => out.coalesce = num(&flag, value(&flag)) as usize,
+                "--churn-batch" => out.churn_batch = num(&flag, value(&flag)) as usize,
+                "--artifact" => out.artifact = Some(value(&flag)),
+                "--kill-after" => out.kill_after = Some(num(&flag, value(&flag))),
+                "--compact-bytes" => out.compact_bytes = num(&flag, value(&flag)) as u64,
                 other => panic!("unknown flag {other}"),
             }
+        }
+        if mode == LoadMode::Recover && out.artifact.is_none() {
+            panic!("--recover requires --artifact FILE");
         }
         (out, mode)
     }
 
     /// One-line provenance banner.
     pub fn banner(&self) -> String {
-        format!(
+        let mut line = format!(
             "# serve_load | users={} clients={} seconds={} seed={} threads={} coalesce={} \
              churn={} churn_batch={}",
             self.users,
@@ -146,7 +176,14 @@ impl LoadConfig {
             self.coalesce,
             if self.churn { "on" } else { "off" },
             self.churn_batch
-        )
+        );
+        if let Some(artifact) = &self.artifact {
+            line.push_str(&format!(" artifact={artifact}"));
+        }
+        if let Some(after) = self.kill_after {
+            line.push_str(&format!(" kill_after={after}"));
+        }
+        line
     }
 }
 
@@ -159,6 +196,10 @@ pub enum LoadMode {
     Smoke,
     /// The handle-acquisition contention comparison instead of a load run.
     Contend,
+    /// Crash-recovery verification: reopen `--artifact`, replay the
+    /// committed write-ahead log, and prove the recovered state equal to
+    /// an uninterrupted replay (see [`recover`]).
+    Recover,
 }
 
 /// What a [`run`] measured.
@@ -214,49 +255,107 @@ impl LoadReport {
     }
 }
 
-/// Trains a synthetic posterior and drives the closed loop described in
-/// the [module docs](self). Returns after `config.seconds` of wall
-/// clock (training time excluded).
-pub fn run(config: &LoadConfig) -> Result<LoadReport, EngineError> {
-    let gaz = Gazetteer::us_cities();
+/// The synthetic corpus and the request/churn pools every mode derives
+/// from a config — deterministic, so [`recover`] can rebuild the crash
+/// run's churn schedule from the config alone.
+///
+/// The request pool re-serves the trained users' own observations as if
+/// unseen; the churn pool holds the reserved tail users, absorbed
+/// round-robin (a lap re-absorbs them as fresh posterior rows — harmless
+/// for a load test, the posterior just keeps growing). Both pools keep
+/// neighbor edges within the base posterior so requests remain valid no
+/// matter how far churn has advanced.
+fn corpus_and_pools(
+    gaz: &Gazetteer,
+    config: &LoadConfig,
+) -> (GeneratedData, Vec<ProfileRequest>, Vec<ProfileRequest>) {
     let total_users = config.users + config.churn_pool;
     let data = Generator::new(
-        &gaz,
+        gaz,
         GeneratorConfig { num_users: total_users, seed: config.seed, ..Default::default() },
     )
     .generate();
+    let ids: Vec<UserId> = (0..config.users).map(|u| UserId(u as u32)).collect();
+    let mut pool = ProfileRequest::batch_from_dataset(&data.dataset, &ids);
+    for r in &mut pool {
+        r.observations.neighbors.retain(|p| p.index() < config.users);
+    }
+    let churn_ids: Vec<UserId> = (config.users..total_users).map(|u| UserId(u as u32)).collect();
+    let mut churn_pool = ProfileRequest::batch_from_dataset(&data.dataset, &churn_ids);
+    for r in &mut churn_pool {
+        r.observations.neighbors.retain(|p| p.index() < config.users);
+    }
+    (data, pool, churn_pool)
+}
+
+/// The fold-in configuration every mode shares (must be identical across
+/// the crash run and the recovery verification for bit-equality).
+fn fold_in_config(config: &LoadConfig) -> FoldInConfig {
+    FoldInConfig { threads: config.threads.max(1), ..Default::default() }
+}
+
+/// Cold-trains the base posterior on the first `config.users` users.
+fn cold_train<'a>(
+    gaz: &'a Gazetteer,
+    config: &LoadConfig,
+    data: &GeneratedData,
+) -> Result<ServingEngine<'a>, EngineError> {
     let iters = config.train_iters.max(2);
-    let engine = ServingEngine::builder(&gaz)
+    ServingEngine::builder(gaz)
         .mlp_config(MlpConfig {
             iterations: iters,
             burn_in: (iters / 2).max(1),
             seed: config.seed,
             ..Default::default()
         })
-        .fold_in_config(FoldInConfig { threads: config.threads.max(1), ..Default::default() })
-        .train(&data.dataset.prefix(config.users))?;
+        .fold_in_config(fold_in_config(config))
+        .train(&data.dataset.prefix(config.users))
+}
 
-    // Request pool: the trained users' own observations, re-served as if
-    // unseen. Neighbor edges stay within the base posterior so requests
-    // remain valid no matter how far churn has advanced.
-    let ids: Vec<UserId> = (0..config.users).map(|u| UserId(u as u32)).collect();
-    let mut pool = ProfileRequest::batch_from_dataset(&data.dataset, &ids);
-    for r in &mut pool {
-        r.observations.neighbors.retain(|p| p.index() < config.users);
+/// Opens the file-backed engine on the durable path, cold-training and
+/// writing the base artifact first if the file does not exist yet.
+/// Reopening an artifact a crash left behind recovers the committed log
+/// on the way in.
+fn open_durable<'a>(
+    gaz: &'a Gazetteer,
+    config: &LoadConfig,
+    data: &GeneratedData,
+    path: &str,
+) -> Result<ServingEngine<'a>, EngineError> {
+    if !Path::new(path).exists() {
+        cold_train(gaz, config, data)?.write_artifact(path)?;
     }
+    ServingEngine::builder(gaz)
+        .fold_in_config(fold_in_config(config))
+        .wal_compact_threshold(config.compact_bytes)
+        .from_artifact_file(path)
+}
 
-    // Churn pool: the reserved tail users, absorbed round-robin (a lap
-    // re-absorbs them as fresh posterior rows — harmless for a load
-    // test, the posterior just keeps growing).
-    let churn_ids: Vec<UserId> = (config.users..total_users).map(|u| UserId(u as u32)).collect();
-    let mut churn_pool = ProfileRequest::batch_from_dataset(&data.dataset, &churn_ids);
-    for r in &mut churn_pool {
-        r.observations.neighbors.retain(|p| p.index() < config.users);
-    }
+/// Trains (or durably opens) a synthetic posterior and drives the closed
+/// loop described in the [module docs](self). Returns after
+/// `config.seconds` of wall clock (training time excluded) — unless
+/// `config.kill_after` aborts the process first.
+pub fn run(config: &LoadConfig) -> Result<LoadReport, EngineError> {
+    let gaz = Gazetteer::us_cities();
+    let (data, pool, churn_pool) = corpus_and_pools(&gaz, config);
+    let engine = match config.artifact.as_deref() {
+        Some(path) => open_durable(&gaz, config, &data, path)?,
+        None => cold_train(&gaz, config, &data)?,
+    };
 
     let coalescer = (config.coalesce > 0).then(|| engine.coalescer(config.coalesce));
     let stop = AtomicBool::new(false);
     let epoch_start = engine.epoch();
+
+    // The crash under test: a detached timer that aborts the process
+    // mid-churn — no unwinding, no destructors, no flush. Everything not
+    // already fsync'd is lost, exactly like a kill -9.
+    if let Some(after) = config.kill_after {
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(after.max(0.0)));
+            std::process::abort();
+        });
+    }
 
     let (per_client, churn_out) = std::thread::scope(|scope| {
         let clients: Vec<_> = (0..config.clients.max(1))
@@ -334,6 +433,125 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, EngineError> {
         epochs_published: engine.epoch() - epoch_start,
         churn_refreshes,
         churn_errors,
+    })
+}
+
+/// What [`recover`] verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverSummary {
+    /// Committed delta records replayed from the write-ahead log.
+    pub replayed_records: usize,
+    /// Users those records appended past the base artifact.
+    pub replayed_users: usize,
+    /// Torn (uncommitted) tail bytes recovery truncated away.
+    pub torn_bytes_dropped: u64,
+    /// Whether a log bound to a different base was set aside.
+    pub stale_log_set_aside: bool,
+    /// Posterior user count after recovery.
+    pub total_users: usize,
+    /// Committed churn waves the crash run got through.
+    pub waves: usize,
+    /// The recovered engine's response fingerprint over the request pool
+    /// (verified equal to the uninterrupted replay's).
+    pub determinism_hash: u64,
+}
+
+impl RecoverSummary {
+    /// One summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "recover: replayed {} committed records ({} users, {} waves) torn_bytes={}{} \
+             -> {} users, response_hash={:016x}",
+            self.replayed_records,
+            self.replayed_users,
+            self.waves,
+            self.torn_bytes_dropped,
+            if self.stale_log_set_aside { " stale_log=set_aside" } else { "" },
+            self.total_users,
+            self.determinism_hash,
+        )
+    }
+}
+
+/// The verification half of the crash harness: reopens `config.artifact`
+/// on the durable path (recovery-on-open replays every committed
+/// write-ahead record and truncates any torn tail), then proves the
+/// recovered engine equal to one that replayed the same churn waves
+/// uninterrupted — byte-identical posterior encodings *and* bit-identical
+/// serving over the request pool.
+///
+/// The ground truth is rebuildable because the churn schedule is
+/// deterministic: waves of `churn_batch` requests taken round-robin from
+/// the churn pool starting at index 0, and the number of committed waves
+/// is recoverable from the user count the log replays to. Requires the
+/// crash run to have left auto-compaction off (the default
+/// `compact_bytes = u64::MAX`) so the on-disk base is still the artifact
+/// the waves were committed against.
+///
+/// # Panics
+/// Panics when no artifact is configured, when the recovered user count
+/// is not a whole number of waves, or when either equality check fails —
+/// the binary's fail-loud contract.
+pub fn recover(config: &LoadConfig) -> Result<RecoverSummary, EngineError> {
+    let path = config.artifact.as_deref().expect("recover requires an artifact path");
+    let gaz = Gazetteer::us_cities();
+    let (_, pool, churn_pool) = corpus_and_pools(&gaz, config);
+
+    // Recovery under test: replay the committed log past the base.
+    let recovered = ServingEngine::builder(&gaz)
+        .fold_in_config(fold_in_config(config))
+        .wal_compact_threshold(u64::MAX)
+        .from_artifact_file(path)?;
+    assert_eq!(recovered.epoch(), 0, "recovery must fold into epoch 0");
+    let report = recovered.recovery_report().cloned().unwrap_or_default();
+
+    // Ground truth: an uninterrupted in-memory replay of the same churn
+    // waves over the same base artifact.
+    let absorbed = recovered.snapshot().num_users() - config.users;
+    let batch = config.churn_batch.max(1);
+    assert_eq!(absorbed % batch, 0, "every committed record must be one full churn wave");
+    let waves = absorbed / batch;
+    let replay = ServingEngine::builder(&gaz)
+        .fold_in_config(fold_in_config(config))
+        .durable(false)
+        .from_artifact_file(path)?;
+    let mut next = 0usize;
+    for _ in 0..waves {
+        let wave: Vec<ProfileRequest> = (0..batch)
+            .map(|_| {
+                let r = churn_pool[next % churn_pool.len()].clone();
+                next += 1;
+                r
+            })
+            .collect();
+        replay.refresh(&wave)?;
+    }
+
+    // The recovered posterior must be byte-identical to the replayed one…
+    let recovered_bytes = recovered.snapshot().try_encode()?;
+    let replayed_bytes = replay.snapshot().try_encode()?;
+    assert_eq!(
+        recovered_bytes.as_slice(),
+        replayed_bytes.as_slice(),
+        "recovered posterior must be byte-identical to an uninterrupted replay"
+    );
+
+    // …and must serve bit-identically.
+    let recovered_hash = response_determinism_hash(&recovered.profile_batch(&pool)?);
+    let replayed_hash = response_determinism_hash(&replay.profile_batch(&pool)?);
+    assert_eq!(
+        recovered_hash, replayed_hash,
+        "recovered engine must serve bit-identically to an uninterrupted replay"
+    );
+
+    Ok(RecoverSummary {
+        replayed_records: report.replayed_records,
+        replayed_users: report.replayed_users,
+        torn_bytes_dropped: report.torn_bytes_dropped,
+        stale_log_set_aside: report.stale_log_moved_to.is_some(),
+        total_users: recovered.snapshot().num_users(),
+        waves,
+        determinism_hash: recovered_hash,
     })
 }
 
@@ -442,8 +660,10 @@ mod tests {
         assert_eq!(mode, LoadMode::Measure);
         assert_eq!(c, LoadConfig::default());
 
-        let (c, _) = parse(&["--users", "99", "--seconds", "0.25", "--no-churn"]);
+        let (c, _) =
+            parse(&["--users", "99", "--churn-pool", "33", "--seconds", "0.25", "--no-churn"]);
         assert_eq!(c.users, 99);
+        assert_eq!(c.churn_pool, 33);
         assert_eq!(c.seconds, 0.25);
         assert!(!c.churn);
     }
@@ -460,6 +680,31 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_panics() {
         parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn crash_flags_parse() {
+        let (c, mode) = parse(&[
+            "--artifact",
+            "/tmp/base.mlps",
+            "--kill-after",
+            "1.5",
+            "--compact-bytes",
+            "4096",
+            "--recover",
+        ]);
+        assert_eq!(mode, LoadMode::Recover);
+        assert_eq!(c.artifact.as_deref(), Some("/tmp/base.mlps"));
+        assert_eq!(c.kill_after, Some(1.5));
+        assert_eq!(c.compact_bytes, 4096);
+        assert!(c.banner().contains("artifact=/tmp/base.mlps"));
+        assert!(c.banner().contains("kill_after=1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--recover requires --artifact")]
+    fn recover_without_artifact_panics() {
+        parse(&["--recover"]);
     }
 
     #[test]
@@ -481,5 +726,42 @@ mod tests {
         assert!(report.requests > 0, "a 50ms window must serve something");
         assert_eq!(report.latency.count(), report.requests);
         assert!(report.summary().contains("qps="));
+    }
+
+    #[test]
+    fn durable_run_then_recover_verifies_the_log() {
+        // The uninterrupted version of the crash harness: a short durable
+        // churn run leaves its committed waves in the sidecar log, and
+        // `recover` must replay them to a posterior byte-identical to an
+        // uninterrupted in-memory replay. (The killed version of this
+        // round trip lives in the crash-recovery integration tests and
+        // the CI smoke job — a unit test cannot abort its own process.)
+        let dir = std::env::temp_dir().join(format!("mlp-load-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let artifact = dir.join("base.mlps");
+        let config = LoadConfig {
+            users: 40,
+            churn_pool: 8,
+            clients: 1,
+            seconds: 0.2,
+            coalesce: 0,
+            churn: true,
+            churn_batch: 2,
+            churn_pause: Duration::from_millis(2),
+            train_iters: 2,
+            artifact: Some(artifact.to_string_lossy().into_owned()),
+            ..LoadConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.churn_errors, 0);
+        assert!(report.churn_refreshes > 0, "a 200ms window must commit at least one wave");
+
+        let summary = recover(&config).unwrap();
+        assert_eq!(summary.replayed_records, summary.waves);
+        assert_eq!(summary.total_users, config.users + summary.waves * config.churn_batch);
+        assert_eq!(summary.torn_bytes_dropped, 0, "a clean shutdown leaves no torn tail");
+        assert!(summary.summary().contains("recover: replayed"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

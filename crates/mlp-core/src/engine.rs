@@ -88,11 +88,12 @@ use crate::infer::{
 use crate::model::Mlp;
 use crate::online::{OnlineError, OnlineUpdater, StalenessPolicy};
 use crate::snapshot::{PosteriorSnapshot, SnapshotError};
+use crate::wal::{artifact_fingerprint, write_atomic, DeltaWal, WalError};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
 use mlp_gazetteer::{CityId, Gazetteer};
 use mlp_social::{Dataset, UserId};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -113,6 +114,9 @@ pub enum EngineError {
     FoldIn(FoldInError),
     /// Reading or writing an artifact file failed.
     Io(std::io::Error),
+    /// The durable write-ahead delta log failed (append, fsync,
+    /// recovery, or checkpoint reset).
+    Wal(WalError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -123,6 +127,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             EngineError::FoldIn(e) => write!(f, "fold-in error: {e}"),
             EngineError::Io(e) => write!(f, "artifact io error: {e}"),
+            EngineError::Wal(e) => write!(f, "delta log error: {e}"),
         }
     }
 }
@@ -135,6 +140,7 @@ impl std::error::Error for EngineError {
             EngineError::Snapshot(e) => Some(e),
             EngineError::FoldIn(e) => Some(e),
             EngineError::Io(e) => Some(e),
+            EngineError::Wal(e) => Some(e),
         }
     }
 }
@@ -169,6 +175,12 @@ impl From<OnlineError> for EngineError {
 impl From<std::io::Error> for EngineError {
     fn from(e: std::io::Error) -> Self {
         EngineError::Io(e)
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e)
     }
 }
 
@@ -361,7 +373,13 @@ pub struct EngineBuilder<'a> {
     mlp: MlpConfig,
     fold_in: FoldInConfig,
     policy: StalenessPolicy,
+    durable: bool,
+    compact_threshold: u64,
 }
+
+/// Default WAL size past which a file-backed engine folds the log into
+/// a fresh base artifact after the next commit (1 MiB).
+pub const DEFAULT_WAL_COMPACT_THRESHOLD: u64 = 1 << 20;
 
 impl<'a> EngineBuilder<'a> {
     /// A builder over `gaz` with default configuration everywhere.
@@ -371,6 +389,8 @@ impl<'a> EngineBuilder<'a> {
             mlp: MlpConfig::default(),
             fold_in: FoldInConfig::default(),
             policy: StalenessPolicy::default(),
+            durable: true,
+            compact_threshold: DEFAULT_WAL_COMPACT_THRESHOLD,
         }
     }
 
@@ -392,6 +412,27 @@ impl<'a> EngineBuilder<'a> {
     /// When accumulated refresh commits warrant a cold retrain.
     pub fn staleness_policy(mut self, policy: StalenessPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Whether [`Self::from_artifact_file`] arms the durable path: a
+    /// sidecar write-ahead log (`<artifact>.wal`) that persists every
+    /// committed delta *before* it is applied and published, plus
+    /// recovery-on-open. On by default; turn off for throwaway engines
+    /// (benchmarks, replay verification) that must not touch the
+    /// sidecar. The in-memory entry points (`train`, `from_snapshot`,
+    /// `from_artifact`) have no file to extend and ignore this.
+    pub fn durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
+    /// WAL size (bytes) past which the next commit folds the log into a
+    /// fresh base artifact (atomic replace + log reset). Defaults to
+    /// [`DEFAULT_WAL_COMPACT_THRESHOLD`]; `u64::MAX` disables automatic
+    /// compaction ([`ServingEngine::checkpoint`] stays available).
+    pub fn wal_compact_threshold(mut self, bytes: u64) -> Self {
+        self.compact_threshold = bytes;
         self
     }
 
@@ -421,7 +462,7 @@ impl<'a> EngineBuilder<'a> {
     }
 
     /// Warm start from published artifact bytes (a
-    /// [`PosteriorSnapshot::encode`] / [`ServingEngine::encode_artifact`]
+    /// [`PosteriorSnapshot::try_encode`] / [`ServingEngine::encode_artifact`]
     /// product): decode, validate, serve as epoch 0. Like
     /// [`Self::from_snapshot`], only the fold-in configuration is
     /// validated.
@@ -431,19 +472,69 @@ impl<'a> EngineBuilder<'a> {
         self.adopt(snapshot)
     }
 
-    /// [`Self::from_artifact`] reading the bytes from a file.
+    /// [`Self::from_artifact`] reading the bytes from a file — the
+    /// *durable* entry point (unless [`Self::durable`]`(false)`).
+    ///
+    /// Durable opens recover on the way in: the sidecar
+    /// `<artifact>.wal` is scanned, every committed delta record is
+    /// replayed past the base artifact (so epoch 0 *is* the last
+    /// committed pre-crash state), any torn tail is truncated, and a log
+    /// bound to a different base (a checkpoint that died halfway) is set
+    /// aside untouched. What recovery found is reported via
+    /// [`ServingEngine::recovery_report`]. Subsequent refresh commits
+    /// append to the log (fsync before publish), and the log is folded
+    /// back into the artifact once it crosses
+    /// [`Self::wal_compact_threshold`].
     pub fn from_artifact_file(
         self,
         path: impl AsRef<Path>,
     ) -> Result<ServingEngine<'a>, EngineError> {
+        let path = path.as_ref();
         let raw = std::fs::read(path)?;
-        self.from_artifact(Bytes::from(raw))
+        if !self.durable {
+            return self.from_artifact(Bytes::from(raw));
+        }
+        self.fold_in.validate()?;
+        let base_fingerprint = artifact_fingerprint(&raw);
+        let mut snapshot = PosteriorSnapshot::decode(Bytes::from(raw))?;
+        let wal_path = DeltaWal::sidecar_path(path);
+        let (wal, found) = DeltaWal::recover(&wal_path, base_fingerprint)?;
+        let mut replayed_users = 0;
+        for delta in &found.deltas {
+            replayed_users += delta.num_new_users();
+            snapshot.apply_delta(delta)?;
+        }
+        let report = RecoveryReport {
+            replayed_records: found.deltas.len(),
+            replayed_users,
+            torn_bytes_dropped: found.torn_bytes,
+            stale_log_moved_to: found.stale_moved_to,
+        };
+        let durable = Durable {
+            wal,
+            artifact_path: path.to_path_buf(),
+            compact_threshold: self.compact_threshold,
+        };
+        self.adopt_with(snapshot, Some(durable), Some(report))
     }
 
-    /// Shared tail of every entry point: bind the snapshot to the
-    /// gazetteer (fingerprint-validated) behind the writer path and
+    /// Shared tail of the in-memory entry points: bind the snapshot to
+    /// the gazetteer (fingerprint-validated) behind the writer path and
     /// publish it as epoch 0.
     fn adopt(self, snapshot: PosteriorSnapshot) -> Result<ServingEngine<'a>, EngineError> {
+        self.adopt_with(snapshot, None, None)
+    }
+
+    /// [`Self::adopt`] with the durable sidecar state attached. The
+    /// replayed snapshot already contains every recovered delta, so the
+    /// updater's base payload is the *recovered* state — its future
+    /// commits extend the existing log, never re-log history.
+    fn adopt_with(
+        self,
+        snapshot: PosteriorSnapshot,
+        durable: Option<Durable>,
+        recovery: Option<RecoveryReport>,
+    ) -> Result<ServingEngine<'a>, EngineError> {
         let updater = OnlineUpdater::new(self.gaz, snapshot, self.fold_in.clone(), self.policy)?;
         // Derived once (by the updater's constructor): noise models,
         // hyper-parameters, and the popular fallback never change across
@@ -466,8 +557,51 @@ impl<'a> EngineBuilder<'a> {
             stale: AtomicBool::new(updater.needs_refresh()),
             epoch_published: AtomicU64::new(0),
             published: ArcSwap::new(published),
-            writer: Mutex::new(updater),
+            writer: Mutex::new(Writer { updater, durable }),
+            recovery,
         })
+    }
+}
+
+/// The durable half of the writer path: the open sidecar log, where the
+/// base artifact lives, and when to fold the former into the latter.
+struct Durable {
+    wal: DeltaWal,
+    artifact_path: PathBuf,
+    compact_threshold: u64,
+}
+
+/// Everything behind the writer mutex: the authoritative updater plus
+/// the (optional) durable sidecar state, locked together so a commit and
+/// its log append can never interleave with another writer.
+struct Writer<'a> {
+    updater: OnlineUpdater<'a>,
+    durable: Option<Durable>,
+}
+
+/// What recovery-on-open ([`EngineBuilder::from_artifact_file`]) found
+/// in the sidecar write-ahead log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Committed delta records replayed past the base artifact.
+    pub replayed_records: usize,
+    /// Users those records appended to the posterior.
+    pub replayed_users: usize,
+    /// Bytes of torn (uncommitted) log tail truncated away.
+    pub torn_bytes_dropped: u64,
+    /// Where a log bound to a different base artifact was set aside, if
+    /// one was found (a checkpoint crash window — nothing is lost, the
+    /// new base already contains that log's deltas).
+    pub stale_log_moved_to: Option<PathBuf>,
+}
+
+impl RecoveryReport {
+    /// Whether recovery changed anything (replayed, truncated, or set a
+    /// stale log aside) as opposed to a clean open.
+    pub fn recovered_anything(&self) -> bool {
+        self.replayed_records > 0
+            || self.torn_bytes_dropped > 0
+            || self.stale_log_moved_to.is_some()
     }
 }
 
@@ -499,9 +633,13 @@ pub struct ServingEngine<'a> {
     /// exists anywhere on the read path.
     published: ArcSwap<Epoch>,
     /// The single-writer path: the authoritative posterior plus the
-    /// delta/staleness bookkeeping. Held for the whole fold-in → stage →
+    /// delta/staleness bookkeeping and (for file-backed engines) the
+    /// durable sidecar log. Held for the whole fold-in → stage → log →
     /// commit → publish sequence so refreshes serialise.
-    writer: Mutex<OnlineUpdater<'a>>,
+    writer: Mutex<Writer<'a>>,
+    /// What recovery-on-open found, for engines built by
+    /// [`EngineBuilder::from_artifact_file`] on the durable path.
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for ServingEngine<'_> {
@@ -647,10 +785,10 @@ impl<'a> ServingEngine<'a> {
     /// loop — which also needs future-user edges filtered out — use
     /// [`Self::refresh_from_dataset`].
     pub fn refresh(&self, requests: &[ProfileRequest]) -> Result<RefreshReport, EngineError> {
-        let mut updater = lock_writer(&self.writer);
+        let mut writer = lock_writer(&self.writer);
         let batch: Vec<NewUserObservations> =
             requests.iter().map(|r| r.observations.clone()).collect();
-        self.absorb_commit_publish(&mut updater, batch)
+        self.absorb_commit_publish(&mut writer, batch)
     }
 
     /// The standing refresh loop, engine-owned: profiles users
@@ -680,21 +818,21 @@ impl<'a> ServingEngine<'a> {
         ids: &[UserId],
         batch: usize,
     ) -> Result<RefreshReport, EngineError> {
-        let mut updater = lock_writer(&self.writer);
+        let mut writer = lock_writer(&self.writer);
         // An empty refresh still reports the standing staleness verdict,
         // exactly as `refresh(&[])` does.
         let mut report = RefreshReport {
             profiles: Vec::new(),
             commits: Vec::new(),
-            needs_retrain: updater.needs_refresh(),
+            needs_retrain: writer.updater.needs_refresh(),
         };
         for chunk in ids.chunks(batch.max(1)) {
             let mut obs = NewUserObservations::batch_from_dataset(dataset, chunk);
-            let known = updater.snapshot().num_users();
+            let known = writer.updater.snapshot().num_users();
             for o in &mut obs {
                 o.neighbors.retain(|p| p.index() < known);
             }
-            let step = self.absorb_commit_publish(&mut updater, obs)?;
+            let step = self.absorb_commit_publish(&mut writer, obs)?;
             report.profiles.extend(step.profiles);
             report.commits.extend(step.commits);
             report.needs_retrain = step.needs_retrain;
@@ -702,14 +840,27 @@ impl<'a> ServingEngine<'a> {
         Ok(report)
     }
 
-    /// The one writer-side sequence: absorb → commit → publish.
+    /// The one writer-side sequence: absorb → log → commit → publish.
+    ///
+    /// On the durable path the staged delta is appended to the
+    /// write-ahead log and fsync'd *before* it is applied in memory or
+    /// published — the fsync is the commit point. A crash after the
+    /// append replays the delta on reopen (identical to an uninterrupted
+    /// run); a crash before it never published, so nothing is lost
+    /// either. After publish, a log past its size threshold is folded
+    /// into a fresh base artifact ([`Self::checkpoint`] semantics).
     fn absorb_commit_publish(
         &self,
-        updater: &mut OnlineUpdater<'a>,
+        writer: &mut Writer<'a>,
         batch: Vec<NewUserObservations>,
     ) -> Result<RefreshReport, EngineError> {
-        let profiles = updater.absorb(&batch)?;
-        let appended = updater.commit()?;
+        let profiles = writer.updater.absorb(&batch)?;
+        if let Some(durable) = writer.durable.as_mut() {
+            if !writer.updater.pending_delta().is_empty() {
+                durable.wal.append(writer.updater.pending_delta())?;
+            }
+        }
+        let appended = writer.updater.commit()?;
         let mut commits = Vec::new();
         // Served-at epoch: the posterior the chains actually ran against
         // (the epoch only moves below, and we hold the writer lock).
@@ -717,7 +868,7 @@ impl<'a> ServingEngine<'a> {
         if appended > 0 {
             let next = Arc::new(Epoch {
                 epoch: served_epoch + 1,
-                snapshot: updater.snapshot().clone(),
+                snapshot: writer.updater.snapshot().clone(),
                 publisher: Arc::clone(&self.identity),
             });
             commits.push(CommitInfo {
@@ -730,9 +881,12 @@ impl<'a> ServingEngine<'a> {
             // runs ahead of what `snapshot()` can observe.
             self.published.store(Arc::clone(&next));
             self.epoch_published.store(next.epoch, Ordering::Release);
+            // Compaction runs only after the commit is both durable and
+            // published — a checkpoint failure here cannot un-commit it.
+            self.maybe_checkpoint(writer)?;
         }
-        let needs_retrain = updater.needs_refresh();
-        self.commits_published.store(updater.commits(), Ordering::Release);
+        let needs_retrain = writer.updater.needs_refresh();
+        self.commits_published.store(writer.updater.commits(), Ordering::Release);
         self.stale.store(needs_retrain, Ordering::Release);
         Ok(RefreshReport {
             profiles: profiles
@@ -744,14 +898,70 @@ impl<'a> ServingEngine<'a> {
         })
     }
 
+    /// Folds the write-ahead log into a fresh base artifact when it has
+    /// outgrown its threshold (no-op otherwise or when not durable).
+    fn maybe_checkpoint(&self, writer: &mut Writer<'a>) -> Result<bool, EngineError> {
+        match &writer.durable {
+            Some(d) if d.wal.len() >= d.compact_threshold && !d.wal.is_empty() => {
+                self.checkpoint_locked(writer)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Folds the write-ahead log into the base artifact *now*: the full
+    /// recovered posterior is re-encoded, written atomically over the
+    /// artifact path (temp file + fsync + rename), and the log is reset
+    /// to extend the new base. Returns `false` (and does nothing) for
+    /// engines without a durable sidecar. Crash-ordered: the new base is
+    /// durable before the log resets, so dying between the two steps
+    /// leaves a base that already contains the log — recovery detects
+    /// the fingerprint mismatch and sets the stale log aside.
+    pub fn checkpoint(&self) -> Result<bool, EngineError> {
+        let mut writer = lock_writer(&self.writer);
+        if writer.durable.is_none() {
+            return Ok(false);
+        }
+        self.checkpoint_locked(&mut writer)?;
+        Ok(true)
+    }
+
+    fn checkpoint_locked(&self, writer: &mut Writer<'a>) -> Result<(), EngineError> {
+        let bytes = writer.updater.snapshot().try_encode()?;
+        let durable = writer.durable.as_mut().expect("checkpoint requires the durable sidecar");
+        write_atomic(&durable.artifact_path, bytes.as_slice())?;
+        durable.wal.reset(artifact_fingerprint(bytes.as_slice()))?;
+        writer.updater.rebase()?;
+        Ok(())
+    }
+
+    /// What recovery-on-open found — `Some` only for engines built by
+    /// [`EngineBuilder::from_artifact_file`] on the durable path.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Whether this engine persists commits to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        lock_writer(&self.writer).durable.is_some()
+    }
+
+    /// Current size of the write-ahead log in bytes (`None` when not
+    /// durable). Takes the writer lock briefly — a monitoring read for
+    /// tests and ops tooling, not the serving path.
+    pub fn log_bytes(&self) -> Option<u64> {
+        lock_writer(&self.writer).durable.as_ref().map(|d| d.wal.len())
+    }
+
     /// Records an externally measured drift metric (e.g.
     /// `mlp_eval`'s refreshed-vs-retrained accuracy gap) for the
     /// staleness policy. Waits for an in-flight refresh to finish (it
     /// updates writer state).
     pub fn record_drift(&self, drift: f64) {
-        let mut updater = lock_writer(&self.writer);
-        updater.record_drift(drift);
-        self.stale.store(updater.needs_refresh(), Ordering::Release);
+        let mut writer = lock_writer(&self.writer);
+        writer.updater.record_drift(drift);
+        self.stale.store(writer.updater.needs_refresh(), Ordering::Release);
     }
 
     /// Whether the staleness policy asks for a cold retrain (commit budget
@@ -772,7 +982,7 @@ impl<'a> ServingEngine<'a> {
     /// published artifact's size (semantics preserved; see
     /// [`OnlineUpdater::compact`] for the f64-ulp caveat).
     pub fn compact(&self) -> Result<(), EngineError> {
-        lock_writer(&self.writer).compact().map_err(EngineError::from)
+        lock_writer(&self.writer).updater.compact().map_err(EngineError::from)
     }
 
     /// Encodes the current posterior as a publishable artifact: the base
@@ -781,13 +991,15 @@ impl<'a> ServingEngine<'a> {
     /// Thaws (via [`EngineBuilder::from_artifact`] or
     /// [`PosteriorSnapshot::decode`]) back to the published posterior.
     pub fn encode_artifact(&self) -> Result<Bytes, EngineError> {
-        lock_writer(&self.writer).encode_artifact().map_err(EngineError::from)
+        lock_writer(&self.writer).updater.encode_artifact().map_err(EngineError::from)
     }
 
-    /// [`Self::encode_artifact`] straight to a file.
+    /// [`Self::encode_artifact`] straight to a file, written atomically
+    /// (temp file + fsync + rename): a crash mid-write leaves the old
+    /// artifact, never a torn one the next open would reject.
     pub fn write_artifact(&self, path: impl AsRef<Path>) -> Result<usize, EngineError> {
         let bytes = self.encode_artifact()?;
-        std::fs::write(path, bytes.as_slice())?;
+        write_atomic(path.as_ref(), bytes.as_slice())?;
         Ok(bytes.len())
     }
 }
@@ -800,7 +1012,7 @@ pub(crate) fn lock<'m, T>(m: &'m Mutex<T>) -> MutexGuard<'m, T> {
 }
 
 /// [`lock`] for the writer path (separate fn only for call-site clarity).
-fn lock_writer<'m, 'a>(m: &'m Mutex<OnlineUpdater<'a>>) -> MutexGuard<'m, OnlineUpdater<'a>> {
+fn lock_writer<'m, 'a>(m: &'m Mutex<Writer<'a>>) -> MutexGuard<'m, Writer<'a>> {
     lock(m)
 }
 

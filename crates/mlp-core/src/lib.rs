@@ -33,7 +33,7 @@
 //! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
 //! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`];
 //! * [`snapshot`] — frozen posterior artifacts (versioned binary codec,
-//!   v3 with mergeable delta records) for warm-start serving;
+//!   v4 with CRC-framed mergeable delta records) for warm-start serving;
 //! * [`infer`] — the fold-in engine predicting *unseen* users against a
 //!   frozen snapshot, sequentially or batched across scoped threads;
 //! * [`online`] — incremental posterior refresh: absorbing new users into
@@ -45,7 +45,11 @@
 //!   [`snapshot`], [`infer`], and [`online`] remain public as the
 //!   low-level layer it is built from;
 //! * [`coalesce`] — group-commit batching of concurrent single-user
-//!   requests over the facade, answer-preserving by construction.
+//!   requests over the facade, answer-preserving by construction;
+//! * [`wal`] — the durable write-ahead delta log behind file-backed
+//!   engines: fsync'd CRC-framed records, recovery-on-open that replays
+//!   the committed prefix and truncates torn tails, and atomic artifact
+//!   replacement ([`wal::write_atomic`]).
 
 pub mod candidacy;
 pub mod coalesce;
@@ -65,6 +69,7 @@ pub mod random_models;
 pub mod sampler;
 pub mod snapshot;
 pub mod state;
+pub mod wal;
 
 pub use candidacy::Candidacy;
 pub use coalesce::Coalescer;
@@ -73,7 +78,7 @@ pub use count_store::{VenueCountStore, VenueRow};
 pub use diagnostics::{Diagnostics, IterationStats};
 pub use engine::{
     response_determinism_hash, CommitInfo, EngineBuilder, EngineError, ProfileRequest,
-    ProfileResponse, RankedCities, RefreshReport, ServingEngine, SnapshotHandle,
+    ProfileResponse, RankedCities, RecoveryReport, RefreshReport, ServingEngine, SnapshotHandle,
 };
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};
@@ -89,3 +94,4 @@ pub use snapshot::{
     gazetteer_fingerprint, PosteriorSnapshot, SnapshotDelta, SnapshotError, UserArena,
     UserPosterior, UserView, VenueArena,
 };
+pub use wal::{artifact_fingerprint, write_atomic, DeltaWal, WalError, WalRecovery};

@@ -225,6 +225,26 @@ impl<'a> OnlineUpdater<'a> {
         self.pending.num_new_users()
     }
 
+    /// The staged (absorbed, uncommitted) delta — what the serving
+    /// engine's write-ahead log persists *before* [`Self::commit`]
+    /// applies it, so the on-disk log is never behind the published
+    /// state.
+    pub(crate) fn pending_delta(&self) -> &SnapshotDelta {
+        &self.pending
+    }
+
+    /// Re-anchors the updater on its current snapshot: the base payload
+    /// is re-encoded from the live (refreshed) posterior and the commit
+    /// history is dropped. Used after log compaction checkpoints the
+    /// full state to disk — the history is already folded into the new
+    /// base artifact, so keeping the records would double-apply them.
+    /// The commit *count* driving the staleness policy is untouched.
+    pub(crate) fn rebase(&mut self) -> Result<(), SnapshotError> {
+        self.base_payload = self.snapshot.encode_payload()?.freeze();
+        self.committed.clear();
+        Ok(())
+    }
+
     /// Commits the pending delta into the snapshot; returns how many
     /// users were appended (0 when nothing was pending — not counted as a
     /// commit). On error the snapshot *and* the pending delta are left
@@ -293,9 +313,9 @@ impl<'a> OnlineUpdater<'a> {
             || self.last_drift > self.policy.drift_threshold
     }
 
-    /// Encodes the refreshed posterior as a v3 artifact: the base
+    /// Encodes the refreshed posterior as a v4 artifact: the base
     /// payload captured at construction plus every committed delta as a
-    /// length-prefixed record. Decoding replays the records, so the
+    /// CRC-framed record. Decoding replays the records, so the
     /// result thaws equal to [`Self::snapshot`]. Publishing after another
     /// commit only appends — the base bytes never change.
     pub fn encode_artifact(&self) -> Result<Bytes, SnapshotError> {

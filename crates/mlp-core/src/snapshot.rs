@@ -32,13 +32,42 @@ use mlp_geo::PowerLaw;
 use mlp_social::UserId;
 
 const MAGIC: u32 = 0x4D4C_5053; // "MLPS"
-/// Current write version: v3 = the v2 CSR-arena payload followed by a
-/// length-prefixed [`SnapshotDelta`] record section (online refresh).
-const VERSION: u16 = 3;
+/// Current write version: v4 = the v2 CSR-arena payload followed by a
+/// [`SnapshotDelta`] record section (online refresh) whose records are
+/// CRC32-framed (`u64` length + `u32` IEEE CRC of the payload). v3 wrote
+/// the same section without the per-record checksum.
+const VERSION: u16 = 4;
 /// Oldest version this build still reads. v2 artifacts (pre-refresh, no
-/// delta section) thaw unchanged; v1 artifacts fail with the typed
+/// delta section) and v3 artifacts (un-checksummed records) thaw
+/// unchanged; v1 artifacts fail with the typed
 /// [`SnapshotError::UnsupportedVersion`].
 const MIN_READ_VERSION: u16 = 2;
+
+/// IEEE CRC32 (the zlib/PNG polynomial), table-driven, no external
+/// crates. Frames every v4 delta record and every WAL record so a torn
+/// or bit-flipped write is detected before its payload is parsed.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// Stable (FNV-1a, rustc-independent) content hash of a gazetteer:
 /// every city's name, state, coordinates, and population, and every
@@ -560,15 +589,26 @@ impl SnapshotDelta {
         4 + 4 + 4 + (n + 1) * 4 + nnz * 20 + n * 20 + 4 + vnz * 16
     }
 
-    /// Appends the length-prefixed record (`u64` byte length + payload).
+    /// Appends the v4 framed record: `u64` payload byte length, `u32`
+    /// IEEE CRC32 of the payload, then the payload itself.
     pub(crate) fn encode_record(&self, buf: &mut BytesMut) -> Result<(), SnapshotError> {
+        let payload = self.encode_record_payload()?;
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_u32_le(crc32(payload.as_slice()));
+        buf.extend_from_slice(payload.as_slice());
+        Ok(())
+    }
+
+    /// The bare record payload (no framing) — shared by the artifact's
+    /// delta section and the sidecar WAL, which adds its own framing.
+    pub(crate) fn encode_record_payload(&self) -> Result<Bytes, SnapshotError> {
         let n = u32::try_from(self.users.num_users())
             .map_err(|_| SnapshotError::TooLarge("delta user count exceeds u32::MAX"))?;
         let nnz = u32::try_from(self.users.num_entries())
             .map_err(|_| SnapshotError::TooLarge("delta candidate slab exceeds u32::MAX"))?;
         let vnz = u32::try_from(self.venue_cities.len())
             .map_err(|_| SnapshotError::TooLarge("delta venue slab exceeds u32::MAX"))?;
-        buf.put_u64_le(self.record_len());
+        let mut buf = BytesMut::with_capacity(self.record_len() as usize);
         buf.put_u32_le(self.base_users);
         buf.put_u32_le(n);
         buf.put_u32_le(nnz);
@@ -603,24 +643,43 @@ impl SnapshotDelta {
         for &w in &self.venue_weights {
             buf.put_f64_le(w);
         }
-        Ok(())
+        Ok(buf.freeze())
     }
 
-    /// Parses one length-prefixed record. The `u64` length prefix is
-    /// checked against the remaining buffer *before* any slab is sized
-    /// (an absurd declared length is a typed error, not an allocation),
-    /// and a record that does not consume exactly its declared bytes is
-    /// rejected.
-    pub(crate) fn decode_record(buf: &mut Bytes) -> Result<Self, SnapshotError> {
+    /// Parses one framed record. The `u64` length prefix is checked
+    /// against the remaining buffer *before* any slab is sized (an absurd
+    /// declared length is a typed error, not an allocation), and a record
+    /// that does not consume exactly its declared bytes is rejected.
+    ///
+    /// `checksummed` selects the framing: v4 records carry a `u32` IEEE
+    /// CRC32 between the length prefix and the payload, verified before
+    /// the payload is parsed; v3 records have no checksum.
+    pub(crate) fn decode_record(buf: &mut Bytes, checksummed: bool) -> Result<Self, SnapshotError> {
         need64(buf, 8)?;
         let declared = buf.get_u64_le();
         let len = usize::try_from(declared)
             .map_err(|_| SnapshotError::Overflow("delta record length prefix"))?;
+        let expect_crc = if checksummed {
+            need64(buf, 4)?;
+            Some(buf.get_u32_le())
+        } else {
+            None
+        };
         if buf.remaining() < len {
             return Err(SnapshotError::Truncated);
         }
-        let mut rec = buf.split_to(len);
+        let rec = buf.split_to(len);
+        if let Some(crc) = expect_crc {
+            if crc32(rec.as_slice()) != crc {
+                return Err(SnapshotError::Corrupt("delta record checksum mismatch"));
+            }
+        }
+        Self::decode_record_payload(rec)
+    }
 
+    /// Parses a bare record payload whose framing (length, and for v4 /
+    /// the WAL a CRC) has already been read and verified by the caller.
+    pub(crate) fn decode_record_payload(mut rec: Bytes) -> Result<Self, SnapshotError> {
         need64(&rec, 12)?;
         let base_users = rec.get_u32_le();
         let n = rec.get_u32_le() as usize;
@@ -766,24 +825,19 @@ impl PosteriorSnapshot {
     /// Serialises the snapshot into the versioned binary format: a fixed
     /// header followed by length-prefixed flat slabs — the arenas'
     /// in-memory layout, written column by column — and an empty delta
-    /// record section (v3).
+    /// record section (v4).
     ///
-    /// Panics if the snapshot exceeds the format's `u32` slab limits
-    /// (> 4 Gi candidate entries — hundreds of GiB of state); use
-    /// [`Self::try_encode`] for the typed error.
-    pub fn encode(&self) -> Bytes {
-        self.try_encode().expect("snapshot within format slab limits")
-    }
-
-    /// [`Self::encode`] with the size limits surfaced as a typed error
-    /// instead of a panic.
+    /// The format's `u32` slab limits (> 4 Gi candidate entries —
+    /// hundreds of GiB of state) surface as the typed
+    /// [`SnapshotError::TooLarge`]; there is deliberately no panicking
+    /// variant, so no serving process can abort on an oversized encode.
     pub fn try_encode(&self) -> Result<Bytes, SnapshotError> {
         self.encode_with_deltas(&[])
     }
 
-    /// Serialises this snapshot as a v3 *base* followed by `deltas` as
-    /// length-prefixed records. Decoding replays the records onto the
-    /// base, so the artifact thaws to the refreshed posterior — and a
+    /// Serialises this snapshot as a v4 *base* followed by `deltas` as
+    /// CRC-framed records. Decoding replays the records onto the base,
+    /// so the artifact thaws to the refreshed posterior — and a
     /// publisher can ship an update by appending a record and patching the
     /// count instead of re-encoding the arenas
     /// ([`crate::online::OnlineUpdater::encode_artifact`] does exactly
@@ -794,7 +848,7 @@ impl PosteriorSnapshot {
         Ok(buf.freeze())
     }
 
-    /// The v3 header + base payload, without the trailing delta section.
+    /// The v4 header + base payload, without the trailing delta section.
     pub(crate) fn encode_payload(&self) -> Result<BytesMut, SnapshotError> {
         let nnz = self.users.candidates.len();
         let vnz = self.venues.venue_ids.len();
@@ -952,9 +1006,9 @@ impl PosteriorSnapshot {
         )
     }
 
-    /// Decodes a snapshot produced by [`Self::encode`] (v3) or by a
-    /// pre-refresh v2 build; v3 delta records are replayed onto the base
-    /// so the result is the refreshed posterior.
+    /// Decodes a snapshot produced by [`Self::try_encode`] (v4) or by an
+    /// older v3 / pre-refresh v2 build; delta records are replayed onto
+    /// the base so the result is the refreshed posterior.
     pub fn decode(mut buf: Bytes) -> Result<Self, SnapshotError> {
         need64(&buf, 8)?;
         let magic = buf.get_u32_le();
@@ -1077,15 +1131,15 @@ impl PosteriorSnapshot {
             venues,
         };
 
-        // --- Delta record section (v3) ------------------------------------
+        // --- Delta record section (v3+) -----------------------------------
         // Replay every committed increment onto the base, validating each
         // one exactly like base state. A v2 artifact simply has no
-        // section.
+        // section; v4 records are CRC-framed, v3 records are not.
         if version >= 3 {
             need64(&buf, 4)?;
             let n_deltas = buf.get_u32_le();
             for _ in 0..n_deltas {
-                let record = SnapshotDelta::decode_record(&mut buf)?;
+                let record = SnapshotDelta::decode_record(&mut buf, version >= 4)?;
                 snap.apply_delta(&record)?;
             }
         }
@@ -1099,8 +1153,8 @@ impl PosteriorSnapshot {
     }
 }
 
-/// Appends the v3 trailer — `u32` record count + length-prefixed records
-/// — the one framing shared by [`PosteriorSnapshot::encode_with_deltas`]
+/// Appends the v4 trailer — `u32` record count + CRC-framed records —
+/// the one framing shared by [`PosteriorSnapshot::encode_with_deltas`]
 /// and the updater's incremental
 /// [`crate::online::OnlineUpdater::encode_artifact`].
 pub(crate) fn append_delta_section(
@@ -1194,20 +1248,20 @@ mod tests {
     #[test]
     fn binary_round_trip_is_exact() {
         let snap = trained_snapshot(100, 43);
-        let decoded = PosteriorSnapshot::decode(snap.encode()).unwrap();
+        let decoded = PosteriorSnapshot::decode(snap.try_encode().unwrap()).unwrap();
         assert_eq!(snap, decoded);
     }
 
     #[test]
     fn bad_magic_and_version_rejected() {
         let snap = trained_snapshot(20, 47);
-        let mut raw = snap.encode().to_vec();
+        let mut raw = snap.try_encode().unwrap().to_vec();
         raw[0] ^= 0xFF;
         assert!(matches!(
             PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
             SnapshotError::BadMagic(_)
         ));
-        let mut raw = snap.encode().to_vec();
+        let mut raw = snap.try_encode().unwrap().to_vec();
         raw[4] = 0xFE;
         assert!(matches!(
             PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
@@ -1215,30 +1269,74 @@ mod tests {
         ));
     }
 
-    /// A v2 artifact — the pre-refresh format, byte-identical to v3 minus
-    /// the trailing delta record section — must still thaw. Synthesised
-    /// from a v3 encode by rewriting the version and dropping the empty
-    /// record count, which is exactly what a v2 writer produced.
+    /// A v2 artifact — the pre-refresh format, byte-identical to a v4
+    /// base minus the trailing delta record section — must still thaw.
+    /// Synthesised from a v4 encode by rewriting the version and dropping
+    /// the empty record count, which is exactly what a v2 writer
+    /// produced.
     #[test]
     fn v2_snapshot_still_decodes() {
         let snap = trained_snapshot(40, 48);
-        let v3 = snap.encode();
-        let mut v2 = v3.to_vec();
+        let v4 = snap.try_encode().unwrap();
+        let mut v2 = v4.to_vec();
         v2[4..6].copy_from_slice(&2u16.to_le_bytes());
         v2.truncate(v2.len() - 4);
         let decoded = PosteriorSnapshot::decode(Bytes::from(v2)).unwrap();
         assert_eq!(snap, decoded, "v2 payload must thaw identically");
     }
 
-    /// Future versions stay rejected with the typed error.
+    /// A v3 artifact — un-checksummed delta records — must still thaw,
+    /// records included. Synthesised from the v4 base payload with the
+    /// version rewritten and the record section re-framed the way a v3
+    /// writer laid it out: `u32` count, then per record a `u64` length
+    /// prefix and the bare payload (no CRC).
     #[test]
-    fn v4_snapshot_rejected() {
-        let snap = trained_snapshot(15, 49);
-        let mut raw = snap.encode().to_vec();
-        raw[4..6].copy_from_slice(&4u16.to_le_bytes());
+    fn v3_snapshot_with_records_still_decodes() {
+        let base = trained_snapshot(25, 54);
+        let mut delta = SnapshotDelta::new(base.num_users() as u32);
+        delta.push_user(UserPosterior {
+            candidates: vec![CityId(2), CityId(7)],
+            gammas: vec![0.3, 0.1],
+            mean_counts: vec![2.0, 1.0],
+            mean_total: 3.0,
+            gamma_total: 0.4,
+            home: CityId(7),
+        });
+        delta.add_venue_weights(&[(CityId(2), VenueId(1), 1.0)]);
+
+        let mut v3 = base.encode_payload().unwrap();
+        let payload = delta.encode_record_payload().unwrap();
+        v3.put_u32_le(1);
+        v3.put_u64_le(payload.len() as u64);
+        v3.extend_from_slice(payload.as_slice());
+        let mut raw = v3.freeze().to_vec();
+        raw[4..6].copy_from_slice(&3u16.to_le_bytes());
+
+        let thawed = PosteriorSnapshot::decode(Bytes::from(raw.clone())).unwrap();
+        let mut applied = base.clone();
+        applied.apply_delta(&delta).unwrap();
+        assert_eq!(thawed, applied, "v3 records must replay identically");
+
+        // The v3 path still catches a record that lies about its length:
+        // inflate the prefix and pad so it under-consumes.
+        let prefix_at = raw.len() - payload.len() - 8;
+        raw[prefix_at..prefix_at + 8].copy_from_slice(&(payload.len() as u64 + 8).to_le_bytes());
+        raw.extend_from_slice(&[0u8; 8]);
         assert_eq!(
             PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
-            SnapshotError::UnsupportedVersion(4)
+            SnapshotError::Corrupt("delta record longer than its payload")
+        );
+    }
+
+    /// Future versions stay rejected with the typed error.
+    #[test]
+    fn v5_snapshot_rejected() {
+        let snap = trained_snapshot(15, 49);
+        let mut raw = snap.try_encode().unwrap().to_vec();
+        raw[4..6].copy_from_slice(&5u16.to_le_bytes());
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
+            SnapshotError::UnsupportedVersion(5)
         );
     }
 
@@ -1307,32 +1405,43 @@ mod tests {
             SnapshotError::Corrupt("delta venue weight not finite-nonnegative")
         );
 
-        // A record that lies about its length is rejected.
+        // A record that lies about its length is rejected: the stored CRC
+        // covers the true payload, so the inflated slice fails the
+        // checksum before a single slab is parsed.
         let mut lying = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap().to_vec();
-        let prefix_at = lying.len() - (delta.record_len() as usize) - 8;
+        let prefix_at = lying.len() - (delta.record_len() as usize) - 4 - 8;
         lying[prefix_at..prefix_at + 8].copy_from_slice(&(delta.record_len() + 8).to_le_bytes());
         // Extend so the inflated length is available, making the record
         // under-consume instead of truncate.
         lying.extend_from_slice(&[0u8; 8]);
         assert_eq!(
             PosteriorSnapshot::decode(Bytes::from(lying)).unwrap_err(),
-            SnapshotError::Corrupt("delta record longer than its payload")
+            SnapshotError::Corrupt("delta record checksum mismatch")
+        );
+
+        // Any bit flip inside the record payload trips the CRC too.
+        let mut flipped = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap().to_vec();
+        let payload_at = flipped.len() - (delta.record_len() as usize);
+        flipped[payload_at + 5] ^= 0x10;
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(flipped)).unwrap_err(),
+            SnapshotError::Corrupt("delta record checksum mismatch")
         );
     }
 
     /// Bytes past the end of a well-formed artifact mean a stale
     /// in-place overwrite or mangled concatenation — rejected, not
-    /// silently ignored, on both the v3 and v2 read paths.
+    /// silently ignored, on both the v4 and v2 read paths.
     #[test]
     fn trailing_bytes_are_rejected() {
         let snap = trained_snapshot(10, 52);
-        let mut v3 = snap.encode().to_vec();
-        v3.push(0);
+        let mut v4 = snap.try_encode().unwrap().to_vec();
+        v4.push(0);
         assert_eq!(
-            PosteriorSnapshot::decode(Bytes::from(v3)).unwrap_err(),
+            PosteriorSnapshot::decode(Bytes::from(v4)).unwrap_err(),
             SnapshotError::Corrupt("trailing bytes after snapshot")
         );
-        let mut v2 = snap.encode().to_vec();
+        let mut v2 = snap.try_encode().unwrap().to_vec();
         v2[4..6].copy_from_slice(&2u16.to_le_bytes());
         v2.truncate(v2.len() - 4);
         v2.extend_from_slice(&[0xAA, 0xBB]);
@@ -1386,7 +1495,7 @@ mod tests {
     #[test]
     fn truncation_fails_loudly_at_every_cut() {
         let snap = trained_snapshot(15, 53);
-        let bytes = snap.encode();
+        let bytes = snap.try_encode().unwrap();
         for cut in [0usize, 3, 8, 40, bytes.len() / 3, bytes.len() - 1] {
             let err = PosteriorSnapshot::decode(bytes.slice(..cut)).unwrap_err();
             assert_eq!(err, SnapshotError::Truncated, "cut at {cut}");

@@ -19,12 +19,18 @@
 //!
 //! `train` and `refresh` both drive the [`ServingEngine`] facade: `train`
 //! cold-trains and writes the serving artifact (`PosteriorSnapshot`,
-//! format v3; `--train-users N` trains on the first `N` users only,
+//! format v4; `--train-users N` trains on the first `N` users only,
 //! leaving the rest to arrive later); `refresh` thaws the artifact into an
 //! engine and absorbs every dataset user beyond the trained count —
 //! committing posterior deltas batch by batch, one published epoch per
 //! commit, no retrain — then writes the refreshed artifact (base payload +
 //! delta records).
+//!
+//! Every artifact write is atomic (temp file + fsync + rename), and
+//! `refresh` opens the snapshot on the durable path: each commit is
+//! fsync'd to a sidecar `<snapshot>.wal` *before* it is applied, so a
+//! killed refresh loses nothing — rerunning it recovers the committed
+//! prefix from the log and carries on from there.
 
 use mlp::core::geo_groups::geo_groups;
 use mlp::prelude::*;
@@ -124,7 +130,8 @@ fn run(args: &[String]) -> Result<(), String> {
             )
             .generate();
             let bytes = codec::encode(&data.dataset, &data.truth);
-            std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+            mlp::core::write_atomic(std::path::Path::new(out), bytes.as_slice())
+                .map_err(|e| format!("writing {out}: {e}"))?;
             println!(
                 "wrote {out}: {} users, {} edges, {} mentions ({} bytes)",
                 data.dataset.num_users(),
@@ -221,6 +228,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 .fold_in_config(fold_in)
                 .from_artifact_file(snap_path)
                 .map_err(|e| format!("loading {snap_path}: {e}"))?;
+            if let Some(rec) = engine.recovery_report().filter(|r| r.recovered_anything()) {
+                println!(
+                    "recovered {} committed deltas ({} users) from {snap_path}.wal{}",
+                    rec.replayed_records,
+                    rec.replayed_users,
+                    if rec.torn_bytes_dropped > 0 {
+                        format!(", dropped {} torn bytes", rec.torn_bytes_dropped)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
             let trained = engine.snapshot().num_users();
             if trained >= dataset.num_users() {
                 return Err(format!(

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use mlp_core::{
         Coalescer, ConfigError, EngineBuilder, EngineError, FoldInConfig, FoldInEngine, Mlp,
         MlpConfig, MlpResult, NewUserObservations, OnlineUpdater, PosteriorSnapshot,
-        ProfileRequest, ProfileResponse, RankedCities, RefreshReport, ServingEngine, SnapshotDelta,
-        SnapshotHandle, StalenessPolicy, Variant,
+        ProfileRequest, ProfileResponse, RankedCities, RecoveryReport, RefreshReport,
+        ServingEngine, SnapshotDelta, SnapshotHandle, StalenessPolicy, Variant,
     };
     pub use mlp_eval::{ExperimentContext, HomeTask, Method, MultiLocationTask, RelationTask};
     pub use mlp_gazetteer::{CityId, Gazetteer, SynthConfig, VenueExtractor, VenueId};

@@ -73,8 +73,8 @@ fn delta_commits_are_byte_identical_across_runs() {
         "repeat refresh must land on the same posterior"
     );
     assert_eq!(
-        a.snapshot().encode().as_slice(),
-        b.snapshot().encode().as_slice(),
+        a.snapshot().try_encode().unwrap().as_slice(),
+        b.snapshot().try_encode().unwrap().as_slice(),
         "re-encoded refreshed posteriors must be byte-identical"
     );
     assert_eq!(
@@ -95,7 +95,7 @@ fn artifacts_thaw_back_to_the_refreshed_posterior() {
     assert_eq!(&incremental, engine.snapshot().snapshot());
 
     // A full re-encode of the refreshed posterior (zero records).
-    let reencoded = PosteriorSnapshot::decode(engine.snapshot().encode()).unwrap();
+    let reencoded = PosteriorSnapshot::decode(engine.snapshot().try_encode().unwrap()).unwrap();
     assert_eq!(&reencoded, engine.snapshot().snapshot());
 
     // And an engine thawed from the artifact answers like the live one
@@ -167,7 +167,7 @@ fn hand_corrupted_delta_records_fail_typed_not_loud() {
         .mlp_config(quick_config(5009))
         .train(&data.dataset.prefix(180))
         .unwrap();
-    let base_len = engine.snapshot().encode().len() - 4; // minus the empty record count
+    let base_len = engine.snapshot().try_encode().unwrap().len() - 4; // minus the empty record count
     let ids: Vec<UserId> = (180..220).map(UserId).collect();
     engine.refresh_from_dataset(&data.dataset, &ids, ids.len()).unwrap();
     let artifact = engine.encode_artifact().unwrap();

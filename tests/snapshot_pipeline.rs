@@ -92,14 +92,14 @@ fn trained_posterior(users: usize, seed: u64) -> PosteriorSnapshot {
 #[test]
 fn posterior_snapshot_round_trips_through_the_full_pipeline() {
     let snap = trained_posterior(200, 2106);
-    let decoded = PosteriorSnapshot::decode(snap.encode()).unwrap();
+    let decoded = PosteriorSnapshot::decode(snap.try_encode().unwrap()).unwrap();
     assert_eq!(snap, decoded);
 }
 
 #[test]
 fn corrupted_posterior_snapshots_fail_loudly() {
     let snap = trained_posterior(60, 2107);
-    let bytes = snap.encode();
+    let bytes = snap.try_encode().unwrap();
 
     // Flip the magic.
     let mut bad = bytes.to_vec();
@@ -258,7 +258,7 @@ mod posterior_proptests {
         /// Binary encode/decode is the identity on arbitrary snapshots.
         #[test]
         fn posterior_round_trip_arbitrary(snap in arb_posterior()) {
-            let decoded = PosteriorSnapshot::decode(snap.encode()).unwrap();
+            let decoded = PosteriorSnapshot::decode(snap.try_encode().unwrap()).unwrap();
             prop_assert_eq!(snap, decoded);
         }
 
@@ -266,7 +266,7 @@ mod posterior_proptests {
         /// error (never panics, never silently succeeds).
         #[test]
         fn posterior_truncation_never_panics(snap in arb_posterior(), frac in 0.0f64..1.0) {
-            let bytes = snap.encode();
+            let bytes = snap.try_encode().unwrap();
             let cut = ((bytes.len() as f64) * frac) as usize;
             if cut < bytes.len() {
                 prop_assert_eq!(

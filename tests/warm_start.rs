@@ -78,7 +78,7 @@ fn thawed_artifact_serves_identically_to_the_original() {
     let batch = requests(&data, 25);
     let from_memory = engine(&gaz, &snapshot, FoldInConfig::default());
     let from_bytes = ServingEngine::builder(&gaz)
-        .from_artifact(snapshot.encode())
+        .from_artifact(snapshot.try_encode().unwrap())
         .expect("artifact thaws into an engine");
     assert_eq!(from_bytes.snapshot().snapshot(), &snapshot);
     assert_eq!(
@@ -159,5 +159,9 @@ fn training_twice_freezes_identical_snapshots() {
     let (_, _, a) = train_snapshot(150, 3009);
     let (_, _, b) = train_snapshot(150, 3009);
     assert_eq!(a, b, "training is deterministic, so freezing must be too");
-    assert_eq!(a.encode(), b.encode(), "and so is the serialised artifact");
+    assert_eq!(
+        a.try_encode().unwrap(),
+        b.try_encode().unwrap(),
+        "and so is the serialised artifact"
+    );
 }

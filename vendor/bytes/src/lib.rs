@@ -111,6 +111,12 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
+    /// The written bytes as a slice (the real crate exposes this via
+    /// `Deref<Target = [u8]>`).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Converts into an immutable, cheaply cloneable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
