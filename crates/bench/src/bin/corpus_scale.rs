@@ -1,0 +1,226 @@
+//! Corpus-scale benchmark: out-of-core training cost and memory versus
+//! corpus size (PR 8).
+//!
+//! ```text
+//! corpus_scale [--sizes 10_000,100_000,1_000_000] [--chunk 50_000]
+//!              [--shards 8] [--reconcile-every 2] [--iters 4]
+//!              [--cities N] [--seed N] [--serve-requests N]
+//!              [--json FILE] [--rss-budget-mb N]
+//! ```
+//!
+//! For each size the harness streams a chunked corpus to disk
+//! (`StreamingGenerator::write_corpus`), trains the sharded out-of-core
+//! path through the `ServingEngine` facade, then serves a closed loop of
+//! fold-in requests against the frozen posterior. It reports ms/sweep
+//! (wall-clock training time over Gibbs sweeps, streaming setup passes
+//! included), serving QPS with p50/p99 latency, and the process peak RSS
+//! (`VmHWM`) after each phase. Sizes run ascending in one process, so
+//! each size's RSS reading is taken before any larger corpus allocates.
+//!
+//! `--json FILE` writes the same rows machine-readably (BENCH_8.json);
+//! `--rss-budget-mb N` makes the run fail if peak RSS exceeds the budget
+//! — the CI large-corpus smoke gate.
+
+use mlp_bench::peak_rss;
+use mlp_core::{MlpConfig, NewUserObservations, ProfileRequest, ServingEngine};
+use mlp_gazetteer::{Gazetteer, SynthConfig, VenueId};
+use mlp_social::stream::StreamingGenerator;
+use mlp_social::{GeneratorConfig, UserId};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    sizes: Vec<usize>,
+    chunk: usize,
+    shards: usize,
+    reconcile_every: usize,
+    iters: usize,
+    cities: usize,
+    seed: u64,
+    serve_requests: usize,
+    json: Option<PathBuf>,
+    rss_budget_mb: Option<u64>,
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.replace('_', "").parse().unwrap_or_else(|e| panic!("bad number {s}: {e}"))
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        sizes: vec![10_000, 100_000],
+        chunk: 50_000,
+        shards: 8,
+        reconcile_every: 2,
+        iters: 4,
+        cities: 300,
+        seed: 2012,
+        serve_requests: 100,
+        json: None,
+        rss_budget_mb: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} requires a value"));
+        match flag.as_str() {
+            "--sizes" => {
+                a.sizes = value().split(',').map(|s| parse_num(s) as usize).collect();
+            }
+            "--chunk" => a.chunk = parse_num(&value()) as usize,
+            "--shards" => a.shards = parse_num(&value()) as usize,
+            "--reconcile-every" => a.reconcile_every = parse_num(&value()) as usize,
+            "--iters" => a.iters = parse_num(&value()) as usize,
+            "--cities" => a.cities = parse_num(&value()) as usize,
+            "--seed" => a.seed = parse_num(&value()),
+            "--serve-requests" => a.serve_requests = parse_num(&value()) as usize,
+            "--json" => a.json = Some(PathBuf::from(value())),
+            "--rss-budget-mb" => a.rss_budget_mb = Some(parse_num(&value())),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(!a.sizes.is_empty(), "--sizes must name at least one size");
+    a.sizes.sort_unstable();
+    a
+}
+
+struct Row {
+    users: usize,
+    gen_secs: f64,
+    train_secs: f64,
+    ms_per_sweep: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    peak_rss_mb: f64,
+}
+
+fn main() {
+    let a = parse_args();
+    let gaz =
+        Gazetteer::with_synthetic(&SynthConfig { total_cities: a.cities, ..Default::default() });
+    println!(
+        "# corpus_scale | sizes={:?} chunk={} shards={} reconcile_every={} iters={} \
+         cities={} seed={}",
+        a.sizes, a.chunk, a.shards, a.reconcile_every, a.iters, a.cities, a.seed
+    );
+
+    let mut rows = Vec::new();
+    for &users in &a.sizes {
+        let dir =
+            std::env::temp_dir().join(format!("mlp_corpus_scale_{users}_{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        let t = Instant::now();
+        let config = GeneratorConfig { num_users: users, seed: a.seed, ..Default::default() };
+        let manifest = StreamingGenerator::new(&gaz, config, a.chunk)
+            .write_corpus(&dir)
+            .expect("corpus generation");
+        let gen_secs = t.elapsed().as_secs_f64();
+        println!(
+            "[{users}] corpus: {} chunks, {} edges, {} mentions in {gen_secs:.1}s",
+            manifest.num_chunks, manifest.total_edges, manifest.total_mentions
+        );
+
+        let t = Instant::now();
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(MlpConfig {
+                iterations: a.iters,
+                burn_in: (a.iters / 2).max(1),
+                seed: a.seed,
+                ..Default::default()
+            })
+            .shards(a.shards)
+            .reconcile_every(a.reconcile_every)
+            .train_corpus(&dir)
+            .expect("out-of-core training");
+        let train_secs = t.elapsed().as_secs_f64();
+        let ms_per_sweep = train_secs * 1000.0 / a.iters as f64;
+        println!("[{users}] train: {train_secs:.1}s total, {ms_per_sweep:.0} ms/sweep");
+
+        // Closed-loop serving: synthetic unseen users with deterministic
+        // observations over the trained population.
+        let requests: Vec<ProfileRequest> = (0..a.serve_requests)
+            .map(|r| {
+                let pick =
+                    |i: u64, m: usize| ((r as u64 * 2654435761 + i * 40503) % m as u64) as u32;
+                ProfileRequest::new(NewUserObservations {
+                    neighbors: (0..3).map(|i| UserId(pick(i, users))).collect(),
+                    mentions: (0..3).map(|i| VenueId(pick(i + 7, gaz.num_venues()))).collect(),
+                })
+            })
+            .collect();
+        let mut lat_ms: Vec<f64> = Vec::with_capacity(requests.len());
+        let t = Instant::now();
+        for req in &requests {
+            let t0 = Instant::now();
+            engine.profile(req).expect("serving request");
+            lat_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        }
+        let serve_secs = t.elapsed().as_secs_f64();
+        lat_ms.sort_by(f64::total_cmp);
+        let pct = |p: f64| lat_ms[((lat_ms.len() - 1) as f64 * p) as usize];
+        let (p50_ms, p99_ms) = (pct(0.50), pct(0.99));
+        let qps = requests.len() as f64 / serve_secs;
+
+        let peak_rss_mb = peak_rss().map(|b| b as f64 / (1024.0 * 1024.0)).unwrap_or(f64::NAN);
+        println!(
+            "[{users}] serve: {qps:.0} QPS, p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms | \
+             peak rss {peak_rss_mb:.1} MiB"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+        rows.push(Row {
+            users,
+            gen_secs,
+            train_secs,
+            ms_per_sweep,
+            qps,
+            p50_ms,
+            p99_ms,
+            peak_rss_mb,
+        });
+    }
+
+    if let Some(path) = &a.json {
+        let entries: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"users\": {}, \"gen_secs\": {:.2}, \"train_secs\": {:.2}, \
+                     \"ms_per_sweep\": {:.1}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \
+                     \"p99_ms\": {:.3}, \"peak_rss_mb\": {:.1}}}",
+                    r.users,
+                    r.gen_secs,
+                    r.train_secs,
+                    r.ms_per_sweep,
+                    r.qps,
+                    r.p50_ms,
+                    r.p99_ms,
+                    r.peak_rss_mb
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"corpus_scale\",\n  \"chunk\": {},\n  \"shards\": {},\n  \
+             \"reconcile_every\": {},\n  \"iters\": {},\n  \"cities\": {},\n  \"seed\": {},\n  \
+             \"rows\": [\n{}\n  ]\n}}\n",
+            a.chunk,
+            a.shards,
+            a.reconcile_every,
+            a.iters,
+            a.cities,
+            a.seed,
+            entries.join(",\n")
+        );
+        std::fs::write(path, json).expect("writing json report");
+        println!("wrote {}", path.display());
+    }
+
+    if let Some(budget) = a.rss_budget_mb {
+        let peak_mb = peak_rss().map(|b| b / (1024 * 1024)).unwrap_or(0);
+        assert!(peak_mb <= budget, "peak RSS {peak_mb} MiB exceeds the {budget} MiB budget");
+        println!("rss budget: {peak_mb} MiB <= {budget} MiB, ok");
+    }
+}

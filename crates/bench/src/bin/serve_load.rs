@@ -29,6 +29,11 @@ use std::time::Duration;
 fn main() {
     let (config, mode) = LoadConfig::parse_from(std::env::args().skip(1));
     println!("{}", config.banner());
+    run_mode(config, mode);
+    println!("peak rss: {}", mlp_bench::peak_rss_display());
+}
+
+fn run_mode(config: LoadConfig, mode: LoadMode) {
     match mode {
         LoadMode::Contend => {
             let window = Duration::from_secs_f64(config.seconds.max(0.05));

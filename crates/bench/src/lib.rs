@@ -30,6 +30,25 @@ pub mod load;
 use mlp_core::MlpConfig;
 use mlp_eval::ExperimentContext;
 
+/// Peak resident set size of this process in bytes, read from `VmHWM`
+/// in `/proc/self/status` (the kernel's high-water mark — it never
+/// decreases, so one read at the end of a run captures the whole run).
+/// Returns `None` off Linux or if the field is missing.
+pub fn peak_rss() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// `peak_rss` formatted for reports: `"123.4 MiB"`, or `"n/a"` off Linux.
+pub fn peak_rss_display() -> String {
+    match peak_rss() {
+        Some(bytes) => format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+        None => "n/a".into(),
+    }
+}
+
 /// Shared CLI arguments for the bench binaries.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {

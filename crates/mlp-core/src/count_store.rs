@@ -212,6 +212,25 @@ impl VenueCountStore {
         }
     }
 
+    /// Merges the difference `after − before` into this store — the
+    /// count-reconciliation step of sharded training: `before` is the
+    /// frozen super-sweep view a shard swept against, `after` that
+    /// shard's mutated working clone. All three stores must share one
+    /// support layout (clones of the same build).
+    pub fn apply_diff(&mut self, after: &Self, before: &Self) {
+        assert_eq!(after.counts.len(), self.counts.len(), "diff across different supports");
+        assert_eq!(after.dense.len(), self.dense.len(), "diff across different supports");
+        for ((c, &a), &b) in self.counts.iter_mut().zip(&after.counts).zip(&before.counts) {
+            *c = c.wrapping_add(a.wrapping_sub(b));
+        }
+        for ((c, &a), &b) in self.dense.iter_mut().zip(&after.dense).zip(&before.dense) {
+            *c = c.wrapping_add(a.wrapping_sub(b));
+        }
+        for ((t, &a), &b) in self.totals.iter_mut().zip(&after.totals).zip(&before.totals) {
+            *t = t.wrapping_add(a.wrapping_sub(b));
+        }
+    }
+
     #[inline]
     fn slot(&self, l: CityId, v: VenueId) -> Option<Slot> {
         let i = l.index();

@@ -87,6 +87,7 @@ use crate::infer::{
 };
 use crate::model::Mlp;
 use crate::online::{OnlineError, OnlineUpdater, StalenessPolicy};
+use crate::shard::{ShardedTrainConfig, TrainError};
 use crate::snapshot::{PosteriorSnapshot, SnapshotError};
 use crate::wal::{artifact_fingerprint, write_atomic, DeltaWal, WalError};
 use arc_swap::ArcSwap;
@@ -375,6 +376,7 @@ pub struct EngineBuilder<'a> {
     policy: StalenessPolicy,
     durable: bool,
     compact_threshold: u64,
+    sharding: ShardedTrainConfig,
 }
 
 /// Default WAL size past which a file-backed engine folds the log into
@@ -391,7 +393,23 @@ impl<'a> EngineBuilder<'a> {
             policy: StalenessPolicy::default(),
             durable: true,
             compact_threshold: DEFAULT_WAL_COMPACT_THRESHOLD,
+            sharding: ShardedTrainConfig::default(),
         }
+    }
+
+    /// User partitions for [`Self::train_corpus`]: `1` (default) runs the
+    /// exact in-memory chain; `>= 2` trains out of core, one shard
+    /// resident at a time.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.sharding.shards = shards.max(1);
+        self
+    }
+
+    /// Local sweeps per shard between count reconciliations for
+    /// [`Self::train_corpus`] (the staleness/merge-traffic dial).
+    pub fn reconcile_every(mut self, k: usize) -> Self {
+        self.sharding.reconcile_every = k.max(1);
+        self
     }
 
     /// Training hyper-parameters for [`Self::train`] (ignored by the
@@ -445,6 +463,21 @@ impl<'a> EngineBuilder<'a> {
         let (_, snapshot) = Mlp::new(self.gaz, dataset, self.mlp.clone())
             .map_err(EngineError::Model)?
             .run_with_snapshot();
+        self.adopt(snapshot)
+    }
+
+    /// Cold-trains from an on-disk chunked corpus
+    /// ([`mlp_social::stream::CorpusReader`] layout) and serves the frozen
+    /// posterior. With [`Self::shards`] `>= 2` training runs out of core —
+    /// peak RSS is bounded by one shard plus the global count arenas, not
+    /// by the corpus.
+    pub fn train_corpus(self, corpus_dir: &Path) -> Result<ServingEngine<'a>, EngineError> {
+        self.fold_in.validate()?;
+        let snapshot = crate::shard::train_corpus(self.gaz, corpus_dir, &self.mlp, &self.sharding)
+            .map_err(|e| match e {
+                TrainError::Io(e) => EngineError::Io(e),
+                other => EngineError::Model(other.to_string()),
+            })?;
         self.adopt(snapshot)
     }
 

@@ -29,6 +29,9 @@
 //!   shared by both sweep drivers;
 //! * [`sampler`] — the sequential sweep driver;
 //! * [`parallel`] — the AD-LDA-style chunked parallel sweep driver;
+//! * [`shard`] — out-of-core training: sampler state sharded by user
+//!   partition over a disk-streamed corpus, with periodic count
+//!   reconciliation between super-sweeps;
 //! * [`em`] — the Gibbs-EM power-law refit;
 //! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
 //! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`];
@@ -67,6 +70,7 @@ pub mod online;
 pub mod parallel;
 pub mod random_models;
 pub mod sampler;
+pub mod shard;
 pub mod snapshot;
 pub mod state;
 pub mod wal;
@@ -90,6 +94,7 @@ pub use kernel::{CountView, ProfileView, SamplerView};
 pub use model::{EdgeAssignment, MentionAssignment, Mlp, MlpResult};
 pub use online::{OnlineError, OnlineUpdater, StalenessPolicy};
 pub use random_models::RandomModels;
+pub use shard::{train_corpus, CandidateProfiles, ShardedTrainConfig, TrainError};
 pub use snapshot::{
     gazetteer_fingerprint, PosteriorSnapshot, SnapshotDelta, SnapshotError, UserArena,
     UserPosterior, UserView, VenueArena,

@@ -50,6 +50,16 @@ impl RandomModels {
         Self { follow_prob, venue: VenueNoise::Frozen(venue_probs) }
     }
 
+    /// Learns both models from statistics gathered in one streaming pass
+    /// (the out-of-core path): identical to [`Self::learn`] on the same
+    /// corpus, without ever materialising the dataset.
+    pub fn from_stream_stats(num_users: u64, num_edges: u64, venue_mentions: Vec<u64>) -> Self {
+        let (n, s) = (num_users as f64, num_edges as f64);
+        let follow_prob = if n > 0.0 && s > 0.0 { (s / (n * n)).min(1.0) } else { 1e-9 };
+        let popularity = EmpiricalDistribution::from_counts(venue_mentions);
+        Self { follow_prob, venue: VenueNoise::Empirical { popularity, eps: 0.5 } }
+    }
+
     /// `p(f⟨i,j⟩ | F_R)`.
     #[inline]
     pub fn follow_prob(&self) -> f64 {

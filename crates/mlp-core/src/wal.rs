@@ -303,41 +303,12 @@ fn parse_frame(rest: &[u8]) -> Option<usize> {
     Some(len)
 }
 
-/// Writes `bytes` to `path` atomically: a sibling temp file is written,
-/// `sync_all`'d, renamed over `path`, and the parent directory fsync'd,
-/// so a crash at any point leaves either the old file or the new one —
-/// never a torn mixture.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = tmp_sibling(path);
-    let mut file = File::create(&tmp)?;
-    file.write_all(bytes)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)?;
-    sync_parent_dir(path)
-}
-
-/// A sibling temp path in the same directory (rename must not cross
-/// filesystems).
-fn tmp_sibling(path: &Path) -> PathBuf {
-    let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
-    path.with_file_name(name)
-}
-
-/// Fsyncs the directory containing `path`, making a rename or create
-/// durable. Best-effort no-op when the parent cannot be opened as a
-/// file handle (non-POSIX filesystems) — the data fsyncs still hold.
-fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    match File::open(parent) {
-        Ok(dir) => dir.sync_all(),
-        Err(_) => Ok(()),
-    }
-}
+// Atomic artifact replacement lives at the bottom of the crate graph so
+// the streaming corpus writer can share it; re-exported here so existing
+// `crate::wal::write_atomic` / `mlp::core::write_atomic` callers keep
+// working unchanged.
+pub use mlp_social::atomic::write_atomic;
+use mlp_social::atomic::{sync_parent_dir, tmp_sibling};
 
 #[cfg(test)]
 mod tests {
@@ -451,18 +422,6 @@ mod tests {
         let (_, rec) = DeltaWal::recover(&path, new_fp).unwrap();
         assert_eq!(rec.deltas.len(), 1, "only the post-reset record survives");
         assert_eq!(rec.deltas[0].num_new_users(), 1);
-        std::fs::remove_dir_all(dir).ok();
-    }
-
-    #[test]
-    fn write_atomic_replaces_and_leaves_no_temp() {
-        let dir = tmp_dir("atomic");
-        let path = dir.join("model.mlps");
-        write_atomic(&path, b"first").unwrap();
-        assert_eq!(std::fs::read(&path).unwrap(), b"first");
-        write_atomic(&path, b"second, longer contents").unwrap();
-        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
-        assert!(!tmp_sibling(&path).exists(), "temp file must not linger");
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -35,7 +35,7 @@
 use mlp::core::geo_groups::geo_groups;
 use mlp::prelude::*;
 use mlp::social::codec;
-use mlp::social::{Adjacency, DatasetStats, GroundTruth};
+use mlp::social::{Adjacency, DatasetStats, GroundTruth, StreamingGenerator};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -53,11 +53,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mlp-cli generate --users N [--cities N] [--seed N] --out FILE
+  mlp-cli generate-corpus --users N [--chunk N] [--cities N] [--seed N] --out DIR
   mlp-cli stats    --data FILE
   mlp-cli profile  --data FILE --user ID [--iters N] [--seed N]
   mlp-cli explain  --data FILE --user ID [--iters N] [--seed N]
   mlp-cli evaluate --data FILE [--folds N] [--iters N] [--seed N]
   mlp-cli train    --data FILE --out SNAPSHOT [--train-users N] [--iters N] [--seed N]
+  mlp-cli train    --corpus DIR --out SNAPSHOT [--shards N] [--reconcile-every K]
+                   [--iters N] [--seed N]
   mlp-cli refresh  --data FILE --snapshot SNAPSHOT --out SNAPSHOT [--batch N] [--seed N]";
 
 struct Options {
@@ -67,9 +70,13 @@ struct Options {
     iters: usize,
     folds: usize,
     batch: usize,
+    chunk: usize,
+    shards: usize,
+    reconcile_every: usize,
     user: Option<u32>,
     train_users: Option<usize>,
     data: Option<String>,
+    corpus: Option<String>,
     snapshot: Option<String>,
     out: Option<String>,
 }
@@ -82,9 +89,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         iters: 20,
         folds: 5,
         batch: 64,
+        chunk: 50_000,
+        shards: 1,
+        reconcile_every: 2,
         user: None,
         train_users: None,
         data: None,
+        corpus: None,
         snapshot: None,
         out: None,
     };
@@ -98,9 +109,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--iters" => o.iters = parse_num(&value()?)? as usize,
             "--folds" => o.folds = parse_num(&value()?)? as usize,
             "--batch" => o.batch = parse_num(&value()?)? as usize,
+            "--chunk" => o.chunk = parse_num(&value()?)? as usize,
+            "--shards" => o.shards = parse_num(&value()?)? as usize,
+            "--reconcile-every" => o.reconcile_every = parse_num(&value()?)? as usize,
             "--user" => o.user = Some(parse_num(&value()?)? as u32),
             "--train-users" => o.train_users = Some(parse_num(&value()?)? as usize),
             "--data" => o.data = Some(value()?),
+            "--corpus" => o.corpus = Some(value()?),
             "--snapshot" => o.snapshot = Some(value()?),
             "--out" => o.out = Some(value()?),
             other => return Err(format!("unknown flag {other}")),
@@ -109,8 +124,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// Parses a number, accepting `_` separators (`--users 1_000_000`).
 fn parse_num(s: &str) -> Result<u64, String> {
-    s.parse().map_err(|e| format!("bad number {s}: {e}"))
+    s.replace('_', "").parse().map_err(|e| format!("bad number {s}: {e}"))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -138,6 +154,25 @@ fn run(args: &[String]) -> Result<(), String> {
                 data.dataset.num_edges(),
                 data.dataset.num_mentions(),
                 bytes.len()
+            );
+            Ok(())
+        }
+        "generate-corpus" => {
+            let out = o.out.as_deref().ok_or("generate-corpus needs --out DIR")?;
+            if o.chunk == 0 {
+                return Err("--chunk must be at least 1".into());
+            }
+            let config = GeneratorConfig { num_users: o.users, seed: o.seed, ..Default::default() };
+            let manifest = StreamingGenerator::new(&gaz, config, o.chunk)
+                .write_corpus(std::path::Path::new(out))
+                .map_err(|e| format!("writing corpus {out}: {e}"))?;
+            println!(
+                "wrote {out}: {} users in {} chunks of {} ({} edges, {} mentions)",
+                manifest.num_users,
+                manifest.num_chunks,
+                manifest.chunk_size,
+                manifest.total_edges,
+                manifest.total_mentions
             );
             Ok(())
         }
@@ -197,6 +232,27 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "train" => {
             let out = o.out.as_deref().ok_or("train needs --out SNAPSHOT")?;
+            if let Some(corpus) = o.corpus.as_deref() {
+                // Out-of-core path: stream the chunked corpus, sharded.
+                let engine = ServingEngine::builder(&gaz)
+                    .mlp_config(mlp_config(&o))
+                    .shards(o.shards)
+                    .reconcile_every(o.reconcile_every)
+                    .train_corpus(std::path::Path::new(corpus))
+                    .map_err(|e| format!("training engine: {e}"))?;
+                let written =
+                    engine.write_artifact(out).map_err(|e| format!("writing {out}: {e}"))?;
+                let snapshot = engine.snapshot();
+                println!(
+                    "wrote {out}: posterior of {} users over {} cities \
+                     ({written} bytes, {} shard(s), reconcile every {})",
+                    snapshot.num_users(),
+                    snapshot.num_cities,
+                    o.shards.max(1),
+                    o.reconcile_every.max(1),
+                );
+                return Ok(());
+            }
             let (dataset, _) = load(&o)?;
             let n = o.train_users.unwrap_or(dataset.num_users());
             if n == 0 || n > dataset.num_users() {

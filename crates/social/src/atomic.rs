@@ -1,0 +1,66 @@
+//! Atomic file replacement — the durability primitive shared by the
+//! corpus writer (this crate) and the serving engine's artifact
+//! persistence (`mlp-core`, which re-exports these).
+//!
+//! The corpus generator streams million-user datasets to disk one chunk
+//! at a time; a crash mid-write must never leave a chunk that decodes to
+//! half a dataset. The same invariant protects model artifacts, so the
+//! primitive lives here, at the bottom of the crate graph.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: a sibling temp file is written,
+/// `sync_all`'d, renamed over `path`, and the parent directory fsync'd,
+/// so a crash at any point leaves either the old file or the new one —
+/// never a torn mixture.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// A sibling temp path in the same directory (rename must not cross
+/// filesystems).
+pub fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsyncs the directory containing `path`, making a rename or create
+/// durable. Best-effort no-op when the parent cannot be opened as a
+/// file handle (non-POSIX filesystems) — the data fsyncs still hold.
+pub fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    match File::open(parent) {
+        Ok(dir) => dir.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("mlp_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        assert!(!tmp_sibling(&path).exists(), "temp file must not linger");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -112,8 +112,8 @@ pub struct GeneratedData {
 
 /// The generator itself; borrows the gazetteer it draws cities from.
 pub struct Generator<'g> {
-    gaz: &'g Gazetteer,
-    config: GeneratorConfig,
+    pub(crate) gaz: &'g Gazetteer,
+    pub(crate) config: GeneratorConfig,
 }
 
 impl<'g> Generator<'g> {
@@ -187,7 +187,7 @@ impl<'g> Generator<'g> {
     }
 
     /// A second location: nearby suburb/metro move or far relocation.
-    fn pick_second_location(
+    pub(crate) fn pick_second_location(
         &self,
         rng: &mut Pcg64,
         home: CityId,
@@ -212,7 +212,7 @@ impl<'g> Generator<'g> {
         }
     }
 
-    fn pick_distinct_city(
+    pub(crate) fn pick_distinct_city(
         &self,
         rng: &mut Pcg64,
         pop_alias: &AliasTable,
@@ -270,7 +270,7 @@ impl<'g> Generator<'g> {
 
     /// The random tweeting model T_R: global venue popularity ∝ the summed
     /// population behind each venue name.
-    fn global_venue_popularity(&self) -> (Vec<VenueId>, AliasTable) {
+    pub(crate) fn global_venue_popularity(&self) -> (Vec<VenueId>, AliasTable) {
         let mut ids = Vec::new();
         let mut weights = Vec::new();
         for (v, venue) in self.gaz.venues().iter().enumerate() {
@@ -290,7 +290,7 @@ impl<'g> Generator<'g> {
 
     /// Lazily builds ψ_l for city `l`: own venues + nearby city names + far
     /// popular city names, with the configured mixture masses.
-    fn psi<'a>(
+    pub(crate) fn psi<'a>(
         &self,
         cache: &'a mut [Option<(Vec<VenueId>, AliasTable)>],
         l: CityId,
@@ -406,7 +406,7 @@ impl<'g> Generator<'g> {
         (edges, truths)
     }
 
-    fn noisy_edge(
+    pub(crate) fn noisy_edge(
         &self,
         rng: &mut Pcg64,
         follower: UserId,
@@ -431,7 +431,7 @@ impl<'g> Generator<'g> {
         (FollowEdge { follower, friend }, EdgeTruth::Noisy)
     }
 
-    fn based_edge(
+    pub(crate) fn based_edge(
         &self,
         rng: &mut Pcg64,
         follower: UserId,
@@ -499,7 +499,7 @@ impl<'g> Generator<'g> {
 }
 
 /// Draws a city from a sparse profile (weights sum to 1).
-fn sample_profile(rng: &mut Pcg64, profile: &[(CityId, f64)]) -> CityId {
+pub(crate) fn sample_profile(rng: &mut Pcg64, profile: &[(CityId, f64)]) -> CityId {
     let mut u = rng.next_f64();
     for &(c, w) in profile {
         u -= w;

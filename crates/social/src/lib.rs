@@ -25,7 +25,14 @@
 //!   dataset (including the 92% candidacy-coverage figure of Sec. 4.3).
 //! * [`codec`] — binary and JSON snapshots so generated datasets can be
 //!   saved, shipped, and reloaded byte-identically.
+//! * [`stream`] — out-of-core corpora: deterministic chunked synthesis
+//!   whose full output never lives in RAM, an on-disk chunked corpus
+//!   format written via [`atomic::write_atomic`], and an iterator-style
+//!   reader yielding one user partition at a time.
+//! * [`atomic`] — crash-safe file replacement (temp + fsync + rename),
+//!   shared with `mlp-core`'s artifact persistence.
 
+pub mod atomic;
 pub mod codec;
 pub mod csr;
 pub mod folds;
@@ -33,12 +40,15 @@ pub mod generator;
 pub mod graph;
 pub mod model;
 pub mod stats;
+pub mod stream;
 pub mod truth;
 
+pub use atomic::write_atomic;
 pub use csr::Csr;
 pub use folds::Folds;
 pub use generator::{GeneratedData, Generator, GeneratorConfig};
 pub use graph::Adjacency;
 pub use model::{Dataset, FollowEdge, TweetMention, UserId};
 pub use stats::{following_probability_histogram, DatasetStats};
+pub use stream::{CorpusChunk, CorpusManifest, CorpusReader, StreamingGenerator};
 pub use truth::{EdgeTruth, GroundTruth, MentionTruth};

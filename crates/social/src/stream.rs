@@ -1,0 +1,806 @@
+//! Out-of-core corpora: streaming synthesis and the chunked on-disk format.
+//!
+//! The in-memory [`crate::generator::Generator`] materialises the whole
+//! dataset before returning it — fine at bench scale (thousands of users),
+//! hopeless at the paper's Twitter scale (the ROADMAP's million-user north
+//! star: ~15M edges and ~29M mentions). This module provides the
+//! out-of-core path:
+//!
+//! * [`StreamingGenerator`] — the *same generative story* (Sec. 4.4 run
+//!   forward) reorganised so every user draws from its own deterministic
+//!   RNG stream (`SplitMix64::derive(seed, phase | user)`), making the
+//!   output a pure function of `(gazetteer, config)` that is **invariant
+//!   to chunking**: generating users `[a, b)` yields bit-identical data
+//!   whether the corpus is cut into chunks of 50 000 or produced in one
+//!   shot. Only O(chunk) state is live at a time; the resident global
+//!   state is the city→users index (O(users) ids, not edges).
+//!
+//!   The per-user streams make this generator a *different* (equally
+//!   valid) draw from the generative process than [`crate::Generator`],
+//!   which threads one RNG through all users per phase — the two are not
+//!   byte-compatible, and the streaming one is the scalable default.
+//!
+//! * A chunk codec (`"MLPC"`): each chunk holds a contiguous user range
+//!   as CSR slabs — per-user edge/mention counts plus flat value arrays —
+//!   together with registered labels and exact ground truth, so
+//!   evaluation at scale needs no side lookup.
+//!
+//! * [`CorpusReader`] — iterator-style loader yielding one chunk at a
+//!   time. The manifest is written **last** via [`crate::write_atomic`],
+//!   so a crash mid-generation leaves a directory without a manifest —
+//!   unreadable — never a corpus that silently decodes short.
+
+use crate::atomic::write_atomic;
+use crate::codec::DecodeError;
+use crate::generator::{sample_profile, GeneratedData, Generator, GeneratorConfig};
+use crate::model::{Dataset, FollowEdge, TweetMention, UserId};
+use crate::truth::{EdgeTruth, GroundTruth, MentionTruth};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_sampling::{sample_poisson, AliasTable, Pcg64, SplitMix64};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// Chunk file magic: `"MLPC"` little-endian.
+const CHUNK_MAGIC: u32 = 0x4D4C_5043;
+const CHUNK_VERSION: u16 = 1;
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+
+// Per-user RNG stream phases: the high nibble tags the phase, the low 32
+// bits carry the user id, so every (phase, user) pair derives a distinct,
+// chunk-independent stream from the master seed.
+const PHASE_PROFILE: u64 = 0x1 << 60;
+const PHASE_MENTION: u64 = 0x2 << 60;
+const PHASE_EDGE: u64 = 0x3 << 60;
+const PHASE_REGISTER: u64 = 0x4 << 60;
+/// The celebrity pool is global, not per-user: one derived stream.
+const PHASE_CELEBRITY: u64 = 0x5 << 60;
+
+/// Chunked, deterministic corpus synthesis whose full output never lives
+/// in RAM.
+pub struct StreamingGenerator<'g> {
+    inner: Generator<'g>,
+    chunk_size: usize,
+    pop_alias: AliasTable,
+    popular_ids: Vec<VenueId>,
+    popular_alias: AliasTable,
+    celebs: Vec<UserId>,
+    celeb_alias: AliasTable,
+    /// city → users whose true profile contains it (built once by
+    /// replaying every user's profile stream — O(users) ids resident).
+    users_at: Vec<Vec<UserId>>,
+    city_user_counts: Vec<f64>,
+    psi_cache: Vec<Option<(Vec<VenueId>, AliasTable)>>,
+    city_alias: Vec<Option<AliasTable>>,
+}
+
+impl<'g> StreamingGenerator<'g> {
+    /// Creates the generator and builds the global indices (population
+    /// alias, venue popularity, celebrity pool, city→users index).
+    ///
+    /// # Panics
+    /// Panics on a degenerate config (same contract as
+    /// [`Generator::new`]) or `chunk_size == 0`.
+    pub fn new(gaz: &'g Gazetteer, config: GeneratorConfig, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let inner = Generator::new(gaz, config);
+        let pop_alias = AliasTable::new(&gaz.population_weights()).expect("positive populations");
+        let (popular_ids, popular_alias) = inner.global_venue_popularity();
+
+        let n = inner.config.num_users;
+        let mut rng = Pcg64::new(SplitMix64::derive(inner.config.seed, PHASE_CELEBRITY));
+        let num_celebs = ((n as f64 * inner.config.celebrity_fraction).ceil() as usize).max(1);
+        let celebs: Vec<UserId> =
+            (0..num_celebs).map(|_| UserId(rng.next_bounded(n) as u32)).collect();
+        let celeb_weights: Vec<f64> = (0..num_celebs).map(|r| 1.0 / (1.0 + r as f64)).collect();
+        let celeb_alias = AliasTable::new(&celeb_weights).expect("non-empty celebrity pool");
+
+        let mut this = Self {
+            inner,
+            chunk_size,
+            pop_alias,
+            popular_ids,
+            popular_alias,
+            celebs,
+            celeb_alias,
+            users_at: vec![Vec::new(); gaz.num_cities()],
+            city_user_counts: Vec::new(),
+            psi_cache: vec![None; gaz.num_cities()],
+            city_alias: vec![None; gaz.num_cities()],
+        };
+        // One cheap pass over all users: replay each profile stream to
+        // build the city→users index the edge model samples friends from.
+        for u in 0..n as u32 {
+            for (c, _) in this.user_profile(u) {
+                this.users_at[c.index()].push(UserId(u));
+            }
+        }
+        this.city_user_counts = this.users_at.iter().map(|u| u.len() as f64).collect();
+        this
+    }
+
+    /// Total users in the corpus.
+    pub fn num_users(&self) -> usize {
+        self.inner.config.num_users
+    }
+
+    /// Number of chunks the corpus is cut into.
+    pub fn num_chunks(&self) -> usize {
+        self.num_users().div_ceil(self.chunk_size)
+    }
+
+    fn user_rng(&self, phase: u64, u: u32) -> Pcg64 {
+        Pcg64::new(SplitMix64::derive(self.inner.config.seed, phase | u as u64))
+    }
+
+    /// Replays user `u`'s profile stream: step 1 of the generative story.
+    fn user_profile(&self, u: u32) -> Vec<(CityId, f64)> {
+        let mut rng = self.user_rng(PHASE_PROFILE, u);
+        let cfg = &self.inner.config;
+        let home = CityId(self.pop_alias.sample(&mut rng) as u32);
+        let mut profile = vec![(home, 1.0)];
+        if rng.bernoulli(cfg.multi_location_fraction) {
+            if let Some(second) = self.inner.pick_second_location(&mut rng, home, &self.pop_alias) {
+                profile = vec![(home, 0.65), (second, 0.35)];
+                if rng.bernoulli(cfg.third_location_fraction) {
+                    if let Some(third) =
+                        self.inner.pick_distinct_city(&mut rng, &self.pop_alias, &[home, second])
+                    {
+                        profile = vec![(home, 0.60), (second, 0.28), (third, 0.12)];
+                    }
+                }
+            }
+        }
+        profile
+    }
+
+    /// Generates the chunk at `index` (users
+    /// `[index·chunk, min((index+1)·chunk, n))`).
+    ///
+    /// Takes `&mut self` only for the lazily-built ψ and friend-city
+    /// alias caches; the output is independent of call order.
+    pub fn chunk(&mut self, index: usize) -> CorpusChunk {
+        let n = self.num_users();
+        let start = index * self.chunk_size;
+        assert!(start < n, "chunk index {index} out of range");
+        let end = (start + self.chunk_size).min(n);
+
+        let mut chunk = CorpusChunk {
+            start_user: start as u32,
+            registered: Vec::with_capacity(end - start),
+            profiles: Vec::with_capacity(end - start),
+            edges: Vec::new(),
+            edge_truth: Vec::new(),
+            mentions: Vec::new(),
+            mention_truth: Vec::new(),
+        };
+        for u in start as u32..end as u32 {
+            let profile = self.user_profile(u);
+            chunk.registered.push(self.user_registration(u, &profile));
+            self.user_mentions(u, &profile, &mut chunk);
+            self.user_edges(u, &profile, &mut chunk);
+            chunk.profiles.push(profile);
+        }
+        chunk
+    }
+
+    /// Step 2 for one user: tweeting relationships.
+    fn user_mentions(&mut self, u: u32, profile: &[(CityId, f64)], out: &mut CorpusChunk) {
+        let mut rng = self.user_rng(PHASE_MENTION, u);
+        let cfg = &self.inner.config;
+        let count = sample_poisson(&mut rng, cfg.mean_mentions);
+        for _ in 0..count {
+            if rng.bernoulli(cfg.noisy_mention_fraction) {
+                let venue = self.popular_ids[self.popular_alias.sample(&mut rng)];
+                out.mentions.push(TweetMention { user: UserId(u), venue });
+                out.mention_truth.push(MentionTruth::Noisy);
+            } else {
+                let z = sample_profile(&mut rng, profile);
+                let (ids, table) = self.inner.psi(&mut self.psi_cache, z);
+                let venue = ids[table.sample(&mut rng)];
+                out.mentions.push(TweetMention { user: UserId(u), venue });
+                out.mention_truth.push(MentionTruth::Based { z });
+            }
+        }
+    }
+
+    /// Step 3 for one user: following relationships. Dedup is local to
+    /// the follower, which is exactly the global-set semantics of the
+    /// in-memory generator (the pair key always includes the follower).
+    fn user_edges(&mut self, u: u32, profile: &[(CityId, f64)], out: &mut CorpusChunk) {
+        let mut rng = self.user_rng(PHASE_EDGE, u);
+        let cfg = &self.inner.config;
+        let follower = UserId(u);
+        let count = sample_poisson(&mut rng, cfg.mean_friends);
+        let mut seen: HashSet<UserId> = HashSet::with_capacity(count as usize);
+        for _ in 0..count {
+            let (edge, truth) = if rng.bernoulli(cfg.noisy_edge_fraction) {
+                self.inner.noisy_edge(&mut rng, follower, &self.celebs, &self.celeb_alias)
+            } else {
+                match self.inner.based_edge(
+                    &mut rng,
+                    follower,
+                    profile,
+                    &self.users_at,
+                    &self.city_user_counts,
+                    &mut self.city_alias,
+                ) {
+                    Some(pair) => pair,
+                    None => {
+                        self.inner.noisy_edge(&mut rng, follower, &self.celebs, &self.celeb_alias)
+                    }
+                }
+            };
+            if seen.insert(edge.friend) {
+                out.edges.push(edge);
+                out.edge_truth.push(truth);
+            }
+        }
+    }
+
+    /// Step 4 for one user: the registered home location, if exposed.
+    fn user_registration(&self, u: u32, profile: &[(CityId, f64)]) -> Option<CityId> {
+        let mut rng = self.user_rng(PHASE_REGISTER, u);
+        let cfg = &self.inner.config;
+        let n_cities = self.inner.gaz.num_cities();
+        if !rng.bernoulli(cfg.registered_fraction) {
+            return None;
+        }
+        if cfg.label_noise_fraction > 0.0 && rng.bernoulli(cfg.label_noise_fraction) {
+            loop {
+                let c = CityId(rng.next_bounded(n_cities) as u32);
+                if c != profile[0].0 || n_cities == 1 {
+                    return Some(c);
+                }
+            }
+        }
+        Some(profile[0].0)
+    }
+
+    /// Generates the whole corpus in memory by concatenating every chunk
+    /// — the small-scale convenience path (tests, the CLI below ~100k).
+    pub fn generate(&mut self) -> GeneratedData {
+        let chunks: Vec<CorpusChunk> = (0..self.num_chunks()).map(|i| self.chunk(i)).collect();
+        assemble(self.num_users() as u32, chunks.into_iter().map(Ok))
+            .expect("in-memory chunks cannot fail")
+    }
+
+    /// Streams the corpus to `dir`: one `chunk-NNNNN.mlpc` per chunk,
+    /// each written atomically, with `manifest.json` written **last** —
+    /// the commit point. A directory without a manifest is not a corpus.
+    pub fn write_corpus(&mut self, dir: &Path) -> std::io::Result<CorpusManifest> {
+        std::fs::create_dir_all(dir)?;
+        // Invalidate any previous corpus first: chunks about to be
+        // rewritten must never be readable through a stale manifest.
+        let manifest_path = dir.join("manifest.json");
+        if manifest_path.exists() {
+            std::fs::remove_file(&manifest_path)?;
+        }
+
+        let mut total_edges = 0u64;
+        let mut total_mentions = 0u64;
+        for i in 0..self.num_chunks() {
+            let chunk = self.chunk(i);
+            total_edges += chunk.edges.len() as u64;
+            total_mentions += chunk.mentions.len() as u64;
+            write_atomic(&dir.join(chunk_file_name(i)), chunk.encode().as_slice())?;
+        }
+
+        let manifest = CorpusManifest {
+            version: MANIFEST_VERSION,
+            num_users: self.num_users() as u32,
+            chunk_size: self.chunk_size as u32,
+            num_chunks: self.num_chunks() as u32,
+            seed: self.inner.config.seed,
+            num_cities: self.inner.gaz.num_cities() as u32,
+            num_venues: self.inner.gaz.num_venues() as u32,
+            total_edges,
+            total_mentions,
+        };
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serialises");
+        write_atomic(&manifest_path, json.as_bytes())?;
+        Ok(manifest)
+    }
+}
+
+/// File name of chunk `i` inside a corpus directory.
+pub fn chunk_file_name(i: usize) -> String {
+    format!("chunk-{i:05}.mlpc")
+}
+
+/// One contiguous user partition of a corpus: the observable data plus
+/// exact ground truth for users `[start_user, start_user + len)`. Edges
+/// are owned by (and grouped by) their follower, mentions by their user;
+/// friend ids refer to the *global* user space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusChunk {
+    /// First user id in this chunk.
+    pub start_user: u32,
+    /// Registered labels, one per chunk user.
+    pub registered: Vec<Option<CityId>>,
+    /// True multi-location profiles, one per chunk user.
+    pub profiles: Vec<Vec<(CityId, f64)>>,
+    /// Edges whose follower lives in this chunk, grouped by follower.
+    pub edges: Vec<FollowEdge>,
+    /// Truth aligned with `edges`.
+    pub edge_truth: Vec<EdgeTruth>,
+    /// Mentions whose user lives in this chunk, grouped by user.
+    pub mentions: Vec<TweetMention>,
+    /// Truth aligned with `mentions`.
+    pub mention_truth: Vec<MentionTruth>,
+}
+
+impl CorpusChunk {
+    /// Users in this chunk.
+    pub fn num_users(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// The global user-id range this chunk covers.
+    pub fn user_range(&self) -> std::ops::Range<u32> {
+        self.start_user..self.start_user + self.registered.len() as u32
+    }
+
+    /// Serialises the chunk into the `"MLPC"` binary layout: header,
+    /// registered labels, truth profiles, then edges and mentions as CSR
+    /// slabs (per-user row lengths + flat value arrays).
+    pub fn encode(&self) -> Bytes {
+        let n = self.num_users();
+        let mut buf =
+            BytesMut::with_capacity(16 + n * 14 + self.edges.len() * 13 + self.mentions.len() * 9);
+        buf.put_u32_le(CHUNK_MAGIC);
+        buf.put_u16_le(CHUNK_VERSION);
+        buf.put_u32_le(self.start_user);
+        buf.put_u32_le(n as u32);
+
+        for r in &self.registered {
+            buf.put_u32_le(r.map_or(u32::MAX, |c| c.0));
+        }
+        for p in &self.profiles {
+            buf.put_u16_le(p.len() as u16);
+            for &(c, w) in p {
+                buf.put_u32_le(c.0);
+                buf.put_f64_le(w);
+            }
+        }
+
+        // Edges: CSR row lengths (per chunk user), then the flat slab.
+        buf.put_u64_le(self.edges.len() as u64);
+        for len in row_lengths(n, self.start_user, self.edges.iter().map(|e| e.follower.0)) {
+            buf.put_u32_le(len);
+        }
+        for (e, t) in self.edges.iter().zip(&self.edge_truth) {
+            buf.put_u32_le(e.friend.0);
+            match t {
+                EdgeTruth::Noisy => buf.put_u8(0),
+                EdgeTruth::Based { x, y } => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(x.0);
+                    buf.put_u32_le(y.0);
+                }
+            }
+        }
+
+        // Mentions: same CSR layout.
+        buf.put_u64_le(self.mentions.len() as u64);
+        for len in row_lengths(n, self.start_user, self.mentions.iter().map(|m| m.user.0)) {
+            buf.put_u32_le(len);
+        }
+        for (m, t) in self.mentions.iter().zip(&self.mention_truth) {
+            buf.put_u32_le(m.venue.0);
+            match t {
+                MentionTruth::Noisy => buf.put_u8(0),
+                MentionTruth::Based { z } => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(z.0);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a chunk produced by [`Self::encode`].
+    pub fn decode(mut buf: Bytes) -> Result<Self, DecodeError> {
+        fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        }
+
+        need(&buf, 14)?;
+        let magic = buf.get_u32_le();
+        if magic != CHUNK_MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let version = buf.get_u16_le();
+        if version != CHUNK_VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let start_user = buf.get_u32_le();
+        let n = buf.get_u32_le() as usize;
+
+        need(&buf, n * 4)?;
+        let registered: Vec<Option<CityId>> = (0..n)
+            .map(|_| {
+                let v = buf.get_u32_le();
+                (v != u32::MAX).then_some(CityId(v))
+            })
+            .collect();
+
+        let mut profiles = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(&buf, 2)?;
+            let len = buf.get_u16_le() as usize;
+            need(&buf, len * 12)?;
+            profiles.push(
+                (0..len).map(|_| (CityId(buf.get_u32_le()), buf.get_f64_le())).collect::<Vec<_>>(),
+            );
+        }
+
+        need(&buf, 8)?;
+        let num_edges = buf.get_u64_le() as usize;
+        need(&buf, n * 4)?;
+        let edge_lens: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
+        if edge_lens.iter().map(|&l| l as u64).sum::<u64>() != num_edges as u64 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut edges = Vec::with_capacity(num_edges);
+        let mut edge_truth = Vec::with_capacity(num_edges);
+        for (row, &len) in edge_lens.iter().enumerate() {
+            let follower = UserId(start_user + row as u32);
+            for _ in 0..len {
+                need(&buf, 5)?;
+                edges.push(FollowEdge { follower, friend: UserId(buf.get_u32_le()) });
+                match buf.get_u8() {
+                    0 => edge_truth.push(EdgeTruth::Noisy),
+                    1 => {
+                        need(&buf, 8)?;
+                        edge_truth.push(EdgeTruth::Based {
+                            x: CityId(buf.get_u32_le()),
+                            y: CityId(buf.get_u32_le()),
+                        });
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                }
+            }
+        }
+
+        need(&buf, 8)?;
+        let num_mentions = buf.get_u64_le() as usize;
+        need(&buf, n * 4)?;
+        let mention_lens: Vec<u32> = (0..n).map(|_| buf.get_u32_le()).collect();
+        if mention_lens.iter().map(|&l| l as u64).sum::<u64>() != num_mentions as u64 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut mentions = Vec::with_capacity(num_mentions);
+        let mut mention_truth = Vec::with_capacity(num_mentions);
+        for (row, &len) in mention_lens.iter().enumerate() {
+            let user = UserId(start_user + row as u32);
+            for _ in 0..len {
+                need(&buf, 5)?;
+                mentions.push(TweetMention { user, venue: VenueId(buf.get_u32_le()) });
+                match buf.get_u8() {
+                    0 => mention_truth.push(MentionTruth::Noisy),
+                    1 => {
+                        need(&buf, 4)?;
+                        mention_truth.push(MentionTruth::Based { z: CityId(buf.get_u32_le()) });
+                    }
+                    t => return Err(DecodeError::BadTag(t)),
+                }
+            }
+        }
+
+        Ok(Self { start_user, registered, profiles, edges, edge_truth, mentions, mention_truth })
+    }
+}
+
+/// CSR row lengths for values grouped by an ascending owner id.
+fn row_lengths(num_rows: usize, start: u32, owners: impl Iterator<Item = u32>) -> Vec<u32> {
+    let mut lens = vec![0u32; num_rows];
+    for o in owners {
+        lens[(o - start) as usize] += 1;
+    }
+    lens
+}
+
+/// The corpus directory's commit record: written last, read first.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusManifest {
+    /// Manifest format version.
+    pub version: u32,
+    /// Total users across all chunks.
+    pub num_users: u32,
+    /// Users per chunk (the last chunk may be short).
+    pub chunk_size: u32,
+    /// Number of chunk files.
+    pub num_chunks: u32,
+    /// Generator master seed.
+    pub seed: u64,
+    /// Gazetteer the corpus was generated against.
+    pub num_cities: u32,
+    /// Venue vocabulary size of that gazetteer.
+    pub num_venues: u32,
+    /// Total edges across all chunks.
+    pub total_edges: u64,
+    /// Total mentions across all chunks.
+    pub total_mentions: u64,
+}
+
+/// Errors raised while opening or reading a corpus directory.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A chunk file failed binary decoding.
+    Decode(DecodeError),
+    /// The manifest is missing, unparsable, or incompatible.
+    Manifest(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus io error: {e}"),
+            CorpusError::Decode(e) => write!(f, "corpus chunk invalid: {e}"),
+            CorpusError::Manifest(m) => write!(f, "corpus manifest invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl From<DecodeError> for CorpusError {
+    fn from(e: DecodeError) -> Self {
+        CorpusError::Decode(e)
+    }
+}
+
+/// Iterator-style loader over an on-disk corpus: yields one user
+/// partition at a time, so the full corpus never lives in RAM.
+#[derive(Debug)]
+pub struct CorpusReader {
+    dir: PathBuf,
+    manifest: CorpusManifest,
+}
+
+impl CorpusReader {
+    /// Opens a corpus directory by reading and validating its manifest.
+    pub fn open(dir: &Path) -> Result<Self, CorpusError> {
+        let text = std::fs::read_to_string(dir.join("manifest.json")).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                CorpusError::Manifest(format!(
+                    "no manifest.json in {} — not a corpus (or generation never committed)",
+                    dir.display()
+                ))
+            } else {
+                CorpusError::Io(e)
+            }
+        })?;
+        let manifest: CorpusManifest =
+            serde_json::from_str(&text).map_err(|e| CorpusError::Manifest(e.to_string()))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(CorpusError::Manifest(format!(
+                "unsupported manifest version {}",
+                manifest.version
+            )));
+        }
+        Ok(Self { dir: dir.to_path_buf(), manifest })
+    }
+
+    /// The corpus manifest.
+    pub fn manifest(&self) -> &CorpusManifest {
+        &self.manifest
+    }
+
+    /// The corpus directory this reader was opened on.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of chunks on disk.
+    pub fn num_chunks(&self) -> usize {
+        self.manifest.num_chunks as usize
+    }
+
+    /// Reads and decodes the chunk at `index`.
+    pub fn read_chunk(&self, index: usize) -> Result<CorpusChunk, CorpusError> {
+        let raw = std::fs::read(self.dir.join(chunk_file_name(index)))?;
+        Ok(CorpusChunk::decode(Bytes::from(raw))?)
+    }
+
+    /// Streams every chunk in user order, decoding lazily — at most one
+    /// chunk is resident at a time.
+    pub fn chunks(&self) -> impl Iterator<Item = Result<CorpusChunk, CorpusError>> + '_ {
+        (0..self.num_chunks()).map(|i| self.read_chunk(i))
+    }
+
+    /// Concatenates every chunk into one in-memory dataset — the bridge
+    /// back to the non-streaming pipeline (small corpora only).
+    pub fn read_all(&self) -> Result<GeneratedData, CorpusError> {
+        assemble(self.manifest.num_users, self.chunks())
+    }
+}
+
+/// Concatenates chunks (in user order) into one `GeneratedData`.
+fn assemble(
+    num_users: u32,
+    chunks: impl Iterator<Item = Result<CorpusChunk, CorpusError>>,
+) -> Result<GeneratedData, CorpusError> {
+    let mut registered = Vec::with_capacity(num_users as usize);
+    let mut profiles = Vec::with_capacity(num_users as usize);
+    let mut edges = Vec::new();
+    let mut edge_truth = Vec::new();
+    let mut mentions = Vec::new();
+    let mut mention_truth = Vec::new();
+    for chunk in chunks {
+        let mut chunk = chunk?;
+        registered.append(&mut chunk.registered);
+        profiles.append(&mut chunk.profiles);
+        edges.append(&mut chunk.edges);
+        edge_truth.append(&mut chunk.edge_truth);
+        mentions.append(&mut chunk.mentions);
+        mention_truth.append(&mut chunk.mention_truth);
+    }
+    Ok(GeneratedData {
+        dataset: Dataset { num_users, registered, edges, mentions },
+        truth: GroundTruth { profiles, edge_truth, mention_truth },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gaz() -> Gazetteer {
+        Gazetteer::us_cities()
+    }
+
+    fn config(num_users: usize, seed: u64) -> GeneratorConfig {
+        GeneratorConfig { num_users, seed, ..Default::default() }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mlp_corpus_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn output_is_valid_and_deterministic() {
+        let gaz = gaz();
+        let a = StreamingGenerator::new(&gaz, config(400, 7), 64).generate();
+        let b = StreamingGenerator::new(&gaz, config(400, 7), 64).generate();
+        assert_eq!(a.dataset.validate(gaz.num_cities(), gaz.num_venues()), Ok(()));
+        assert_eq!(a.truth.validate(gaz.num_cities()), Ok(()));
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.dataset.num_users(), 400);
+    }
+
+    #[test]
+    fn chunking_never_changes_the_corpus() {
+        let gaz = gaz();
+        let single = StreamingGenerator::new(&gaz, config(300, 11), 300).generate();
+        for chunk_size in [1, 7, 64, 299] {
+            let chunked = StreamingGenerator::new(&gaz, config(300, 11), chunk_size).generate();
+            assert_eq!(single.dataset, chunked.dataset, "chunk size {chunk_size}");
+            assert_eq!(single.truth, chunked.truth, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn statistics_match_the_configured_means() {
+        let gaz = gaz();
+        let data = StreamingGenerator::new(&gaz, config(2_000, 13), 500).generate();
+        let mean_friends = data.dataset.num_edges() as f64 / 2_000.0;
+        assert!((mean_friends - 14.8).abs() < 2.2, "mean friends {mean_friends}");
+        let mean_mentions = data.dataset.num_mentions() as f64 / 2_000.0;
+        assert!((mean_mentions - 29.0).abs() < 1.5, "mean mentions {mean_mentions}");
+        let multi = data.truth.multi_location_users().len() as f64 / 2_000.0;
+        assert!((multi - 0.35).abs() < 0.04, "multi fraction {multi}");
+    }
+
+    #[test]
+    fn chunk_codec_round_trips() {
+        let gaz = gaz();
+        let mut sg = StreamingGenerator::new(&gaz, config(150, 17), 64);
+        for i in 0..sg.num_chunks() {
+            let chunk = sg.chunk(i);
+            let decoded = CorpusChunk::decode(chunk.encode()).unwrap();
+            assert_eq!(chunk, decoded, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn corpus_write_read_round_trips() {
+        let gaz = gaz();
+        let dir = tmp_dir("round_trip");
+        let mut sg = StreamingGenerator::new(&gaz, config(200, 19), 48);
+        let manifest = sg.write_corpus(&dir).unwrap();
+        assert_eq!(manifest.num_users, 200);
+        assert_eq!(manifest.num_chunks, 5);
+
+        let reader = CorpusReader::open(&dir).unwrap();
+        assert_eq!(reader.manifest(), &manifest);
+        let from_disk = reader.read_all().unwrap();
+        let in_memory = StreamingGenerator::new(&gaz, config(200, 19), 48).generate();
+        assert_eq!(from_disk.dataset, in_memory.dataset);
+        assert_eq!(from_disk.truth, in_memory.truth);
+        assert_eq!(manifest.total_edges, from_disk.dataset.num_edges() as u64);
+        assert_eq!(manifest.total_mentions, from_disk.dataset.num_mentions() as u64);
+
+        // Atomic writes must leave no temp droppings behind.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(!name.to_string_lossy().ends_with(".tmp"), "stray temp file {name:?}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_not_a_corpus() {
+        let dir = tmp_dir("no_manifest");
+        let err = CorpusReader::open(&dir).unwrap_err();
+        assert!(matches!(err, CorpusError::Manifest(_)), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn truncated_chunk_fails_cleanly() {
+        let gaz = gaz();
+        let mut sg = StreamingGenerator::new(&gaz, config(60, 23), 60);
+        let bytes = sg.chunk(0).encode();
+        for cut in [0, 4, 13, bytes.len() / 2, bytes.len() - 1] {
+            assert!(CorpusChunk::decode(bytes.slice(..cut)).is_err(), "cut at {cut}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite: the chunked generator concatenated over chunks is
+        /// byte-identical to single-shot generation of the same seed and
+        /// population, for arbitrary chunk sizes — streaming never
+        /// changes the corpus.
+        #[test]
+        fn chunked_equals_single_shot(
+            num_users in 1usize..120,
+            chunk_size in 1usize..130,
+            seed in 0u64..1_000,
+        ) {
+            let gaz = gaz();
+            let single =
+                StreamingGenerator::new(&gaz, config(num_users, seed), num_users).generate();
+            let chunked =
+                StreamingGenerator::new(&gaz, config(num_users, seed), chunk_size).generate();
+            prop_assert_eq!(single.dataset, chunked.dataset);
+            prop_assert_eq!(single.truth, chunked.truth);
+        }
+
+        /// Chunk encode/decode is the identity on generated chunks.
+        #[test]
+        fn chunk_codec_round_trips_arbitrary(
+            num_users in 1usize..100,
+            chunk_size in 1usize..50,
+            seed in 0u64..1_000,
+        ) {
+            let gaz = gaz();
+            let mut sg = StreamingGenerator::new(&gaz, config(num_users, seed), chunk_size);
+            for i in 0..sg.num_chunks() {
+                let chunk = sg.chunk(i);
+                prop_assert_eq!(&chunk, &CorpusChunk::decode(chunk.encode()).unwrap());
+            }
+        }
+    }
+}
