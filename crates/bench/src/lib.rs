@@ -41,6 +41,44 @@ pub fn peak_rss() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Current resident set of this process in bytes (`VmRSS`), split into
+/// its anonymous and file-backed parts (`RssAnon`, `RssFile`). The
+/// anonymous share is the honest "duplication" metric for the cold-start
+/// bench: a copied decode materializes every slab on the heap (anon),
+/// while a mapped open leaves them in evictable page cache (file).
+/// Returns `None` off Linux or if the fields are missing.
+pub fn current_rss() -> Option<RssSample> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let field = |name: &str| -> Option<u64> {
+        let line = status.lines().find(|l| l.starts_with(name))?;
+        let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kb * 1024)
+    };
+    Some(RssSample { total: field("VmRSS:")?, anon: field("RssAnon:")?, file: field("RssFile:")? })
+}
+
+/// One reading of the process's resident memory — see [`current_rss`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RssSample {
+    /// `VmRSS` — everything resident.
+    pub total: u64,
+    /// `RssAnon` — heap and other anonymous pages.
+    pub anon: u64,
+    /// `RssFile` — resident file-backed pages (mapped artifacts).
+    pub file: u64,
+}
+
+impl RssSample {
+    /// Bytes grown since `earlier`, per component, clamped at zero.
+    pub fn delta_since(&self, earlier: &RssSample) -> RssSample {
+        RssSample {
+            total: self.total.saturating_sub(earlier.total),
+            anon: self.anon.saturating_sub(earlier.anon),
+            file: self.file.saturating_sub(earlier.file),
+        }
+    }
+}
+
 /// `peak_rss` formatted for reports: `"123.4 MiB"`, or `"n/a"` off Linux.
 pub fn peak_rss_display() -> String {
     match peak_rss() {

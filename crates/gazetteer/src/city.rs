@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 /// A newtype rather than a bare `u32` so location ids cannot be confused
 /// with user ids, venue ids, or counts anywhere in the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct CityId(pub u32);
 
 impl CityId {

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 /// Index of a venue name in a [`crate::Gazetteer`]'s vocabulary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct VenueId(pub u32);
 
 impl VenueId {

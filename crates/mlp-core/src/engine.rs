@@ -88,7 +88,7 @@ use crate::infer::{
 use crate::model::Mlp;
 use crate::online::{OnlineError, OnlineUpdater, StalenessPolicy};
 use crate::shard::{ShardedTrainConfig, TrainError};
-use crate::snapshot::{PosteriorSnapshot, SnapshotError};
+use crate::snapshot::{Integrity, PosteriorSnapshot, SnapshotError};
 use crate::wal::{artifact_fingerprint, write_atomic, DeltaWal, WalError};
 use arc_swap::ArcSwap;
 use bytes::Bytes;
@@ -377,6 +377,26 @@ pub struct EngineBuilder<'a> {
     durable: bool,
     compact_threshold: u64,
     sharding: ShardedTrainConfig,
+    open_mode: OpenMode,
+    integrity: Integrity,
+}
+
+/// How [`EngineBuilder::from_artifact_file`] brings the artifact into
+/// memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMode {
+    /// Peek the artifact version and pick: v5 artifacts are mapped and
+    /// served zero-copy, legacy layouts take the plain read + copying
+    /// decode. The default.
+    #[default]
+    Auto,
+    /// Always map the file. v5 slabs are borrowed in place; a legacy,
+    /// misaligned, or big-endian artifact still thaws correctly through
+    /// the copying fallback inside [`PosteriorSnapshot::open_mapped`].
+    Mapped,
+    /// Always read the whole file and decode into owned arenas — the
+    /// pre-v5 behavior, never maps.
+    Copied,
 }
 
 /// Default WAL size past which a file-backed engine folds the log into
@@ -394,7 +414,26 @@ impl<'a> EngineBuilder<'a> {
             durable: true,
             compact_threshold: DEFAULT_WAL_COMPACT_THRESHOLD,
             sharding: ShardedTrainConfig::default(),
+            open_mode: OpenMode::default(),
+            integrity: Integrity::default(),
         }
+    }
+
+    /// How [`Self::from_artifact_file`] brings the artifact into memory
+    /// (mapped zero-copy vs owned read; see [`OpenMode`]).
+    pub fn open_mode(mut self, mode: OpenMode) -> Self {
+        self.open_mode = mode;
+        self
+    }
+
+    /// How much of a mapped v5 artifact [`Self::from_artifact_file`]
+    /// verifies before serving it: [`Integrity::Full`] (default)
+    /// checksums every section; [`Integrity::Structural`] verifies only
+    /// the header and structural invariants, so the open touches O(ids)
+    /// bytes instead of the whole file. See [`Integrity`] for the trade.
+    pub fn integrity(mut self, integrity: Integrity) -> Self {
+        self.integrity = integrity;
+        self
     }
 
     /// User partitions for [`Self::train_corpus`]: `1` (default) runs the
@@ -522,14 +561,33 @@ impl<'a> EngineBuilder<'a> {
         self,
         path: impl AsRef<Path>,
     ) -> Result<ServingEngine<'a>, EngineError> {
-        let path = path.as_ref();
-        let raw = std::fs::read(path)?;
-        if !self.durable {
-            return self.from_artifact(Bytes::from(raw));
-        }
         self.fold_in.validate()?;
-        let base_fingerprint = artifact_fingerprint(&raw);
-        let mut snapshot = PosteriorSnapshot::decode(Bytes::from(raw))?;
+        let path = path.as_ref();
+        let use_map = match self.open_mode {
+            OpenMode::Copied => false,
+            OpenMode::Mapped => true,
+            // v5 artifacts are built for in-place serving; legacy layouts
+            // would only be copied out of the mapping anyway, so read them
+            // plainly.
+            OpenMode::Auto => {
+                peek_artifact_version(path)? == Some(crate::snapshot::CURRENT_ARTIFACT_VERSION)
+            }
+        };
+        let (mut snapshot, base_fingerprint) = if use_map {
+            let map = Arc::new(mmap_lite::Mmap::open(path)?);
+            // The fingerprint pass streams through the page cache — no
+            // artifact-sized allocation happens on this path.
+            let fp = self.durable.then(|| artifact_fingerprint(map.as_slice()));
+            (PosteriorSnapshot::open_mapped_with(&map, self.integrity)?, fp)
+        } else {
+            let raw = std::fs::read(path)?;
+            let fp = self.durable.then(|| artifact_fingerprint(&raw));
+            (PosteriorSnapshot::decode(Bytes::from(raw))?, fp)
+        };
+        if !self.durable {
+            return self.adopt(snapshot);
+        }
+        let base_fingerprint = base_fingerprint.expect("fingerprint computed on the durable path");
         let wal_path = DeltaWal::sidecar_path(path);
         let (wal, found) = DeltaWal::recover(&wal_path, base_fingerprint)?;
         let mut replayed_users = 0;
@@ -962,11 +1020,43 @@ impl<'a> ServingEngine<'a> {
 
     fn checkpoint_locked(&self, writer: &mut Writer<'a>) -> Result<(), EngineError> {
         let bytes = writer.updater.snapshot().try_encode()?;
+        let was_mapped = writer.updater.snapshot().is_zero_copy();
         let durable = writer.durable.as_mut().expect("checkpoint requires the durable sidecar");
         write_atomic(&durable.artifact_path, bytes.as_slice())?;
         durable.wal.reset(artifact_fingerprint(bytes.as_slice()))?;
-        writer.updater.rebase()?;
+        // A checkpoint obsoletes every earlier set-aside log; keep only
+        // the newest one as a post-mortem artifact.
+        durable.wal.age_stale_siblings();
+        if was_mapped {
+            // Remap: the engine was serving slabs out of the old mapping
+            // plus materialized overlay tails. The artifact just written
+            // contains all of it, so swapping in a zero-copy view of the
+            // new file drops the overlay (and the old mapping, once the
+            // last reader epoch retires). Best-effort — if the remap
+            // fails the engine keeps serving the owned snapshot, which is
+            // correct, just not zero-copy anymore.
+            if let Ok(map) = mmap_lite::Mmap::open(&durable.artifact_path) {
+                // Structural verification suffices here: this process
+                // encoded and atomically wrote these bytes moments ago.
+                let open =
+                    PosteriorSnapshot::open_mapped_with(&Arc::new(map), Integrity::Structural);
+                if let Ok(snap) = open {
+                    writer.updater.rebase_onto(snap, bytes);
+                    return Ok(());
+                }
+            }
+        }
+        writer.updater.rebase(bytes);
         Ok(())
+    }
+
+    /// Whether the currently published posterior serves its slabs
+    /// zero-copy out of a mapped artifact (true only for v5 files opened
+    /// with [`OpenMode::Auto`]/[`OpenMode::Mapped`], until a delta-free
+    /// checkpoint remap is superseded by owned mutation). A monitoring
+    /// read; takes the writer lock briefly.
+    pub fn is_mapped(&self) -> bool {
+        lock_writer(&self.writer).updater.snapshot().is_zero_copy()
     }
 
     /// What recovery-on-open found — `Some` only for engines built by
@@ -1034,6 +1124,20 @@ impl<'a> ServingEngine<'a> {
         let bytes = self.encode_artifact()?;
         write_atomic(path.as_ref(), bytes.as_slice())?;
         Ok(bytes.len())
+    }
+}
+
+/// Reads just enough of `path` to learn the artifact's declared format
+/// version — `None` when the file is too short or not a snapshot at all
+/// (the full open will produce the typed error).
+fn peek_artifact_version(path: &Path) -> std::io::Result<Option<u16>> {
+    use std::io::Read;
+    let mut head = [0u8; 6];
+    let mut file = std::fs::File::open(path)?;
+    match file.read_exact(&mut head) {
+        Ok(()) => Ok(crate::snapshot::artifact_version(&head)),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
     }
 }
 

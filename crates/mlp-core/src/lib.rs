@@ -36,7 +36,9 @@
 //! * [`diagnostics`] — per-iteration convergence telemetry (Fig. 5);
 //! * [`model`] — the [`Mlp`] façade tying it together, and [`MlpResult`];
 //! * [`snapshot`] — frozen posterior artifacts (versioned binary codec,
-//!   v4 with CRC-framed mergeable delta records) for warm-start serving;
+//!   v5 with a 64-byte-aligned section table for zero-copy mapped opens
+//!   and CRC-framed mergeable delta records; v2–v4 still decode) for
+//!   warm-start serving;
 //! * [`infer`] — the fold-in engine predicting *unseen* users against a
 //!   frozen snapshot, sequentially or batched across scoped threads;
 //! * [`online`] — incremental posterior refresh: absorbing new users into
@@ -81,7 +83,7 @@ pub use config::{ConfigError, MlpConfig, Variant};
 pub use count_store::{VenueCountStore, VenueRow};
 pub use diagnostics::{Diagnostics, IterationStats};
 pub use engine::{
-    response_determinism_hash, CommitInfo, EngineBuilder, EngineError, ProfileRequest,
+    response_determinism_hash, CommitInfo, EngineBuilder, EngineError, OpenMode, ProfileRequest,
     ProfileResponse, RankedCities, RecoveryReport, RefreshReport, ServingEngine, SnapshotHandle,
 };
 pub use fit::fit_power_law_from_labels;
@@ -96,7 +98,10 @@ pub use online::{OnlineError, OnlineUpdater, StalenessPolicy};
 pub use random_models::RandomModels;
 pub use shard::{train_corpus, CandidateProfiles, ShardedTrainConfig, TrainError};
 pub use snapshot::{
-    gazetteer_fingerprint, PosteriorSnapshot, SnapshotDelta, SnapshotError, UserArena,
-    UserPosterior, UserView, VenueArena,
+    artifact_version, gazetteer_fingerprint, inspect_artifact, ArtifactInfo, Integrity,
+    PosteriorSnapshot, SectionInfo, SnapshotDelta, SnapshotError, UserArena, UserPosterior,
+    UserView, VenueArena, CURRENT_ARTIFACT_VERSION,
 };
-pub use wal::{artifact_fingerprint, write_atomic, DeltaWal, WalError, WalRecovery};
+pub use wal::{
+    artifact_fingerprint, inspect_log, write_atomic, DeltaWal, WalError, WalInfo, WalRecovery,
+};

@@ -37,8 +37,9 @@
 
 use crate::infer::{FoldInConfig, FoldInEngine, FoldInError, FoldInProfile, NewUserObservations};
 use crate::snapshot::{PosteriorSnapshot, SnapshotDelta, SnapshotError};
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use mlp_gazetteer::Gazetteer;
+use std::sync::OnceLock;
 
 /// Errors raised while building an [`OnlineUpdater`] — either the serving
 /// side (snapshot/gazetteer mismatch) or the format side (unencodable
@@ -107,10 +108,13 @@ pub struct OnlineUpdater<'a> {
     snapshot: PosteriorSnapshot,
     fold_in: FoldInConfig,
     policy: StalenessPolicy,
-    /// The base artifact's header + payload, captured once at
-    /// construction so publishing an update appends delta records instead
-    /// of re-encoding the arenas.
-    base_payload: Bytes,
+    /// The base artifact (a v5 encode of the snapshot as of the last
+    /// rebase, empty delta section), captured *lazily* — on the first
+    /// commit or publish, whichever comes first — so merely opening a
+    /// model (especially a mapped one) never pays an arena encode.
+    /// Publishing an update then rewrites the trailing delta section
+    /// instead of re-encoding the arenas.
+    base_artifact: OnceLock<Bytes>,
     /// Snapshot-derived fold-in state (noise models, hyper-parameters,
     /// popular fallback), derived once here — delta commits never change
     /// it — so each absorb rebinds a fold-in engine without re-walking
@@ -139,14 +143,13 @@ impl<'a> OnlineUpdater<'a> {
         // between commits) from the parts derived here.
         FoldInEngine::new(&snapshot, gaz, fold_in.clone())?;
         let parts = crate::infer::DerivedParts::derive(&snapshot, gaz, fold_in.fallback_popular_k);
-        let base_payload = snapshot.encode_payload()?.freeze();
         let base_users = snapshot.num_users() as u32;
         Ok(Self {
             gaz,
             snapshot,
             fold_in,
             policy,
-            base_payload,
+            base_artifact: OnceLock::new(),
             parts,
             pending: SnapshotDelta::new(base_users),
             committed: Vec::new(),
@@ -233,16 +236,45 @@ impl<'a> OnlineUpdater<'a> {
         &self.pending
     }
 
-    /// Re-anchors the updater on its current snapshot: the base payload
-    /// is re-encoded from the live (refreshed) posterior and the commit
-    /// history is dropped. Used after log compaction checkpoints the
-    /// full state to disk — the history is already folded into the new
-    /// base artifact, so keeping the records would double-apply them.
-    /// The commit *count* driving the staleness policy is untouched.
-    pub(crate) fn rebase(&mut self) -> Result<(), SnapshotError> {
-        self.base_payload = self.snapshot.encode_payload()?.freeze();
+    /// Re-anchors the updater on its current snapshot: the base-artifact
+    /// cache is reset to `artifact` — the caller's just-checkpointed
+    /// encoding of the live posterior — and the commit history is
+    /// cleared. Used after log compaction checkpoints the full state to
+    /// disk: the history is already folded into the new base artifact,
+    /// so keeping the records would double-apply them. The commit
+    /// *count* driving the staleness policy is untouched.
+    pub(crate) fn rebase(&mut self, artifact: Bytes) {
+        self.base_artifact = OnceLock::new();
+        let _ = self.base_artifact.set(artifact);
         self.committed.clear();
-        Ok(())
+    }
+
+    /// [`Self::rebase`] that also swaps in a replacement snapshot (the
+    /// checkpoint remap path: the freshly written v5 artifact reopened
+    /// zero-copy) and seeds the base-artifact cache with the bytes that
+    /// were just written, so the next publish is again incremental.
+    ///
+    /// The caller guarantees `snapshot` is logically identical to the
+    /// current one and `artifact` is its encoding — both debug-asserted.
+    pub(crate) fn rebase_onto(&mut self, snapshot: PosteriorSnapshot, artifact: Bytes) {
+        debug_assert_eq!(snapshot.num_users(), self.snapshot.num_users());
+        debug_assert_eq!(snapshot.gaz_fingerprint, self.snapshot.gaz_fingerprint);
+        self.snapshot = snapshot;
+        self.base_artifact = OnceLock::new();
+        let _ = self.base_artifact.set(artifact);
+        self.committed.clear();
+    }
+
+    /// Captures the base artifact if it has not been captured since the
+    /// last rebase. Must run *before* a commit mutates the snapshot —
+    /// after that the snapshot is base + history and re-encoding it would
+    /// double-apply the records appended at publish time.
+    fn ensure_base_artifact(&self) -> Result<&Bytes, SnapshotError> {
+        if let Some(bytes) = self.base_artifact.get() {
+            return Ok(bytes);
+        }
+        let encoded = self.snapshot.try_encode()?;
+        Ok(self.base_artifact.get_or_init(|| encoded))
     }
 
     /// Commits the pending delta into the snapshot; returns how many
@@ -253,6 +285,9 @@ impl<'a> OnlineUpdater<'a> {
         if self.pending.is_empty() {
             return Ok(0);
         }
+        // The base artifact must be frozen before the first mutation
+        // since rebase; later commits find it already cached.
+        self.ensure_base_artifact()?;
         self.snapshot.apply_delta(&self.pending)?;
         let n = self.pending.num_new_users();
         let next = SnapshotDelta::new(self.snapshot.num_users() as u32);
@@ -313,16 +348,16 @@ impl<'a> OnlineUpdater<'a> {
             || self.last_drift > self.policy.drift_threshold
     }
 
-    /// Encodes the refreshed posterior as a v4 artifact: the base
-    /// payload captured at construction plus every committed delta as a
-    /// CRC-framed record. Decoding replays the records, so the
-    /// result thaws equal to [`Self::snapshot`]. Publishing after another
-    /// commit only appends — the base bytes never change.
+    /// Encodes the refreshed posterior as a v5 artifact: the base bytes
+    /// captured at the last rebase with the trailing delta section
+    /// rewritten to hold every committed delta as a CRC-framed record.
+    /// Decoding replays the records, so the result thaws equal to
+    /// [`Self::snapshot`]. Publishing after another commit rewrites only
+    /// the delta section and two checksums — the arena sections never
+    /// re-encode.
     pub fn encode_artifact(&self) -> Result<Bytes, SnapshotError> {
-        let mut buf = BytesMut::with_capacity(self.base_payload.len() + 4);
-        buf.extend_from_slice(self.base_payload.as_slice());
-        crate::snapshot::append_delta_section(&mut buf, &self.committed)?;
-        Ok(buf.freeze())
+        let base = self.ensure_base_artifact()?;
+        crate::snapshot::v5_set_delta_section(base.as_slice(), &self.committed)
     }
 }
 

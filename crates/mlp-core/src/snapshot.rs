@@ -29,26 +29,36 @@ use crate::sampler::GibbsSampler;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mlp_gazetteer::{CityId, Gazetteer, VenueId};
 use mlp_geo::PowerLaw;
-use mlp_social::UserId;
+use mlp_social::{Csr, Slab, UserId};
+use std::any::Any;
+use std::sync::Arc;
 
 const MAGIC: u32 = 0x4D4C_5053; // "MLPS"
-/// Current write version: v4 = the v2 CSR-arena payload followed by a
-/// [`SnapshotDelta`] record section (online refresh) whose records are
-/// CRC32-framed (`u64` length + `u32` IEEE CRC of the payload). v3 wrote
-/// the same section without the per-record checksum.
-const VERSION: u16 = 4;
+/// Current write version: v5 = a 64-byte-aligned section table over the
+/// CSR slabs (fixed-width little-endian, per-section CRC32s) so each slab
+/// can be reinterpreted in place from a mapped file, followed by a
+/// [`SnapshotDelta`] record section with the same CRC-framed records v4
+/// introduced (`u64` length + `u32` IEEE CRC of the payload). v4 was the
+/// v2 CSR-arena payload plus that record section; v3 wrote the section
+/// without per-record checksums.
+const VERSION: u16 = 5;
+/// Newest *legacy* (pre-section-table) version; v2..=v4 decode through
+/// the copying path, byte-identically to the builds that wrote them.
+const LEGACY_MAX_VERSION: u16 = 4;
 /// Oldest version this build still reads. v2 artifacts (pre-refresh, no
 /// delta section) and v3 artifacts (un-checksummed records) thaw
 /// unchanged; v1 artifacts fail with the typed
 /// [`SnapshotError::UnsupportedVersion`].
 const MIN_READ_VERSION: u16 = 2;
 
-/// IEEE CRC32 (the zlib/PNG polynomial), table-driven, no external
-/// crates. Frames every v4 delta record and every WAL record so a torn
-/// or bit-flipped write is detected before its payload is parsed.
+/// IEEE CRC32 (the zlib/PNG polynomial), slicing-by-8, no external
+/// crates. Frames every v4+ delta record and every WAL record, and
+/// checksums every v5 section — a mapped open verifies whole slabs with
+/// it, so the wide variant matters: it runs several times faster than the
+/// byte-at-a-time loop while producing identical digests.
 pub(crate) fn crc32(bytes: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
+    const TABLES: [[u32; 256]; 8] = {
+        let mut t = [[0u32; 256]; 8];
         let mut i = 0;
         while i < 256 {
             let mut c = i as u32;
@@ -57,14 +67,36 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
                 k += 1;
             }
-            table[i] = c;
+            t[0][i] = c;
             i += 1;
         }
-        table
+        let mut k = 1;
+        while k < 8 {
+            let mut i = 0;
+            while i < 256 {
+                t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xFF) as usize];
+                i += 1;
+            }
+            k += 1;
+        }
+        t
     };
     let mut c = !0u32;
-    for &b in bytes {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        c ^= u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = TABLES[7][(c & 0xFF) as usize]
+            ^ TABLES[6][((c >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((c >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(c >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -187,29 +219,36 @@ pub struct UserView<'a> {
 
 /// The frozen per-user posterior: a CSR offset table over flat
 /// `candidates`/`gammas`/`mean_counts` slabs plus per-user scalar columns.
+///
+/// Every column is a [`Slab`] (the candidate rows a [`Csr`]), so the whole
+/// arena either owns its memory (trained / copy-decoded snapshots) or
+/// borrows it zero-copy from a mapped v5 artifact. Row logic lives in the
+/// `Csr` offset table once; the parallel `gammas`/`mean_counts` columns
+/// reuse its [`Csr::row_range`]. Deltas append whole user rows, which land
+/// in the slabs' owned tails when the base is mapped — the overlay that
+/// lets a mapped snapshot absorb WAL replay without materializing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UserArena {
-    /// `num_users + 1` offsets into the three row slabs.
-    offsets: Vec<u32>,
-    candidates: Vec<CityId>,
-    gammas: Vec<f64>,
-    mean_counts: Vec<f64>,
-    mean_totals: Vec<f64>,
-    gamma_totals: Vec<f64>,
-    homes: Vec<CityId>,
+    /// Candidate rows: the offset table (`num_users + 1` entries) shared by
+    /// all three row-shaped columns, plus the candidate slab itself.
+    candidates: Csr<CityId>,
+    gammas: Slab<f64>,
+    mean_counts: Slab<f64>,
+    mean_totals: Slab<f64>,
+    gamma_totals: Slab<f64>,
+    homes: Slab<CityId>,
 }
 
 impl UserArena {
     /// An arena with no users.
     pub fn empty() -> Self {
         Self {
-            offsets: vec![0],
-            candidates: Vec::new(),
-            gammas: Vec::new(),
-            mean_counts: Vec::new(),
-            mean_totals: Vec::new(),
-            gamma_totals: Vec::new(),
-            homes: Vec::new(),
+            candidates: Csr::empty(),
+            gammas: Slab::new(),
+            mean_counts: Slab::new(),
+            mean_totals: Slab::new(),
+            gamma_totals: Slab::new(),
+            homes: Slab::new(),
         }
     }
 
@@ -222,13 +261,61 @@ impl UserArena {
         arena
     }
 
+    /// Builds an arena from owned, pre-validated columns (the copying
+    /// decode path and delta records).
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        candidates: Vec<CityId>,
+        gammas: Vec<f64>,
+        mean_counts: Vec<f64>,
+        mean_totals: Vec<f64>,
+        gamma_totals: Vec<f64>,
+        homes: Vec<CityId>,
+    ) -> Self {
+        Self {
+            candidates: Csr::from_parts(offsets, candidates),
+            gammas: Slab::from_vec(gammas),
+            mean_counts: Slab::from_vec(mean_counts),
+            mean_totals: Slab::from_vec(mean_totals),
+            gamma_totals: Slab::from_vec(gamma_totals),
+            homes: Slab::from_vec(homes),
+        }
+    }
+
+    /// Builds an arena on pre-validated slabs — owned or borrowed from a
+    /// mapped artifact (the zero-copy open path).
+    pub(crate) fn from_slabs(
+        offsets: Slab<u32>,
+        candidates: Slab<CityId>,
+        gammas: Slab<f64>,
+        mean_counts: Slab<f64>,
+        mean_totals: Slab<f64>,
+        gamma_totals: Slab<f64>,
+        homes: Slab<CityId>,
+    ) -> Self {
+        Self {
+            candidates: Csr::from_slabs(offsets, candidates),
+            gammas,
+            mean_counts,
+            mean_totals,
+            gamma_totals,
+            homes,
+        }
+    }
+
+    /// Whether the arena borrows a mapped artifact instead of owning its
+    /// slabs.
+    #[inline]
+    pub fn is_zero_copy(&self) -> bool {
+        self.candidates.is_zero_copy()
+    }
+
     /// Appends one user's row; their id is the arena's previous
     /// [`Self::num_users`].
     pub fn push(&mut self, u: UserPosterior) {
-        self.candidates.extend(u.candidates);
-        self.gammas.extend(u.gammas);
-        self.mean_counts.extend(u.mean_counts);
-        self.offsets.push(self.candidates.len() as u32);
+        self.candidates.push_row(&u.candidates);
+        self.gammas.extend_from_slice(&u.gammas);
+        self.mean_counts.extend_from_slice(&u.mean_counts);
         self.mean_totals.push(u.mean_total);
         self.gamma_totals.push(u.gamma_total);
         self.homes.push(u.home);
@@ -236,22 +323,32 @@ impl UserArena {
 
     /// Appends every row of `other` (an index-wise slab concatenation —
     /// the commit step of an online delta). Fails without mutating when
-    /// the combined slabs would overflow the format's `u32` offsets.
+    /// the combined slabs would overflow the format's `u32` offsets. When
+    /// `self` is mapped, the rows land in the slabs' owned tails and the
+    /// mapped base stays untouched.
     pub fn extend_from(&mut self, other: &UserArena) -> Result<(), SnapshotError> {
-        let base = self.candidates.len();
-        if base as u64 + other.candidates.len() as u64 > u32::MAX as u64 {
+        if self.num_entries() as u64 + other.num_entries() as u64 > u32::MAX as u64 {
             return Err(SnapshotError::TooLarge("user candidate slab exceeds u32::MAX entries"));
         }
         if self.num_users() as u64 + other.num_users() as u64 > u32::MAX as u64 {
             return Err(SnapshotError::TooLarge("user count exceeds u32::MAX"));
         }
-        self.offsets.extend(other.offsets[1..].iter().map(|&o| base as u32 + o));
-        self.candidates.extend_from_slice(&other.candidates);
-        self.gammas.extend_from_slice(&other.gammas);
-        self.mean_counts.extend_from_slice(&other.mean_counts);
-        self.mean_totals.extend_from_slice(&other.mean_totals);
-        self.gamma_totals.extend_from_slice(&other.gamma_totals);
-        self.homes.extend_from_slice(&other.homes);
+        self.candidates.append(&other.candidates);
+        for seg in [other.gammas.segments().0, other.gammas.segments().1] {
+            self.gammas.extend_from_slice(seg);
+        }
+        for seg in [other.mean_counts.segments().0, other.mean_counts.segments().1] {
+            self.mean_counts.extend_from_slice(seg);
+        }
+        for seg in [other.mean_totals.segments().0, other.mean_totals.segments().1] {
+            self.mean_totals.extend_from_slice(seg);
+        }
+        for seg in [other.gamma_totals.segments().0, other.gamma_totals.segments().1] {
+            self.gamma_totals.extend_from_slice(seg);
+        }
+        for seg in [other.homes.segments().0, other.homes.segments().1] {
+            self.homes.extend_from_slice(seg);
+        }
         Ok(())
     }
 
@@ -264,21 +361,21 @@ impl UserArena {
     /// Total number of candidate entries across all rows.
     #[inline]
     pub fn num_entries(&self) -> usize {
-        self.candidates.len()
+        self.candidates.num_values()
     }
 
     /// User `u`'s row across all slabs.
     #[inline]
     pub fn user(&self, u: UserId) -> UserView<'_> {
         let i = u.index();
-        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        let range = self.candidates.row_range(i);
         UserView {
-            candidates: &self.candidates[range.clone()],
-            gammas: &self.gammas[range.clone()],
-            mean_counts: &self.mean_counts[range],
-            mean_total: self.mean_totals[i],
-            gamma_total: self.gamma_totals[i],
-            home: self.homes[i],
+            candidates: self.candidates.row(i),
+            gammas: self.gammas.slice(range.start, range.end),
+            mean_counts: self.mean_counts.slice(range.start, range.end),
+            mean_total: self.mean_totals.get(i),
+            gamma_total: self.gamma_totals.get(i),
+            home: self.homes.get(i),
         }
     }
 
@@ -289,49 +386,88 @@ impl UserArena {
     /// User `u`'s candidate row.
     #[inline]
     pub fn candidates_of(&self, u: UserId) -> &[CityId] {
-        &self.candidates[self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize]
+        self.candidates.row(u.index())
     }
 
     /// User `u`'s γ row.
     #[inline]
     pub fn gammas_of(&self, u: UserId) -> &[f64] {
-        &self.gammas[self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize]
+        let range = self.candidates.row_range(u.index());
+        self.gammas.slice(range.start, range.end)
     }
 
     /// User `u`'s ϕ̄ row.
     #[inline]
     pub fn mean_counts_of(&self, u: UserId) -> &[f64] {
-        &self.mean_counts[self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize]
+        let range = self.candidates.row_range(u.index());
+        self.mean_counts.slice(range.start, range.end)
     }
 
     /// `Σ_c ϕ̄` for user `u`.
     #[inline]
     pub fn mean_total(&self, u: UserId) -> f64 {
-        self.mean_totals[u.index()]
+        self.mean_totals.get(u.index())
     }
 
     /// `Σ_c γ` for user `u`.
     #[inline]
     pub fn gamma_total(&self, u: UserId) -> f64 {
-        self.gamma_totals[u.index()]
+        self.gamma_totals.get(u.index())
     }
 
     /// MAP home of user `u`.
     #[inline]
     pub fn home(&self, u: UserId) -> CityId {
-        self.homes[u.index()]
+        self.homes.get(u.index())
+    }
+
+    // Column iterators for the encoders (segment-aware, so a mapped arena
+    // with appended tails serialises correctly).
+
+    pub(crate) fn offsets_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.candidates.offsets_iter()
+    }
+
+    pub(crate) fn candidate_ids_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let (h, t) = self.candidates.values_segments();
+        h.iter().chain(t).map(|c| c.0)
+    }
+
+    pub(crate) fn gammas_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.gammas.iter().copied()
+    }
+
+    pub(crate) fn mean_counts_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.mean_counts.iter().copied()
+    }
+
+    pub(crate) fn mean_totals_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.mean_totals.iter().copied()
+    }
+
+    pub(crate) fn gamma_totals_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.gamma_totals.iter().copied()
+    }
+
+    pub(crate) fn home_ids_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.homes.iter().map(|c| c.0)
     }
 }
 
 /// The frozen `φ` counts: CSR offsets over sorted `venue_ids` with a
 /// parallel `counts` slab, plus per-city totals.
+///
+/// Slab-backed like [`UserArena`], so a mapped v5 artifact serves `φ`
+/// lookups straight from the file. Venue deltas rebuild the slabs
+/// ([`Self::apply_sorted_weights`]), which copies a mapped arena to owned
+/// — acceptable because the venue arena is gazetteer-bounded, orders of
+/// magnitude smaller than the user arena.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VenueArena {
-    /// `num_cities + 1` offsets into `venue_ids`/`counts`.
-    offsets: Vec<u32>,
-    venue_ids: Vec<u32>,
-    counts: Vec<f64>,
-    city_totals: Vec<f64>,
+    /// `num_cities + 1` offsets over the sorted venue-id rows.
+    venue_ids: Csr<u32>,
+    counts: Slab<f64>,
+    city_totals: Slab<f64>,
 }
 
 impl VenueArena {
@@ -342,23 +478,51 @@ impl VenueArena {
     where
         R: IntoIterator<Item = (u32, f64)>,
     {
-        let mut arena = Self {
-            offsets: vec![0],
-            venue_ids: Vec::new(),
-            counts: Vec::new(),
-            city_totals: Vec::new(),
-        };
+        let mut offsets = vec![0u32];
+        let mut venue_ids = Vec::new();
+        let mut counts = Vec::new();
+        let mut city_totals = Vec::new();
         for row in rows {
             let mut total = 0.0;
             for (v, c) in row {
-                arena.venue_ids.push(v);
-                arena.counts.push(c);
+                venue_ids.push(v);
+                counts.push(c);
                 total += c;
             }
-            arena.offsets.push(arena.venue_ids.len() as u32);
-            arena.city_totals.push(total);
+            offsets.push(venue_ids.len() as u32);
+            city_totals.push(total);
         }
-        arena
+        Self::from_parts(offsets, venue_ids, counts, city_totals)
+    }
+
+    /// Builds the arena from owned, pre-validated columns.
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        venue_ids: Vec<u32>,
+        counts: Vec<f64>,
+        city_totals: Vec<f64>,
+    ) -> Self {
+        Self {
+            venue_ids: Csr::from_parts(offsets, venue_ids),
+            counts: Slab::from_vec(counts),
+            city_totals: Slab::from_vec(city_totals),
+        }
+    }
+
+    /// Builds the arena on pre-validated slabs (owned or mapped).
+    pub(crate) fn from_slabs(
+        offsets: Slab<u32>,
+        venue_ids: Slab<u32>,
+        counts: Slab<f64>,
+        city_totals: Slab<f64>,
+    ) -> Self {
+        Self { venue_ids: Csr::from_slabs(offsets, venue_ids), counts, city_totals }
+    }
+
+    /// Whether the arena borrows a mapped artifact.
+    #[inline]
+    pub fn is_zero_copy(&self) -> bool {
+        self.venue_ids.is_zero_copy()
     }
 
     /// Number of cities.
@@ -371,9 +535,9 @@ impl VenueArena {
     #[inline]
     pub fn count(&self, l: CityId, v: VenueId) -> f64 {
         let i = l.index();
-        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
-        match self.venue_ids[range.clone()].binary_search(&v.0) {
-            Ok(pos) => self.counts[range.start + pos],
+        let range = self.venue_ids.row_range(i);
+        match self.venue_ids.row(i).binary_search(&v.0) {
+            Ok(pos) => self.counts.get(range.start + pos),
             Err(_) => 0.0,
         }
     }
@@ -381,20 +545,43 @@ impl VenueArena {
     /// `Σ_v φ_{l,v}`.
     #[inline]
     pub fn city_total(&self, l: CityId) -> f64 {
-        self.city_totals[l.index()]
+        self.city_totals.get(l.index())
     }
 
     /// City `l`'s `(venue, count)` row, ascending by venue id.
     pub fn row(&self, l: CityId) -> impl Iterator<Item = (u32, f64)> + '_ {
         let i = l.index();
-        let range = self.offsets[i] as usize..self.offsets[i + 1] as usize;
-        self.venue_ids[range.clone()].iter().copied().zip(self.counts[range].iter().copied())
+        let range = self.venue_ids.row_range(i);
+        self.venue_ids
+            .row(i)
+            .iter()
+            .copied()
+            .zip(self.counts.slice(range.start, range.end).iter().copied())
     }
 
     /// Total number of stored `(city, venue)` cells.
     #[inline]
     pub fn num_entries(&self) -> usize {
-        self.venue_ids.len()
+        self.venue_ids.num_values()
+    }
+
+    // Column iterators for the encoders.
+
+    pub(crate) fn offsets_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.venue_ids.offsets_iter()
+    }
+
+    pub(crate) fn venue_ids_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let (h, t) = self.venue_ids.values_segments();
+        h.iter().chain(t).copied()
+    }
+
+    pub(crate) fn counts_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.counts.iter().copied()
+    }
+
+    pub(crate) fn city_totals_iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.city_totals.iter().copied()
     }
 
     /// Merges sorted-unique COO weight deltas `(cities[i], venues[i]) +=
@@ -415,29 +602,33 @@ impl VenueArena {
         if cities.is_empty() {
             return Ok(());
         }
-        if self.venue_ids.len() as u64 + venues.len() as u64 > u32::MAX as u64 {
+        if self.num_entries() as u64 + venues.len() as u64 > u32::MAX as u64 {
             return Err(SnapshotError::TooLarge("venue count slab exceeds u32::MAX entries"));
         }
-        let mut new_offsets = Vec::with_capacity(self.offsets.len());
-        let mut new_ids = Vec::with_capacity(self.venue_ids.len() + venues.len());
-        let mut new_counts = Vec::with_capacity(self.venue_ids.len() + venues.len());
+        let mut new_offsets = Vec::with_capacity(self.num_cities() + 1);
+        let mut new_ids = Vec::with_capacity(self.num_entries() + venues.len());
+        let mut new_counts = Vec::with_capacity(self.num_entries() + venues.len());
+        let mut new_totals = Vec::with_capacity(self.num_cities());
         new_offsets.push(0u32);
         let mut d = 0usize; // cursor into the delta COO
         for l in 0..self.num_cities() {
-            let mut i = self.offsets[l] as usize;
-            let end = self.offsets[l + 1] as usize;
+            let range = self.venue_ids.row_range(l);
+            let ids = self.venue_ids.row(l);
+            let cnts = self.counts.slice(range.start, range.end);
+            let mut i = 0usize;
+            let end = ids.len();
             let mut total_add = 0.0f64;
             while d < cities.len() && cities[d] as usize == l {
                 let v = venues[d];
                 // Copy existing entries below the delta's venue id.
-                while i < end && self.venue_ids[i] < v {
-                    new_ids.push(self.venue_ids[i]);
-                    new_counts.push(self.counts[i]);
+                while i < end && ids[i] < v {
+                    new_ids.push(ids[i]);
+                    new_counts.push(cnts[i]);
                     i += 1;
                 }
-                if i < end && self.venue_ids[i] == v {
+                if i < end && ids[i] == v {
                     new_ids.push(v);
-                    new_counts.push(self.counts[i] + weights[d]);
+                    new_counts.push(cnts[i] + weights[d]);
                     i += 1;
                 } else {
                     new_ids.push(v);
@@ -447,16 +638,17 @@ impl VenueArena {
                 d += 1;
             }
             while i < end {
-                new_ids.push(self.venue_ids[i]);
-                new_counts.push(self.counts[i]);
+                new_ids.push(ids[i]);
+                new_counts.push(cnts[i]);
                 i += 1;
             }
             new_offsets.push(new_ids.len() as u32);
-            self.city_totals[l] += total_add;
+            new_totals.push(self.city_totals.get(l) + total_add);
         }
-        self.offsets = new_offsets;
-        self.venue_ids = new_ids;
-        self.counts = new_counts;
+        // The rebuild is always owned: venue deltas are rare relative to
+        // user appends, and the arena is gazetteer-bounded, so copying a
+        // mapped base here costs little and keeps the merge logic single.
+        *self = Self::from_parts(new_offsets, new_ids, new_counts, new_totals);
         Ok(())
     }
 }
@@ -612,26 +804,26 @@ impl SnapshotDelta {
         buf.put_u32_le(self.base_users);
         buf.put_u32_le(n);
         buf.put_u32_le(nnz);
-        for &o in &self.users.offsets {
+        for o in self.users.offsets_iter() {
             buf.put_u32_le(o);
         }
-        for &c in &self.users.candidates {
-            buf.put_u32_le(c.0);
+        for c in self.users.candidate_ids_iter() {
+            buf.put_u32_le(c);
         }
-        for &g in &self.users.gammas {
+        for g in self.users.gammas_iter() {
             buf.put_f64_le(g);
         }
-        for &m in &self.users.mean_counts {
+        for m in self.users.mean_counts_iter() {
             buf.put_f64_le(m);
         }
-        for &m in &self.users.mean_totals {
+        for m in self.users.mean_totals_iter() {
             buf.put_f64_le(m);
         }
-        for &g in &self.users.gamma_totals {
+        for g in self.users.gamma_totals_iter() {
             buf.put_f64_le(g);
         }
-        for &h in &self.users.homes {
-            buf.put_u32_le(h.0);
+        for h in self.users.home_ids_iter() {
+            buf.put_u32_le(h);
         }
         buf.put_u32_le(vnz);
         for &l in &self.venue_cities {
@@ -703,7 +895,7 @@ impl SnapshotDelta {
         }
         Ok(Self {
             base_users,
-            users: UserArena {
+            users: UserArena::from_parts(
                 offsets,
                 candidates,
                 gammas,
@@ -711,7 +903,7 @@ impl SnapshotDelta {
                 mean_totals,
                 gamma_totals,
                 homes,
-            },
+            ),
             venue_cities,
             venue_ids,
             venue_weights,
@@ -822,10 +1014,10 @@ impl PosteriorSnapshot {
         self.venues.count(l, v)
     }
 
-    /// Serialises the snapshot into the versioned binary format: a fixed
-    /// header followed by length-prefixed flat slabs — the arenas'
-    /// in-memory layout, written column by column — and an empty delta
-    /// record section (v4).
+    /// Serialises the snapshot into the current (v5) binary format: a
+    /// 64-byte-aligned section table over fixed-width little-endian slabs
+    /// with per-section CRC32s, ready to be reinterpreted in place by a
+    /// mapped open, plus an empty delta record section.
     ///
     /// The format's `u32` slab limits (> 4 Gi candidate entries —
     /// hundreds of GiB of state) surface as the typed
@@ -835,23 +1027,183 @@ impl PosteriorSnapshot {
         self.encode_with_deltas(&[])
     }
 
-    /// Serialises this snapshot as a v4 *base* followed by `deltas` as
-    /// CRC-framed records. Decoding replays the records onto the base,
-    /// so the artifact thaws to the refreshed posterior — and a
-    /// publisher can ship an update by appending a record and patching the
-    /// count instead of re-encoding the arenas
+    /// Serialises this snapshot as a v5 *base* followed by `deltas` as
+    /// CRC-framed records in the trailing delta section. Decoding replays
+    /// the records onto the base, so the artifact thaws to the refreshed
+    /// posterior — and a publisher can ship an update by rewriting the
+    /// (final) delta section and patching its table entry instead of
+    /// re-encoding the arenas
     /// ([`crate::online::OnlineUpdater::encode_artifact`] does exactly
-    /// that).
+    /// that via [`v5_set_delta_section`]).
     pub fn encode_with_deltas(&self, deltas: &[SnapshotDelta]) -> Result<Bytes, SnapshotError> {
+        let mut delta_section = BytesMut::new();
+        append_delta_section(&mut delta_section, deltas)?;
+        self.encode_v5(delta_section.as_slice())
+    }
+
+    /// Whether this snapshot borrows its slabs from a mapped artifact
+    /// (zero-copy open) rather than owning them.
+    pub fn is_zero_copy(&self) -> bool {
+        self.users.is_zero_copy() || self.venues.is_zero_copy()
+    }
+
+    /// The v5 writer: prelude + section table + aligned sections +
+    /// `delta_section` (already framed: `u32` count + CRC-framed records)
+    /// as the final, variable-length section.
+    fn encode_v5(&self, delta_section: &[u8]) -> Result<Bytes, SnapshotError> {
+        let (n32, nnz32, cities32, vnz32) = self.slab_counts()?;
+        let lens = v5_section_lens(
+            n32 as u64,
+            nnz32 as u64,
+            cities32 as u64,
+            self.venue_probs.len() as u64,
+            vnz32 as u64,
+        );
+        let mut offs = [0u64; V5_NUM_SECTIONS];
+        let mut cur = V5_DATA_START as u64;
+        for (i, &len) in lens.iter().enumerate() {
+            offs[i] = cur;
+            cur = v5_align(cur + len);
+        }
+        offs[V5_NUM_SECTIONS - 1] = cur;
+        let deltas_len = delta_section.len() as u64;
+        let total = usize::try_from(cur + deltas_len)
+            .map_err(|_| SnapshotError::Overflow("snapshot byte length"))?;
+        let mut out = vec![0u8; total];
+
+        // Prelude (bytes 0..96).
+        out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        out[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        out[6] = match self.variant {
+            Variant::FollowingOnly => 0,
+            Variant::TweetingOnly => 1,
+            Variant::Full => 2,
+        };
+        out[7] = self.count_noisy_assignments as u8;
+        for (k, x) in [
+            self.tau,
+            self.delta,
+            self.rho_f,
+            self.rho_t,
+            self.power_law.alpha,
+            self.power_law.beta,
+            self.follow_prob,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out[8 + k * 8..16 + k * 8].copy_from_slice(&x.to_le_bytes());
+        }
+        out[64..68].copy_from_slice(&self.num_cities.to_le_bytes());
+        out[68..72].copy_from_slice(&self.num_venues.to_le_bytes());
+        out[72..80].copy_from_slice(&self.gaz_fingerprint.to_le_bytes());
+        out[80..84].copy_from_slice(&n32.to_le_bytes());
+        out[84..88].copy_from_slice(&nnz32.to_le_bytes());
+        out[88..92].copy_from_slice(&vnz32.to_le_bytes());
+        out[92..96].copy_from_slice(&(V5_NUM_SECTIONS as u32).to_le_bytes());
+
+        // Section payloads.
+        {
+            let mut w = SectionWriter::new(&mut out, offs[0]);
+            for &p in &self.venue_probs {
+                w.f64(p);
+            }
+            w = SectionWriter::new(&mut out, offs[1]);
+            for o in self.users.offsets_iter() {
+                w.u32(o);
+            }
+            w = SectionWriter::new(&mut out, offs[2]);
+            for c in self.users.candidate_ids_iter() {
+                w.u32(c);
+            }
+            w = SectionWriter::new(&mut out, offs[3]);
+            for g in self.users.gammas_iter() {
+                w.f64(g);
+            }
+            w = SectionWriter::new(&mut out, offs[4]);
+            for m in self.users.mean_counts_iter() {
+                w.f64(m);
+            }
+            w = SectionWriter::new(&mut out, offs[5]);
+            for m in self.users.mean_totals_iter() {
+                w.f64(m);
+            }
+            w = SectionWriter::new(&mut out, offs[6]);
+            for g in self.users.gamma_totals_iter() {
+                w.f64(g);
+            }
+            w = SectionWriter::new(&mut out, offs[7]);
+            for h in self.users.home_ids_iter() {
+                w.u32(h);
+            }
+            w = SectionWriter::new(&mut out, offs[8]);
+            for o in self.venues.offsets_iter() {
+                w.u32(o);
+            }
+            w = SectionWriter::new(&mut out, offs[9]);
+            for v in self.venues.venue_ids_iter() {
+                w.u32(v);
+            }
+            w = SectionWriter::new(&mut out, offs[10]);
+            for c in self.venues.counts_iter() {
+                w.f64(c);
+            }
+            w = SectionWriter::new(&mut out, offs[11]);
+            for t in self.venues.city_totals_iter() {
+                w.f64(t);
+            }
+        }
+        let d_off = offs[V5_NUM_SECTIONS - 1] as usize;
+        out[d_off..d_off + delta_section.len()].copy_from_slice(delta_section);
+
+        // Section table (13 × 32-byte entries at byte 96), then header CRC.
+        for i in 0..V5_NUM_SECTIONS {
+            let len = if i < V5_NUM_SECTIONS - 1 { lens[i] } else { deltas_len };
+            let off = offs[i] as usize;
+            let crc = crc32(&out[off..off + len as usize]);
+            let e = V5_PRELUDE_LEN + i * V5_ENTRY_LEN;
+            out[e..e + 4].copy_from_slice(&((i as u32) + 1).to_le_bytes());
+            out[e + 8..e + 16].copy_from_slice(&offs[i].to_le_bytes());
+            out[e + 16..e + 24].copy_from_slice(&len.to_le_bytes());
+            out[e + 24..e + 28].copy_from_slice(&crc.to_le_bytes());
+        }
+        let hcrc = crc32(&out[..V5_HEADER_LEN]);
+        out[V5_HEADER_LEN..V5_HEADER_LEN + 4].copy_from_slice(&hcrc.to_le_bytes());
+        Ok(Bytes::from(out))
+    }
+
+    /// The arena sizes as checked `u32`s — shared by both encoders.
+    fn slab_counts(&self) -> Result<(u32, u32, u32, u32), SnapshotError> {
+        let n32 = u32::try_from(self.users.num_users())
+            .map_err(|_| SnapshotError::TooLarge("user count exceeds u32::MAX"))?;
+        let nnz32 = u32::try_from(self.users.num_entries())
+            .map_err(|_| SnapshotError::TooLarge("user candidate slab exceeds u32::MAX entries"))?;
+        let cities32 = u32::try_from(self.venues.num_cities())
+            .map_err(|_| SnapshotError::TooLarge("city count exceeds u32::MAX"))?;
+        let vnz32 = u32::try_from(self.venues.num_entries())
+            .map_err(|_| SnapshotError::TooLarge("venue count slab exceeds u32::MAX entries"))?;
+        Ok((n32, nnz32, cities32, vnz32))
+    }
+
+    /// Serialises in the *legacy* v4 layout (length-prefixed slabs, no
+    /// section table). Kept so the v2/v3/v4 read path stays pinned by
+    /// tests against real legacy bytes; production writers emit v5.
+    #[cfg(test)]
+    pub(crate) fn encode_with_deltas_v4(
+        &self,
+        deltas: &[SnapshotDelta],
+    ) -> Result<Bytes, SnapshotError> {
         let mut buf = self.encode_payload()?;
         append_delta_section(&mut buf, deltas)?;
         Ok(buf.freeze())
     }
 
-    /// The v4 header + base payload, without the trailing delta section.
+    /// The legacy v4 header + base payload, without the trailing delta
+    /// section.
+    #[cfg(test)]
     pub(crate) fn encode_payload(&self) -> Result<BytesMut, SnapshotError> {
-        let nnz = self.users.candidates.len();
-        let vnz = self.venues.venue_ids.len();
+        let nnz = self.users.num_entries();
+        let vnz = self.venues.num_entries();
         let n = self.users.num_users();
         let cities = self.venues.num_cities();
         let nnz32 = u32::try_from(nnz)
@@ -872,7 +1224,7 @@ impl PosteriorSnapshot {
                 + cities * 8,
         );
         buf.put_u32_le(MAGIC);
-        buf.put_u16_le(VERSION);
+        buf.put_u16_le(LEGACY_MAX_VERSION);
         buf.put_u8(match self.variant {
             Variant::FollowingOnly => 0,
             Variant::TweetingOnly => 1,
@@ -902,41 +1254,41 @@ impl PosteriorSnapshot {
         // User arena: offsets, then each slab in column order.
         buf.put_u32_le(n32);
         buf.put_u32_le(nnz32);
-        for &o in &self.users.offsets {
+        for o in self.users.offsets_iter() {
             buf.put_u32_le(o);
         }
-        for &c in &self.users.candidates {
-            buf.put_u32_le(c.0);
+        for c in self.users.candidate_ids_iter() {
+            buf.put_u32_le(c);
         }
-        for &g in &self.users.gammas {
+        for g in self.users.gammas_iter() {
             buf.put_f64_le(g);
         }
-        for &m in &self.users.mean_counts {
+        for m in self.users.mean_counts_iter() {
             buf.put_f64_le(m);
         }
-        for &m in &self.users.mean_totals {
+        for m in self.users.mean_totals_iter() {
             buf.put_f64_le(m);
         }
-        for &g in &self.users.gamma_totals {
+        for g in self.users.gamma_totals_iter() {
             buf.put_f64_le(g);
         }
-        for &h in &self.users.homes {
-            buf.put_u32_le(h.0);
+        for h in self.users.home_ids_iter() {
+            buf.put_u32_le(h);
         }
 
         // Venue arena.
         buf.put_u32_le(cities32);
         buf.put_u32_le(vnz32);
-        for &o in &self.venues.offsets {
+        for o in self.venues.offsets_iter() {
             buf.put_u32_le(o);
         }
-        for &v in &self.venues.venue_ids {
+        for v in self.venues.venue_ids_iter() {
             buf.put_u32_le(v);
         }
-        for &c in &self.venues.counts {
+        for c in self.venues.counts_iter() {
             buf.put_f64_le(c);
         }
-        for &t in &self.venues.city_totals {
+        for t in self.venues.city_totals_iter() {
             buf.put_f64_le(t);
         }
         Ok(buf)
@@ -1006,19 +1358,29 @@ impl PosteriorSnapshot {
         )
     }
 
-    /// Decodes a snapshot produced by [`Self::try_encode`] (v4) or by an
-    /// older v3 / pre-refresh v2 build; delta records are replayed onto
-    /// the base so the result is the refreshed posterior.
+    /// Decodes a snapshot produced by [`Self::try_encode`] (v5) or by an
+    /// older v2–v4 build; delta records are replayed onto the base so the
+    /// result is the refreshed posterior. This is the *copying* path — it
+    /// always yields owned arenas. Zero-copy opens go through
+    /// [`Self::open_mapped`].
     pub fn decode(mut buf: Bytes) -> Result<Self, SnapshotError> {
         need64(&buf, 8)?;
-        let magic = buf.get_u32_le();
+        let head = buf.as_slice();
+        let magic = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
         if magic != MAGIC {
             return Err(SnapshotError::BadMagic(magic));
         }
-        let version = buf.get_u16_le();
-        if !(MIN_READ_VERSION..=VERSION).contains(&version) {
+        let version = u16::from_le_bytes([head[4], head[5]]);
+        if version == VERSION {
+            // The v5 section-table parser works off the full byte range
+            // (offsets are absolute); copy every slab to owned memory.
+            return Self::thaw_v5(buf.as_slice(), None, Integrity::Full);
+        }
+        if !(MIN_READ_VERSION..LEGACY_MAX_VERSION + 1).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
+        buf.get_u32_le();
+        buf.get_u16_le();
         let variant = match buf.get_u8() {
             0 => Variant::FollowingOnly,
             1 => Variant::TweetingOnly,
@@ -1081,7 +1443,7 @@ impl PosteriorSnapshot {
                 return Err(SnapshotError::Corrupt("home city is not a candidate"));
             }
         }
-        let users = UserArena {
+        let users = UserArena::from_parts(
             offsets,
             candidates,
             gammas,
@@ -1089,7 +1451,7 @@ impl PosteriorSnapshot {
             mean_totals,
             gamma_totals,
             homes,
-        };
+        );
 
         // --- Venue arena --------------------------------------------------
         need64(&buf, 8)?;
@@ -1112,7 +1474,7 @@ impl PosteriorSnapshot {
                 return Err(SnapshotError::Corrupt("venue count row not sorted"));
             }
         }
-        let venues = VenueArena { offsets, venue_ids, counts, city_totals };
+        let venues = VenueArena::from_parts(offsets, venue_ids, counts, city_totals);
 
         let mut snap = Self {
             variant,
@@ -1187,13 +1549,657 @@ fn need64(buf: &Bytes, n: u64) -> Result<(), SnapshotError> {
 fn get_offsets(buf: &mut Bytes, rows: usize, nnz: u32) -> Result<Vec<u32>, SnapshotError> {
     need64(buf, (rows as u64 + 1) * 4)?;
     let offsets: Vec<u32> = (0..=rows).map(|_| buf.get_u32_le()).collect();
-    if offsets[0] != 0 || offsets[rows] != nnz {
+    check_offset_table(&offsets, nnz)?;
+    Ok(offsets)
+}
+
+/// The shared offset-table invariant: starts at 0, non-decreasing, ends
+/// exactly at `nnz`. Same checks (and error strings) on every read path —
+/// legacy byte streams and v5 slabs alike.
+fn check_offset_table(offsets: &[u32], nnz: u32) -> Result<(), SnapshotError> {
+    if offsets.is_empty() || offsets[0] != 0 || offsets[offsets.len() - 1] != nnz {
         return Err(SnapshotError::Corrupt("offset table does not span its slab"));
     }
     if offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(SnapshotError::Corrupt("offset table not monotone"));
     }
-    Ok(offsets)
+    Ok(())
+}
+
+// --- v5: the section-table format ---------------------------------------
+//
+// Byte map (all little-endian, fixed-width):
+//
+//   0        magic "MLPS", version, variant, noisy flag, 7 × f64 scalars
+//   64       num_cities, num_venues, gaz_fingerprint, n_users, user_nnz,
+//            venue_nnz, section_count
+//   96       section table: 13 × 32-byte entries
+//            { kind u32, pad, offset u64, len u64, crc32, pad }
+//   512      crc32 over bytes [0, 512)
+//   516      zero padding
+//   576      sections, each 64-byte aligned, in table order; DELTAS last
+//            (u32 record count + CRC-framed records), ending exactly at
+//            the file's end
+//
+// Fixed alignment plus per-section CRCs is what lets a mapped open
+// reinterpret every slab in place: validate the header, checksum the
+// ranges, and borrow.
+
+pub(crate) const V5_PRELUDE_LEN: usize = 96;
+const V5_ENTRY_LEN: usize = 32;
+pub(crate) const V5_HEADER_LEN: usize = 512;
+pub(crate) const V5_DATA_START: usize = 576;
+const V5_ALIGN: u64 = 64;
+pub(crate) const V5_NUM_SECTIONS: usize = 13;
+
+/// Section names in table order (a section's `kind` tag is its 1-based
+/// index here).
+pub const V5_SECTION_NAMES: [&str; V5_NUM_SECTIONS] = [
+    "venue_probs",
+    "user_offsets",
+    "user_candidates",
+    "user_gammas",
+    "user_mean_counts",
+    "user_mean_totals",
+    "user_gamma_totals",
+    "user_homes",
+    "venue_offsets",
+    "venue_ids",
+    "venue_counts",
+    "venue_city_totals",
+    "deltas",
+];
+
+#[inline]
+fn v5_align(x: u64) -> u64 {
+    (x + (V5_ALIGN - 1)) & !(V5_ALIGN - 1)
+}
+
+/// Byte lengths of the twelve fixed-shape sections, derived from the
+/// prelude counts; the trailing deltas section is variable (0 here).
+fn v5_section_lens(
+    n: u64,
+    nnz: u64,
+    cities: u64,
+    n_probs: u64,
+    vnz: u64,
+) -> [u64; V5_NUM_SECTIONS] {
+    [
+        n_probs * 8,
+        (n + 1) * 4,
+        nnz * 4,
+        nnz * 8,
+        nnz * 8,
+        n * 8,
+        n * 8,
+        n * 4,
+        (cities + 1) * 4,
+        vnz * 4,
+        vnz * 8,
+        cities * 8,
+        0,
+    ]
+}
+
+/// A cursor writing fixed-width little-endian values into a section of a
+/// pre-sized buffer.
+struct SectionWriter<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> SectionWriter<'a> {
+    fn new(buf: &'a mut [u8], offset: u64) -> Self {
+        Self { buf, pos: offset as usize }
+    }
+
+    #[inline]
+    fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    #[inline]
+    fn f64(&mut self, v: f64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+}
+
+#[inline]
+fn u32_at(s: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([s[off], s[off + 1], s[off + 2], s[off + 3]])
+}
+
+#[inline]
+fn u64_at(s: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(s[off..off + 8].try_into().unwrap())
+}
+
+#[inline]
+fn f64_at(s: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(s[off..off + 8].try_into().unwrap())
+}
+
+/// A validated v5 header: the prelude fields plus the section table as
+/// `(offset, len, crc)` triples in table order.
+struct V5Header {
+    variant: Variant,
+    count_noisy_assignments: bool,
+    tau: f64,
+    delta: f64,
+    rho_f: f64,
+    rho_t: f64,
+    power_law: PowerLaw,
+    follow_prob: f64,
+    num_cities: u32,
+    num_venues: u32,
+    gaz_fingerprint: u64,
+    n_users: u32,
+    user_nnz: u32,
+    venue_nnz: u32,
+    sections: [(u64, u64, u32); V5_NUM_SECTIONS],
+}
+
+/// How much of a v5 artifact to verify before trusting it — the
+/// mapped-open policy knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Integrity {
+    /// Verify the header CRC and every section CRC before thawing: any
+    /// bit flip anywhere in the file is rejected typed. Costs one full
+    /// read pass over the artifact. The default.
+    #[default]
+    Full,
+    /// Verify the header CRC, the section-table geometry, and every
+    /// structural invariant indexing relies on (offset tables, id
+    /// ranges, sort order) — but skip checksumming the section payloads.
+    /// Still memory-safe and panic-free on arbitrary input; what it
+    /// gives up is *detection*: corruption that keeps the structure
+    /// valid (e.g. a flipped probability bit) thaws silently. In
+    /// exchange, opening a mapped artifact faults in only its structure
+    /// — the float payloads (most of the file) stay untouched until
+    /// served. For trusted local files, e.g. a checkpoint this process
+    /// wrote moments ago.
+    Structural,
+}
+
+/// Validates a v5 header against `s`: magic, version, header CRC, tag
+/// bytes, section-table geometry (kind tags, 64-byte alignment,
+/// contiguity, the fixed section lengths implied by the prelude counts,
+/// bounds, exact file length) and — under [`Integrity::Full`] — every
+/// section CRC. After this returns, each section's byte range can be
+/// reinterpreted or copied without further bounds checks. Work is
+/// O(header) + one CRC pass over the file (Full) or O(header)
+/// (Structural).
+fn parse_v5(s: &[u8], integrity: Integrity) -> Result<V5Header, SnapshotError> {
+    if s.len() < V5_DATA_START {
+        return Err(SnapshotError::Truncated);
+    }
+    let magic = u32_at(s, 0);
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([s[4], s[5]]);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    if crc32(&s[..V5_HEADER_LEN]) != u32_at(s, V5_HEADER_LEN) {
+        return Err(SnapshotError::Corrupt("snapshot header checksum mismatch"));
+    }
+    let variant = match s[6] {
+        0 => Variant::FollowingOnly,
+        1 => Variant::TweetingOnly,
+        2 => Variant::Full,
+        t => return Err(SnapshotError::BadTag(t)),
+    };
+    let count_noisy_assignments = match s[7] {
+        0 => false,
+        1 => true,
+        t => return Err(SnapshotError::BadTag(t)),
+    };
+    let num_cities = u32_at(s, 64);
+    let num_venues = u32_at(s, 68);
+    let gaz_fingerprint = u64_at(s, 72);
+    let n_users = u32_at(s, 80);
+    let user_nnz = u32_at(s, 84);
+    let venue_nnz = u32_at(s, 88);
+    if u32_at(s, 92) != V5_NUM_SECTIONS as u32 {
+        return Err(SnapshotError::Corrupt("section count mismatch"));
+    }
+
+    let lens = v5_section_lens(
+        n_users as u64,
+        user_nnz as u64,
+        num_cities as u64,
+        num_venues as u64,
+        venue_nnz as u64,
+    );
+    let mut sections = [(0u64, 0u64, 0u32); V5_NUM_SECTIONS];
+    let mut expected = V5_DATA_START as u64;
+    for (i, entry) in sections.iter_mut().enumerate() {
+        let e = V5_PRELUDE_LEN + i * V5_ENTRY_LEN;
+        if u32_at(s, e) != i as u32 + 1 {
+            return Err(SnapshotError::Corrupt("section table kind mismatch"));
+        }
+        let off = u64_at(s, e + 8);
+        let len = u64_at(s, e + 16);
+        if !off.is_multiple_of(V5_ALIGN) {
+            return Err(SnapshotError::Corrupt("section offset misaligned"));
+        }
+        if off != expected {
+            return Err(SnapshotError::Corrupt("section table not contiguous"));
+        }
+        if i < V5_NUM_SECTIONS - 1 && len != lens[i] {
+            return Err(SnapshotError::Corrupt("section length mismatch"));
+        }
+        let end = off.checked_add(len).ok_or(SnapshotError::Truncated)?;
+        if end > s.len() as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        *entry = (off, len, u32_at(s, e + 24));
+        expected = v5_align(end);
+    }
+    let (d_off, d_len, _) = sections[V5_NUM_SECTIONS - 1];
+    // The delta section always carries at least its u32 record count.
+    if d_len < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    if d_off + d_len != s.len() as u64 {
+        return Err(SnapshotError::Corrupt("trailing bytes after snapshot"));
+    }
+    if integrity == Integrity::Full {
+        for &(off, len, crc) in &sections {
+            if crc32(&s[off as usize..(off + len) as usize]) != crc {
+                return Err(SnapshotError::Corrupt("section checksum mismatch"));
+            }
+        }
+    }
+
+    Ok(V5Header {
+        variant,
+        count_noisy_assignments,
+        tau: f64_at(s, 8),
+        delta: f64_at(s, 16),
+        rho_f: f64_at(s, 24),
+        rho_t: f64_at(s, 32),
+        power_law: PowerLaw { alpha: f64_at(s, 40), beta: f64_at(s, 48) },
+        follow_prob: f64_at(s, 56),
+        num_cities,
+        num_venues,
+        gaz_fingerprint,
+        n_users,
+        user_nnz,
+        venue_nnz,
+        sections,
+    })
+}
+
+/// Section `i`'s byte range (bounds already proven by [`parse_v5`]).
+fn section_bytes<'a>(s: &'a [u8], h: &V5Header, i: usize) -> &'a [u8] {
+    let (off, len, _) = h.sections[i];
+    &s[off as usize..(off + len) as usize]
+}
+
+fn read_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+fn read_f64s(bytes: &[u8]) -> Vec<f64> {
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
+}
+
+/// The eleven arena slabs of a v5 artifact, view or owned, pre-arena.
+/// Validation runs on these *before* `Csr` construction so hostile
+/// artifacts surface typed errors rather than tripping arena
+/// debug-assertions.
+struct V5Slabs {
+    user_offsets: Slab<u32>,
+    user_candidates: Slab<CityId>,
+    user_gammas: Slab<f64>,
+    user_mean_counts: Slab<f64>,
+    user_mean_totals: Slab<f64>,
+    user_gamma_totals: Slab<f64>,
+    user_homes: Slab<CityId>,
+    venue_offsets: Slab<u32>,
+    venue_ids: Slab<u32>,
+    venue_counts: Slab<f64>,
+    venue_city_totals: Slab<f64>,
+}
+
+impl V5Slabs {
+    /// Borrows every slab zero-copy from `s`. Fails (cleanly, no UB) when
+    /// any section is misaligned for its element type in memory — the
+    /// caller falls back to [`V5Slabs::copied`].
+    fn mapped(
+        s: &[u8],
+        h: &V5Header,
+        keep: &Arc<dyn Any + Send + Sync>,
+    ) -> Result<V5Slabs, &'static str> {
+        // Safety: every section range lies inside `s`, which the caller
+        // guarantees is the allocation owned by `keep`; each slab holds
+        // the Arc, so the memory outlives every view.
+        unsafe {
+            Ok(V5Slabs {
+                user_offsets: Slab::view(section_bytes(s, h, 1), Arc::clone(keep))?,
+                user_candidates: Slab::view(section_bytes(s, h, 2), Arc::clone(keep))?,
+                user_gammas: Slab::view(section_bytes(s, h, 3), Arc::clone(keep))?,
+                user_mean_counts: Slab::view(section_bytes(s, h, 4), Arc::clone(keep))?,
+                user_mean_totals: Slab::view(section_bytes(s, h, 5), Arc::clone(keep))?,
+                user_gamma_totals: Slab::view(section_bytes(s, h, 6), Arc::clone(keep))?,
+                user_homes: Slab::view(section_bytes(s, h, 7), Arc::clone(keep))?,
+                venue_offsets: Slab::view(section_bytes(s, h, 8), Arc::clone(keep))?,
+                venue_ids: Slab::view(section_bytes(s, h, 9), Arc::clone(keep))?,
+                venue_counts: Slab::view(section_bytes(s, h, 10), Arc::clone(keep))?,
+                venue_city_totals: Slab::view(section_bytes(s, h, 11), Arc::clone(keep))?,
+            })
+        }
+    }
+
+    /// Copies every slab into owned memory — the fallback (and the plain
+    /// [`PosteriorSnapshot::decode`]) path.
+    fn copied(s: &[u8], h: &V5Header) -> V5Slabs {
+        V5Slabs {
+            user_offsets: Slab::from_vec(read_u32s(section_bytes(s, h, 1))),
+            user_candidates: Slab::from_vec(
+                read_u32s(section_bytes(s, h, 2)).into_iter().map(CityId).collect(),
+            ),
+            user_gammas: Slab::from_vec(read_f64s(section_bytes(s, h, 3))),
+            user_mean_counts: Slab::from_vec(read_f64s(section_bytes(s, h, 4))),
+            user_mean_totals: Slab::from_vec(read_f64s(section_bytes(s, h, 5))),
+            user_gamma_totals: Slab::from_vec(read_f64s(section_bytes(s, h, 6))),
+            user_homes: Slab::from_vec(
+                read_u32s(section_bytes(s, h, 7)).into_iter().map(CityId).collect(),
+            ),
+            venue_offsets: Slab::from_vec(read_u32s(section_bytes(s, h, 8))),
+            venue_ids: Slab::from_vec(read_u32s(section_bytes(s, h, 9))),
+            venue_counts: Slab::from_vec(read_f64s(section_bytes(s, h, 10))),
+            venue_city_totals: Slab::from_vec(read_f64s(section_bytes(s, h, 11))),
+        }
+    }
+
+    /// The structural invariants the legacy decoder enforces, with the
+    /// same error strings, checked in the same order.
+    fn validate(&self, h: &V5Header) -> Result<(), SnapshotError> {
+        let offsets = self.user_offsets.as_slice();
+        check_offset_table(offsets, h.user_nnz)?;
+        let candidates = self.user_candidates.as_slice();
+        if candidates.iter().any(|c| c.0 >= h.num_cities) {
+            return Err(SnapshotError::Corrupt("candidate city out of range"));
+        }
+        let homes = self.user_homes.as_slice();
+        for u in 0..h.n_users as usize {
+            let row = &candidates[offsets[u] as usize..offsets[u + 1] as usize];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SnapshotError::Corrupt("candidate list not sorted"));
+            }
+            if row.binary_search(&homes[u]).is_err() {
+                return Err(SnapshotError::Corrupt("home city is not a candidate"));
+            }
+        }
+        let voffsets = self.venue_offsets.as_slice();
+        check_offset_table(voffsets, h.venue_nnz)?;
+        let ids = self.venue_ids.as_slice();
+        if ids.iter().any(|&v| v >= h.num_venues) {
+            return Err(SnapshotError::Corrupt("venue id out of range"));
+        }
+        for l in 0..h.num_cities as usize {
+            let row = &ids[voffsets[l] as usize..voffsets[l + 1] as usize];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SnapshotError::Corrupt("venue count row not sorted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PosteriorSnapshot {
+    /// Thaws a v5 artifact from its full byte range. With `keep` — an
+    /// owner of the bytes, e.g. a mapped file — the slabs are borrowed
+    /// zero-copy when byte order and alignment allow; without it, or on
+    /// any misalignment, every slab is copied to owned memory. Either way
+    /// the delta section is replayed onto the base (records only — never
+    /// the slabs), so a mapped open does O(slabs) validation but O(deltas)
+    /// materialization.
+    fn thaw_v5(
+        s: &[u8],
+        keep: Option<Arc<dyn Any + Send + Sync>>,
+        integrity: Integrity,
+    ) -> Result<Self, SnapshotError> {
+        let h = parse_v5(s, integrity)?;
+        // The on-disk representation is little-endian; on a big-endian
+        // target reinterpreting would read garbage, so copy-decode there.
+        let keep = if cfg!(target_endian = "little") { keep } else { None };
+        let slabs = match &keep {
+            Some(owner) => match V5Slabs::mapped(s, &h, owner) {
+                Ok(slabs) => slabs,
+                Err(_) => V5Slabs::copied(s, &h),
+            },
+            None => V5Slabs::copied(s, &h),
+        };
+        slabs.validate(&h)?;
+        let users = UserArena::from_slabs(
+            slabs.user_offsets,
+            slabs.user_candidates,
+            slabs.user_gammas,
+            slabs.user_mean_counts,
+            slabs.user_mean_totals,
+            slabs.user_gamma_totals,
+            slabs.user_homes,
+        );
+        let venues = VenueArena::from_slabs(
+            slabs.venue_offsets,
+            slabs.venue_ids,
+            slabs.venue_counts,
+            slabs.venue_city_totals,
+        );
+        let mut snap = Self {
+            variant: h.variant,
+            count_noisy_assignments: h.count_noisy_assignments,
+            tau: h.tau,
+            delta: h.delta,
+            rho_f: h.rho_f,
+            rho_t: h.rho_t,
+            power_law: h.power_law,
+            follow_prob: h.follow_prob,
+            // A plain Vec field, gazetteer-sized — always copied.
+            venue_probs: read_f64s(section_bytes(s, &h, 0)),
+            num_cities: h.num_cities,
+            num_venues: h.num_venues,
+            gaz_fingerprint: h.gaz_fingerprint,
+            users,
+            venues,
+        };
+        let (d_off, d_len, _) = h.sections[V5_NUM_SECTIONS - 1];
+        let mut dbuf = Bytes::from(s[d_off as usize..(d_off + d_len) as usize].to_vec());
+        need64(&dbuf, 4)?;
+        let n_deltas = dbuf.get_u32_le();
+        for _ in 0..n_deltas {
+            let record = SnapshotDelta::decode_record(&mut dbuf, true)?;
+            snap.apply_delta(&record)?;
+        }
+        if dbuf.has_remaining() {
+            return Err(SnapshotError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(snap)
+    }
+
+    /// Opens an artifact zero-copy from a mapped file: validate header
+    /// and section CRCs, then borrow every slab in place — no slab-sized
+    /// allocation, no copy, O(1) in the user count apart from the CRC
+    /// pass and structural scan. Legacy (v2–v4) artifacts have no section
+    /// table and fall back to the copying [`Self::decode`]; so do
+    /// misaligned or big-endian situations inside [`Self::thaw_v5`].
+    /// Callers observe identical snapshots on every path.
+    pub fn open_mapped(map: &Arc<mmap_lite::Mmap>) -> Result<Self, SnapshotError> {
+        Self::open_mapped_with(map, Integrity::Full)
+    }
+
+    /// [`Self::open_mapped`] with an explicit verification policy.
+    /// [`Integrity::Structural`] skips the section-CRC pass, so the open
+    /// touches only the artifact's structure — O(offsets + ids), not
+    /// O(file) — at the cost of not detecting payload corruption; see
+    /// [`Integrity`] for the exact trade.
+    pub fn open_mapped_with(
+        map: &Arc<mmap_lite::Mmap>,
+        integrity: Integrity,
+    ) -> Result<Self, SnapshotError> {
+        let s = map.as_slice();
+        if s.len() >= 6 {
+            let version = u16::from_le_bytes([s[4], s[5]]);
+            if u32_at(s, 0) == MAGIC && (MIN_READ_VERSION..VERSION).contains(&version) {
+                return Self::decode(Bytes::from(s.to_vec()));
+            }
+        }
+        if integrity == Integrity::Full {
+            map.advise(mmap_lite::Advice::Sequential);
+        }
+        let keep: Arc<dyn Any + Send + Sync> = Arc::<mmap_lite::Mmap>::clone(map);
+        let snap = Self::thaw_v5(s, Some(keep), integrity)?;
+        map.advise(mmap_lite::Advice::Random);
+        Ok(snap)
+    }
+}
+
+/// Rewrites the (final) delta section of an existing v5 artifact: one
+/// memcpy of everything before the deltas, fresh CRC-framed records, a
+/// patched table entry and header CRC. The incremental publish path —
+/// the arena sections are never re-encoded or re-checksummed.
+pub(crate) fn v5_set_delta_section(
+    base: &[u8],
+    deltas: &[SnapshotDelta],
+) -> Result<Bytes, SnapshotError> {
+    if base.len() < V5_DATA_START {
+        return Err(SnapshotError::Truncated);
+    }
+    let magic = u32_at(base, 0);
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([base[4], base[5]]);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let e = V5_PRELUDE_LEN + (V5_NUM_SECTIONS - 1) * V5_ENTRY_LEN;
+    let d_off = u64_at(base, e + 8);
+    if d_off < V5_DATA_START as u64 || d_off > base.len() as u64 {
+        return Err(SnapshotError::Truncated);
+    }
+    let d_off = d_off as usize;
+    let mut section = BytesMut::new();
+    append_delta_section(&mut section, deltas)?;
+    let mut out = Vec::with_capacity(d_off + section.len());
+    out.extend_from_slice(&base[..d_off]);
+    out.extend_from_slice(section.as_slice());
+    let crc = crc32(section.as_slice());
+    out[e + 16..e + 24].copy_from_slice(&(section.len() as u64).to_le_bytes());
+    out[e + 24..e + 28].copy_from_slice(&crc.to_le_bytes());
+    let hcrc = crc32(&out[..V5_HEADER_LEN]);
+    out[V5_HEADER_LEN..V5_HEADER_LEN + 4].copy_from_slice(&hcrc.to_le_bytes());
+    Ok(Bytes::from(out))
+}
+
+/// Per-section metadata surfaced by [`inspect_artifact`].
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// Human name of the section kind.
+    pub name: &'static str,
+    /// Absolute byte offset (64-byte aligned).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC32 over the payload.
+    pub crc: u32,
+}
+
+/// A validated summary of an artifact — what `mlp inspect` prints.
+#[derive(Debug, Clone)]
+pub struct ArtifactInfo {
+    /// Format version (2–5).
+    pub version: u16,
+    /// Model variant tag.
+    pub variant: Variant,
+    /// Training users in the base arenas.
+    pub num_users: u32,
+    /// Gazetteer shape.
+    pub num_cities: u32,
+    /// Venue vocabulary size.
+    pub num_venues: u32,
+    /// Candidate-slab entries.
+    pub user_nnz: u32,
+    /// Venue count-slab entries.
+    pub venue_nnz: u32,
+    /// Training-gazetteer fingerprint.
+    pub gaz_fingerprint: u64,
+    /// Delta records in the artifact's trailing section (v5; legacy
+    /// artifacts replay records into the base during decode and report 0).
+    pub delta_records: u32,
+    /// Whole-artifact size in bytes.
+    pub total_bytes: u64,
+    /// The v5 section table; empty for legacy artifacts.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// The format version this build writes ([`PosteriorSnapshot::try_encode`]).
+pub const CURRENT_ARTIFACT_VERSION: u16 = VERSION;
+
+/// The artifact's declared format version, when `bytes` starts with the
+/// snapshot magic (needs at least 6 bytes); `None` otherwise.
+pub fn artifact_version(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() < 6 || u32_at(bytes, 0) != MAGIC {
+        return None;
+    }
+    Some(u16::from_le_bytes([bytes[4], bytes[5]]))
+}
+
+/// Summarises an artifact header without materializing the model. v5
+/// artifacts are read from the section table alone (O(header) plus the
+/// CRC pass); legacy artifacts have no table and are fully decoded to
+/// recover the same counts.
+pub fn inspect_artifact(s: &[u8]) -> Result<ArtifactInfo, SnapshotError> {
+    if s.len() < 6 {
+        return Err(SnapshotError::Truncated);
+    }
+    let magic = u32_at(s, 0);
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([s[4], s[5]]);
+    if version != VERSION {
+        let snap = PosteriorSnapshot::decode(Bytes::from(s.to_vec()))?;
+        return Ok(ArtifactInfo {
+            version,
+            variant: snap.variant,
+            num_users: snap.users.num_users() as u32,
+            num_cities: snap.num_cities,
+            num_venues: snap.num_venues,
+            user_nnz: snap.users.num_entries() as u32,
+            venue_nnz: snap.venues.num_entries() as u32,
+            gaz_fingerprint: snap.gaz_fingerprint,
+            delta_records: 0,
+            total_bytes: s.len() as u64,
+            sections: Vec::new(),
+        });
+    }
+    let h = parse_v5(s, Integrity::Full)?;
+    let (d_off, _, _) = h.sections[V5_NUM_SECTIONS - 1];
+    Ok(ArtifactInfo {
+        version,
+        variant: h.variant,
+        num_users: h.n_users,
+        num_cities: h.num_cities,
+        num_venues: h.num_venues,
+        user_nnz: h.user_nnz,
+        venue_nnz: h.venue_nnz,
+        gaz_fingerprint: h.gaz_fingerprint,
+        delta_records: u32_at(s, d_off as usize),
+        total_bytes: s.len() as u64,
+        sections: h
+            .sections
+            .iter()
+            .zip(V5_SECTION_NAMES)
+            .map(|(&(offset, len, crc), name)| SectionInfo { name, offset, len, crc })
+            .collect(),
+    })
 }
 
 #[cfg(test)]
@@ -1277,7 +2283,7 @@ mod tests {
     #[test]
     fn v2_snapshot_still_decodes() {
         let snap = trained_snapshot(40, 48);
-        let v4 = snap.try_encode().unwrap();
+        let v4 = snap.encode_with_deltas_v4(&[]).unwrap();
         let mut v2 = v4.to_vec();
         v2[4..6].copy_from_slice(&2u16.to_le_bytes());
         v2.truncate(v2.len() - 4);
@@ -1330,13 +2336,13 @@ mod tests {
 
     /// Future versions stay rejected with the typed error.
     #[test]
-    fn v5_snapshot_rejected() {
+    fn v6_snapshot_rejected() {
         let snap = trained_snapshot(15, 49);
         let mut raw = snap.try_encode().unwrap().to_vec();
-        raw[4..6].copy_from_slice(&5u16.to_le_bytes());
+        raw[4..6].copy_from_slice(&6u16.to_le_bytes());
         assert_eq!(
             PosteriorSnapshot::decode(Bytes::from(raw)).unwrap_err(),
-            SnapshotError::UnsupportedVersion(5)
+            SnapshotError::UnsupportedVersion(6)
         );
     }
 
@@ -1407,8 +2413,10 @@ mod tests {
 
         // A record that lies about its length is rejected: the stored CRC
         // covers the true payload, so the inflated slice fails the
-        // checksum before a single slab is parsed.
-        let mut lying = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap().to_vec();
+        // checksum before a single slab is parsed. Poked through the v4
+        // framing, where the record CRC is the only integrity layer —
+        // the v5 path would trip its section checksum first.
+        let mut lying = base.encode_with_deltas_v4(std::slice::from_ref(&delta)).unwrap().to_vec();
         let prefix_at = lying.len() - (delta.record_len() as usize) - 4 - 8;
         lying[prefix_at..prefix_at + 8].copy_from_slice(&(delta.record_len() + 8).to_le_bytes());
         // Extend so the inflated length is available, making the record
@@ -1420,7 +2428,8 @@ mod tests {
         );
 
         // Any bit flip inside the record payload trips the CRC too.
-        let mut flipped = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap().to_vec();
+        let mut flipped =
+            base.encode_with_deltas_v4(std::slice::from_ref(&delta)).unwrap().to_vec();
         let payload_at = flipped.len() - (delta.record_len() as usize);
         flipped[payload_at + 5] ^= 0x10;
         assert_eq!(
@@ -1441,7 +2450,14 @@ mod tests {
             PosteriorSnapshot::decode(Bytes::from(v4)).unwrap_err(),
             SnapshotError::Corrupt("trailing bytes after snapshot")
         );
-        let mut v2 = snap.try_encode().unwrap().to_vec();
+        let mut legacy = snap.encode_with_deltas_v4(&[]).unwrap().to_vec();
+        legacy.push(0);
+        assert_eq!(
+            PosteriorSnapshot::decode(Bytes::from(legacy.clone())).unwrap_err(),
+            SnapshotError::Corrupt("trailing bytes after snapshot")
+        );
+        let mut v2 = legacy;
+        v2.pop();
         v2[4..6].copy_from_slice(&2u16.to_le_bytes());
         v2.truncate(v2.len() - 4);
         v2.extend_from_slice(&[0xAA, 0xBB]);
@@ -1500,6 +2516,92 @@ mod tests {
             let err = PosteriorSnapshot::decode(bytes.slice(..cut)).unwrap_err();
             assert_eq!(err, SnapshotError::Truncated, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The CRC-32/ISO-HDLC check value, e.g. RFC 3720 appendix B.4.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn v5_sections_are_aligned_contiguous_and_checksummed() {
+        let snap = trained_snapshot(20, 56);
+        let raw = snap.try_encode().unwrap();
+        let info = inspect_artifact(raw.as_slice()).unwrap();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.num_users as usize, snap.num_users());
+        assert_eq!(info.delta_records, 0);
+        assert_eq!(info.total_bytes as usize, raw.len());
+        assert_eq!(info.sections.len(), V5_NUM_SECTIONS);
+        let mut cursor = V5_DATA_START as u64;
+        for (s, name) in info.sections.iter().zip(V5_SECTION_NAMES) {
+            assert_eq!(s.name, name);
+            assert_eq!(s.offset % V5_ALIGN, 0, "{name} misaligned");
+            assert_eq!(s.offset, cursor, "{name} not contiguous");
+            let body = &raw.as_slice()[s.offset as usize..(s.offset + s.len) as usize];
+            assert_eq!(crc32(body), s.crc, "{name} checksum");
+            cursor = v5_align(s.offset + s.len);
+        }
+        let last = info.sections.last().unwrap();
+        assert_eq!((last.offset + last.len) as usize, raw.len(), "deltas end at file end");
+    }
+
+    #[test]
+    fn mapped_open_is_zero_copy_and_identical() {
+        let dir = std::env::temp_dir().join(format!("mlp_snap_map_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = trained_snapshot(30, 57);
+
+        let v5_path = dir.join("model.mlps");
+        std::fs::write(&v5_path, snap.try_encode().unwrap()).unwrap();
+        let map = Arc::new(mmap_lite::Mmap::open(&v5_path).unwrap());
+        let mapped = PosteriorSnapshot::open_mapped(&map).unwrap();
+        assert_eq!(mapped, snap, "mapped thaw must be value-identical");
+        assert_eq!(mapped.is_zero_copy(), map.is_mapped(), "v5 slabs borrow the map");
+        assert_eq!(
+            mapped.try_encode().unwrap().as_slice(),
+            snap.try_encode().unwrap().as_slice(),
+            "re-encode from mapped slabs is byte-identical"
+        );
+
+        // A legacy artifact routes through the copying decode unchanged.
+        let v4_path = dir.join("model_v4.mlps");
+        std::fs::write(&v4_path, snap.encode_with_deltas_v4(&[]).unwrap()).unwrap();
+        let legacy_map = Arc::new(mmap_lite::Mmap::open(&v4_path).unwrap());
+        let legacy = PosteriorSnapshot::open_mapped(&legacy_map).unwrap();
+        assert_eq!(legacy, snap);
+        assert!(!legacy.is_zero_copy(), "legacy open owns its slabs");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v5_delta_patching_matches_a_fresh_encode() {
+        let base = trained_snapshot(25, 58);
+        let mut delta = SnapshotDelta::new(base.num_users() as u32);
+        delta.push_user(UserPosterior {
+            candidates: vec![CityId(0), CityId(4)],
+            gammas: vec![0.3, 0.1],
+            mean_counts: vec![2.0, 1.0],
+            mean_total: 3.0,
+            gamma_total: 0.4,
+            home: CityId(4),
+        });
+        delta.add_venue_weights(&[(CityId(0), VenueId(3), 2.0)]);
+
+        let fresh = base.encode_with_deltas(std::slice::from_ref(&delta)).unwrap();
+        let patched = v5_set_delta_section(
+            base.try_encode().unwrap().as_slice(),
+            std::slice::from_ref(&delta),
+        )
+        .unwrap();
+        assert_eq!(fresh.as_slice(), patched.as_slice(), "patching == fresh encode");
+        assert_eq!(inspect_artifact(patched.as_slice()).unwrap().delta_records, 1);
+
+        let mut applied = base.clone();
+        applied.apply_delta(&delta).unwrap();
+        assert_eq!(PosteriorSnapshot::decode(patched).unwrap(), applied);
     }
 
     #[test]

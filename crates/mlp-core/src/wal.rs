@@ -180,9 +180,7 @@ impl DeltaWal {
         };
 
         if !header_matches(&raw, base_fingerprint) {
-            let mut stale = path.as_os_str().to_os_string();
-            stale.push(".stale");
-            let stale = PathBuf::from(stale);
+            let stale = stale_sibling(path);
             std::fs::rename(path, &stale)?;
             sync_parent_dir(path)?;
             let wal = Self::create(path, base_fingerprint)?;
@@ -268,6 +266,100 @@ impl DeltaWal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Ages out stale set-asides: every `<log>.stale*` sibling except
+    /// the most recently modified is deleted. A successful checkpoint
+    /// obsoletes the older ones — their deltas are folded into a base at
+    /// least two checkpoints back — while the newest is kept as a
+    /// post-mortem artifact of the most recent crash window.
+    /// Best-effort: IO trouble here must not fail the checkpoint that
+    /// triggered the sweep.
+    pub fn age_stale_siblings(&self) {
+        let Some(dir) = self.path.parent() else { return };
+        let Some(name) = self.path.file_name().and_then(|n| n.to_str()) else { return };
+        let prefix = format!("{name}.stale");
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        let mut stales: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        for entry in entries.flatten() {
+            let fname = entry.file_name();
+            let Some(fname) = fname.to_str() else { continue };
+            if fname == prefix || fname.starts_with(&format!("{prefix}.")) {
+                let modified = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                stales.push((modified, entry.path()));
+            }
+        }
+        if stales.len() <= 1 {
+            return;
+        }
+        stales.sort();
+        for (_, old) in &stales[..stales.len() - 1] {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+}
+
+/// What a read-only pass over a sidecar log found — see [`inspect_log`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalInfo {
+    /// Intact CRC-framed records (the committed prefix).
+    pub records: u64,
+    /// Total file length in bytes.
+    pub bytes: u64,
+    /// Base-artifact fingerprint the log is bound to.
+    pub fingerprint: u64,
+    /// Unparseable tail bytes past the committed prefix (torn write, or
+    /// the whole file when even the header is damaged).
+    pub torn_bytes: u64,
+}
+
+/// Read-only sidecar inspection: counts the committed records without
+/// truncating torn tails or setting stale logs aside — unlike
+/// [`DeltaWal::recover`], the file is untouched. `Ok(None)` when no log
+/// exists at `path`.
+pub fn inspect_log(path: &Path) -> std::io::Result<Option<WalInfo>> {
+    let raw = match std::fs::read(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bytes = raw.len() as u64;
+    if raw.len() < WAL_HEADER_LEN as usize
+        || u32::from_le_bytes(raw[0..4].try_into().unwrap()) != WAL_MAGIC
+        || u16::from_le_bytes(raw[4..6].try_into().unwrap()) != WAL_VERSION
+    {
+        return Ok(Some(WalInfo { records: 0, bytes, fingerprint: 0, torn_bytes: bytes }));
+    }
+    let fingerprint = u64::from_le_bytes(raw[8..16].try_into().unwrap());
+    let mut pos = WAL_HEADER_LEN as usize;
+    let mut records = 0u64;
+    while let Some(len) = parse_frame(&raw[pos..]) {
+        records += 1;
+        pos += RECORD_FRAME_LEN as usize + len;
+    }
+    Ok(Some(WalInfo { records, bytes, fingerprint, torn_bytes: (raw.len() - pos) as u64 }))
+}
+
+/// A set-aside name for a stale log that never clobbers an earlier
+/// set-aside: `<path>.stale`, then `<path>.stale.1`, `.stale.2`, …
+fn stale_sibling(path: &Path) -> PathBuf {
+    let mut base = path.as_os_str().to_os_string();
+    base.push(".stale");
+    let first = PathBuf::from(&base);
+    if !first.exists() {
+        return first;
+    }
+    for n in 1u64.. {
+        let mut numbered = base.clone();
+        numbered.push(format!(".{n}"));
+        let candidate = PathBuf::from(numbered);
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("ran out of stale-log names")
 }
 
 /// Whether `raw` starts with a valid WAL header bound to `fingerprint`.
@@ -403,6 +495,45 @@ mod tests {
         // The fresh log recovers cleanly against the new base.
         let (_, rec) = DeltaWal::recover(&path, new_fp).unwrap();
         assert!(rec.deltas.is_empty() && rec.stale_moved_to.is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn repeated_set_asides_never_clobber_and_age_out_on_checkpoint() {
+        let dir = tmp_dir("stale_age");
+        let path = dir.join("model.mlps.wal");
+
+        // Two successive mismatched recoveries: the second set-aside must
+        // pick a fresh sibling name instead of clobbering the first.
+        let mut wal = DeltaWal::create(&path, artifact_fingerprint(b"base a")).unwrap();
+        wal.append(&sample_delta(1, 1)).unwrap();
+        drop(wal);
+        let (wal, rec) = DeltaWal::recover(&path, artifact_fingerprint(b"base b")).unwrap();
+        let first = rec.stale_moved_to.expect("first set-aside");
+        drop(wal);
+        // Re-bind the fresh log to yet another base to force a second set-aside.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[8..16].copy_from_slice(&artifact_fingerprint(b"base c").to_le_bytes());
+        std::fs::write(&path, raw).unwrap();
+        let (wal, rec) = DeltaWal::recover(&path, artifact_fingerprint(b"base d")).unwrap();
+        let second = rec.stale_moved_to.expect("second set-aside");
+        assert_ne!(first, second, "set-asides must not clobber each other");
+        assert!(first.exists() && second.exists());
+
+        // Make the second sibling strictly newer, then age: exactly the
+        // newest survives the checkpoint sweep.
+        let now = std::time::SystemTime::now() + std::time::Duration::from_secs(5);
+        let f = std::fs::OpenOptions::new().write(true).open(&second).unwrap();
+        f.set_modified(now).unwrap();
+        drop(f);
+        wal.age_stale_siblings();
+        assert!(!first.exists(), "older stale log aged out");
+        assert!(second.exists(), "newest stale log kept for forensics");
+        assert!(path.exists(), "live log untouched by the sweep");
+
+        // A second sweep with one survivor is a no-op.
+        wal.age_stale_siblings();
+        assert!(second.exists());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -9,6 +9,7 @@
 //! mlp-cli evaluate --data data.mlp [--folds 5]              # masked-home ACC@100
 //! mlp-cli train    --data data.mlp --out model.mlps [--train-users N]
 //! mlp-cli refresh  --data data.mlp --snapshot model.mlps --out fresh.mlps
+//! mlp-cli inspect  --snapshot model.mlps                    # artifact + sidecar log
 //! ```
 //!
 //! Datasets are the binary snapshot format of `mlp::social::codec` (the
@@ -61,7 +62,8 @@ const USAGE: &str = "usage:
   mlp-cli train    --data FILE --out SNAPSHOT [--train-users N] [--iters N] [--seed N]
   mlp-cli train    --corpus DIR --out SNAPSHOT [--shards N] [--reconcile-every K]
                    [--iters N] [--seed N]
-  mlp-cli refresh  --data FILE --snapshot SNAPSHOT --out SNAPSHOT [--batch N] [--seed N]";
+  mlp-cli refresh  --data FILE --snapshot SNAPSHOT --out SNAPSHOT [--batch N] [--seed N]
+  mlp-cli inspect  --snapshot SNAPSHOT";
 
 struct Options {
     users: usize,
@@ -325,6 +327,59 @@ fn run(args: &[String]) -> Result<(), String> {
                     ""
                 }
             );
+            Ok(())
+        }
+        "inspect" => {
+            let path = o.snapshot.as_deref().ok_or("inspect needs --snapshot SNAPSHOT")?;
+            let raw = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let info = mlp::core::snapshot::inspect_artifact(&raw)
+                .map_err(|e| format!("inspecting {path}: {e}"))?;
+            println!("{path}: snapshot format v{} ({} bytes)", info.version, info.total_bytes);
+            println!(
+                "  {:?} posterior: {} users over {} cities, {} venues",
+                info.variant, info.num_users, info.num_cities, info.num_venues
+            );
+            println!(
+                "  slabs: {} user candidate entries, {} venue count entries",
+                info.user_nnz, info.venue_nnz
+            );
+            println!("  gazetteer fingerprint {:016x}", info.gaz_fingerprint);
+            println!("  artifact fingerprint  {:016x}", mlp::core::wal::artifact_fingerprint(&raw));
+            println!("  embedded delta records: {}", info.delta_records);
+            if info.sections.is_empty() {
+                println!("  legacy layout: no section table, reads via the copying decode");
+            } else {
+                println!("  section table ({} sections, 64-byte aligned):", info.sections.len());
+                for s in &info.sections {
+                    println!(
+                        "    {:<18} offset {:>12}  len {:>12}  crc {:08x}",
+                        s.name, s.offset, s.len, s.crc
+                    );
+                }
+            }
+            let wal_path = format!("{path}.wal");
+            match mlp::core::wal::inspect_log(std::path::Path::new(&wal_path))
+                .map_err(|e| format!("reading {wal_path}: {e}"))?
+            {
+                None => println!("  sidecar log: none"),
+                Some(w) => {
+                    let binding = if w.fingerprint == mlp::core::wal::artifact_fingerprint(&raw) {
+                        "bound to this artifact"
+                    } else {
+                        "STALE: bound to a different base"
+                    };
+                    println!(
+                        "  sidecar log: {} committed records, {} bytes ({binding}{})",
+                        w.records,
+                        w.bytes,
+                        if w.torn_bytes > 0 {
+                            format!(", {} torn tail bytes", w.torn_bytes)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other}")),

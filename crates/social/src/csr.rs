@@ -1,4 +1,5 @@
-//! A reusable compressed-sparse-row container.
+//! A reusable compressed-sparse-row container, generic over its backing
+//! storage.
 //!
 //! Every layer of the system stores "per-row variable-length data" somewhere:
 //! the adjacency lists here in `mlp_social`, the per-user count rows and the
@@ -7,14 +8,350 @@
 //! all share: an offset table into a single flat value slab, so a whole
 //! column of the corpus is one contiguous allocation instead of a
 //! `Vec<Vec<_>>` (or a `HashMap`) of scattered heaps.
+//!
+//! Since format v5 the slabs are also what a snapshot *maps*: a [`Slab`] can
+//! either own a `Vec<T>` or borrow a `&[T]` view straight out of a mapped
+//! artifact (kept alive by an `Arc` token), with an owned tail so deltas can
+//! append whole rows on top of a mapped base without copying it. Rows never
+//! straddle the head/tail boundary — appends always add whole rows — so
+//! `row()` stays a plain slice either way.
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// Marker for types whose values are plain fixed-width bytes, safe to
+/// reinterpret from a little-endian on-disk slab.
+///
+/// # Safety
+///
+/// Implementors must be `#[repr(transparent)]` or `#[repr(C)]` wrappers over
+/// (or exactly) a primitive with no padding, no invalid bit patterns, and no
+/// drop glue, so that any properly aligned byte sequence of `size_of::<T>()`
+/// bytes is a valid `T`.
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+// `#[repr(transparent)]` newtypes over `u32`.
+unsafe impl Pod for mlp_gazetteer::CityId {}
+unsafe impl Pod for mlp_gazetteer::VenueId {}
+unsafe impl Pod for crate::model::UserId {}
+
+/// The immutable "head" of a [`Slab`]: either an owned vec or a borrowed
+/// view into memory owned by `keep` (typically a mapped artifact).
+enum SlabHead<T> {
+    Owned(Vec<T>),
+    View {
+        ptr: *const T,
+        len: usize,
+        /// Keeps the backing memory (e.g. an `Mmap`) alive for as long as
+        /// any clone of this slab exists.
+        #[allow(dead_code)]
+        keep: Arc<dyn Any + Send + Sync>,
+    },
+}
+
+impl<T> SlabHead<T> {
+    #[inline]
+    fn as_slice(&self) -> &[T] {
+        match self {
+            SlabHead::Owned(v) => v.as_slice(),
+            // Safety: `view()`'s contract — `ptr..ptr+len` is valid, aligned,
+            // initialized `T`s owned (and kept immutable) by `keep`.
+            SlabHead::View { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl<T: Clone> Clone for SlabHead<T> {
+    fn clone(&self) -> Self {
+        match self {
+            SlabHead::Owned(v) => SlabHead::Owned(v.clone()),
+            SlabHead::View { ptr, len, keep } => {
+                SlabHead::View { ptr: *ptr, len: *len, keep: Arc::clone(keep) }
+            }
+        }
+    }
+}
+
+/// One flat value column, owned or borrowed.
+///
+/// Invariants:
+/// - an `Owned` head always has an empty tail (appends extend the vec);
+/// - a `View` head routes appends to the owned `tail`;
+/// - callers append whole rows, so a row never straddles head and tail.
+pub struct Slab<T> {
+    head: SlabHead<T>,
+    tail: Vec<T>,
+}
+
+// Safety: a `View` head is a plain shared borrow of memory held alive by the
+// `Send + Sync` keep token; the raw pointer adds no thread affinity beyond
+// what `&[T]` would have.
+unsafe impl<T: Send + Sync> Send for Slab<T> {}
+unsafe impl<T: Send + Sync> Sync for Slab<T> {}
+
+impl<T> Slab<T> {
+    /// An empty owned slab.
+    #[inline]
+    pub fn new() -> Self {
+        Slab { head: SlabHead::Owned(Vec::new()), tail: Vec::new() }
+    }
+
+    /// Wraps an owned vec.
+    #[inline]
+    pub fn from_vec(values: Vec<T>) -> Self {
+        Slab { head: SlabHead::Owned(values), tail: Vec::new() }
+    }
+
+    /// Total logical length (head + tail).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.head_len() + self.tail.len()
+    }
+
+    /// Whether the slab holds no values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the head borrows mapped memory instead of owning it.
+    #[inline]
+    pub fn is_zero_copy(&self) -> bool {
+        matches!(self.head, SlabHead::View { .. })
+    }
+
+    #[inline]
+    fn head_len(&self) -> usize {
+        match &self.head {
+            SlabHead::Owned(v) => v.len(),
+            SlabHead::View { len, .. } => *len,
+        }
+    }
+
+    /// The head and tail segments; the logical contents is their
+    /// concatenation (tail is empty for fully owned slabs).
+    #[inline]
+    pub fn segments(&self) -> (&[T], &[T]) {
+        (self.head.as_slice(), self.tail.as_slice())
+    }
+
+    /// Element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        let head = self.head.as_slice();
+        if i < head.len() {
+            head[i]
+        } else {
+            self.tail[i - head.len()]
+        }
+    }
+
+    /// Slice `start..end`, which must not straddle the head/tail boundary
+    /// (structurally guaranteed for row ranges, since appends add whole
+    /// rows).
+    #[inline]
+    pub fn slice(&self, start: usize, end: usize) -> &[T] {
+        let head_len = self.head_len();
+        if start >= head_len {
+            &self.tail[start - head_len..end - head_len]
+        } else if end <= head_len {
+            &self.head.as_slice()[start..end]
+        } else {
+            panic!("slab range {start}..{end} straddles the head/tail boundary at {head_len}")
+        }
+    }
+
+    /// Iterates the logical contents.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.head.as_slice().iter().chain(self.tail.iter())
+    }
+
+    /// Appends one value (to the vec when owned, to the tail when mapped).
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        match &mut self.head {
+            SlabHead::Owned(v) if self.tail.is_empty() => v.push(value),
+            _ => self.tail.push(value),
+        }
+    }
+
+    /// Appends a run of values.
+    pub fn extend_from_slice(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        match &mut self.head {
+            SlabHead::Owned(v) if self.tail.is_empty() => v.extend_from_slice(values),
+            _ => self.tail.extend_from_slice(values),
+        }
+    }
+
+    /// The whole slab as one contiguous slice. Panics when the slab has a
+    /// mapped head *and* an appended tail (call [`Slab::make_owned`] or use
+    /// [`Slab::segments`] there instead).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.tail.is_empty() {
+            self.head.as_slice()
+        } else if self.head_len() == 0 {
+            self.tail.as_slice()
+        } else {
+            panic!("slab is not contiguous: mapped head with an appended tail")
+        }
+    }
+
+    /// Copies a mapped head (plus tail) into a single owned vec; no-op when
+    /// already owned with no tail.
+    pub fn make_owned(&mut self)
+    where
+        T: Clone,
+    {
+        if matches!(self.head, SlabHead::Owned(_)) && self.tail.is_empty() {
+            return;
+        }
+        let mut v = Vec::with_capacity(self.len());
+        v.extend_from_slice(self.head.as_slice());
+        v.append(&mut self.tail);
+        self.head = SlabHead::Owned(v);
+    }
+
+    /// The whole slab as one mutable slice, materializing first if mapped.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T]
+    where
+        T: Clone,
+    {
+        self.make_owned();
+        match &mut self.head {
+            SlabHead::Owned(v) => v.as_mut_slice(),
+            SlabHead::View { .. } => unreachable!("make_owned left a view head"),
+        }
+    }
+
+    /// Consumes the slab into an owned vec.
+    pub fn into_vec(mut self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.make_owned();
+        match self.head {
+            SlabHead::Owned(v) => v,
+            SlabHead::View { .. } => unreachable!("make_owned left a view head"),
+        }
+    }
+}
+
+impl<T: Pod> Slab<T> {
+    /// Borrows a slab view over `bytes`, which must live inside memory owned
+    /// by `keep` (e.g. a mapped artifact).
+    ///
+    /// Fails (without UB) when `bytes` is misaligned for `T` or not a whole
+    /// number of elements. Only meaningful on little-endian targets, where
+    /// the on-disk and in-memory representations coincide; callers gate on
+    /// that before reinterpreting.
+    ///
+    /// # Safety
+    ///
+    /// `bytes` must point into an allocation owned by `keep`, remain valid
+    /// and unmodified for as long as `keep` (or any clone of this slab) is
+    /// alive.
+    pub unsafe fn view(
+        bytes: &[u8],
+        keep: Arc<dyn Any + Send + Sync>,
+    ) -> Result<Self, &'static str> {
+        let size = std::mem::size_of::<T>();
+        if size == 0 {
+            return Err("zero-sized slab element");
+        }
+        if !bytes.len().is_multiple_of(size) {
+            return Err("slab byte length is not a whole number of elements");
+        }
+        if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err("slab is misaligned for its element type");
+        }
+        Ok(Slab {
+            head: SlabHead::View { ptr: bytes.as_ptr() as *const T, len: bytes.len() / size, keep },
+            tail: Vec::new(),
+        })
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T: Clone> Clone for Slab<T> {
+    fn clone(&self) -> Self {
+        Slab { head: self.head.clone(), tail: self.tail.clone() }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len())
+            .field("zero_copy", &self.is_zero_copy())
+            .field("tail_len", &self.tail.len())
+            .finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Slab<T> {
+    /// Logical (content) equality: a mapped slab equals its owned copy.
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq> Eq for Slab<T> {}
+
+impl<T: Clone> From<Vec<T>> for Slab<T> {
+    fn from(values: Vec<T>) -> Self {
+        Slab::from_vec(values)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Slab<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, T>, std::slice::Iter<'a, T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.head.as_slice().iter().chain(self.tail.iter())
+    }
+}
 
 /// An offset table plus one flat value slab; row `i` is
 /// `values[offsets[i]..offsets[i + 1]]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Both columns are [`Slab`]s, so a `Csr` can sit on owned vecs (the sampler
+/// state, trained arenas) or borrow a mapped artifact zero-copy (a v5
+/// snapshot), with the same row/slot logic either way.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Csr<T> {
-    offsets: Vec<u32>,
-    values: Vec<T>,
+    offsets: Slab<u32>,
+    values: Slab<T>,
 }
+
+impl<T: Eq> Eq for Csr<T> {}
 
 impl Csr<u32> {
     /// Builds a CSR whose row `i` holds the *item indices* assigned to
@@ -34,11 +371,35 @@ impl Csr<u32> {
             values[cursor[b] as usize] = idx as u32;
             cursor[b] += 1;
         }
-        Csr { offsets, values }
+        Csr::from_parts(offsets, values)
     }
 }
 
 impl<T> Csr<T> {
+    /// An empty CSR (zero rows, zero values).
+    pub fn empty() -> Self {
+        Csr { offsets: Slab::from_vec(vec![0u32]), values: Slab::new() }
+    }
+
+    /// Builds a CSR from an owned offset table and value slab. The offset
+    /// table must have `num_rows + 1` monotone entries spanning `values`
+    /// (debug-asserted; serialized inputs are validated by their decoders
+    /// before reaching here).
+    pub fn from_parts(offsets: Vec<u32>, values: Vec<T>) -> Self {
+        debug_assert!(!offsets.is_empty(), "offset table needs a leading 0");
+        debug_assert_eq!(*offsets.last().unwrap() as usize, values.len());
+        Csr { offsets: Slab::from_vec(offsets), values: Slab::from_vec(values) }
+    }
+
+    /// Builds a CSR from pre-validated slabs (owned or mapped). The caller
+    /// must have checked the offset table is monotone and spans `values` —
+    /// snapshot decoding does this before constructing arenas.
+    pub fn from_slabs(offsets: Slab<u32>, values: Slab<T>) -> Self {
+        debug_assert!(!offsets.is_empty(), "offset table needs a leading 0");
+        debug_assert_eq!(offsets.get(offsets.len() - 1) as usize, values.len());
+        Csr { offsets, values }
+    }
+
     /// Builds a CSR with the given row lengths, every value defaulted —
     /// the shape of a zeroed count arena.
     pub fn with_row_lens(lens: impl Iterator<Item = usize>) -> Self
@@ -51,7 +412,8 @@ impl<T> Csr<T> {
             total += len as u32;
             offsets.push(total);
         }
-        Csr { offsets, values: vec![T::default(); total as usize] }
+        let values = vec![T::default(); total as usize];
+        Csr { offsets: Slab::from_vec(offsets), values: Slab::from_vec(values) }
     }
 
     /// Builds a CSR by concatenating owned rows.
@@ -62,7 +424,31 @@ impl<T> Csr<T> {
             values.extend(row);
             offsets.push(values.len() as u32);
         }
-        Csr { offsets, values }
+        Csr { offsets: Slab::from_vec(offsets), values: Slab::from_vec(values) }
+    }
+
+    /// Appends one row (to the owned tail when the base is mapped).
+    pub fn push_row(&mut self, row: &[T])
+    where
+        T: Clone,
+    {
+        self.values.extend_from_slice(row);
+        self.offsets.push(self.values.len() as u32);
+    }
+
+    /// Appends every row of `other`, rebasing its offsets onto this CSR's
+    /// value slab. The caller checks the combined sizes fit `u32`.
+    pub fn append(&mut self, other: &Csr<T>)
+    where
+        T: Clone,
+    {
+        let base = self.values.len() as u32;
+        let (head, tail) = other.values.segments();
+        self.values.extend_from_slice(head);
+        self.values.extend_from_slice(tail);
+        for o in other.offsets.iter().skip(1) {
+            self.offsets.push(base + o);
+        }
     }
 
     /// Number of rows.
@@ -77,42 +463,77 @@ impl<T> Csr<T> {
         self.values.len()
     }
 
+    /// Whether the value slab borrows mapped memory.
+    #[inline]
+    pub fn is_zero_copy(&self) -> bool {
+        self.values.is_zero_copy()
+    }
+
+    /// The flat-slab index range of row `i`.
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets.get(i) as usize..self.offsets.get(i + 1) as usize
+    }
+
     /// Row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[T] {
-        &self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let r = self.row_range(i);
+        self.values.slice(r.start, r.end)
     }
 
-    /// Row `i` as a mutable slice.
+    /// Row `i` as a mutable slice (materializes a mapped slab first).
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
-        &mut self.values[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T]
+    where
+        T: Clone,
+    {
+        let r = self.row_range(i);
+        &mut self.values.as_mut_slice()[r]
     }
 
     /// Index into the flat slab of element `pos` of row `i` — the stable
     /// "slot" identity used for flat delta merges.
     #[inline]
     pub fn slot(&self, i: usize, pos: usize) -> usize {
-        debug_assert!(pos < (self.offsets[i + 1] - self.offsets[i]) as usize);
-        self.offsets[i] as usize + pos
+        let r = self.row_range(i);
+        debug_assert!(pos < r.end - r.start);
+        r.start + pos
     }
 
-    /// The whole flat value slab.
+    /// The whole flat value slab (contiguous; panics for a mapped slab with
+    /// an appended tail — use [`Csr::values_segments`] there).
     #[inline]
     pub fn values(&self) -> &[T] {
-        &self.values
+        self.values.as_slice()
     }
 
-    /// The whole flat value slab, mutable.
+    /// The value slab's head and tail segments.
     #[inline]
-    pub fn values_mut(&mut self) -> &mut [T] {
-        &mut self.values
+    pub fn values_segments(&self) -> (&[T], &[T]) {
+        self.values.segments()
     }
 
-    /// The offset table (`num_rows + 1` entries).
+    /// The whole flat value slab, mutable (materializes a mapped slab).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T]
+    where
+        T: Clone,
+    {
+        self.values.as_mut_slice()
+    }
+
+    /// The offset table (`num_rows + 1` entries, contiguous; panics for a
+    /// mapped table with an appended tail — use [`Csr::offsets_iter`]).
     #[inline]
     pub fn offsets(&self) -> &[u32] {
-        &self.offsets
+        self.offsets.as_slice()
+    }
+
+    /// Iterates the offset table without requiring contiguity.
+    #[inline]
+    pub fn offsets_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.offsets.iter().copied()
     }
 }
 
@@ -146,5 +567,85 @@ mod tests {
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(csr.row(i), row.as_slice());
         }
+    }
+
+    /// Little-endian bytes for a `u32` run, 64-byte aligned so views are
+    /// valid regardless of the test allocator's whims.
+    fn aligned_le_bytes(values: &[u32]) -> Arc<Vec<u64>> {
+        let mut packed = Vec::with_capacity(values.len().div_ceil(2));
+        for pair in values.chunks(2) {
+            let lo = pair[0] as u64;
+            let hi = if pair.len() > 1 { (pair[1] as u64) << 32 } else { 0 };
+            packed.push(lo | hi);
+        }
+        Arc::new(packed)
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn mapped_view_reads_like_owned() {
+        let data = aligned_le_bytes(&[0, 2, 2, 5, 10, 20, 30, 40, 50]);
+        let bytes = unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, 9 * 4) };
+        let keep: Arc<dyn Any + Send + Sync> = data.clone();
+        let offsets: Slab<u32> =
+            unsafe { Slab::view(&bytes[..16], keep.clone()) }.expect("aligned offsets");
+        let values: Slab<u32> =
+            unsafe { Slab::view(&bytes[16..36], keep.clone()) }.expect("aligned values");
+        let csr = Csr::from_slabs(offsets, values);
+        assert!(csr.is_zero_copy());
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.row(0), &[10, 20]);
+        assert_eq!(csr.row(1), &[] as &[u32]);
+        assert_eq!(csr.row(2), &[30, 40, 50]);
+
+        let owned = Csr::from_rows(vec![vec![10u32, 20], vec![], vec![30, 40, 50]].into_iter());
+        assert_eq!(csr, owned, "mapped and owned CSR compare logically equal");
+    }
+
+    #[cfg(target_endian = "little")]
+    #[test]
+    fn mapped_view_appends_rows_in_the_tail() {
+        let data = aligned_le_bytes(&[0, 2, 7, 8]);
+        let bytes = unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, 4 * 4) };
+        let keep: Arc<dyn Any + Send + Sync> = data.clone();
+        let offsets: Slab<u32> = unsafe { Slab::view(&bytes[..8], keep.clone()) }.unwrap();
+        let values: Slab<u32> = unsafe { Slab::view(&bytes[8..16], keep.clone()) }.unwrap();
+        let mut csr = Csr::from_slabs(offsets, values);
+        assert_eq!(csr.row(0), &[7, 8]);
+
+        csr.push_row(&[9, 10, 11]);
+        csr.push_row(&[]);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.row(0), &[7, 8], "mapped base row untouched");
+        assert_eq!(csr.row(1), &[9, 10, 11], "appended row lives in the tail");
+        assert_eq!(csr.row(2), &[] as &[u32]);
+        assert!(csr.is_zero_copy(), "base stays mapped after appends");
+        assert_eq!(csr.values_segments().0, &[7, 8]);
+        assert_eq!(csr.values_segments().1, &[9, 10, 11]);
+        assert_eq!(csr.offsets_iter().collect::<Vec<_>>(), vec![0, 2, 5, 5]);
+    }
+
+    #[test]
+    fn view_rejects_misaligned_and_ragged_bytes() {
+        let data = aligned_le_bytes(&[1, 2, 3, 4]);
+        let bytes = unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, 4 * 4) };
+        let keep: Arc<dyn Any + Send + Sync> = data.clone();
+        let ragged = unsafe { Slab::<u32>::view(&bytes[..7], keep.clone()) };
+        assert!(ragged.is_err(), "7 bytes is not a whole number of u32s");
+        let misaligned = unsafe { Slab::<u32>::view(&bytes[1..13], keep.clone()) };
+        assert!(misaligned.is_err(), "offset 1 is misaligned for u32");
+    }
+
+    #[test]
+    fn mutating_a_mapped_slab_materializes_it() {
+        let data = aligned_le_bytes(&[5, 6]);
+        let bytes = unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, 2 * 4) };
+        let keep: Arc<dyn Any + Send + Sync> = data.clone();
+        let mut slab: Slab<u32> = unsafe { Slab::view(bytes, keep) }.unwrap();
+        assert!(slab.is_zero_copy());
+        slab.as_mut_slice()[0] = 99;
+        assert!(!slab.is_zero_copy(), "writes force a private owned copy");
+        assert_eq!(slab.get(0), 99);
+        assert_eq!(data[0] as u32, 5, "the mapped bytes are untouched");
     }
 }

@@ -44,7 +44,7 @@ pub mod stream;
 pub mod truth;
 
 pub use atomic::write_atomic;
-pub use csr::Csr;
+pub use csr::{Csr, Pod, Slab};
 pub use folds::Folds;
 pub use generator::{GeneratedData, Generator, GeneratorConfig};
 pub use graph::Adjacency;

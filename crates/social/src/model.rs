@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// Index of a user — the paper's `u_i`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct UserId(pub u32);
 
 impl UserId {

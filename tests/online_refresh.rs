@@ -173,12 +173,14 @@ fn hand_corrupted_delta_records_fail_typed_not_loud() {
     let artifact = engine.encode_artifact().unwrap();
 
     // An absurd u64 length prefix must be a typed error before any
-    // allocation happens.
+    // allocation happens. Since v5 the delta section carries its own
+    // checksum, so the damage trips the section CRC before record
+    // framing is even consulted.
     let mut huge = artifact.to_vec();
     huge[base_len + 4..base_len + 12].copy_from_slice(&u64::MAX.to_le_bytes());
     assert_eq!(
         PosteriorSnapshot::decode(bytes::Bytes::from(huge)).unwrap_err(),
-        SnapshotError::Truncated
+        SnapshotError::Corrupt("section checksum mismatch")
     );
 
     // Truncating anywhere inside the record section stays typed — whether

@@ -117,9 +117,17 @@ fn corrupted_posterior_snapshots_fail_loudly() {
         SnapshotError::UnsupportedVersion(_)
     ));
 
-    // Invalid variant tag.
+    // Invalid variant tag. The tag lives inside the v5 checksummed header,
+    // so a blind poke trips the header CRC first …
     let mut bad = bytes.to_vec();
     bad[6] = 9;
+    assert_eq!(
+        PosteriorSnapshot::decode(bytes::Bytes::from(bad.clone())).unwrap_err(),
+        SnapshotError::Corrupt("snapshot header checksum mismatch")
+    );
+    // … and with the CRC repaired the tag itself is still rejected.
+    let fixed = crc32_ieee(&bad[..512]).to_le_bytes();
+    bad[512..516].copy_from_slice(&fixed);
     assert_eq!(
         PosteriorSnapshot::decode(bytes::Bytes::from(bad)).unwrap_err(),
         SnapshotError::BadTag(9)
@@ -130,6 +138,18 @@ fn corrupted_posterior_snapshots_fail_loudly() {
         PosteriorSnapshot::decode(bytes.slice(..bytes.len() * 2 / 3)).unwrap_err(),
         SnapshotError::Truncated
     );
+}
+
+/// Bitwise IEEE CRC-32, only used to re-seal a deliberately damaged header.
+fn crc32_ieee(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (0u32.wrapping_sub(crc & 1)));
+        }
+    }
+    !crc
 }
 
 mod posterior_proptests {

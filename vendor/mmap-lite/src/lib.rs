@@ -1,0 +1,275 @@
+//! Offline shim for read-only memory mapping (see `vendor/README.md`).
+//!
+//! Implements the minimal surface the zero-copy snapshot path needs: map a
+//! whole file read-only ([`Mmap::open`]), expose it as `&[u8]`
+//! ([`Mmap::as_slice`]), and hint the kernel about the access pattern
+//! ([`Mmap::advise`]). On 64-bit unix this is a real `mmap(2)`/`madvise(2)`
+//! (declared directly against libc, which `std` already links — no external
+//! crate). Everywhere else — or if the syscall fails — it degrades to a
+//! 64-byte-aligned owned buffer filled by an ordinary file read, so callers
+//! get the same aligned-slice contract either way and only lose the
+//! page-cache sharing. [`Mmap::is_mapped`] reports which one you got.
+//!
+//! The mapping is private and read-only; the kernel page cache backs it, so
+//! opening a multi-GiB artifact is O(1) work and resident memory grows only
+//! with the pages actually touched.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+/// Access-pattern hint forwarded to `madvise(2)` where available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// No special treatment (`MADV_NORMAL`).
+    Normal,
+    /// Expect random access; read-ahead is wasted (`MADV_RANDOM`).
+    Random,
+    /// Expect sequential access; aggressive read-ahead (`MADV_SEQUENTIAL`).
+    Sequential,
+    /// Expect access soon; start faulting pages in (`MADV_WILLNEED`).
+    WillNeed,
+}
+
+enum Backing {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped { ptr: *mut u8, len: usize },
+    /// Owned fallback: a 64-byte-aligned buffer holding the whole file.
+    Owned { ptr: *mut u8, len: usize, layout: Option<std::alloc::Layout> },
+}
+
+/// A read-only view of a whole file, memory-mapped when the platform
+/// allows, otherwise an aligned owned copy.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// Safety: the mapping is immutable for the life of the value (PROT_READ,
+// MAP_PRIVATE; the owned fallback is never written after construction), so
+// sharing references across threads is as safe as sharing a `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    //! Hand-declared libc bindings; `std` links libc on unix, so these
+    //! resolve without any external crate.
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MADV_NORMAL: c_int = 0;
+    pub const MADV_RANDOM: c_int = 1;
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MADV_WILLNEED: c_int = 3;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps `path` read-only. Empty files yield an empty (owned) view.
+    pub fn open(path: &Path) -> io::Result<Mmap> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "file too large to map"));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mmap {
+                backing: Backing::Owned { ptr: std::ptr::null_mut(), len: 0, layout: None },
+            });
+        }
+
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr != sys::MAP_FAILED {
+                return Ok(Mmap { backing: Backing::Mapped { ptr: ptr as *mut u8, len } });
+            }
+            // Fall through to the owned read on ENODEV/ENOMEM-style failures.
+        }
+
+        Self::read_owned(&mut file, len)
+    }
+
+    /// Fallback: read the whole file into a 64-byte-aligned owned buffer.
+    fn read_owned(file: &mut File, len: usize) -> io::Result<Mmap> {
+        let layout = std::alloc::Layout::from_size_align(len, 64)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad buffer layout"))?;
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                "mmap fallback allocation failed",
+            ));
+        }
+        let buf = unsafe { std::slice::from_raw_parts_mut(ptr, len) };
+        if let Err(e) = file.read_exact(buf) {
+            unsafe { std::alloc::dealloc(ptr, layout) };
+            return Err(e);
+        }
+        Ok(Mmap { backing: Backing::Owned { ptr, len, layout: Some(layout) } })
+    }
+
+    /// The mapped bytes. The pointer is page-aligned when mapped and
+    /// 64-byte-aligned in the owned fallback.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned { ptr, len, .. } => {
+                if ptr.is_null() {
+                    &[]
+                } else {
+                    unsafe { std::slice::from_raw_parts(*ptr, *len) }
+                }
+            }
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { len, .. } => *len,
+            Backing::Owned { len, .. } => *len,
+        }
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this view is a true kernel mapping (false = owned fallback).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned { .. } => false,
+        }
+    }
+
+    /// Hints the kernel about the expected access pattern. A no-op (always
+    /// Ok) for the owned fallback; syscall errors are swallowed — advice is
+    /// best-effort by definition.
+    pub fn advise(&self, advice: Advice) {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { ptr, len } => {
+                let a = match advice {
+                    Advice::Normal => sys::MADV_NORMAL,
+                    Advice::Random => sys::MADV_RANDOM,
+                    Advice::Sequential => sys::MADV_SEQUENTIAL,
+                    Advice::WillNeed => sys::MADV_WILLNEED,
+                };
+                unsafe {
+                    sys::madvise(*ptr as *mut std::os::raw::c_void, *len, a);
+                }
+            }
+            Backing::Owned { .. } => {
+                let _ = advice;
+            }
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { ptr, len } => unsafe {
+                sys::munmap(*ptr as *mut std::os::raw::c_void, *len);
+            },
+            Backing::Owned { ptr, layout, .. } => {
+                if let Some(layout) = layout {
+                    unsafe { std::alloc::dealloc(*ptr, *layout) };
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).field("mapped", &self.is_mapped()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("mmap-lite-test-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_a_file_and_reads_it_back() {
+        let path = tmp_file("roundtrip", b"hello mapped world");
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.as_slice(), b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        map.advise(Advice::Sequential);
+        map.advise(Advice::Random);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_map_to_an_empty_view() {
+        let path = tmp_file("empty", b"");
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_slice(), b"");
+        assert!(!map.is_mapped(), "empty views use the owned representation");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let err = Mmap::open(Path::new("/nonexistent/mmap-lite-missing")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    #[test]
+    fn unix_views_are_real_mappings() {
+        let path = tmp_file("mapped", &[0xA5u8; 8192]);
+        let map = Mmap::open(&path).unwrap();
+        assert!(map.is_mapped());
+        assert_eq!(map.as_slice().len(), 8192);
+        assert!(map.as_slice().iter().all(|&b| b == 0xA5));
+        assert_eq!(map.as_slice().as_ptr() as usize % 64, 0, "page-aligned implies 64-aligned");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
