@@ -79,12 +79,31 @@ impl RssSample {
     }
 }
 
+/// `peak_rss` in MiB, or `None` off Linux / when `VmHWM` is missing.
+/// Bench binaries thread the `Option` through to their reports — `"n/a"`
+/// in human output, `null` in JSON — instead of inventing a number.
+pub fn peak_rss_mb() -> Option<f64> {
+    peak_rss().map(|b| b as f64 / (1024.0 * 1024.0))
+}
+
 /// `peak_rss` formatted for reports: `"123.4 MiB"`, or `"n/a"` off Linux.
 pub fn peak_rss_display() -> String {
-    match peak_rss() {
-        Some(bytes) => format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+    match peak_rss_mb() {
+        Some(mb) => format!("{mb:.1} MiB"),
         None => "n/a".into(),
     }
+}
+
+/// An optional MiB reading formatted for a report cell: `"123.4"` or
+/// `"n/a"`.
+pub fn mb_cell(mb: Option<f64>) -> String {
+    mb.map_or_else(|| "n/a".into(), |v| format!("{v:.1}"))
+}
+
+/// An optional MiB reading as a JSON value: `123.4` or `null` (never
+/// `NaN`, which is not JSON).
+pub fn mb_json(mb: Option<f64>) -> String {
+    mb.map_or_else(|| "null".into(), |v| format!("{v:.1}"))
 }
 
 /// Shared CLI arguments for the bench binaries.
@@ -207,5 +226,22 @@ mod tests {
     fn banner_mentions_parameters() {
         let b = parse(&["--quick"]).banner("Table 2");
         assert!(b.contains("Table 2") && b.contains("users=1000"));
+    }
+
+    #[test]
+    fn missing_rss_degrades_to_na_and_null() {
+        assert_eq!(crate::mb_cell(None), "n/a");
+        assert_eq!(crate::mb_json(None), "null");
+        assert_eq!(crate::mb_cell(Some(123.44)), "123.4");
+        assert_eq!(crate::mb_json(Some(123.44)), "123.4");
+        // On Linux the reading exists and the display renders it; off
+        // Linux both sides degrade together rather than panicking.
+        match crate::peak_rss_mb() {
+            Some(mb) => {
+                assert!(mb > 0.0);
+                assert!(crate::peak_rss_display().ends_with("MiB"));
+            }
+            None => assert_eq!(crate::peak_rss_display(), "n/a"),
+        }
     }
 }

@@ -80,12 +80,35 @@ pub fn online_refresh_drift(
     engine
         .refresh_from_dataset(&data.dataset, &new_users, batch.max(1))
         .map_err(|e| e.to_string())?;
-    let refreshed_snapshot = engine.snapshot();
+    drift_for_engine(&engine, data, &new_users, mlp_config)
+}
+
+/// The measurement half of [`online_refresh_drift`], against a
+/// caller-owned engine that has already absorbed `new_users`: reads
+/// their committed MAP homes off the engine's published snapshot, runs
+/// the masked cold retrain, and reports both ACC@100 numbers.
+///
+/// Splitting this out lets one long-lived [`ServingEngine`] be measured
+/// at several comparison points (the scenario engine's per-tick loop,
+/// a drift-threshold sweep) instead of rebuilding the serving stack per
+/// measurement — with results byte-identical to the one-shot entry
+/// point, which now delegates here.
+pub fn drift_for_engine(
+    engine: &ServingEngine<'_>,
+    data: &GeneratedData,
+    new_users: &[UserId],
+    mlp_config: &MlpConfig,
+) -> Result<DriftReport, String> {
+    let gaz = engine.gazetteer();
+    let snapshot = engine.snapshot();
+    if let Some(u) = new_users.iter().find(|u| u.index() >= snapshot.num_users()) {
+        return Err(format!("user {} has not been absorbed by the engine", u.0));
+    }
     let refreshed: Vec<Option<CityId>> =
-        new_users.iter().map(|&u| Some(refreshed_snapshot.users.home(u))).collect();
+        new_users.iter().map(|&u| Some(snapshot.users.home(u))).collect();
 
     // Cold path: full corpus, new users' labels masked.
-    let masked = data.dataset.mask_users(&new_users);
+    let masked = data.dataset.mask_users(new_users);
     let retrained_result = Mlp::new(gaz, &masked, mlp_config.clone())?.run();
     let retrained: Vec<Option<CityId>> =
         new_users.iter().map(|&u| Some(retrained_result.home(u))).collect();
@@ -123,6 +146,45 @@ mod tests {
             "refreshed serving not meaningfully above chance: {report:?}"
         );
         assert!(report.drift() < 0.15, "online refresh drifted too far: {report:?}");
+    }
+
+    #[test]
+    fn drift_for_engine_reuses_one_engine_across_points() {
+        let gaz = Gazetteer::us_cities();
+        let data = Generator::new(
+            &gaz,
+            GeneratorConfig { num_users: 260, seed: 4205, ..Default::default() },
+        )
+        .generate();
+        let cfg = MlpConfig { iterations: 4, burn_in: 2, seed: 4205, ..Default::default() };
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(cfg.clone())
+            .fold_in_config(FoldInConfig::default())
+            .train(&data.dataset.prefix(200))
+            .unwrap();
+
+        // First comparison point: 30 users absorbed, measured in place.
+        let first: Vec<UserId> = (200..230).map(UserId).collect();
+        engine.refresh_from_dataset(&data.dataset, &first, 15).unwrap();
+        let r1 = drift_for_engine(&engine, &data, &first, &cfg).unwrap();
+        assert_eq!(r1.new_users, 30);
+        assert_eq!(r1.commits, 2);
+
+        // A user the engine has not absorbed is a typed error, not a panic.
+        assert!(drift_for_engine(&engine, &data, &[UserId(250)], &cfg)
+            .unwrap_err()
+            .contains("not been absorbed"));
+
+        // Second point on the *same* engine — and the one-shot entry
+        // point over the same split agrees byte for byte (same batch
+        // boundaries, same absorb order, same masked retrain).
+        let rest: Vec<UserId> = (230..260).map(UserId).collect();
+        engine.refresh_from_dataset(&data.dataset, &rest, 15).unwrap();
+        let all: Vec<UserId> = (200..260).map(UserId).collect();
+        let reused = drift_for_engine(&engine, &data, &all, &cfg).unwrap();
+        let one_shot =
+            online_refresh_drift(&gaz, &data, 200, &cfg, FoldInConfig::default(), 15).unwrap();
+        assert_eq!(reused, one_shot, "engine reuse must match the one-shot path exactly");
     }
 
     #[test]

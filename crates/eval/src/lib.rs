@@ -18,6 +18,9 @@
 //! * [`cases`] — the case-study tables (Tabs. 4–5);
 //! * [`drift`] — refreshed-vs-retrained accuracy for the online-update
 //!   staleness policy;
+//! * [`scenario`] — the closed loop over an event-scripted world:
+//!   serve → measure → refresh-or-retrain per tick, producing
+//!   accuracy-over-time curves;
 //! * [`table`] — plain-text table rendering shared by every bench binary.
 
 pub mod bootstrap;
@@ -29,13 +32,15 @@ pub mod multi;
 pub mod observations;
 pub mod relation;
 pub mod runner;
+pub mod scenario;
 pub mod table;
 
 pub use bootstrap::{bootstrap_accuracy, bootstrap_mean, BootstrapInterval};
-pub use drift::{online_refresh_drift, DriftReport};
+pub use drift::{drift_for_engine, online_refresh_drift, DriftReport};
 pub use home::{HomePredictionReport, HomeTask, WarmStartReport};
 pub use metrics::{aad_curve, acc_at_m, dp_at_k, dr_at_k, relationship_acc_at_m};
 pub use multi::{MultiLocationReport, MultiLocationTask};
 pub use relation::{RelationReport, RelationTask};
 pub use runner::{ExperimentContext, Method, TrainCache, TrainedMlp};
+pub use scenario::{run_scenario, ScenarioReport, ScenarioRunConfig, TickAction, TickMetrics};
 pub use table::TextTable;

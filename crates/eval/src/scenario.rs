@@ -1,0 +1,451 @@
+//! The closed loop over an event-scripted world: serve → measure →
+//! decide → refresh-or-retrain, tick by tick.
+//!
+//! [`mlp_social::ScenarioWorld`] makes the synthetic Twitter move
+//! (arrivals, migration waves, churn, label noise — see
+//! `mlp_social::scenario`); this module drives a live
+//! [`mlp_core::ServingEngine`] against it and records the
+//! accuracy-over-time curve the whole subsystem exists to produce. Per
+//! tick:
+//!
+//! 1. the world advances ([`mlp_social::ScenarioWorld::tick`]);
+//! 2. serving traffic is replayed against the engine's *current* epoch
+//!    (scaled by the tick's traffic multiplier, wall-clock timed);
+//! 3. ACC@100 of the published posterior over every absorbed user's
+//!    current true home is measured — the *served* accuracy — and its
+//!    gap to the post-(re)train reference accuracy is recorded as
+//!    drift ([`mlp_core::ServingEngine::record_drift`]);
+//! 4. the engine's decision layer
+//!    ([`mlp_core::ServingEngine::plan_refresh`]) picks the move:
+//!    steady (nothing pending, policy quiet), incremental refresh of
+//!    pending arrivals, or — when the [`mlp_core::StalenessPolicy`]
+//!    fired — a full in-place retrain
+//!    ([`mlp_core::ServingEngine::retrain_from_dataset`]), which resets
+//!    the reference accuracy;
+//! 5. the post-action *committed* accuracy is measured.
+//!
+//! Everything but wall-clock latency is deterministic:
+//! [`ScenarioReport::determinism_fingerprint`] hashes the full metric
+//! stream (accuracies at exact bit patterns, actions, epochs, event
+//! fingerprint) and repeat runs of the same `(seed, script)` match it
+//! exactly — pinned by the integration suite.
+
+use crate::metrics::acc_at_m;
+use crate::table::TextTable;
+use mlp_core::{
+    FoldInConfig, MlpConfig, ProfileRequest, RetrainDecision, ServingEngine, StalenessPolicy,
+};
+use mlp_gazetteer::{CityId, Gazetteer};
+use mlp_sampling::{Pcg64, SplitMix64};
+use mlp_social::{GeneratorConfig, ScenarioScript, ScenarioWorld, UserId};
+
+/// Everything a scenario run needs besides the script itself.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunConfig {
+    /// World generation knobs (the `num_users` field is overridden by
+    /// the script's `initial_users`; `seed` is the master seed for the
+    /// whole run).
+    pub generator: GeneratorConfig,
+    /// Training hyper-parameters for the initial train and every
+    /// retrain.
+    pub mlp: MlpConfig,
+    /// Per-request fold-in configuration.
+    pub fold_in: FoldInConfig,
+    /// When the engine escalates from incremental refresh to a full
+    /// retrain. The default disables the commit budget (steady arrivals
+    /// would spend any budget on schedule regardless of quality) and
+    /// retrains on a drift of more than ten accuracy points.
+    pub staleness: StalenessPolicy,
+    /// Users per refresh commit.
+    pub refresh_batch: usize,
+    /// Serving requests replayed per tick at traffic level 1.0.
+    pub requests_per_tick: usize,
+}
+
+impl Default for ScenarioRunConfig {
+    fn default() -> Self {
+        Self {
+            generator: GeneratorConfig::default(),
+            mlp: MlpConfig { iterations: 8, burn_in: 4, seed: 2012, ..Default::default() },
+            fold_in: FoldInConfig::default(),
+            staleness: StalenessPolicy { refresh_after_commits: 0, drift_threshold: 0.10 },
+            refresh_batch: 32,
+            requests_per_tick: 8,
+        }
+    }
+}
+
+/// What the closed loop did on one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickAction {
+    /// Nothing pending, policy quiet.
+    Steady,
+    /// Pending arrivals absorbed incrementally.
+    Refresh {
+        /// Users appended to the posterior.
+        appended: usize,
+        /// Commits (= epochs) published.
+        commits: usize,
+    },
+    /// The staleness policy fired; the engine retrained in place.
+    Retrain {
+        /// Users in the retrained posterior.
+        trained_users: usize,
+    },
+}
+
+impl TickAction {
+    fn label(&self) -> String {
+        match self {
+            TickAction::Steady => "steady".into(),
+            TickAction::Refresh { appended, .. } => format!("refresh+{appended}"),
+            TickAction::Retrain { trained_users } => format!("RETRAIN@{trained_users}"),
+        }
+    }
+}
+
+/// One row of the accuracy-over-time curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickMetrics {
+    /// Tick number (1-based).
+    pub tick: usize,
+    /// World users after the tick.
+    pub users: usize,
+    /// Users the posterior knew while serving this tick (pre-action).
+    pub absorbed: usize,
+    /// ACC@100 of the published posterior over all absorbed users'
+    /// current true homes, *before* this tick's action — what the tick
+    /// actually served.
+    pub acc_served: f64,
+    /// The same measure after the tick's action committed.
+    pub acc_committed: f64,
+    /// Drift recorded this tick: reference accuracy (measured right
+    /// after the last train/retrain) minus `acc_served`, clamped at 0.
+    pub drift: f64,
+    /// What the decision layer did.
+    pub action: TickAction,
+    /// Published epoch after the tick.
+    pub epoch: u64,
+    /// Users who arrived this tick.
+    pub new_users: usize,
+    /// Users whose home moved this tick.
+    pub migrated: usize,
+    /// Edges added minus nothing — raw add count.
+    pub edges_added: usize,
+    /// Edges removed.
+    pub edges_removed: usize,
+    /// Registered labels corrupted.
+    pub labels_corrupted: usize,
+    /// The tick's traffic multiplier.
+    pub traffic: f64,
+    /// Serving requests replayed.
+    pub requests: usize,
+    /// Wall-clock time serving them, milliseconds. The one
+    /// non-deterministic field — excluded from the fingerprint.
+    pub serve_ms: f64,
+}
+
+/// The machine-readable product of one scenario run: the per-tick
+/// accuracy-over-time curve plus run-level provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (from the script).
+    pub scenario: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Users before tick 1.
+    pub initial_users: usize,
+    /// ACC@100 right after the initial train (the first reference).
+    pub initial_acc: f64,
+    /// One row per tick, in order.
+    pub ticks: Vec<TickMetrics>,
+    /// The world's event-stream fingerprint after the last tick.
+    pub event_fingerprint: u64,
+}
+
+impl ScenarioReport {
+    /// Ticks that absorbed users incrementally.
+    pub fn refreshes(&self) -> usize {
+        self.ticks.iter().filter(|t| matches!(t.action, TickAction::Refresh { .. })).count()
+    }
+
+    /// Ticks that retrained in place.
+    pub fn retrains(&self) -> usize {
+        self.ticks.iter().filter(|t| matches!(t.action, TickAction::Retrain { .. })).count()
+    }
+
+    /// The lowest served accuracy across ticks (the dip a staleness
+    /// event caused), with its tick number.
+    pub fn min_acc_served(&self) -> Option<(usize, f64)> {
+        self.ticks.iter().map(|t| (t.tick, t.acc_served)).min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// The last tick's committed accuracy.
+    pub fn final_acc_committed(&self) -> Option<f64> {
+        self.ticks.last().map(|t| t.acc_committed)
+    }
+
+    /// FNV-1a over every deterministic field of the run: scenario name,
+    /// seed, exact accuracy bit patterns, actions, epochs, world deltas,
+    /// and the world's own event fingerprint. Wall-clock latency is the
+    /// only field left out. Repeat runs of the same `(seed, script)`
+    /// produce the same value.
+    pub fn determinism_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut fold = |w: u64| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for b in self.scenario.bytes() {
+            fold(b as u64);
+        }
+        fold(self.seed);
+        fold(self.initial_users as u64);
+        fold(self.initial_acc.to_bits());
+        fold(self.event_fingerprint);
+        for t in &self.ticks {
+            fold(t.tick as u64);
+            fold(t.users as u64);
+            fold(t.absorbed as u64);
+            fold(t.acc_served.to_bits());
+            fold(t.acc_committed.to_bits());
+            fold(t.drift.to_bits());
+            match t.action {
+                TickAction::Steady => fold(0),
+                TickAction::Refresh { appended, commits } => {
+                    fold(1);
+                    fold(appended as u64);
+                    fold(commits as u64);
+                }
+                TickAction::Retrain { trained_users } => {
+                    fold(2);
+                    fold(trained_users as u64);
+                }
+            }
+            fold(t.epoch);
+            fold(t.new_users as u64);
+            fold(t.migrated as u64);
+            fold(t.edges_added as u64);
+            fold(t.edges_removed as u64);
+            fold(t.labels_corrupted as u64);
+            fold(t.traffic.to_bits());
+            fold(t.requests as u64);
+        }
+        h
+    }
+
+    /// The accuracy-over-time curve as a fixed-width text table.
+    pub fn render_table(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "tick",
+            "users",
+            "absorbed",
+            "acc_served",
+            "acc_comm",
+            "drift",
+            "action",
+            "epoch",
+            "new",
+            "moved",
+            "e+",
+            "e-",
+            "lbl!",
+            "req",
+            "ms",
+        ]);
+        for t in &self.ticks {
+            table.add_row(vec![
+                t.tick.to_string(),
+                t.users.to_string(),
+                t.absorbed.to_string(),
+                format!("{:.4}", t.acc_served),
+                format!("{:.4}", t.acc_committed),
+                format!("{:.4}", t.drift),
+                t.action.label(),
+                t.epoch.to_string(),
+                t.new_users.to_string(),
+                t.migrated.to_string(),
+                t.edges_added.to_string(),
+                t.edges_removed.to_string(),
+                t.labels_corrupted.to_string(),
+                t.requests.to_string(),
+                format!("{:.2}", t.serve_ms),
+            ]);
+        }
+        table.render()
+    }
+
+    /// The report as a self-contained JSON object (hand-rolled — the
+    /// repo carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scenario\": \"{}\",\n", self.scenario));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"initial_users\": {},\n", self.initial_users));
+        out.push_str(&format!("  \"initial_acc_at_100\": {:.6},\n", self.initial_acc));
+        out.push_str(&format!("  \"refreshes\": {},\n", self.refreshes()));
+        out.push_str(&format!("  \"retrains\": {},\n", self.retrains()));
+        out.push_str(&format!("  \"event_fingerprint\": \"{:#018x}\",\n", self.event_fingerprint));
+        out.push_str(&format!(
+            "  \"determinism_fingerprint\": \"{:#018x}\",\n",
+            self.determinism_fingerprint()
+        ));
+        out.push_str("  \"ticks\": [\n");
+        for (i, t) in self.ticks.iter().enumerate() {
+            let action = match t.action {
+                TickAction::Steady => "\"steady\"".to_string(),
+                TickAction::Refresh { appended, commits } => {
+                    format!("\"refresh\", \"appended\": {appended}, \"commits\": {commits}")
+                }
+                TickAction::Retrain { trained_users } => {
+                    format!("\"retrain\", \"trained_users\": {trained_users}")
+                }
+            };
+            out.push_str(&format!(
+                "    {{\"tick\": {}, \"users\": {}, \"absorbed\": {}, \
+                 \"acc_served\": {:.6}, \"acc_committed\": {:.6}, \"drift\": {:.6}, \
+                 \"action\": {action}, \"epoch\": {}, \"new_users\": {}, \"migrated\": {}, \
+                 \"edges_added\": {}, \"edges_removed\": {}, \"labels_corrupted\": {}, \
+                 \"traffic\": {:.3}, \"requests\": {}, \"serve_ms\": {:.3}}}{}\n",
+                t.tick,
+                t.users,
+                t.absorbed,
+                t.acc_served,
+                t.acc_committed,
+                t.drift,
+                t.epoch,
+                t.new_users,
+                t.migrated,
+                t.edges_added,
+                t.edges_removed,
+                t.labels_corrupted,
+                t.traffic,
+                t.requests,
+                t.serve_ms,
+                if i + 1 < self.ticks.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// ACC@100 of the published posterior over every absorbed user's
+/// *current* true home.
+fn measure_acc(gaz: &Gazetteer, engine: &ServingEngine<'_>, world: &ScenarioWorld<'_>) -> f64 {
+    let snapshot = engine.snapshot();
+    let absorbed = snapshot.num_users();
+    let predictions: Vec<Option<CityId>> =
+        (0..absorbed as u32).map(|u| Some(snapshot.users.home(UserId(u)))).collect();
+    let truths: Vec<CityId> = (0..absorbed as u32).map(|u| world.true_home(UserId(u))).collect();
+    acc_at_m(gaz, &predictions, &truths, 100.0)
+}
+
+/// RNG namespace for the per-tick serving-traffic sampler — disjoint
+/// from the world's own streams (which use `tick << 20 | op`) by the
+/// high salt bits.
+const SERVE_STREAM_SALT: u64 = 0x5E7F_0000_0000_0000;
+
+/// Runs `script` end to end: builds the world, cold-trains the engine on
+/// the initial dataset, then drives the closed loop for `script.ticks`
+/// ticks. See the [module docs](self) for the per-tick sequence.
+pub fn run_scenario(
+    gaz: &Gazetteer,
+    script: ScenarioScript,
+    config: &ScenarioRunConfig,
+) -> Result<ScenarioReport, String> {
+    let seed = config.generator.seed;
+    let mut world = ScenarioWorld::new(gaz, config.generator.clone(), script)?;
+    let engine = ServingEngine::builder(gaz)
+        .mlp_config(config.mlp.clone())
+        .fold_in_config(config.fold_in.clone())
+        .staleness_policy(config.staleness)
+        .train(world.dataset())
+        .map_err(|e| e.to_string())?;
+
+    let initial_acc = measure_acc(gaz, &engine, &world);
+    let mut reference_acc = initial_acc;
+    let mut report = ScenarioReport {
+        scenario: world.script().name.clone(),
+        seed,
+        initial_users: world.script().initial_users,
+        initial_acc,
+        ticks: Vec::with_capacity(world.script().ticks),
+        event_fingerprint: 0,
+    };
+
+    for _ in 0..world.script().ticks {
+        let delta = world.tick();
+
+        // 1. Replay serving traffic against the pre-maintenance epoch —
+        // the posterior real requests would have hit this tick.
+        let requests = ((config.requests_per_tick as f64) * delta.traffic).round() as usize;
+        let absorbed = engine.snapshot().num_users();
+        let mut serve_rng =
+            Pcg64::new(SplitMix64::derive(seed ^ SERVE_STREAM_SALT, delta.tick as u64));
+        let ids: Vec<UserId> = (0..requests)
+            .map(|_| UserId(serve_rng.next_bounded(world.num_users()) as u32))
+            .collect();
+        let mut reqs = ProfileRequest::batch_from_dataset(world.dataset(), &ids);
+        for r in &mut reqs {
+            r.observations.neighbors.retain(|p| p.index() < absorbed);
+        }
+        let served_at = std::time::Instant::now();
+        engine.profile_batch(&reqs).map_err(|e| format!("tick {} serve: {e}", delta.tick))?;
+        let serve_ms = served_at.elapsed().as_secs_f64() * 1e3;
+
+        // 2. Measure what the tick served and record the drift signal.
+        let acc_served = measure_acc(gaz, &engine, &world);
+        let drift = (reference_acc - acc_served).max(0.0);
+        engine.record_drift(drift);
+
+        // 3. Let the engine's decision layer pick the move, and do it.
+        let pending = world.num_users() - absorbed;
+        let action = match engine.plan_refresh(pending) {
+            RetrainDecision::Steady => TickAction::Steady,
+            RetrainDecision::Refresh => {
+                let ids: Vec<UserId> =
+                    (absorbed as u32..world.num_users() as u32).map(UserId).collect();
+                let r = engine
+                    .refresh_from_dataset(world.dataset(), &ids, config.refresh_batch)
+                    .map_err(|e| format!("tick {} refresh: {e}", delta.tick))?;
+                TickAction::Refresh { appended: r.appended(), commits: r.commits.len() }
+            }
+            RetrainDecision::Retrain => {
+                let r = engine
+                    .retrain_from_dataset(world.dataset(), config.mlp.clone())
+                    .map_err(|e| format!("tick {} retrain: {e}", delta.tick))?;
+                TickAction::Retrain { trained_users: r.trained_users }
+            }
+        };
+
+        // 4. Post-action accuracy; a retrain resets the reference.
+        let acc_committed = measure_acc(gaz, &engine, &world);
+        if matches!(action, TickAction::Retrain { .. }) {
+            reference_acc = acc_committed;
+        }
+
+        report.ticks.push(TickMetrics {
+            tick: delta.tick,
+            users: world.num_users(),
+            absorbed,
+            acc_served,
+            acc_committed,
+            drift,
+            action,
+            epoch: engine.epoch(),
+            new_users: delta.new_users.len(),
+            migrated: delta.migrated.len(),
+            edges_added: delta.edges_added,
+            edges_removed: delta.edges_removed,
+            labels_corrupted: delta.labels_corrupted,
+            traffic: delta.traffic,
+            requests,
+            serve_ms,
+        });
+    }
+    report.event_fingerprint = world.event_fingerprint();
+    Ok(report)
+}

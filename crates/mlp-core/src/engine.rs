@@ -311,6 +311,37 @@ pub struct CommitInfo {
     pub epoch: u64,
 }
 
+/// What [`ServingEngine::plan_refresh`] decided the engine should do
+/// next — the decision layer closed-loop drivers (the scenario engine,
+/// ops schedulers) act on instead of re-deriving policy state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrainDecision {
+    /// Posterior is current and the staleness policy is quiet.
+    Steady,
+    /// New users are pending and the policy is quiet: absorb them
+    /// incrementally via [`ServingEngine::refresh_from_dataset`].
+    Refresh,
+    /// The staleness policy asks for a full cold retrain
+    /// ([`ServingEngine::retrain_from_dataset`]) — commit budget spent
+    /// or recorded drift over threshold.
+    Retrain,
+}
+
+/// What one [`ServingEngine::retrain_from_dataset`] call published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrainReport {
+    /// The epoch the retrained posterior was published as (the epoch
+    /// counter keeps rising across retrains — it is a publication
+    /// counter, not a lineage id).
+    pub epoch: u64,
+    /// Users in the retrained posterior.
+    pub trained_users: usize,
+    /// Whether the retrained base was checkpointed to the artifact file
+    /// (always true for durable engines — the retrain is made durable
+    /// before it is published).
+    pub checkpointed: bool,
+}
+
 /// A cheap, clonable read handle on one published posterior epoch.
 ///
 /// Obtained from [`ServingEngine::snapshot`]; holding it pins the epoch —
@@ -357,10 +388,16 @@ struct Epoch {
     snapshot: PosteriorSnapshot,
     /// Which engine published this epoch (pointer identity). Lets
     /// [`ServingEngine::profile_batch_on`] tell its own handles — whose
-    /// snapshots are guaranteed compatible with the engine's derived
+    /// snapshots are guaranteed compatible with the epoch's derived
     /// state — from handles that wandered in from another engine, which
     /// must take the fully validating path instead.
     publisher: Arc<()>,
+    /// Snapshot-derived serving state (noise models, hyper-parameters,
+    /// popular fallback). Carried per epoch rather than per engine so an
+    /// in-place retrain ([`ServingEngine::retrain_from_dataset`]) swaps
+    /// posterior and derived state atomically: a reader pinning an old
+    /// epoch keeps the matching parts, never a mix.
+    parts: DerivedParts,
 }
 
 /// Builds a [`ServingEngine`]: configuration first, then one of the three
@@ -630,19 +667,20 @@ impl<'a> EngineBuilder<'a> {
         // Derived once (by the updater's constructor): noise models,
         // hyper-parameters, and the popular fallback never change across
         // delta commits, so per-request fold-in engines rebuild from
-        // clones instead of re-validating the gazetteer fingerprint on
-        // every call — and the read and absorb paths share one copy.
-        let parts = updater.derived_parts().clone();
+        // clones carried by the epoch instead of re-validating the
+        // gazetteer fingerprint on every call — and the read and absorb
+        // paths share one copy.
         let identity = Arc::new(());
         let published = Arc::new(Epoch {
             epoch: 0,
             snapshot: updater.snapshot().clone(),
             publisher: Arc::clone(&identity),
+            parts: updater.derived_parts().clone(),
         });
         Ok(ServingEngine {
             gaz: self.gaz,
             fold_in: self.fold_in,
-            parts,
+            policy: self.policy,
             identity,
             commits_published: AtomicUsize::new(updater.commits()),
             stale: AtomicBool::new(updater.needs_refresh()),
@@ -703,10 +741,11 @@ impl RecoveryReport {
 pub struct ServingEngine<'a> {
     gaz: &'a Gazetteer,
     fold_in: FoldInConfig,
-    /// Snapshot-derived serving state that is invariant across delta
-    /// commits (noise models, hyper-parameters, popular fallback) —
-    /// cloned into each per-epoch fold-in engine.
-    parts: DerivedParts,
+    /// The staleness policy this engine was built with — re-applied to
+    /// the fresh updater a [`Self::retrain_from_dataset`] installs, so a
+    /// retrain resets the commit/drift bookkeeping without changing the
+    /// policy itself.
+    policy: StalenessPolicy,
     /// This engine's pointer identity, stamped into every epoch it
     /// publishes (see [`Epoch::publisher`]).
     identity: Arc<()>,
@@ -817,7 +856,7 @@ impl<'a> ServingEngine<'a> {
                 handle.snapshot(),
                 self.gaz,
                 self.fold_in.clone(),
-                self.parts.clone(),
+                handle.inner.parts.clone(),
             )
         } else {
             FoldInEngine::new(handle.snapshot(), self.gaz, self.fold_in.clone())?
@@ -846,7 +885,7 @@ impl<'a> ServingEngine<'a> {
             handle.snapshot(),
             self.gaz,
             self.fold_in.clone(),
-            self.parts.clone(),
+            handle.inner.parts.clone(),
         );
         let profiles =
             engine.fold_in_singletons_by(requests.len(), |i| &requests[i].observations)?;
@@ -961,6 +1000,7 @@ impl<'a> ServingEngine<'a> {
                 epoch: served_epoch + 1,
                 snapshot: writer.updater.snapshot().clone(),
                 publisher: Arc::clone(&self.identity),
+                parts: writer.updater.derived_parts().clone(),
             });
             commits.push(CommitInfo {
                 appended,
@@ -1099,6 +1139,77 @@ impl<'a> ServingEngine<'a> {
     /// never blocks, even while a refresh holds the writer path.
     pub fn commits(&self) -> usize {
         self.commits_published.load(Ordering::Acquire)
+    }
+
+    /// The decision layer over [`Self::needs_retrain`]: given how many
+    /// users are pending absorption, what should the maintenance loop do
+    /// next? [`RetrainDecision::Retrain`] whenever the staleness policy
+    /// fired (a retrain also covers any pending users — it trains on the
+    /// caller's full dataset), else [`RetrainDecision::Refresh`] while
+    /// users are pending, else [`RetrainDecision::Steady`]. Wait-free,
+    /// like the monitoring reads it composes.
+    pub fn plan_refresh(&self, pending_new_users: usize) -> RetrainDecision {
+        if self.needs_retrain() {
+            RetrainDecision::Retrain
+        } else if pending_new_users > 0 {
+            RetrainDecision::Refresh
+        } else {
+            RetrainDecision::Steady
+        }
+    }
+
+    /// Full cold retrain, in place: runs the complete Gibbs chain on
+    /// `dataset`, then atomically replaces the engine's posterior with
+    /// the result — readers never see a gap, and a handle pinned before
+    /// the swap keeps serving its old epoch (with its matching derived
+    /// state) until dropped.
+    ///
+    /// This is the [`RetrainDecision::Retrain`] arm of the closed loop:
+    /// it resets the staleness bookkeeping (commit count to zero, drift
+    /// to zero — same policy, fresh budget) and publishes the retrained
+    /// posterior as the *next* epoch (the counter keeps rising, so epoch
+    /// ordering stays monotone across retrains).
+    ///
+    /// Training runs outside the writer lock, so serving and refreshes
+    /// continue while the chain runs; a refresh commit that lands
+    /// mid-train is superseded by the retrained posterior — `dataset` is
+    /// the authoritative world. On durable engines the retrained base is
+    /// checkpointed (atomic artifact replace + log reset) *before* it is
+    /// published; if that fails, the pre-retrain state stays installed
+    /// and serving, and the error is returned typed.
+    pub fn retrain_from_dataset(
+        &self,
+        dataset: &Dataset,
+        config: MlpConfig,
+    ) -> Result<RetrainReport, EngineError> {
+        config.validate()?;
+        let (_, snapshot) =
+            Mlp::new(self.gaz, dataset, config).map_err(EngineError::Model)?.run_with_snapshot();
+        let updater = OnlineUpdater::new(self.gaz, snapshot, self.fold_in.clone(), self.policy)?;
+        let mut writer = lock_writer(&self.writer);
+        let previous = std::mem::replace(&mut writer.updater, updater);
+        let checkpointed = if writer.durable.is_some() {
+            if let Err(e) = self.checkpoint_locked(&mut writer) {
+                writer.updater = previous;
+                return Err(e);
+            }
+            true
+        } else {
+            false
+        };
+        let epoch = self.epoch_published.load(Ordering::Acquire) + 1;
+        let next = Arc::new(Epoch {
+            epoch,
+            snapshot: writer.updater.snapshot().clone(),
+            publisher: Arc::clone(&self.identity),
+            parts: writer.updater.derived_parts().clone(),
+        });
+        let trained_users = next.snapshot.num_users();
+        self.published.store(next);
+        self.epoch_published.store(epoch, Ordering::Release);
+        self.commits_published.store(writer.updater.commits(), Ordering::Release);
+        self.stale.store(writer.updater.needs_refresh(), Ordering::Release);
+        Ok(RetrainReport { epoch, trained_users, checkpointed })
     }
 
     /// Merges the committed delta history into one record, bounding the
@@ -1382,6 +1493,79 @@ mod tests {
         let own = engine_a.profile_batch(&reqs).unwrap();
         let foreign = engine_a2.profile_batch_on(&engine_a.snapshot(), &reqs).unwrap();
         assert_eq!(own, foreign);
+    }
+
+    #[test]
+    fn staleness_policy_zero_budget_and_exact_threshold_do_not_trigger() {
+        let (gaz, data) = corpus(130, 219);
+        // Budget 0 disables the commit counter entirely: any number of
+        // commits alone never asks for a retrain.
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(quick(219))
+            .staleness_policy(StalenessPolicy { refresh_after_commits: 0, drift_threshold: 0.1 })
+            .train(&data.dataset.prefix(100))
+            .unwrap();
+        let ids: Vec<UserId> = (100..130).map(UserId).collect();
+        let report = engine.refresh_from_dataset(&data.dataset, &ids, 5).unwrap();
+        assert_eq!(report.commits.len(), 6);
+        assert!(!report.needs_retrain, "budget 0 must disable the commit trigger");
+        assert!(!engine.needs_retrain());
+        assert_eq!(engine.plan_refresh(0), RetrainDecision::Steady);
+        assert_eq!(engine.plan_refresh(3), RetrainDecision::Refresh);
+
+        // Drift exactly at the threshold is not *over* it — strictly
+        // greater is the contract, so the boundary stays quiet.
+        engine.record_drift(0.1);
+        assert!(!engine.needs_retrain(), "drift == threshold must not trigger");
+        engine.record_drift(0.1 + 1e-9);
+        assert!(engine.needs_retrain(), "any excess over threshold must trigger");
+        assert_eq!(engine.plan_refresh(0), RetrainDecision::Retrain);
+        // Drift is a last-measurement signal, not a ratchet: a newer,
+        // smaller reading clears it.
+        engine.record_drift(0.0);
+        assert!(!engine.needs_retrain());
+    }
+
+    #[test]
+    fn retrain_resets_policy_and_publishes_next_epoch() {
+        let (gaz, data) = corpus(140, 221);
+        let engine = ServingEngine::builder(&gaz)
+            .mlp_config(quick(221))
+            .staleness_policy(StalenessPolicy { refresh_after_commits: 2, drift_threshold: 0.1 })
+            .train(&data.dataset.prefix(100))
+            .unwrap();
+        let ids: Vec<UserId> = (100..140).map(UserId).collect();
+        engine.refresh_from_dataset(&data.dataset, &ids, 20).unwrap();
+        assert_eq!(engine.epoch(), 2);
+        assert!(engine.needs_retrain(), "commit budget spent");
+        assert_eq!(engine.plan_refresh(0), RetrainDecision::Retrain);
+
+        // Pin the stale epoch and remember how it serves.
+        let pinned = engine.snapshot();
+        let reqs = ProfileRequest::batch_from_dataset(&data.dataset, &[UserId(3), UserId(17)]);
+        let before = engine.profile_batch_on(&pinned, &reqs).unwrap();
+
+        let report = engine.retrain_from_dataset(&data.dataset, quick(222)).unwrap();
+        assert_eq!(report.epoch, 3, "retrain publishes the next epoch, not epoch 0");
+        assert_eq!(report.trained_users, 140);
+        assert!(!report.checkpointed, "in-memory engine has no artifact to checkpoint");
+
+        // Policy bookkeeping is reset: same policy, fresh budget.
+        assert_eq!(engine.epoch(), 3);
+        assert_eq!(engine.commits(), 0);
+        assert!(!engine.needs_retrain());
+        assert_eq!(engine.plan_refresh(0), RetrainDecision::Steady);
+        assert_eq!(engine.snapshot().num_users(), 140);
+
+        // The pinned pre-retrain handle still serves bit-identically: its
+        // epoch carries its own derived state, untouched by the swap.
+        assert_eq!(pinned.epoch(), 2);
+        let after = engine.profile_batch_on(&pinned, &reqs).unwrap();
+        assert_eq!(before, after, "pinned epochs must be immune to a retrain");
+
+        // And the refresh loop keeps working on the retrained posterior.
+        engine.record_drift(0.2);
+        assert!(engine.needs_retrain(), "the policy itself survives the reset");
     }
 
     #[test]

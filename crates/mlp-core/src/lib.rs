@@ -84,7 +84,8 @@ pub use count_store::{VenueCountStore, VenueRow};
 pub use diagnostics::{Diagnostics, IterationStats};
 pub use engine::{
     response_determinism_hash, CommitInfo, EngineBuilder, EngineError, OpenMode, ProfileRequest,
-    ProfileResponse, RankedCities, RecoveryReport, RefreshReport, ServingEngine, SnapshotHandle,
+    ProfileResponse, RankedCities, RecoveryReport, RefreshReport, RetrainDecision, RetrainReport,
+    ServingEngine, SnapshotHandle,
 };
 pub use fit::fit_power_law_from_labels;
 pub use geo_groups::{geo_groups, GeoGroup, GeoGrouping};

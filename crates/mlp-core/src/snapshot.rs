@@ -459,7 +459,7 @@ impl UserArena {
 ///
 /// Slab-backed like [`UserArena`], so a mapped v5 artifact serves `φ`
 /// lookups straight from the file. Venue deltas rebuild the slabs
-/// ([`Self::apply_sorted_weights`]), which copies a mapped arena to owned
+/// (`apply_sorted_weights`), which copies a mapped arena to owned
 /// — acceptable because the venue arena is gazetteer-bounded, orders of
 /// magnitude smaller than the user arena.
 #[derive(Debug, Clone, PartialEq)]
@@ -1034,7 +1034,7 @@ impl PosteriorSnapshot {
     /// (final) delta section and patching its table entry instead of
     /// re-encoding the arenas
     /// ([`crate::online::OnlineUpdater::encode_artifact`] does exactly
-    /// that via [`v5_set_delta_section`]).
+    /// that via the crate-internal `v5_set_delta_section`).
     pub fn encode_with_deltas(&self, deltas: &[SnapshotDelta]) -> Result<Bytes, SnapshotError> {
         let mut delta_section = BytesMut::new();
         append_delta_section(&mut delta_section, deltas)?;
@@ -2028,7 +2028,7 @@ impl PosteriorSnapshot {
     /// allocation, no copy, O(1) in the user count apart from the CRC
     /// pass and structural scan. Legacy (v2–v4) artifacts have no section
     /// table and fall back to the copying [`Self::decode`]; so do
-    /// misaligned or big-endian situations inside [`Self::thaw_v5`].
+    /// misaligned or big-endian situations inside the internal v5 thaw.
     /// Callers observe identical snapshots on every path.
     pub fn open_mapped(map: &Arc<mmap_lite::Mmap>) -> Result<Self, SnapshotError> {
         Self::open_mapped_with(map, Integrity::Full)

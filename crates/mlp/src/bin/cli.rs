@@ -10,6 +10,7 @@
 //! mlp-cli train    --data data.mlp --out model.mlps [--train-users N]
 //! mlp-cli refresh  --data data.mlp --snapshot model.mlps --out fresh.mlps
 //! mlp-cli inspect  --snapshot model.mlps                    # artifact + sidecar log
+//! mlp-cli scenario --name migration-wave --users 400 --ticks 8
 //! ```
 //!
 //! Datasets are the binary snapshot format of `mlp::social::codec` (the
@@ -32,6 +33,12 @@
 //! fsync'd to a sidecar `<snapshot>.wal` *before* it is applied, so a
 //! killed refresh loses nothing — rerunning it recovers the committed
 //! prefix from the log and carries on from there.
+//!
+//! `scenario` runs one of the canned event scripts (steady-state,
+//! migration-wave, churn-storm, noise-burst) through the closed
+//! serve → measure → refresh-or-retrain loop and prints the
+//! accuracy-over-time curve; `--json FILE` writes the machine-readable
+//! report.
 
 use mlp::core::geo_groups::geo_groups;
 use mlp::prelude::*;
@@ -63,7 +70,9 @@ const USAGE: &str = "usage:
   mlp-cli train    --corpus DIR --out SNAPSHOT [--shards N] [--reconcile-every K]
                    [--iters N] [--seed N]
   mlp-cli refresh  --data FILE --snapshot SNAPSHOT --out SNAPSHOT [--batch N] [--seed N]
-  mlp-cli inspect  --snapshot SNAPSHOT";
+  mlp-cli inspect  --snapshot SNAPSHOT
+  mlp-cli scenario [--name SCENARIO] [--users N] [--ticks N] [--cities N]
+                   [--seed N] [--iters N] [--json FILE]";
 
 struct Options {
     users: usize,
@@ -75,12 +84,15 @@ struct Options {
     chunk: usize,
     shards: usize,
     reconcile_every: usize,
+    ticks: usize,
     user: Option<u32>,
     train_users: Option<usize>,
+    name: Option<String>,
     data: Option<String>,
     corpus: Option<String>,
     snapshot: Option<String>,
     out: Option<String>,
+    json: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -94,12 +106,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chunk: 50_000,
         shards: 1,
         reconcile_every: 2,
+        ticks: 8,
         user: None,
         train_users: None,
+        name: None,
         data: None,
         corpus: None,
         snapshot: None,
         out: None,
+        json: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -114,12 +129,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--chunk" => o.chunk = parse_num(&value()?)? as usize,
             "--shards" => o.shards = parse_num(&value()?)? as usize,
             "--reconcile-every" => o.reconcile_every = parse_num(&value()?)? as usize,
+            "--ticks" => o.ticks = parse_num(&value()?)? as usize,
             "--user" => o.user = Some(parse_num(&value()?)? as u32),
             "--train-users" => o.train_users = Some(parse_num(&value()?)? as usize),
+            "--name" => o.name = Some(value()?),
             "--data" => o.data = Some(value()?),
             "--corpus" => o.corpus = Some(value()?),
             "--snapshot" => o.snapshot = Some(value()?),
             "--out" => o.out = Some(value()?),
+            "--json" => o.json = Some(value()?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -327,6 +345,42 @@ fn run(args: &[String]) -> Result<(), String> {
                     ""
                 }
             );
+            Ok(())
+        }
+        "scenario" => {
+            let name = o.name.as_deref().unwrap_or("migration-wave");
+            let script = ScenarioScript::by_name(name, o.users, o.ticks).ok_or_else(|| {
+                format!("unknown scenario {name} (canned: {})", CANNED_SCENARIOS.join(", "))
+            })?;
+            let config = ScenarioRunConfig {
+                generator: GeneratorConfig { seed: o.seed, ..Default::default() },
+                mlp: mlp_config(&o),
+                ..Default::default()
+            };
+            let report =
+                run_scenario(&gaz, script, &config).map_err(|e| format!("scenario {name}: {e}"))?;
+            println!(
+                "scenario {name}: {} users, {} ticks, seed {}",
+                report.initial_users,
+                report.ticks.len(),
+                report.seed
+            );
+            println!("{}", report.render_table());
+            println!(
+                "initial ACC@100 {:.4} | final {:.4} | {} refreshes, {} retrains | \
+                 events {:#018x} | run {:#018x}",
+                report.initial_acc,
+                report.final_acc_committed().unwrap_or(report.initial_acc),
+                report.refreshes(),
+                report.retrains(),
+                report.event_fingerprint,
+                report.determinism_fingerprint()
+            );
+            if let Some(path) = o.json.as_deref() {
+                std::fs::write(path, report.to_json())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote {path}");
+            }
             Ok(())
         }
         "inspect" => {

@@ -59,12 +59,19 @@ pub mod prelude {
         Coalescer, ConfigError, EngineBuilder, EngineError, FoldInConfig, FoldInEngine, Mlp,
         MlpConfig, MlpResult, NewUserObservations, OnlineUpdater, PosteriorSnapshot,
         ProfileRequest, ProfileResponse, RankedCities, RecoveryReport, RefreshReport,
-        ServingEngine, SnapshotDelta, SnapshotHandle, StalenessPolicy, Variant,
+        RetrainDecision, RetrainReport, ServingEngine, SnapshotDelta, SnapshotHandle,
+        StalenessPolicy, Variant,
     };
-    pub use mlp_eval::{ExperimentContext, HomeTask, Method, MultiLocationTask, RelationTask};
+    pub use mlp_eval::{
+        drift_for_engine, run_scenario, ExperimentContext, HomeTask, Method, MultiLocationTask,
+        RelationTask, ScenarioReport, ScenarioRunConfig, TickAction, TickMetrics,
+    };
     pub use mlp_gazetteer::{CityId, Gazetteer, SynthConfig, VenueExtractor, VenueId};
     pub use mlp_geo::{GeoPoint, PowerLaw};
-    pub use mlp_social::{Dataset, Folds, GeneratedData, Generator, GeneratorConfig, UserId};
+    pub use mlp_social::{
+        Dataset, Folds, GeneratedData, Generator, GeneratorConfig, ScenarioEvent, ScenarioScript,
+        ScenarioWorld, TickDelta, UserId, CANNED_SCENARIOS,
+    };
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ pub mod folds;
 pub mod generator;
 pub mod graph;
 pub mod model;
+pub mod scenario;
 pub mod stats;
 pub mod stream;
 pub mod truth;
@@ -49,6 +50,10 @@ pub use folds::Folds;
 pub use generator::{GeneratedData, Generator, GeneratorConfig};
 pub use graph::Adjacency;
 pub use model::{Dataset, FollowEdge, TweetMention, UserId};
+pub use scenario::{
+    Migration, ScenarioEvent, ScenarioScript, ScenarioWorld, ScheduledEvent, TickDelta,
+    CANNED_SCENARIOS,
+};
 pub use stats::{following_probability_histogram, DatasetStats};
 pub use stream::{CorpusChunk, CorpusManifest, CorpusReader, StreamingGenerator};
 pub use truth::{EdgeTruth, GroundTruth, MentionTruth};

@@ -1,0 +1,969 @@
+//! Event-scripted world simulation over the synthetic Twitter.
+//!
+//! The generator ([`crate::generator`]) produces one *static* world; this
+//! module makes that world move. A [`ScenarioScript`] is a deterministic
+//! timeline of interventions — steady user arrivals plus scheduled
+//! events — and a [`ScenarioWorld`] advances the world one tick at a
+//! time, mutating the dataset in place with the generator's own
+//! generative story (the same ψ_l venue mixtures, distance power law,
+//! and celebrity noise models) and reporting what changed as a
+//! [`TickDelta`]:
+//!
+//! * **arrivals** — new users join with profiles, mentions, and edges
+//!   drawn exactly as the generator would have drawn them;
+//! * **migration waves** ([`ScenarioEvent::MigrationWave`]) — users
+//!   change home city: the registered label moves, their old tweets age
+//!   out of the crawl window and are regenerated from the new profile,
+//!   and about half of their follow edges churn and are re-drawn;
+//! * **graph churn** ([`ScenarioEvent::EdgeChurn`]) — edges decay
+//!   uniformly and fresh ones grow from current profiles;
+//! * **label noise** ([`ScenarioEvent::NoiseBurst`]) — a burst of
+//!   corrupted registered locations (truth is untouched — only the
+//!   labels lie);
+//! * **traffic spikes** ([`ScenarioEvent::TrafficSpike`]) — a serving
+//!   load multiplier for the tick, for closed-loop drivers.
+//!
+//! Everything is a pure function of `(gazetteer, generator config,
+//! script)`: each tick draws from RNG streams derived from the master
+//! seed, the tick number, and the operation index, so the same inputs
+//! replay the same event stream byte for byte — pinned by
+//! [`ScenarioWorld::event_fingerprint`], an FNV-1a hash folded over
+//! every mutation as it happens.
+//!
+//! The closed loop through the serving stack (refresh vs retrain
+//! decisions, accuracy-over-time curves) lives in `mlp_eval::scenario`;
+//! this module is only the world.
+
+use crate::generator::{sample_profile, GeneratedData, Generator, GeneratorConfig};
+use crate::model::{Dataset, FollowEdge, TweetMention, UserId};
+use mlp_gazetteer::{CityId, Gazetteer, VenueId};
+use mlp_sampling::{sample_poisson, AliasTable, Pcg64, SplitMix64};
+use std::collections::HashSet;
+
+/// One intervention a script can schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioEvent {
+    /// `count` extra users join this tick (on top of the script's
+    /// steady `arrivals_per_tick`).
+    Arrivals {
+        /// How many users arrive.
+        count: usize,
+    },
+    /// Each existing user migrates to a new home city with probability
+    /// `fraction`. A migrant's registered label moves to the new home,
+    /// their tweets are regenerated from the new profile (the old ones
+    /// age out of the crawl window), and roughly half of their follow
+    /// edges churn and are re-drawn around the new home.
+    MigrationWave {
+        /// Per-user migration probability.
+        fraction: f64,
+    },
+    /// Uniform graph decay plus growth: every edge is dropped with
+    /// probability `remove_fraction`, then about `add_per_user` fresh
+    /// edges per current user grow from current profiles.
+    EdgeChurn {
+        /// Per-edge removal probability.
+        remove_fraction: f64,
+        /// Mean fresh edges per current user (Poisson; 0 adds none).
+        add_per_user: f64,
+    },
+    /// Each labeled user's registered location is corrupted (to a
+    /// random non-home city) with probability `fraction`. True profiles
+    /// are untouched.
+    NoiseBurst {
+        /// Per-label corruption probability.
+        fraction: f64,
+    },
+    /// Multiplies this tick's serving-traffic level (advisory — the
+    /// world itself does not serve; closed-loop drivers read it off the
+    /// [`TickDelta`]).
+    TrafficSpike {
+        /// Traffic multiplier for the tick.
+        multiplier: f64,
+    },
+}
+
+/// An event pinned to a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// The tick (1-based) this event fires on.
+    pub tick: usize,
+    /// What happens.
+    pub event: ScenarioEvent,
+}
+
+/// A deterministic timeline: initial world size, tick count, steady
+/// arrival rate, and scheduled events. Construct one of the canned
+/// scenarios ([`Self::steady_state`], [`Self::migration_wave`],
+/// [`Self::churn_storm`], [`Self::noise_burst`] — or [`Self::by_name`])
+/// or build your own and [`Self::validate`] it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioScript {
+    /// Scenario name (used in reports).
+    pub name: String,
+    /// Users in the world before tick 1.
+    pub initial_users: usize,
+    /// How many ticks the scenario runs.
+    pub ticks: usize,
+    /// Users arriving every tick, before any scheduled event.
+    pub arrivals_per_tick: usize,
+    /// The scheduled interventions.
+    pub events: Vec<ScheduledEvent>,
+}
+
+/// The canned scenario names accepted by [`ScenarioScript::by_name`].
+pub const CANNED_SCENARIOS: [&str; 4] =
+    ["steady-state", "migration-wave", "churn-storm", "noise-burst"];
+
+impl ScenarioScript {
+    /// Steady state: arrivals only, no interventions. The baseline the
+    /// other scenarios are read against — incremental refresh should
+    /// hold accuracy without ever retraining.
+    pub fn steady_state(initial_users: usize, ticks: usize) -> Self {
+        Self {
+            name: "steady-state".into(),
+            initial_users,
+            ticks,
+            arrivals_per_tick: (initial_users / 20).max(1),
+            events: Vec::new(),
+        }
+    }
+
+    /// A migration wave: 30% of users change home city at ~40% of the
+    /// timeline. The canonical staleness regime — the posterior's
+    /// absorbed homes go stale in one tick, accuracy dips, drift
+    /// crosses threshold, and the closed loop must retrain to recover.
+    pub fn migration_wave(initial_users: usize, ticks: usize) -> Self {
+        let wave = (ticks * 2 / 5).max(1);
+        Self {
+            name: "migration-wave".into(),
+            initial_users,
+            ticks,
+            arrivals_per_tick: (initial_users / 20).max(1),
+            events: vec![ScheduledEvent {
+                tick: wave,
+                event: ScenarioEvent::MigrationWave { fraction: 0.3 },
+            }],
+        }
+    }
+
+    /// A churn storm: three consecutive ticks of heavy edge decay and
+    /// regrowth under a traffic spike. Homes never move, so the
+    /// posterior stays valid — the scenario probes robustness of the
+    /// refresh path (and serving latency) to graph turbulence.
+    pub fn churn_storm(initial_users: usize, ticks: usize) -> Self {
+        let storm = (ticks / 2).max(1);
+        let mut events: Vec<ScheduledEvent> = (0..3)
+            .map(|i| ScheduledEvent {
+                tick: (storm + i).min(ticks),
+                event: ScenarioEvent::EdgeChurn { remove_fraction: 0.25, add_per_user: 2.0 },
+            })
+            .collect();
+        events.push(ScheduledEvent {
+            tick: storm,
+            event: ScenarioEvent::TrafficSpike { multiplier: 3.0 },
+        });
+        Self {
+            name: "churn-storm".into(),
+            initial_users,
+            ticks,
+            arrivals_per_tick: (initial_users / 20).max(1),
+            events,
+        }
+    }
+
+    /// A label-noise burst followed by a migration wave: 35% of labels
+    /// are corrupted first, then the wave forces the closed loop to
+    /// retrain *on the noisy labels* — measuring how much of the
+    /// migration recovery label noise costs.
+    pub fn noise_burst(initial_users: usize, ticks: usize) -> Self {
+        let burst = (ticks * 2 / 5).max(1);
+        let wave = (burst + 1).min(ticks);
+        Self {
+            name: "noise-burst".into(),
+            initial_users,
+            ticks,
+            arrivals_per_tick: (initial_users / 20).max(1),
+            events: vec![
+                ScheduledEvent { tick: burst, event: ScenarioEvent::NoiseBurst { fraction: 0.35 } },
+                ScheduledEvent {
+                    tick: wave,
+                    event: ScenarioEvent::MigrationWave { fraction: 0.3 },
+                },
+            ],
+        }
+    }
+
+    /// Looks a canned scenario up by name (see [`CANNED_SCENARIOS`]).
+    pub fn by_name(name: &str, initial_users: usize, ticks: usize) -> Option<Self> {
+        match name {
+            "steady-state" => Some(Self::steady_state(initial_users, ticks)),
+            "migration-wave" => Some(Self::migration_wave(initial_users, ticks)),
+            "churn-storm" => Some(Self::churn_storm(initial_users, ticks)),
+            "noise-burst" => Some(Self::noise_burst(initial_users, ticks)),
+            _ => None,
+        }
+    }
+
+    /// Checks the script is well-formed: at least one user and one
+    /// tick, every event inside the timeline, probabilities in `[0, 1]`,
+    /// rates finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_users == 0 {
+            return Err("scenario needs at least one initial user".into());
+        }
+        if self.ticks == 0 {
+            return Err("scenario needs at least one tick".into());
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if e.tick == 0 || e.tick > self.ticks {
+                return Err(format!(
+                    "event {i} scheduled at tick {} outside 1..={}",
+                    e.tick, self.ticks
+                ));
+            }
+            let prob = |name: &str, p: f64| -> Result<(), String> {
+                if (0.0..=1.0).contains(&p) {
+                    Ok(())
+                } else {
+                    Err(format!("event {i}: {name} = {p} is not a probability"))
+                }
+            };
+            match &e.event {
+                ScenarioEvent::Arrivals { .. } => {}
+                ScenarioEvent::MigrationWave { fraction } => prob("fraction", *fraction)?,
+                ScenarioEvent::NoiseBurst { fraction } => prob("fraction", *fraction)?,
+                ScenarioEvent::EdgeChurn { remove_fraction, add_per_user } => {
+                    prob("remove_fraction", *remove_fraction)?;
+                    if !add_per_user.is_finite() || *add_per_user < 0.0 {
+                        return Err(format!("event {i}: add_per_user = {add_per_user} invalid"));
+                    }
+                }
+                ScenarioEvent::TrafficSpike { multiplier } => {
+                    if !multiplier.is_finite() || *multiplier <= 0.0 {
+                        return Err(format!("event {i}: multiplier = {multiplier} invalid"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One user's home move, as reported in a [`TickDelta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Who moved.
+    pub user: UserId,
+    /// The old home city.
+    pub from: CityId,
+    /// The new home city.
+    pub to: CityId,
+}
+
+/// What one [`ScenarioWorld::tick`] changed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickDelta {
+    /// The tick this delta describes (1-based).
+    pub tick: usize,
+    /// Users who joined this tick, in arrival order.
+    pub new_users: Vec<UserId>,
+    /// Users whose home moved this tick.
+    pub migrated: Vec<Migration>,
+    /// Follow edges added (post-dedup).
+    pub edges_added: usize,
+    /// Follow edges removed.
+    pub edges_removed: usize,
+    /// Tweet mentions added.
+    pub mentions_added: usize,
+    /// Tweet mentions that aged out.
+    pub mentions_removed: usize,
+    /// Registered labels corrupted this tick.
+    pub labels_corrupted: usize,
+    /// Serving-traffic multiplier for the tick (1.0 unless a
+    /// [`ScenarioEvent::TrafficSpike`] fired).
+    pub traffic: f64,
+}
+
+// Fingerprint op codes — arbitrary distinct constants folded ahead of
+// each mutation's payload.
+const FOLD_ARRIVAL: u64 = 0xA1;
+const FOLD_MIGRATE: u64 = 0xA2;
+const FOLD_EDGE_ADD: u64 = 0xA3;
+const FOLD_EDGE_DROP: u64 = 0xA4;
+const FOLD_MENTION_ADD: u64 = 0xA5;
+const FOLD_MENTIONS_AGED: u64 = 0xA6;
+const FOLD_NOISE: u64 = 0xA7;
+const FOLD_TRAFFIC: u64 = 0xA8;
+
+/// The RNG stream namespace for the world's own draws; disjoint from
+/// the generator's phases 1–4 by construction (see [`ScenarioWorld::op_rng`]).
+const CELEB_PHASE: u64 = 0xCE1EB;
+
+/// A living synthetic Twitter: the generator's world plus the script
+/// driving it forward. See the [module docs](self) for the event
+/// vocabulary and the determinism contract.
+pub struct ScenarioWorld<'g> {
+    gen: Generator<'g>,
+    script: ScenarioScript,
+    tick: usize,
+    /// Current true profiles — the accuracy oracle for closed-loop
+    /// drivers. `profiles[u][0].0` is the current true home.
+    profiles: Vec<Vec<(CityId, f64)>>,
+    dataset: Dataset,
+    /// city → users whose current profile contains it (the generator's
+    /// index, maintained incrementally).
+    users_at: Vec<Vec<UserId>>,
+    city_user_counts: Vec<f64>,
+    /// Dedup set over (follower, friend) — membership checks only,
+    /// never iterated, so `HashSet` order cannot leak into the output.
+    edge_set: HashSet<(u32, u32)>,
+    pop_alias: AliasTable,
+    popular: (Vec<VenueId>, AliasTable),
+    psi_cache: Vec<Option<(Vec<VenueId>, AliasTable)>>,
+    /// Friend-city alias tables ∝ users(y)·d(x,y)^α — invalidated each
+    /// tick (the user distribution moved) and rebuilt lazily.
+    city_alias: Vec<Option<AliasTable>>,
+    celebs: Vec<UserId>,
+    celeb_alias: AliasTable,
+    fingerprint: u64,
+}
+
+impl<'g> ScenarioWorld<'g> {
+    /// Builds the initial world (a full generator run over
+    /// `script.initial_users` users) and arms the script.
+    ///
+    /// `config.num_users` is overridden by the script; everything else
+    /// (seed, rates, mixtures) applies to both the initial world and
+    /// every tick's draws.
+    ///
+    /// # Panics
+    /// Panics if `config` is degenerate (same contract as
+    /// [`Generator::new`]); script problems return `Err` instead.
+    pub fn new(
+        gaz: &'g Gazetteer,
+        config: GeneratorConfig,
+        script: ScenarioScript,
+    ) -> Result<Self, String> {
+        script.validate()?;
+        let config = GeneratorConfig { num_users: script.initial_users, ..config };
+        let gen = Generator::new(gaz, config);
+        let GeneratedData { dataset, truth } = gen.generate();
+        let mut users_at = vec![Vec::new(); gaz.num_cities()];
+        for (i, profile) in truth.profiles.iter().enumerate() {
+            for &(c, _) in profile {
+                users_at[c.index()].push(UserId(i as u32));
+            }
+        }
+        let city_user_counts = users_at.iter().map(|u| u.len() as f64).collect();
+        let edge_set = dataset.edges.iter().map(|e| (e.follower.0, e.friend.0)).collect();
+        let pop_alias = AliasTable::new(&gaz.population_weights())
+            .ok_or_else(|| "gazetteer has no populated cities".to_string())?;
+        let popular = gen.global_venue_popularity();
+
+        // The world's celebrity pool mirrors the generator's shape
+        // (Zipf attractiveness over seed-picked initial users) but draws
+        // from its own stream — the generator's pool is internal to its
+        // edge phase.
+        let n = script.initial_users;
+        let mut celeb_rng = Pcg64::new(SplitMix64::derive(gen.config.seed, CELEB_PHASE));
+        let num_celebs = ((n as f64 * gen.config.celebrity_fraction).ceil() as usize).max(1);
+        let celebs: Vec<UserId> =
+            (0..num_celebs).map(|_| UserId(celeb_rng.next_bounded(n) as u32)).collect();
+        let celeb_weights: Vec<f64> = (0..num_celebs).map(|r| 1.0 / (1.0 + r as f64)).collect();
+        let celeb_alias = AliasTable::new(&celeb_weights).expect("non-empty celebrity pool");
+
+        let mut world = Self {
+            gen,
+            script,
+            tick: 0,
+            profiles: truth.profiles,
+            dataset,
+            users_at,
+            city_user_counts,
+            edge_set,
+            pop_alias,
+            popular,
+            psi_cache: vec![None; gaz.num_cities()],
+            city_alias: vec![None; gaz.num_cities()],
+            celebs,
+            celeb_alias,
+            fingerprint: 0xcbf29ce484222325,
+        };
+        let seed = world.gen.config.seed;
+        world.fold(&[seed, world.script.initial_users as u64]);
+        let name_bytes: Vec<u64> = world.script.name.bytes().map(u64::from).collect();
+        world.fold(&name_bytes);
+        Ok(world)
+    }
+
+    /// The script driving this world.
+    pub fn script(&self) -> &ScenarioScript {
+        &self.script
+    }
+
+    /// Ticks advanced so far (0 before the first [`Self::tick`]).
+    pub fn current_tick(&self) -> usize {
+        self.tick
+    }
+
+    /// Current user count.
+    pub fn num_users(&self) -> usize {
+        self.dataset.num_users()
+    }
+
+    /// The observable dataset as of the last tick — what the serving
+    /// stack trains and refreshes on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The current true home of `u` (ground truth; may disagree with
+    /// the registered label after a [`ScenarioEvent::NoiseBurst`]).
+    pub fn true_home(&self, u: UserId) -> CityId {
+        self.profiles[u.index()][0].0
+    }
+
+    /// Current true profiles, indexed by user.
+    pub fn profiles(&self) -> &[Vec<(CityId, f64)>] {
+        &self.profiles
+    }
+
+    /// FNV-1a hash folded over every mutation since the world was
+    /// built: same `(gazetteer, config, script)` ⇒ same fingerprint
+    /// after the same number of ticks; any divergence in the event
+    /// stream changes it.
+    pub fn event_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Advances the world one tick: steady arrivals first, then this
+    /// tick's scheduled events in script order. Ticking past
+    /// `script.ticks` is allowed (arrivals continue; no events remain).
+    pub fn tick(&mut self) -> TickDelta {
+        self.tick += 1;
+        let t = self.tick;
+        // The user distribution moved last tick — friend-city tables
+        // are stale. Rebuilt lazily, in draw order, so rebuilds are as
+        // deterministic as the draws themselves.
+        for slot in &mut self.city_alias {
+            *slot = None;
+        }
+        let mut delta = TickDelta {
+            tick: t,
+            new_users: Vec::new(),
+            migrated: Vec::new(),
+            edges_added: 0,
+            edges_removed: 0,
+            mentions_added: 0,
+            mentions_removed: 0,
+            labels_corrupted: 0,
+            traffic: 1.0,
+        };
+        let mut op = 0u64;
+        if self.script.arrivals_per_tick > 0 {
+            let mut rng = self.op_rng(t, op);
+            op += 1;
+            self.arrivals(self.script.arrivals_per_tick, &mut rng, &mut delta);
+        }
+        let events: Vec<ScenarioEvent> =
+            self.script.events.iter().filter(|e| e.tick == t).map(|e| e.event.clone()).collect();
+        for event in events {
+            let mut rng = self.op_rng(t, op);
+            op += 1;
+            match event {
+                ScenarioEvent::Arrivals { count } => self.arrivals(count, &mut rng, &mut delta),
+                ScenarioEvent::MigrationWave { fraction } => {
+                    self.migration_wave(fraction, &mut rng, &mut delta)
+                }
+                ScenarioEvent::EdgeChurn { remove_fraction, add_per_user } => {
+                    self.edge_churn(remove_fraction, add_per_user, &mut rng, &mut delta)
+                }
+                ScenarioEvent::NoiseBurst { fraction } => {
+                    self.noise_burst(fraction, &mut rng, &mut delta)
+                }
+                ScenarioEvent::TrafficSpike { multiplier } => {
+                    delta.traffic *= multiplier;
+                    self.fold(&[FOLD_TRAFFIC, multiplier.to_bits()]);
+                }
+            }
+        }
+        debug_assert_eq!(
+            self.dataset.validate(self.gen.gaz.num_cities(), self.gen.gaz.num_venues()),
+            Ok(())
+        );
+        delta
+    }
+
+    /// One RNG stream per (tick, operation): disjoint from the
+    /// generator's phases 1–4 and [`CELEB_PHASE`] because
+    /// `tick >= 1 ⇒ (tick << 20 | op) >= 2^20`, and two operations in
+    /// one tick never share a stream.
+    fn op_rng(&self, tick: usize, op: u64) -> Pcg64 {
+        Pcg64::new(SplitMix64::derive(self.gen.config.seed, ((tick as u64) << 20) | op))
+    }
+
+    fn fold(&mut self, words: &[u64]) {
+        for &w in words {
+            for b in w.to_le_bytes() {
+                self.fingerprint ^= b as u64;
+                self.fingerprint = self.fingerprint.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+
+    fn arrivals(&mut self, count: usize, rng: &mut Pcg64, delta: &mut TickDelta) {
+        let cfg = self.gen.config.clone();
+        for _ in 0..count {
+            let id = UserId(self.dataset.num_users);
+            let home = CityId(self.pop_alias.sample(rng) as u32);
+            let mut profile = vec![(home, 1.0)];
+            if rng.bernoulli(cfg.multi_location_fraction) {
+                if let Some(second) = self.gen.pick_second_location(rng, home, &self.pop_alias) {
+                    profile = vec![(home, 0.65), (second, 0.35)];
+                }
+            }
+            let registered = rng.bernoulli(cfg.registered_fraction).then_some(home);
+            self.dataset.num_users += 1;
+            self.dataset.registered.push(registered);
+            self.fold(&[FOLD_ARRIVAL, id.0 as u64, home.0 as u64]);
+            let mentions = sample_poisson(rng, cfg.mean_mentions) as usize;
+            for _ in 0..mentions {
+                self.push_mention(id, &profile, rng);
+            }
+            delta.mentions_added += mentions;
+            let friends = sample_poisson(rng, cfg.mean_friends) as usize;
+            for _ in 0..friends {
+                if self.push_edge(id, &profile, rng) {
+                    delta.edges_added += 1;
+                }
+            }
+            for &(c, _) in &profile {
+                self.users_at[c.index()].push(id);
+                self.city_user_counts[c.index()] += 1.0;
+            }
+            self.profiles.push(profile);
+            delta.new_users.push(id);
+        }
+    }
+
+    fn migration_wave(&mut self, fraction: f64, rng: &mut Pcg64, delta: &mut TickDelta) {
+        let cfg = self.gen.config.clone();
+        // Pass 1: who moves, and where. Arrivals earlier in the tick
+        // participate — they are existing users by now.
+        let existing = self.dataset.num_users;
+        let mut moves: Vec<Migration> = Vec::new();
+        for u in 0..existing {
+            if !rng.bernoulli(fraction) {
+                continue;
+            }
+            let from = self.profiles[u as usize][0].0;
+            let Some(to) = self.gen.pick_distinct_city(rng, &self.pop_alias, &[from]) else {
+                continue;
+            };
+            moves.push(Migration { user: UserId(u), from, to });
+        }
+        if moves.is_empty() {
+            return;
+        }
+        let migrants: HashSet<u32> = moves.iter().map(|m| m.user.0).collect();
+
+        // Pass 2: a migrant's old tweets age out of the crawl window.
+        let before = self.dataset.mentions.len();
+        self.dataset.mentions.retain(|m| !migrants.contains(&m.user.0));
+        let aged = before - self.dataset.mentions.len();
+        delta.mentions_removed += aged;
+        self.fold(&[FOLD_MENTIONS_AGED, aged as u64, moves.len() as u64]);
+
+        // Pass 3: half of the edges touching a migrant churn away (one
+        // draw per touched edge, in edge order — deterministic).
+        let mut kept = Vec::with_capacity(self.dataset.edges.len());
+        for e in std::mem::take(&mut self.dataset.edges) {
+            let touched = migrants.contains(&e.follower.0) || migrants.contains(&e.friend.0);
+            if touched && rng.bernoulli(0.5) {
+                self.edge_set.remove(&(e.follower.0, e.friend.0));
+                self.fold(&[FOLD_EDGE_DROP, e.follower.0 as u64, e.friend.0 as u64]);
+                delta.edges_removed += 1;
+            } else {
+                kept.push(e);
+            }
+        }
+        self.dataset.edges = kept;
+
+        // Pass 4: per migrant — re-home, relabel, fresh evidence.
+        for mv in moves {
+            let u = mv.user;
+            let old_profile = std::mem::take(&mut self.profiles[u.index()]);
+            for &(c, _) in &old_profile {
+                self.users_at[c.index()].retain(|&x| x != u);
+                self.city_user_counts[c.index()] -= 1.0;
+            }
+            // The new home dominates; the old one lingers as a second
+            // long-term location (friends and habits do not vanish).
+            let profile = vec![(mv.to, 0.7), (mv.from, 0.3)];
+            for &(c, _) in &profile {
+                self.users_at[c.index()].push(u);
+                self.city_user_counts[c.index()] += 1.0;
+            }
+            if self.dataset.registered[u.index()].is_some() {
+                self.dataset.registered[u.index()] = Some(mv.to);
+            }
+            self.fold(&[FOLD_MIGRATE, u.0 as u64, mv.from.0 as u64, mv.to.0 as u64]);
+            let mentions = sample_poisson(rng, cfg.mean_mentions) as usize;
+            for _ in 0..mentions {
+                self.push_mention(u, &profile, rng);
+            }
+            delta.mentions_added += mentions;
+            let friends = sample_poisson(rng, cfg.mean_friends * 0.5) as usize;
+            for _ in 0..friends {
+                if self.push_edge(u, &profile, rng) {
+                    delta.edges_added += 1;
+                }
+            }
+            self.profiles[u.index()] = profile;
+            delta.migrated.push(mv);
+        }
+    }
+
+    fn edge_churn(
+        &mut self,
+        remove_fraction: f64,
+        add_per_user: f64,
+        rng: &mut Pcg64,
+        delta: &mut TickDelta,
+    ) {
+        let mut kept = Vec::with_capacity(self.dataset.edges.len());
+        for e in std::mem::take(&mut self.dataset.edges) {
+            if rng.bernoulli(remove_fraction) {
+                self.edge_set.remove(&(e.follower.0, e.friend.0));
+                self.fold(&[FOLD_EDGE_DROP, e.follower.0 as u64, e.friend.0 as u64]);
+                delta.edges_removed += 1;
+            } else {
+                kept.push(e);
+            }
+        }
+        self.dataset.edges = kept;
+        if add_per_user > 0.0 {
+            let n = self.dataset.num_users();
+            let adds = sample_poisson(rng, n as f64 * add_per_user) as usize;
+            for _ in 0..adds {
+                let follower = UserId(rng.next_bounded(n) as u32);
+                let profile = self.profiles[follower.index()].clone();
+                if self.push_edge(follower, &profile, rng) {
+                    delta.edges_added += 1;
+                }
+            }
+        }
+    }
+
+    fn noise_burst(&mut self, fraction: f64, rng: &mut Pcg64, delta: &mut TickDelta) {
+        let n_cities = self.gen.gaz.num_cities();
+        for u in 0..self.dataset.num_users() {
+            if self.dataset.registered[u].is_none() || !rng.bernoulli(fraction) {
+                continue;
+            }
+            let truth = self.profiles[u][0].0;
+            let wrong = loop {
+                let c = CityId(rng.next_bounded(n_cities) as u32);
+                if c != truth || n_cities == 1 {
+                    break c;
+                }
+            };
+            self.dataset.registered[u] = Some(wrong);
+            self.fold(&[FOLD_NOISE, u as u64, wrong.0 as u64]);
+            delta.labels_corrupted += 1;
+        }
+    }
+
+    /// Draws one tweet mention for `user` from the generator's tweeting
+    /// story (noisy popularity vs ψ of a profile draw).
+    fn push_mention(&mut self, user: UserId, profile: &[(CityId, f64)], rng: &mut Pcg64) {
+        let venue = if rng.bernoulli(self.gen.config.noisy_mention_fraction) {
+            self.popular.0[self.popular.1.sample(rng)]
+        } else {
+            let z = sample_profile(rng, profile);
+            let (ids, table) = self.gen.psi(&mut self.psi_cache, z);
+            ids[table.sample(rng)]
+        };
+        self.dataset.mentions.push(TweetMention { user, venue });
+        self.fold(&[FOLD_MENTION_ADD, user.0 as u64, venue.0 as u64]);
+    }
+
+    /// Draws one follow edge for `follower` from the generator's
+    /// following story, against the *current* world (pool sizes and the
+    /// uniform-user range track arrivals). Returns false on dedup.
+    fn push_edge(&mut self, follower: UserId, profile: &[(CityId, f64)], rng: &mut Pcg64) -> bool {
+        let friend = if rng.bernoulli(self.gen.config.noisy_edge_fraction) {
+            self.noisy_friend(follower, rng)
+        } else {
+            match self.based_friend(follower, profile, rng) {
+                Some(f) => f,
+                None => self.noisy_friend(follower, rng),
+            }
+        };
+        if friend == follower {
+            return false; // degenerate single-user world
+        }
+        if self.edge_set.insert((follower.0, friend.0)) {
+            self.dataset.edges.push(FollowEdge { follower, friend });
+            self.fold(&[FOLD_EDGE_ADD, follower.0 as u64, friend.0 as u64]);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The random following model over the current user range — the
+    /// generator's [`Generator::noisy_edge`] with `n` tracking arrivals.
+    fn noisy_friend(&self, follower: UserId, rng: &mut Pcg64) -> UserId {
+        let n = self.dataset.num_users();
+        loop {
+            let candidate = if rng.bernoulli(0.7) {
+                self.celebs[self.celeb_alias.sample(rng)]
+            } else {
+                UserId(rng.next_bounded(n) as u32)
+            };
+            if candidate != follower || n == 1 {
+                return candidate;
+            }
+        }
+    }
+
+    /// The location-based following model over the current index — the
+    /// generator's [`Generator::based_edge`] against the world's
+    /// maintained `users_at` / counts, with tables rebuilt lazily per
+    /// tick.
+    fn based_friend(
+        &mut self,
+        follower: UserId,
+        profile: &[(CityId, f64)],
+        rng: &mut Pcg64,
+    ) -> Option<UserId> {
+        let x = sample_profile(rng, profile);
+        if self.city_alias[x.index()].is_none() {
+            let row = self.gen.gaz.distances().row(x.index());
+            let weights: Vec<f64> = row
+                .iter()
+                .zip(&self.city_user_counts)
+                .map(|(&d, &cnt)| {
+                    if cnt <= 0.0 {
+                        0.0
+                    } else {
+                        cnt * self.gen.config.power_law.kernel(d as f64)
+                    }
+                })
+                .collect();
+            self.city_alias[x.index()] = AliasTable::new(&weights);
+        }
+        let table = self.city_alias[x.index()].as_ref()?;
+        for _ in 0..16 {
+            let y = CityId(table.sample(rng) as u32);
+            let pool = &self.users_at[y.index()];
+            if pool.is_empty() {
+                continue;
+            }
+            let friend = pool[rng.next_bounded(pool.len())];
+            if friend != follower {
+                return Some(friend);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(script: ScenarioScript, seed: u64) -> (Gazetteer, ScenarioScript) {
+        (Gazetteer::us_cities(), {
+            let mut s = script;
+            s.name = format!("{}-{seed}", s.name);
+            s
+        })
+    }
+
+    fn run_world(gaz: &Gazetteer, script: &ScenarioScript, seed: u64) -> (Vec<TickDelta>, u64) {
+        let config = GeneratorConfig { seed, ..Default::default() };
+        let mut w = ScenarioWorld::new(gaz, config, script.clone()).unwrap();
+        let deltas: Vec<TickDelta> = (0..script.ticks).map(|_| w.tick()).collect();
+        let fp = w.event_fingerprint();
+        assert_eq!(
+            w.dataset().validate(gaz.num_cities(), gaz.num_venues()),
+            Ok(()),
+            "world must stay valid after the full script"
+        );
+        (deltas, fp)
+    }
+
+    #[test]
+    fn scripts_validate() {
+        for name in CANNED_SCENARIOS {
+            let s = ScenarioScript::by_name(name, 100, 8).unwrap();
+            assert_eq!(s.validate(), Ok(()), "{name}");
+            assert_eq!(s.name, name);
+        }
+        assert!(ScenarioScript::by_name("nope", 100, 8).is_none());
+
+        let mut bad = ScenarioScript::steady_state(100, 4);
+        bad.events.push(ScheduledEvent { tick: 9, event: ScenarioEvent::Arrivals { count: 1 } });
+        assert!(bad.validate().unwrap_err().contains("outside"));
+
+        let mut bad = ScenarioScript::steady_state(100, 4);
+        bad.events.push(ScheduledEvent {
+            tick: 2,
+            event: ScenarioEvent::MigrationWave { fraction: 1.5 },
+        });
+        assert!(bad.validate().unwrap_err().contains("not a probability"));
+
+        assert!(ScenarioScript::steady_state(0, 4).validate().is_err());
+        assert!(ScenarioScript::steady_state(10, 0).validate().is_err());
+    }
+
+    #[test]
+    fn ticks_are_deterministic_and_seed_sensitive() {
+        let (gaz, script) = world(ScenarioScript::migration_wave(150, 6), 41);
+        let (a, fa) = run_world(&gaz, &script, 41);
+        let (b, fb) = run_world(&gaz, &script, 41);
+        assert_eq!(a, b, "same (seed, script) must replay the same deltas");
+        assert_eq!(fa, fb);
+        let (_, fc) = run_world(&gaz, &script, 43);
+        assert_ne!(fa, fc, "a different seed must change the event stream");
+    }
+
+    #[test]
+    fn arrivals_grow_the_world_consistently() {
+        let gaz = Gazetteer::us_cities();
+        let script = ScenarioScript::steady_state(120, 5);
+        let per_tick = script.arrivals_per_tick;
+        let mut w =
+            ScenarioWorld::new(&gaz, GeneratorConfig { seed: 7, ..Default::default() }, script)
+                .unwrap();
+        for t in 1..=5 {
+            let d = w.tick();
+            assert_eq!(d.tick, t);
+            assert_eq!(d.new_users.len(), per_tick);
+            assert!(d.migrated.is_empty());
+            assert_eq!(d.traffic, 1.0);
+        }
+        assert_eq!(w.num_users(), 120 + 5 * per_tick);
+        assert_eq!(w.profiles().len(), w.num_users());
+        assert_eq!(w.dataset().registered.len(), w.num_users());
+        // The city index matches the profiles exactly.
+        let mut expect = vec![0usize; gaz.num_cities()];
+        for p in w.profiles() {
+            for &(c, _) in p {
+                expect[c.index()] += 1;
+            }
+        }
+        for (c, &n) in expect.iter().enumerate() {
+            assert_eq!(w.users_at[c].len(), n, "city {c} index out of sync");
+        }
+    }
+
+    #[test]
+    fn migration_moves_homes_labels_and_evidence() {
+        let gaz = Gazetteer::us_cities();
+        let script = ScenarioScript {
+            name: "one-wave".into(),
+            initial_users: 200,
+            ticks: 1,
+            arrivals_per_tick: 0,
+            events: vec![ScheduledEvent {
+                tick: 1,
+                event: ScenarioEvent::MigrationWave { fraction: 0.4 },
+            }],
+        };
+        let mut w =
+            ScenarioWorld::new(&gaz, GeneratorConfig { seed: 9, ..Default::default() }, script)
+                .unwrap();
+        let before: Vec<CityId> = (0..200).map(|u| w.true_home(UserId(u))).collect();
+        let d = w.tick();
+        let frac = d.migrated.len() as f64 / 200.0;
+        assert!((0.25..0.55).contains(&frac), "migrated fraction {frac}");
+        assert!(d.mentions_removed > 0 && d.mentions_added > 0);
+        assert!(d.edges_removed > 0 && d.edges_added > 0);
+        for mv in &d.migrated {
+            assert_eq!(before[mv.user.index()], mv.from);
+            assert_ne!(mv.from, mv.to);
+            assert_eq!(w.true_home(mv.user), mv.to, "profile must lead with the new home");
+            // Labels follow the move (registered_fraction is 1.0 here).
+            assert_eq!(w.dataset().registered[mv.user.index()], Some(mv.to));
+        }
+    }
+
+    #[test]
+    fn noise_burst_corrupts_labels_not_truth() {
+        let gaz = Gazetteer::us_cities();
+        let script = ScenarioScript {
+            name: "one-burst".into(),
+            initial_users: 200,
+            ticks: 1,
+            arrivals_per_tick: 0,
+            events: vec![ScheduledEvent {
+                tick: 1,
+                event: ScenarioEvent::NoiseBurst { fraction: 0.3 },
+            }],
+        };
+        let mut w =
+            ScenarioWorld::new(&gaz, GeneratorConfig { seed: 13, ..Default::default() }, script)
+                .unwrap();
+        let homes: Vec<CityId> = (0..200).map(|u| w.true_home(UserId(u))).collect();
+        let d = w.tick();
+        let frac = d.labels_corrupted as f64 / 200.0;
+        assert!((0.2..0.4).contains(&frac), "corrupted fraction {frac}");
+        let wrong = (0..200u32)
+            .filter(|&u| w.dataset().registered[u as usize] != Some(homes[u as usize]))
+            .count();
+        assert_eq!(wrong, d.labels_corrupted, "truth must be untouched; only labels lie");
+    }
+
+    #[test]
+    fn edge_churn_decays_and_regrows() {
+        let gaz = Gazetteer::us_cities();
+        let script = ScenarioScript {
+            name: "one-storm".into(),
+            initial_users: 200,
+            ticks: 1,
+            arrivals_per_tick: 0,
+            events: vec![ScheduledEvent {
+                tick: 1,
+                event: ScenarioEvent::EdgeChurn { remove_fraction: 0.5, add_per_user: 1.0 },
+            }],
+        };
+        let mut w =
+            ScenarioWorld::new(&gaz, GeneratorConfig { seed: 17, ..Default::default() }, script)
+                .unwrap();
+        let before = w.dataset().num_edges();
+        let d = w.tick();
+        let removed_frac = d.edges_removed as f64 / before as f64;
+        assert!((0.4..0.6).contains(&removed_frac), "removed fraction {removed_frac}");
+        assert!(d.edges_added > 100, "regrowth too small: {}", d.edges_added);
+        assert_eq!(w.dataset().num_edges(), before - d.edges_removed + d.edges_added);
+    }
+
+    #[test]
+    fn traffic_spike_is_advisory_only() {
+        let gaz = Gazetteer::us_cities();
+        let script = ScenarioScript {
+            name: "one-spike".into(),
+            initial_users: 50,
+            ticks: 2,
+            arrivals_per_tick: 0,
+            events: vec![ScheduledEvent {
+                tick: 1,
+                event: ScenarioEvent::TrafficSpike { multiplier: 4.0 },
+            }],
+        };
+        let mut w =
+            ScenarioWorld::new(&gaz, GeneratorConfig { seed: 19, ..Default::default() }, script)
+                .unwrap();
+        let users = w.num_users();
+        let edges = w.dataset().num_edges();
+        let d = w.tick();
+        assert_eq!(d.traffic, 4.0);
+        assert_eq!(w.num_users(), users);
+        assert_eq!(w.dataset().num_edges(), edges);
+        assert_eq!(w.tick().traffic, 1.0, "the spike lasts one tick");
+    }
+}

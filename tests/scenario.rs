@@ -1,0 +1,165 @@
+//! Integration tests for the scenario engine: event-scripted worlds
+//! driven through the closed serve → measure → refresh-or-retrain loop.
+
+use mlp::prelude::*;
+
+fn run(name: &str, users: usize, ticks: usize, seed: u64) -> ScenarioReport {
+    let script = ScenarioScript::by_name(name, users, ticks).expect("canned scenario");
+    let config = ScenarioRunConfig {
+        generator: GeneratorConfig { seed, ..Default::default() },
+        ..Default::default()
+    };
+    run_scenario(&Gazetteer::us_cities(), script, &config).expect("scenario run")
+}
+
+/// Same (seed, script) ⇒ byte-identical event stream and identical
+/// per-tick metric report; a different seed diverges.
+#[test]
+fn repeat_runs_are_bit_identical() {
+    let a = run("migration-wave", 260, 6, 901);
+    let b = run("migration-wave", 260, 6, 901);
+    assert_eq!(a.event_fingerprint, b.event_fingerprint);
+    assert_eq!(a.determinism_fingerprint(), b.determinism_fingerprint());
+    assert_eq!(a.ticks.len(), b.ticks.len());
+    for (x, y) in a.ticks.iter().zip(&b.ticks) {
+        // Everything but wall-clock serve time must match exactly.
+        assert_eq!(x.tick, y.tick);
+        assert_eq!(x.users, y.users);
+        assert_eq!(x.absorbed, y.absorbed);
+        assert_eq!(x.acc_served.to_bits(), y.acc_served.to_bits());
+        assert_eq!(x.acc_committed.to_bits(), y.acc_committed.to_bits());
+        assert_eq!(x.drift.to_bits(), y.drift.to_bits());
+        assert_eq!(x.action, y.action);
+        assert_eq!(x.epoch, y.epoch);
+    }
+
+    let c = run("migration-wave", 260, 6, 902);
+    assert_ne!(a.event_fingerprint, c.event_fingerprint, "seed must steer the event stream");
+    assert_ne!(a.determinism_fingerprint(), c.determinism_fingerprint());
+}
+
+/// The tentpole acceptance signature: a migration wave dips served
+/// accuracy, the drift signal crosses the staleness threshold, the
+/// decision layer auto-retrains, and committed accuracy recovers toward
+/// the retrained curve.
+#[test]
+fn migration_wave_triggers_auto_retrain_and_recovers() {
+    let report = run("migration-wave", 300, 8, 903);
+    eprintln!("{}", report.render_table());
+    assert_eq!(report.ticks.len(), 8);
+    assert!(report.refreshes() >= 1, "arrival ticks must refresh incrementally");
+    assert!(report.retrains() >= 1, "the migration wave must trigger an auto-retrain");
+
+    let retrain_tick = report
+        .ticks
+        .iter()
+        .find(|t| matches!(t.action, TickAction::Retrain { .. }))
+        .expect("retrain tick");
+    let wave_tick = report.ticks.iter().find(|t| t.migrated > 0).expect("wave tick");
+    assert!(
+        retrain_tick.tick >= wave_tick.tick,
+        "retrain must be a reaction to the wave, not precede it"
+    );
+    assert!(
+        retrain_tick.drift > 0.10,
+        "retrain must have been drift-triggered: drift={}",
+        retrain_tick.drift
+    );
+    // Recovery: the retrain lifts accuracy well above the dip it reacted to.
+    let (_, dip) = report.min_acc_served().unwrap();
+    assert!(
+        retrain_tick.acc_committed > dip + 0.10,
+        "retrain did not recover: dip={dip}, committed={}",
+        retrain_tick.acc_committed
+    );
+    let last = report.ticks.last().unwrap();
+    assert!(
+        last.acc_committed > dip + 0.10,
+        "accuracy fell back after the retrain: dip={dip}, final={}",
+        last.acc_committed
+    );
+}
+
+/// Steady state: arrivals are absorbed incrementally every tick and the
+/// policy never escalates to a retrain.
+#[test]
+fn steady_state_refreshes_but_never_retrains() {
+    let report = run("steady-state", 260, 6, 904);
+    eprintln!("{}", report.render_table());
+    assert_eq!(report.ticks.len(), 6);
+    assert_eq!(report.retrains(), 0, "steady arrivals must not trigger retrains");
+    assert_eq!(report.refreshes(), 6, "every tick has arrivals to absorb");
+    let mut prev_epoch = 0;
+    let mut prev_users = 0;
+    for t in &report.ticks {
+        assert!(t.epoch > prev_epoch, "refresh commits must keep publishing epochs");
+        assert!(t.users > prev_users, "arrivals must grow the world monotonically");
+        prev_epoch = t.epoch;
+        prev_users = t.users;
+        assert_eq!(t.migrated, 0);
+        assert_eq!(t.labels_corrupted, 0);
+    }
+    // After each tick's action, everything the world holds is absorbed.
+    let last = report.ticks.last().unwrap();
+    assert_eq!(
+        last.users,
+        report.initial_users + report.ticks.iter().map(|t| t.new_users).sum::<usize>()
+    );
+}
+
+/// Churn storm and noise burst both run clean end to end and report the
+/// deltas their events cause.
+#[test]
+fn churn_and_noise_scenarios_run_clean() {
+    let churn = run("churn-storm", 240, 6, 905);
+    eprintln!("{}", churn.render_table());
+    assert_eq!(churn.ticks.len(), 6);
+    assert!(churn.ticks.iter().any(|t| t.edges_removed > 0), "the storm must decay edges");
+    assert!(
+        churn.ticks.iter().any(|t| t.traffic > 1.0 && t.requests > 0),
+        "the traffic spike must scale served requests"
+    );
+
+    let noise = run("noise-burst", 240, 6, 906);
+    eprintln!("{}", noise.render_table());
+    assert_eq!(noise.ticks.len(), 6);
+    assert!(noise.ticks.iter().any(|t| t.labels_corrupted > 0), "the burst must corrupt labels");
+}
+
+/// Script validation failures surface as typed errors from the driver,
+/// not panics mid-run.
+#[test]
+fn invalid_scripts_are_rejected() {
+    let gaz = Gazetteer::us_cities();
+    let mut script = ScenarioScript::steady_state(100, 4);
+    script.events.push(mlp::social::ScheduledEvent {
+        tick: 9,
+        event: ScenarioEvent::MigrationWave { fraction: 0.3 },
+    });
+    let err = run_scenario(&gaz, script, &ScenarioRunConfig::default()).unwrap_err();
+    assert!(err.contains("outside"), "unexpected error: {err}");
+
+    let mut script = ScenarioScript::steady_state(100, 4);
+    script.events.push(mlp::social::ScheduledEvent {
+        tick: 2,
+        event: ScenarioEvent::NoiseBurst { fraction: 1.5 },
+    });
+    let err = run_scenario(&gaz, script, &ScenarioRunConfig::default()).unwrap_err();
+    assert!(err.contains("probability"), "unexpected error: {err}");
+}
+
+/// The machine-readable report carries the full curve: JSON has one row
+/// per tick plus run-level fingerprints, and the table renders.
+#[test]
+fn report_serializes_with_full_curve() {
+    let report = run("steady-state", 200, 4, 907);
+    let json = report.to_json();
+    assert_eq!(json.matches("\"tick\":").count(), 4);
+    assert!(json.contains("\"scenario\": \"steady-state\""));
+    assert!(json.contains("\"determinism_fingerprint\""));
+    assert!(json.contains("\"event_fingerprint\""));
+    assert!(json.contains("\"refresh\""));
+    let table = report.render_table();
+    assert!(table.contains("acc_served"));
+    assert!(table.lines().count() >= 5, "table must have one row per tick");
+}
